@@ -1,0 +1,138 @@
+// Experiment F10 (macro) — a mixed end-to-end workload under different
+// monitor configurations.
+//
+// The micro-benchmarks (F1–F9) price each mechanism in isolation; this one
+// asks the question a system adopter would: what does full mediation cost on
+// a *realistic operation mix*? Each iteration performs one operation drawn
+// round-robin from: file read, file append, directory list, service call
+// through the kernel, event dispatch to an extension, thread status check.
+//
+//   Workload/full          DAC+MAC, cache, denials-only audit (the default)
+//   Workload/full_uncached same without the decision cache
+//   Workload/audit_all     default + full audit retention
+//   Workload/dac_only      discretionary only
+//   Workload/mac_only      mandatory only
+//   Workload/none          mediation disabled layers (floor)
+//
+// Expected shape: the default configuration sits within ~2× of the floor;
+// the uncached and audit-all variants show where the costs concentrate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+struct Workload {
+  explicit Workload(MonitorOptions options) : sys(options) {
+    (void)sys.labels().DefineLevels({"low", "high"});
+    user = *sys.CreateUser("worker");
+    subject = sys.Login(user, sys.labels().Bottom());
+
+    // A small home tree with a few files.
+    NodeId home = *sys.name_space().BindPath("/fs/home", NodeKind::kDirectory, user);
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, user, AccessModeSet::All()});
+    (void)sys.name_space().SetAclRef(home, sys.kernel().acls().Create(std::move(acl)));
+    for (int i = 0; i < 4; ++i) {
+      std::string path = "/fs/home/f" + std::to_string(i);
+      (void)sys.fs().Create(subject, path);
+      (void)sys.fs().Write(subject, path, {1, 2, 3, 4});
+    }
+
+    // An extension point with one handler.
+    NodeId iface = *sys.kernel().RegisterInterface("/svc/hook", sys.system_principal());
+    Acl iface_acl;
+    iface_acl.AddEntry({AclEntryType::kAllow, user,
+                        AccessMode::kExecute | AccessMode::kExtend | AccessMode::kList});
+    (void)sys.name_space().SetAclRef(iface, sys.kernel().acls().Create(std::move(iface_acl)));
+    ExtensionManifest manifest;
+    manifest.name = "hook-impl";
+    manifest.exports.push_back(
+        {"/svc/hook", [](CallContext&) -> StatusOr<Value> { return Value{int64_t{1}}; }});
+    (void)sys.LoadExtension(manifest, subject);
+
+    thread_id = *sys.threads().Spawn(subject, "bg");
+  }
+
+  void Step(int op) {
+    switch (op % 6) {
+      case 0:
+        benchmark::DoNotOptimize(sys.fs().Read(subject, "/fs/home/f0"));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(sys.fs().Append(subject, "/fs/home/f1", {9}));
+        break;
+      case 2:
+        benchmark::DoNotOptimize(sys.fs().ListDir(subject, "/fs/home"));
+        break;
+      case 3:
+        benchmark::DoNotOptimize(
+            sys.Invoke(subject, "/svc/fs/stat", {Value{std::string("/fs/home/f2")}}));
+        break;
+      case 4:
+        benchmark::DoNotOptimize(sys.kernel().RaiseEvent(subject, "/svc/hook", {}));
+        break;
+      case 5:
+        benchmark::DoNotOptimize(sys.threads().IsRunning(subject, thread_id));
+        break;
+    }
+  }
+
+  SecureSystem sys;
+  PrincipalId user;
+  Subject subject;
+  int64_t thread_id = 0;
+};
+
+void RunWorkload(benchmark::State& state, MonitorOptions options) {
+  Workload workload(options);
+  int op = 0;
+  for (auto _ : state) {
+    workload.Step(op++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+MonitorOptions Config(bool dac, bool mac, bool cache, AuditPolicy audit) {
+  MonitorOptions options;
+  options.dac_enabled = dac;
+  options.mac_enabled = mac;
+  options.cache_enabled = cache;
+  options.audit_policy = audit;
+  return options;
+}
+
+void BM_Workload_Full(benchmark::State& state) {
+  RunWorkload(state, Config(true, true, true, AuditPolicy::kDenialsOnly));
+}
+void BM_Workload_FullUncached(benchmark::State& state) {
+  RunWorkload(state, Config(true, true, false, AuditPolicy::kDenialsOnly));
+}
+void BM_Workload_AuditAll(benchmark::State& state) {
+  RunWorkload(state, Config(true, true, true, AuditPolicy::kAll));
+}
+void BM_Workload_DacOnly(benchmark::State& state) {
+  RunWorkload(state, Config(true, false, true, AuditPolicy::kOff));
+}
+void BM_Workload_MacOnly(benchmark::State& state) {
+  RunWorkload(state, Config(false, true, true, AuditPolicy::kOff));
+}
+void BM_Workload_NoLayers(benchmark::State& state) {
+  RunWorkload(state, Config(false, false, true, AuditPolicy::kOff));
+}
+
+BENCHMARK(BM_Workload_Full);
+BENCHMARK(BM_Workload_FullUncached);
+BENCHMARK(BM_Workload_AuditAll);
+BENCHMARK(BM_Workload_DacOnly);
+BENCHMARK(BM_Workload_MacOnly);
+BENCHMARK(BM_Workload_NoLayers);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Experiment F3 — lattice operation cost vs category-set width (DESIGN.md §5).
+//
+// The MAC check is one Dominates() per access; the figure shows it staying
+// flat while the categories fit in one machine word and growing linearly in
+// 64-bit words beyond that — i.e. MAC adds near-constant cost for realistic
+// category counts (the paper's example needs four).
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/mac/security_class.h"
+
+namespace xsec {
+namespace {
+
+SecurityClass RandomClass(Rng& rng, size_t categories) {
+  CategorySet cats(categories);
+  for (size_t c = 0; c < categories; ++c) {
+    if (rng.NextBool(1, 2)) {
+      cats.Set(c);
+    }
+  }
+  return SecurityClass(static_cast<TrustLevel>(rng.NextBelow(4)), std::move(cats));
+}
+
+void BM_Dominates(benchmark::State& state) {
+  Rng rng(42);
+  size_t width = static_cast<size_t>(state.range(0));
+  SecurityClass a = RandomClass(rng, width);
+  SecurityClass b = RandomClass(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dominates(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dominates)->RangeMultiplier(4)->Range(1, 4096)->Complexity(benchmark::oN);
+
+void BM_DominatesSubsetHolds(benchmark::State& state) {
+  // Worst case: the subset relation holds, so every word is inspected.
+  size_t width = static_cast<size_t>(state.range(0));
+  CategorySet small(width), large(width);
+  for (size_t c = 0; c < width; c += 2) {
+    small.Set(c);
+  }
+  large.SetAll();
+  SecurityClass lo(0, std::move(small));
+  SecurityClass hi(1, std::move(large));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hi.Dominates(lo));
+  }
+}
+BENCHMARK(BM_DominatesSubsetHolds)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_Join(benchmark::State& state) {
+  Rng rng(7);
+  size_t width = static_cast<size_t>(state.range(0));
+  SecurityClass a = RandomClass(rng, width);
+  SecurityClass b = RandomClass(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Join(b));
+  }
+}
+BENCHMARK(BM_Join)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_Meet(benchmark::State& state) {
+  Rng rng(9);
+  size_t width = static_cast<size_t>(state.range(0));
+  SecurityClass a = RandomClass(rng, width);
+  SecurityClass b = RandomClass(rng, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Meet(b));
+  }
+}
+BENCHMARK(BM_Meet)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_ClassHash(benchmark::State& state) {
+  Rng rng(11);
+  SecurityClass a = RandomClass(rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_ClassHash)->RangeMultiplier(4)->Range(1, 4096);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Experiment F4 — name-space lookup cost (DESIGN.md §5).
+//
+// The single universal name space (§2.3) is on every mediation path, so its
+// lookup cost bounds the whole system. The figure sweeps path depth and
+// directory fanout; the expected shape is linear in depth (one map probe per
+// component, each O(log fanout)).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/naming/namespace.h"
+
+namespace xsec {
+namespace {
+
+std::string DeepPath(int depth) {
+  std::string path;
+  for (int i = 0; i < depth; ++i) {
+    path += "/d" + std::to_string(i);
+  }
+  return path;
+}
+
+void BM_LookupByDepth(benchmark::State& state) {
+  NameSpace ns;
+  int depth = static_cast<int>(state.range(0));
+  std::string path = DeepPath(depth);
+  (void)ns.BindPath(path, NodeKind::kFile, PrincipalId{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.Lookup(path));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LookupByDepth)->RangeMultiplier(2)->Range(1, 32)->Complexity(benchmark::oN);
+
+void BM_LookupByFanout(benchmark::State& state) {
+  NameSpace ns;
+  int fanout = static_cast<int>(state.range(0));
+  for (int i = 0; i < fanout; ++i) {
+    (void)ns.Bind(ns.root(), "entry" + std::to_string(i), NodeKind::kFile, PrincipalId{0});
+  }
+  std::string target = "/entry" + std::to_string(fanout / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.Lookup(target));
+  }
+}
+BENCHMARK(BM_LookupByFanout)->RangeMultiplier(8)->Range(8, 32768);
+
+void BM_LookupWithAncestors(benchmark::State& state) {
+  NameSpace ns;
+  std::string path = DeepPath(static_cast<int>(state.range(0)));
+  (void)ns.BindPath(path, NodeKind::kFile, PrincipalId{0});
+  for (auto _ : state) {
+    std::vector<NodeId> ancestors;
+    benchmark::DoNotOptimize(ns.LookupWithAncestors(path, &ancestors));
+  }
+}
+BENCHMARK(BM_LookupWithAncestors)->RangeMultiplier(2)->Range(1, 32);
+
+void BM_PathOf(benchmark::State& state) {
+  NameSpace ns;
+  std::string path = DeepPath(static_cast<int>(state.range(0)));
+  NodeId node = *ns.BindPath(path, NodeKind::kFile, PrincipalId{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.PathOf(node));
+  }
+}
+BENCHMARK(BM_PathOf)->RangeMultiplier(2)->Range(1, 32);
+
+void BM_BindUnbindCycle(benchmark::State& state) {
+  NameSpace ns;
+  (void)ns.BindPath("/dir", NodeKind::kDirectory, PrincipalId{0});
+  NodeId dir = *ns.Lookup("/dir");
+  for (auto _ : state) {
+    NodeId node = *ns.Bind(dir, "tmp", NodeKind::kFile, PrincipalId{0});
+    (void)ns.Unbind(node);
+  }
+}
+BENCHMARK(BM_BindUnbindCycle);
+
+void BM_ParsePath(benchmark::State& state) {
+  std::string path = DeepPath(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParsePath(path));
+  }
+}
+BENCHMARK(BM_ParsePath)->RangeMultiplier(2)->Range(1, 32);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

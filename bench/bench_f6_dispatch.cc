@@ -1,0 +1,90 @@
+// Experiment F6 — event dispatch with class-based handler selection
+// (DESIGN.md §5).
+//
+// The paper's rule — "the right extension is selected based on the security
+// class of the caller" (§2.2) — costs one Dominates() per registered
+// handler. The figure sweeps the handler count for:
+//
+//   FirstRegistered/<n>   plain dispatch (baseline; ignores classes)
+//   ClassSelected/<n>     the paper's rule
+//   Broadcast/<n>         all eligible handlers (SPIN-style multicast),
+//                         measured per selection, not per handler run
+//
+// Expected shape: FirstRegistered is O(1); ClassSelected and Broadcast are
+// linear in n with a small per-handler constant (~one lattice check).
+
+#include <benchmark/benchmark.h>
+
+#include "src/extsys/dispatcher.h"
+
+namespace xsec {
+namespace {
+
+SecurityClass Cls(TrustLevel level, size_t categories = 4) {
+  CategorySet cats(categories);
+  for (size_t c = 0; c < level && c < categories; ++c) {
+    cats.Set(c);
+  }
+  return SecurityClass(level, std::move(cats));
+}
+
+EventDispatcher MakeDispatcher(int handlers, NodeId iface) {
+  EventDispatcher dispatcher;
+  for (int i = 0; i < handlers; ++i) {
+    dispatcher.Register(iface, ExtensionId{static_cast<uint32_t>(i)},
+                        Cls(static_cast<TrustLevel>(i % 4)),
+                        [](CallContext&) -> StatusOr<Value> { return Value{}; });
+  }
+  return dispatcher;
+}
+
+void BM_FirstRegistered(benchmark::State& state) {
+  NodeId iface{1};
+  EventDispatcher dispatcher = MakeDispatcher(static_cast<int>(state.range(0)), iface);
+  SecurityClass caller = Cls(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatcher.Select(iface, caller, DispatchMode::kFirstRegistered));
+  }
+}
+BENCHMARK(BM_FirstRegistered)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_ClassSelected(benchmark::State& state) {
+  NodeId iface{1};
+  EventDispatcher dispatcher = MakeDispatcher(static_cast<int>(state.range(0)), iface);
+  SecurityClass caller = Cls(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatcher.Select(iface, caller, DispatchMode::kClassSelected));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClassSelected)->RangeMultiplier(4)->Range(1, 256)->Complexity(benchmark::oN);
+
+void BM_Broadcast(benchmark::State& state) {
+  NodeId iface{1};
+  EventDispatcher dispatcher = MakeDispatcher(static_cast<int>(state.range(0)), iface);
+  SecurityClass caller = Cls(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dispatcher.Select(iface, caller, DispatchMode::kBroadcast));
+  }
+}
+BENCHMARK(BM_Broadcast)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_ClassSelectedLowCaller(benchmark::State& state) {
+  // A bottom caller is eligible for only the level-0 handlers; selection
+  // still scans every record.
+  NodeId iface{1};
+  EventDispatcher dispatcher = MakeDispatcher(static_cast<int>(state.range(0)), iface);
+  SecurityClass caller = Cls(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dispatcher.Select(iface, caller, DispatchMode::kClassSelected));
+  }
+}
+BENCHMARK(BM_ClassSelectedLowCaller)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment F7 — audit overhead (DESIGN.md §5).
+//
+// Auditing is one of the concerns the paper folds into the central facility
+// (§1). The figure measures the per-check cost of each audit policy for both
+// allowed and denied accesses:
+//
+//   Allowed_Off / Allowed_DenialsOnly / Allowed_All
+//   Denied_Off  / Denied_DenialsOnly  / Denied_All
+//
+// Expected shape: kOff and the non-retaining combinations cost only two
+// counter bumps; retaining a record adds path reconstruction + record
+// storage, so Allowed_All and Denied_{DenialsOnly,All} are the expensive
+// cells.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/monitor/reference_monitor.h"
+
+namespace xsec {
+namespace {
+
+struct AuditFixture {
+  explicit AuditFixture(AuditPolicy policy) {
+    MonitorOptions options;
+    options.audit_policy = policy;
+    options.cache_enabled = true;
+    monitor = std::make_unique<ReferenceMonitor>(&ns, &acls, &principals, &labels, options);
+    user = *principals.CreateUser("u");
+    node = *ns.BindPath("/obj/thing", NodeKind::kObject, PrincipalId{999});
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, user, AccessModeSet(AccessMode::kRead)});
+    (void)ns.SetAclRef(node, acls.Create(std::move(acl)));
+    subject = Subject{user, labels.Bottom(), 1};
+  }
+
+  NameSpace ns;
+  AclStore acls;
+  PrincipalRegistry principals;
+  LabelAuthority labels;
+  std::unique_ptr<ReferenceMonitor> monitor;
+  PrincipalId user;
+  NodeId node;
+  Subject subject;
+};
+
+void RunCase(benchmark::State& state, AuditPolicy policy, bool allowed) {
+  AuditFixture f(policy);
+  AccessModeSet modes(allowed ? AccessMode::kRead : AccessMode::kWrite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.monitor->Check(f.subject, f.node, modes));
+  }
+}
+
+void BM_Allowed_Off(benchmark::State& state) { RunCase(state, AuditPolicy::kOff, true); }
+void BM_Allowed_DenialsOnly(benchmark::State& state) {
+  RunCase(state, AuditPolicy::kDenialsOnly, true);
+}
+void BM_Allowed_All(benchmark::State& state) { RunCase(state, AuditPolicy::kAll, true); }
+void BM_Denied_Off(benchmark::State& state) { RunCase(state, AuditPolicy::kOff, false); }
+void BM_Denied_DenialsOnly(benchmark::State& state) {
+  RunCase(state, AuditPolicy::kDenialsOnly, false);
+}
+void BM_Denied_All(benchmark::State& state) { RunCase(state, AuditPolicy::kAll, false); }
+
+BENCHMARK(BM_Allowed_Off);
+BENCHMARK(BM_Allowed_DenialsOnly);
+BENCHMARK(BM_Allowed_All);
+BENCHMARK(BM_Denied_Off);
+BENCHMARK(BM_Denied_DenialsOnly);
+BENCHMARK(BM_Denied_All);
+
+void BM_AuditedPathCheck(benchmark::State& state) {
+  // Full-path checks retain longer paths; measures the path-dependent part.
+  AuditFixture f(AuditPolicy::kAll);
+  // Grant list along the chain so the check succeeds.
+  Acl root_acl;
+  root_acl.AddEntry({AclEntryType::kAllow, f.user, AccessModeSet(AccessMode::kList)});
+  (void)f.ns.SetAclRef(f.ns.root(), f.acls.Create(root_acl));
+  Acl dir_acl;
+  dir_acl.AddEntry({AclEntryType::kAllow, f.user,
+                    AccessMode::kList | AccessMode::kRead});
+  (void)f.ns.SetAclRef(*f.ns.Lookup("/obj"), f.acls.Create(dir_acl));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.monitor->CheckPath(f.subject, "/obj/thing", AccessMode::kRead));
+  }
+}
+BENCHMARK(BM_AuditedPathCheck);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

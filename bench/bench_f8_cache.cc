@@ -1,0 +1,131 @@
+// Experiment F8 — decision-cache scaling (DESIGN.md §5).
+//
+// Economy of mechanism (§3) only works if the one central facility is fast;
+// the decision cache is what makes it so. The figure sweeps:
+//
+//   WorkingSet/<n>        round-robin over n (subject,object) pairs, cache on
+//   WorkingSetUncached/<n>   same stream with the cache disabled
+//   InvalidationEvery/<k> one ACL mutation every k checks (stamp
+//                         invalidation forces re-evaluation)
+//
+// Expected shape: cached cost is flat until the working set spills the
+// direct-mapped table; uncached cost is flat but several times higher;
+// mutation frequency linearly degrades toward the uncached line.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include <string>
+#include <vector>
+
+#include "src/monitor/reference_monitor.h"
+
+namespace xsec {
+namespace {
+
+struct CacheFixture {
+  CacheFixture(size_t objects, bool cache_enabled, size_t acl_entries = 16) {
+    MonitorOptions options;
+    options.cache_enabled = cache_enabled;
+    options.audit_policy = AuditPolicy::kOff;
+    options.cache_slots = 8192;
+    monitor = std::make_unique<ReferenceMonitor>(&ns, &acls, &principals, &labels, options);
+    user = *principals.CreateUser("u");
+    // A moderately expensive ACL so cache hits visibly pay off.
+    Acl acl;
+    for (size_t i = 0; i < acl_entries; ++i) {
+      acl.AddEntry({AclEntryType::kAllow, PrincipalId{1000 + static_cast<uint32_t>(i)},
+                    AccessModeSet(AccessMode::kRead)});
+    }
+    acl.AddEntry({AclEntryType::kAllow, user, AccessModeSet(AccessMode::kRead)});
+    AclStore::AclRef shared = acls.Create(std::move(acl));
+    for (size_t i = 0; i < objects; ++i) {
+      NodeId node = *ns.BindPath("/o/n" + std::to_string(i), NodeKind::kObject, user);
+      (void)ns.SetAclRef(node, shared);
+      nodes.push_back(node);
+    }
+    subject = Subject{user, labels.Bottom(), 1};
+  }
+
+  NameSpace ns;
+  AclStore acls;
+  PrincipalRegistry principals;
+  LabelAuthority labels;
+  std::unique_ptr<ReferenceMonitor> monitor;
+  PrincipalId user;
+  std::vector<NodeId> nodes;
+  Subject subject;
+};
+
+void WorkingSet(benchmark::State& state, bool cached) {
+  CacheFixture f(static_cast<size_t>(state.range(0)), cached);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.monitor->Check(f.subject, f.nodes[i % f.nodes.size()], AccessMode::kRead));
+    ++i;
+  }
+  if (cached) {
+    state.counters["hit_rate"] = benchmark::Counter(
+        static_cast<double>(f.monitor->cache().hits()) /
+        static_cast<double>(f.monitor->cache().hits() + f.monitor->cache().misses() +
+                            f.monitor->cache().stale_hits()));
+  }
+}
+
+void BM_WorkingSet(benchmark::State& state) { WorkingSet(state, true); }
+void BM_WorkingSetUncached(benchmark::State& state) { WorkingSet(state, false); }
+BENCHMARK(BM_WorkingSet)->RangeMultiplier(4)->Range(16, 65536);
+BENCHMARK(BM_WorkingSetUncached)->RangeMultiplier(4)->Range(16, 16384);
+
+void BM_InvalidationEvery(benchmark::State& state) {
+  CacheFixture f(256, /*cache_enabled=*/true);
+  int period = static_cast<int>(state.range(0));
+  int64_t i = 0;
+  AclStore::AclRef mutated = f.acls.Create(Acl());
+  for (auto _ : state) {
+    if (i % period == 0) {
+      // Any store mutation bumps the stamp and invalidates everything.
+      (void)f.acls.AddEntry(mutated, {AclEntryType::kAllow, f.user,
+                                      AccessModeSet(AccessMode::kList)});
+    }
+    benchmark::DoNotOptimize(
+        f.monitor->Check(f.subject, f.nodes[i % f.nodes.size()], AccessMode::kRead));
+    ++i;
+  }
+}
+BENCHMARK(BM_InvalidationEvery)->RangeMultiplier(4)->Range(1, 4096);
+
+void BM_DeepInheritanceUncachedVsCached(benchmark::State& state) {
+  // The effective-ACL walk is what the cache amortizes; this case uses a
+  // 24-deep node whose ACL lives at the root.
+  bool cached = state.range(0) == 1;
+  MonitorOptions options;
+  options.cache_enabled = cached;
+  options.audit_policy = AuditPolicy::kOff;
+  NameSpace ns;
+  AclStore acls;
+  PrincipalRegistry principals;
+  LabelAuthority labels;
+  ReferenceMonitor monitor(&ns, &acls, &principals, &labels, options);
+  PrincipalId user = *principals.CreateUser("u");
+  std::string path;
+  for (int i = 0; i < 24; ++i) {
+    path += "/d" + std::to_string(i);
+  }
+  NodeId leaf = *ns.BindPath(path, NodeKind::kFile, user);
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, user, AccessModeSet(AccessMode::kRead)});
+  (void)ns.SetAclRef(ns.root(), acls.Create(std::move(acl)));
+  Subject subject{user, labels.Bottom(), 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.Check(subject, leaf, AccessMode::kRead));
+  }
+}
+BENCHMARK(BM_DeepInheritanceUncachedVsCached)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,284 @@
+// xsec_shell: an interactive command interpreter over a SecureSystem.
+//
+// A small operator tool: create principals, log in at a security class,
+// manipulate files, threads and the log, edit ACLs and labels, and inspect
+// the audit trail — every command runs as the currently logged-in subject
+// and is mediated by the reference monitor, so denials are the interesting
+// output.
+//
+// Usage:
+//   ./build/examples/xsec_shell            # runs the built-in demo script
+//   ./build/examples/xsec_shell -          # reads commands from stdin
+//
+// Commands (one per line, # comments):
+//   levels <l1> <l2> ...      category <name>
+//   user <name>               group <name>         member <group> <member>
+//   login <user> <level> [<cat> ...]
+//   mkdir <path>              create <path>        write <path> <text...>
+//   append <path> <text...>   read <path>          ls <path>       rm <path>
+//   grant <path> allow|deny <principal> <modes>    label <path> <level> [<cat>...]
+//   spawn <name>              kill <id>            threads
+//   log <text...>             readlog
+//   audit                     policy               help
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/secure_system.h"
+#include "src/policy/policy_io.h"
+
+namespace {
+
+using namespace xsec;  // NOLINT: example brevity
+
+constexpr char kDemoScript[] = R"(# demo: two departments on one system
+levels others organization local
+category department-1
+category department-2
+user alice
+user bob
+user charlie
+login alice organization department-1
+create /fs/alice/plan
+write /fs/alice/plan attack at dawn
+read /fs/alice/plan
+grant /fs/alice allow bob read|list          # a sloppy world-ish grant...
+spawn worker
+threads
+login bob organization department-2
+read /fs/alice/plan                          # ...that MAC still confines
+why /fs/alice/plan read                      # the monitor explains itself
+kill 1                                       # ThreadMurder attempt
+threads
+log bob was here                             # write-down into the base log: denied
+login charlie others
+log charlie was here                         # appending at one's own level works
+login alice organization department-1
+read /fs/alice/plan
+readlog                                      # append-only log: no read grant
+audit
+)";
+
+class Shell {
+ public:
+  Shell() {
+    // The shell's operator owns a sandbox under /fs; users are created on
+    // demand. Everyone may append to the system log.
+    Acl log_acl;
+    log_acl.AddEntry({AclEntryType::kAllow, sys_.everyone(),
+                      AccessModeSet(AccessMode::kWriteAppend)});
+    (void)sys_.name_space().SetAclRef(sys_.log().log_node(),
+                                      sys_.kernel().acls().Create(std::move(log_acl)));
+    // /fs is writable by everyone so `mkdir` works; subdirectories then
+    // carry their own policy.
+    auto fs = sys_.name_space().Lookup("/fs");
+    Acl fs_acl;
+    fs_acl.AddEntry({AclEntryType::kAllow, sys_.everyone(),
+                     AccessMode::kList | AccessMode::kWrite});
+    (void)sys_.name_space().SetAclRef(*fs, sys_.kernel().acls().Create(std::move(fs_acl)));
+  }
+
+  void RunLine(const std::string& raw) {
+    std::string line = raw.substr(0, raw.find('#'));
+    std::istringstream in(line);
+    std::vector<std::string> tokens;
+    for (std::string token; in >> token;) {
+      tokens.push_back(token);
+    }
+    if (tokens.empty()) {
+      return;
+    }
+    std::printf("xsec> %s\n", line.c_str());
+    Dispatch(tokens);
+  }
+
+ private:
+  StatusOr<PrincipalId> Principal(const std::string& name) {
+    return sys_.principals().FindByName(name);
+  }
+
+  std::string Rest(const std::vector<std::string>& tokens, size_t from) {
+    std::string out;
+    for (size_t i = from; i < tokens.size(); ++i) {
+      if (!out.empty()) {
+        out += " ";
+      }
+      out += tokens[i];
+    }
+    return out;
+  }
+
+  void Report(const Status& status) {
+    std::printf("  %s\n", status.ok() ? "ok" : status.ToString().c_str());
+  }
+
+  void Dispatch(const std::vector<std::string>& tokens) {
+    const std::string& cmd = tokens[0];
+    if (cmd == "help") {
+      std::printf("  see the header comment of examples/xsec_shell.cpp\n");
+    } else if (cmd == "levels") {
+      Report(sys_.labels().DefineLevels({tokens.begin() + 1, tokens.end()}));
+    } else if (cmd == "category" && tokens.size() == 2) {
+      auto id = sys_.labels().DefineCategory(tokens[1]);
+      Report(id.ok() ? OkStatus() : id.status());
+    } else if (cmd == "user" && tokens.size() == 2) {
+      auto id = sys_.CreateUser(tokens[1]);
+      Report(id.ok() ? OkStatus() : id.status());
+    } else if (cmd == "group" && tokens.size() == 2) {
+      auto id = sys_.CreateGroup(tokens[1]);
+      Report(id.ok() ? OkStatus() : id.status());
+    } else if (cmd == "member" && tokens.size() == 3) {
+      auto group = Principal(tokens[1]);
+      auto member = Principal(tokens[2]);
+      if (!group.ok() || !member.ok()) {
+        std::printf("  unknown principal\n");
+        return;
+      }
+      Report(sys_.principals().AddMember(*group, *member));
+    } else if (cmd == "login" && tokens.size() >= 3) {
+      auto user = Principal(tokens[1]);
+      auto cls = sys_.labels().MakeClass(tokens[2], {tokens.begin() + 3, tokens.end()});
+      if (!user.ok() || !cls.ok()) {
+        std::printf("  bad user or class\n");
+        return;
+      }
+      subject_ = sys_.Login(*user, *cls);
+      std::printf("  logged in as %s at %s\n", tokens[1].c_str(),
+                  sys_.labels().ClassToString(*cls).c_str());
+      // Login provisioning (as multilevel-secure systems do): make sure the
+      // user has a home directory labeled at the login class.
+      std::string home = "/fs/" + tokens[1];
+      if (!sys_.name_space().Lookup(home).ok()) {
+        auto dir = sys_.name_space().BindPath(home, NodeKind::kDirectory, *user);
+        if (dir.ok()) {
+          (void)sys_.name_space().SetLabelRef(*dir, sys_.labels().StoreLabel(*cls));
+          Acl acl;
+          acl.AddEntry({AclEntryType::kAllow, *user, AccessModeSet::All()});
+          (void)sys_.name_space().SetAclRef(*dir, sys_.kernel().acls().Create(std::move(acl)));
+          std::printf("  provisioned %s at %s\n", home.c_str(),
+                      sys_.labels().ClassToString(*cls).c_str());
+        }
+      }
+    } else if (!subject_.principal.valid()) {
+      std::printf("  log in first ('login <user> <level> [cats...]')\n");
+    } else if (cmd == "mkdir" && tokens.size() == 2) {
+      auto node = sys_.fs().MkDir(subject_, tokens[1]);
+      Report(node.ok() ? OkStatus() : node.status());
+    } else if (cmd == "create" && tokens.size() == 2) {
+      auto node = sys_.fs().Create(subject_, tokens[1]);
+      Report(node.ok() ? OkStatus() : node.status());
+    } else if ((cmd == "write" || cmd == "append") && tokens.size() >= 3) {
+      std::string text = Rest(tokens, 2);
+      std::vector<uint8_t> bytes(text.begin(), text.end());
+      Report(cmd == "write" ? sys_.fs().Write(subject_, tokens[1], std::move(bytes))
+                            : sys_.fs().Append(subject_, tokens[1], bytes));
+    } else if (cmd == "read" && tokens.size() == 2) {
+      auto data = sys_.fs().Read(subject_, tokens[1]);
+      if (data.ok()) {
+        std::printf("  \"%s\"\n", std::string(data->begin(), data->end()).c_str());
+      } else {
+        Report(data.status());
+      }
+    } else if (cmd == "ls" && tokens.size() == 2) {
+      auto names = sys_.fs().ListDir(subject_, tokens[1]);
+      if (names.ok()) {
+        for (const std::string& name : *names) {
+          std::printf("  %s\n", name.c_str());
+        }
+      } else {
+        Report(names.status());
+      }
+    } else if (cmd == "rm" && tokens.size() == 2) {
+      Report(sys_.fs().Remove(subject_, tokens[1]));
+    } else if (cmd == "grant" && tokens.size() == 5) {
+      auto node = sys_.name_space().Lookup(tokens[1]);
+      auto who = Principal(tokens[3]);
+      auto modes = AccessModeSet::Parse(tokens[4]);
+      if (!node.ok() || !who.ok() || !modes.ok() ||
+          (tokens[2] != "allow" && tokens[2] != "deny")) {
+        std::printf("  usage: grant <path> allow|deny <principal> <modes>\n");
+        return;
+      }
+      Report(sys_.monitor().AddAclEntry(
+          subject_, *node,
+          AclEntry{tokens[2] == "allow" ? AclEntryType::kAllow : AclEntryType::kDeny, *who,
+                   *modes}));
+    } else if (cmd == "label" && tokens.size() >= 3) {
+      auto node = sys_.name_space().Lookup(tokens[1]);
+      auto cls = sys_.labels().MakeClass(tokens[2], {tokens.begin() + 3, tokens.end()});
+      if (!node.ok() || !cls.ok()) {
+        std::printf("  bad path or class\n");
+        return;
+      }
+      Report(sys_.monitor().SetNodeLabel(subject_, *node, *cls));
+    } else if (cmd == "spawn" && tokens.size() == 2) {
+      auto id = sys_.threads().Spawn(subject_, tokens[1]);
+      if (id.ok()) {
+        std::printf("  thread %lld\n", static_cast<long long>(*id));
+      } else {
+        Report(id.status());
+      }
+    } else if (cmd == "kill" && tokens.size() == 2) {
+      Report(sys_.threads().Kill(subject_, std::stoll(tokens[1])));
+    } else if (cmd == "threads") {
+      auto ids = sys_.threads().List(subject_);
+      if (ids.ok()) {
+        std::printf("  visible threads:");
+        for (int64_t id : *ids) {
+          std::printf(" %lld", static_cast<long long>(id));
+        }
+        std::printf("\n");
+      } else {
+        Report(ids.status());
+      }
+    } else if (cmd == "log" && tokens.size() >= 2) {
+      Report(sys_.log().AppendEntry(subject_, Rest(tokens, 1)));
+    } else if (cmd == "readlog") {
+      auto entries = sys_.log().ReadEntries(subject_);
+      if (entries.ok()) {
+        for (const std::string& entry : *entries) {
+          std::printf("  %s\n", entry.c_str());
+        }
+      } else {
+        Report(entries.status());
+      }
+    } else if (cmd == "why" && tokens.size() == 3) {
+      auto node = sys_.name_space().Lookup(tokens[1]);
+      auto modes = AccessModeSet::Parse(tokens[2]);
+      if (!node.ok() || !modes.ok()) {
+        std::printf("  usage: why <path> <modes>\n");
+        return;
+      }
+      std::printf("%s", sys_.monitor().Explain(subject_, *node, *modes).c_str());
+    } else if (cmd == "audit") {
+      for (const AuditRecord& record : sys_.monitor().audit().records()) {
+        std::printf("  %s\n", record.ToString().c_str());
+      }
+    } else if (cmd == "policy") {
+      std::printf("%s", SerializePolicy(sys_.kernel()).c_str());
+    } else {
+      std::printf("  unknown command (try 'help')\n");
+    }
+  }
+
+  SecureSystem sys_;
+  Subject subject_{};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    for (std::string line; std::getline(std::cin, line);) {
+      shell.RunLine(line);
+    }
+    return 0;
+  }
+  std::istringstream demo(kDemoScript);
+  for (std::string line; std::getline(demo, line);) {
+    shell.RunLine(line);
+  }
+  return 0;
+}

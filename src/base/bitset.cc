@@ -1,0 +1,170 @@
+#include "src/base/bitset.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace xsec {
+
+void DynamicBitset::Resize(size_t bit_count) {
+  if (bit_count <= bit_count_) {
+    return;
+  }
+  bit_count_ = bit_count;
+  words_.resize((bit_count + kBitsPerWord - 1) / kBitsPerWord, 0);
+}
+
+void DynamicBitset::Set(size_t index) {
+  if (index >= bit_count_) {
+    Resize(index + 1);
+  }
+  words_[index / kBitsPerWord] |= uint64_t{1} << (index % kBitsPerWord);
+}
+
+void DynamicBitset::Clear(size_t index) {
+  if (index >= bit_count_) {
+    return;
+  }
+  words_[index / kBitsPerWord] &= ~(uint64_t{1} << (index % kBitsPerWord));
+}
+
+bool DynamicBitset::Test(size_t index) const {
+  if (index >= bit_count_) {
+    return false;
+  }
+  return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1;
+}
+
+void DynamicBitset::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void DynamicBitset::SetAll() {
+  if (bit_count_ == 0) {
+    return;
+  }
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  // Mask off bits past the logical size so Count() stays correct.
+  size_t tail = bit_count_ % kBitsPerWord;
+  if (tail != 0) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+size_t DynamicBitset::SignificantWords() const {
+  size_t n = words_.size();
+  while (n > 0 && words_[n - 1] == 0) {
+    --n;
+  }
+  return n;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  size_t mine = SignificantWords();
+  for (size_t i = 0; i < mine; ++i) {
+    uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~theirs) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicBitset::IsDisjointFrom(const DynamicBitset& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DynamicBitset DynamicBitset::Union(const DynamicBitset& other) const {
+  DynamicBitset out(std::max(bit_count_, other.bit_count_));
+  for (size_t i = 0; i < out.words_.size(); ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = a | b;
+  }
+  return out;
+}
+
+DynamicBitset DynamicBitset::Intersection(const DynamicBitset& other) const {
+  DynamicBitset out(std::max(bit_count_, other.bit_count_));
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+DynamicBitset DynamicBitset::Difference(const DynamicBitset& other) const {
+  DynamicBitset out(bit_count_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = words_[i] & ~b;
+  }
+  return out;
+}
+
+void DynamicBitset::UnionInPlace(const DynamicBitset& other) {
+  Resize(other.bit_count_);
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  size_t a = SignificantWords();
+  size_t b = other.SignificantWords();
+  if (a != b) {
+    return false;
+  }
+  return std::equal(words_.begin(), words_.begin() + a, other.words_.begin());
+}
+
+uint64_t DynamicBitset::Hash() const {
+  // FNV-1a over significant words.
+  uint64_t h = 14695981039346656037ULL;
+  size_t n = SignificantWords();
+  for (size_t i = 0; i < n; ++i) {
+    h ^= words_[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<size_t> DynamicBitset::ToIndices() const {
+  std::vector<size_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(w * kBitsPerWord + static_cast<size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (size_t index : ToIndices()) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += std::to_string(index);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xsec

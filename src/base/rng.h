@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generator (xoshiro256**) for workload
+// generation in tests and benchmarks. Determinism matters: experiment outputs
+// must be reproducible run to run, so nothing in xsec uses std::random_device.
+
+#ifndef XSEC_SRC_BASE_RNG_H_
+#define XSEC_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace xsec {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t NextU64();
+
+  // Uniform over [0, bound); bound must be nonzero. Uses rejection sampling
+  // to avoid modulo bias (invisible at benchmark scale, but cheap to do right).
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // True with probability `numerator` / `denominator`.
+  bool NextBool(uint32_t numerator, uint32_t denominator);
+
+  // Uniform over [0.0, 1.0).
+  double NextDouble();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASE_RNG_H_

@@ -1,0 +1,120 @@
+// Lightweight status and status-or-value types used across xsec.
+//
+// The library is exception-free: every fallible operation returns a Status or
+// a StatusOr<T>. Codes deliberately mirror the small set of conditions an
+// access-controlled system produces; kPermissionDenied is the load-bearing one.
+
+#ifndef XSEC_SRC_BASE_STATUS_H_
+#define XSEC_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xsec {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("OK", "PERMISSION_DENIED", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional diagnostic message. The message is for
+// humans (audit records, test failures); decision logic must branch on the
+// code only.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "PERMISSION_DENIED: no execute access on /svc/fs/read".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Convenience constructors, mirroring absl::*Error.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Either a value or a non-OK status. Accessing value() on an error aborts in
+// debug builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : status_(OkStatus()), value_(value) {}  // NOLINT: implicit
+  StatusOr(T&& value) : status_(OkStatus()), value_(std::move(value)) {}  // NOLINT: implicit
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xsec
+
+// Propagates a non-OK Status from an expression, absl-style.
+#define XSEC_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::xsec::Status _xsec_st = (expr);     \
+    if (!_xsec_st.ok()) return _xsec_st;  \
+  } while (0)
+
+#endif  // XSEC_SRC_BASE_STATUS_H_

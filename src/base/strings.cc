@@ -1,0 +1,64 @@
+#include "src/base/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace xsec {
+
+std::vector<std::string> StrSplit(std::string_view text, char delim, bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    std::string_view piece =
+        pos == std::string_view::npos ? text.substr(start) : text.substr(start, pos - start);
+    if (!piece.empty() || !skip_empty) {
+      out.emplace_back(piece);
+    }
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    start = pos + 1;
+  }
+  if (skip_empty && out.empty()) {
+    return out;
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace xsec

@@ -1,0 +1,27 @@
+// Small string helpers shared across modules (no dependency on absl).
+
+#ifndef XSEC_SRC_BASE_STRINGS_H_
+#define XSEC_SRC_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsec {
+
+// Splits on a single-character delimiter. Empty pieces are kept unless
+// `skip_empty` is true; splitting "" yields one empty piece (or none).
+std::vector<std::string> StrSplit(std::string_view text, char delim, bool skip_empty = false);
+
+// Joins pieces with a separator.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Formats like printf into a std::string. Used for audit/diagnostic text.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASE_STRINGS_H_

@@ -1,0 +1,54 @@
+#include "src/baselines/afs_model.h"
+
+#include "src/naming/path.h"
+
+namespace xsec {
+namespace {
+
+// Collapses a requested mode onto what AFS rights can express.
+AccessMode Collapse(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kWriteAppend:
+    case AccessMode::kExtend:
+      return AccessMode::kWrite;  // no append-only or extend right
+    case AccessMode::kExecute:
+      return AccessMode::kRead;   // executing needs 'r'
+    default:
+      return mode;
+  }
+}
+
+bool AceMatches(const BaselineAce& ace, const BaselineSubject& subject) {
+  if (ace.is_group) {
+    return subject.gids.count(ace.id) != 0;
+  }
+  return subject.uid == ace.id;
+}
+
+}  // namespace
+
+bool AfsModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                      const BaselineObject& object, AccessMode mode) const {
+  // Directory granularity: the governing ACL is the parent directory's.
+  const BaselineObject* governing = &object;
+  if (object.category != ObjectCategory::kDirectory) {
+    const BaselineObject* parent = world.FindObject(ParentPath(object.path));
+    if (parent != nullptr) {
+      governing = parent;
+    }
+  }
+  AccessMode effective = Collapse(mode);
+  bool allowed = false;
+  for (const BaselineAce& ace : governing->acl) {
+    if (!AceMatches(ace, subject) || !ace.modes.Contains(effective)) {
+      continue;
+    }
+    if (!ace.allow) {
+      return false;  // AFS negative rights override
+    }
+    allowed = true;
+  }
+  return allowed;
+}
+
+}  // namespace xsec

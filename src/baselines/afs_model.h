@@ -1,0 +1,32 @@
+// The AFS (Andrew/ITC File System) baseline: full ACLs, but only at the
+// granularity of entire directories.
+//
+// Paper §2: "The Andrew File System uses full-blown access control lists,
+// but does so only at the granularity of entire directories, which we
+// believe is at too high a grain."
+//
+// Every access to an object is evaluated against the ACL of the object's
+// *parent directory* (or the object's own ACL if it is itself a directory).
+// Consequently two files in one directory can never carry different rights —
+// exactly the failure scenario T1/S6 exercises. AFS supports negative rights
+// and groups, so those work; write-append, execute-vs-extend and MAC do not
+// exist (append collapses to write; extend collapses to write).
+
+#ifndef XSEC_SRC_BASELINES_AFS_MODEL_H_
+#define XSEC_SRC_BASELINES_AFS_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class AfsModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "afs"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_AFS_MODEL_H_

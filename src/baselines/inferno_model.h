@@ -1,0 +1,33 @@
+// The Inferno baseline (paper §1.2).
+//
+// "Inferno uses encryption for the mutual authentication of communicating
+// parties and their messages." The public literature the paper surveys says
+// nothing about authorization, so the model has exactly one input: whether
+// the party authenticated. Authentication without access control is the
+// point of including this row in T1 — knowing *who* someone is does not
+// decide *what* they may do, and an authenticated attacker passes every
+// check.
+
+#ifndef XSEC_SRC_BASELINES_INFERNO_MODEL_H_
+#define XSEC_SRC_BASELINES_INFERNO_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class InfernoModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "inferno"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override {
+    (void)world;
+    (void)object;
+    (void)mode;
+    return subject.inferno_authenticated;
+  }
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_INFERNO_MODEL_H_

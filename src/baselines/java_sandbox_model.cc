@@ -1,0 +1,31 @@
+#include "src/baselines/java_sandbox_model.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+bool JavaSandboxModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                              const BaselineObject& object, AccessMode mode) const {
+  (void)mode;
+  // Local code is trusted with everything.
+  if (subject.origin == Origin::kLocal) {
+    return true;
+  }
+  // A broken prong breaks the whole sandbox: untrusted code escapes.
+  if (!world.java_verifier_ok || !world.java_classloader_ok ||
+      !world.java_security_manager_ok) {
+    return true;
+  }
+  // Untrusted code: the sandbox blocks local file-system and directory
+  // access wholesale (no finer granularity exists in the 1.x model)…
+  if (object.category == ObjectCategory::kFile ||
+      object.category == ObjectCategory::kDirectory) {
+    return false;
+  }
+  // …but does NOT isolate applets from each other: thread objects of other
+  // applets are reachable (ThreadMurder). Services inside the sandbox are
+  // callable and extensible without distinction.
+  return true;
+}
+
+}  // namespace xsec

@@ -1,0 +1,35 @@
+// The Java 1.x sandbox baseline (paper §1.2).
+//
+// Policy structure, per the paper: "trusted extensions (code stored on the
+// local file system) … have access to the full functionality of the Java
+// system"; "untrusted extensions (all remote code) are placed into a
+// so-called sandbox which limits extensions from using some system services
+// (such as accessing the local file system) and ideally would also isolate
+// extensions from each other" — with the McGraw/Felten ThreadMurder applet
+// as the counterexample: intra-sandbox isolation is absent, so this model
+// deliberately ALLOWS an untrusted applet to kill another applet's thread.
+//
+// The model also reproduces the "three prongs" critique: security rests on
+// the bytecode verifier, the class loader and the security manager, and "a
+// design or implementation error in any one of the three prongs can break
+// the entire security system." Clearing any prong's flag in the world makes
+// the sandbox fail open for untrusted code.
+
+#ifndef XSEC_SRC_BASELINES_JAVA_SANDBOX_MODEL_H_
+#define XSEC_SRC_BASELINES_JAVA_SANDBOX_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class JavaSandboxModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "java-sandbox"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_JAVA_SANDBOX_MODEL_H_

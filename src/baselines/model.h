@@ -1,0 +1,26 @@
+// The common interface every protection model implements.
+
+#ifndef XSEC_SRC_BASELINES_MODEL_H_
+#define XSEC_SRC_BASELINES_MODEL_H_
+
+#include <string_view>
+
+#include "src/baselines/world.h"
+#include "src/dac/access_mode.h"
+
+namespace xsec {
+
+class ProtectionModel {
+ public:
+  virtual ~ProtectionModel() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Would this model allow `subject` the single access `mode` on `object`?
+  virtual bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                      const BaselineObject& object, AccessMode mode) const = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_MODEL_H_

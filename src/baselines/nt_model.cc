@@ -1,0 +1,47 @@
+#include "src/baselines/nt_model.h"
+
+namespace xsec {
+namespace {
+
+AccessMode Collapse(AccessMode mode) {
+  // NT has no separate extend right; specializing an interface looks like
+  // executing it.
+  return mode == AccessMode::kExtend ? AccessMode::kExecute : mode;
+}
+
+bool AceMatches(const BaselineAce& ace, const BaselineSubject& subject) {
+  if (ace.is_group) {
+    return subject.gids.count(ace.id) != 0;
+  }
+  return subject.uid == ace.id;
+}
+
+}  // namespace
+
+bool NtModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                     const BaselineObject& object, AccessMode mode) const {
+  (void)world;
+  // Owners implicitly hold WRITE_DAC (administrate) in NT.
+  AccessMode effective = Collapse(mode);
+  if (effective == AccessMode::kAdministrate && subject.uid == object.owner_uid) {
+    return true;
+  }
+  // Ordered evaluation, first match wins. NT tooling keeps DACLs in
+  // canonical order (denies before allows), so the model canonicalizes
+  // rather than trusting the input order.
+  for (const BaselineAce& ace : object.acl) {
+    if (ace.allow || !AceMatches(ace, subject) || !ace.modes.Contains(effective)) {
+      continue;
+    }
+    return false;
+  }
+  for (const BaselineAce& ace : object.acl) {
+    if (!ace.allow || !AceMatches(ace, subject) || !ace.modes.Contains(effective)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xsec

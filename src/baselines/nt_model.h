@@ -1,0 +1,32 @@
+// The Windows NT baseline: per-object ACLs with allow and deny ACEs,
+// evaluated in order (canonically deny-first), with an append right.
+//
+// Paper §2: NT "uses access control lists at the granularity of individual
+// files and presents a rich, though unnecessarily complicated access control
+// model … But it, too, does not provide a means to control the two ways
+// extensions interact with the rest of the system, nor does it provide for
+// any mandatory access control."
+//
+// So: per-file ACLs, negative entries, groups and a distinct append right
+// (FILE_APPEND_DATA) all work. What does not: the extend mode collapses to
+// execute (NT cannot distinguish calling a service from specializing it),
+// and there is no lattice MAC at all.
+
+#ifndef XSEC_SRC_BASELINES_NT_MODEL_H_
+#define XSEC_SRC_BASELINES_NT_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class NtModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "nt"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_NT_MODEL_H_

@@ -1,0 +1,20 @@
+#include "src/baselines/spin_domain_model.h"
+
+namespace xsec {
+
+bool SpinDomainModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                             const BaselineObject& object, AccessMode mode) const {
+  (void)mode;  // all modes collapse to "linked against the domain"
+  auto it = world.spin_links.find(subject.name);
+  if (it == world.spin_links.end()) {
+    return false;
+  }
+  if (object.spin_domain.empty()) {
+    // Data objects are outside the domain mechanism; any linked extension
+    // reaches them (type safety, not access control, is the only barrier).
+    return !it->second.empty();
+  }
+  return it->second.count(object.spin_domain) != 0;
+}
+
+}  // namespace xsec

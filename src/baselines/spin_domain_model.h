@@ -1,0 +1,34 @@
+// The SPIN domain baseline (paper §1.2).
+//
+// "System services are partitioned into several domains, where each domain
+// is a collection of Modula-3 interfaces. An extension is linked against one
+// or more domains and can only access and extend those system services that
+// are in the domains it has been linked against. … an extension can either
+// call on and extend ALL interfaces in all domains it has been linked
+// against, or access control is ad hoc."
+//
+// So: the decision is purely "is the object's domain among the subject's
+// linked domains?" — all-or-nothing per domain, execute and extend
+// inseparable, no per-procedure refinement, no negative rights, no MAC.
+// Objects with an empty domain (plain data such as files) are outside the
+// mechanism entirely; SPIN leaves those to Modula-3 type safety, which the
+// model approximates as "reachable if any link exists".
+
+#ifndef XSEC_SRC_BASELINES_SPIN_DOMAIN_MODEL_H_
+#define XSEC_SRC_BASELINES_SPIN_DOMAIN_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class SpinDomainModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "spin-domains"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_SPIN_DOMAIN_MODEL_H_

@@ -1,0 +1,46 @@
+#include "src/baselines/unix_model.h"
+
+namespace xsec {
+namespace {
+
+enum UnixBit : uint16_t { kR = 4, kW = 2, kX = 1 };
+
+uint16_t BitFor(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead:
+    case AccessMode::kList:
+      return kR;
+    case AccessMode::kWrite:
+    case AccessMode::kWriteAppend:  // no append-only bit in Unix
+    case AccessMode::kDelete:       // approximated: w on the object
+      return kW;
+    case AccessMode::kExecute:
+    case AccessMode::kExtend:       // Unix cannot distinguish call from extend
+      return kX;
+    case AccessMode::kAdministrate:
+      return 0;  // handled separately (owner-only)
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool UnixModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                       const BaselineObject& object, AccessMode mode) const {
+  (void)world;
+  if (mode == AccessMode::kAdministrate) {
+    return subject.uid == object.owner_uid;
+  }
+  uint16_t bit = BitFor(mode);
+  uint16_t triplet;
+  if (subject.uid == object.owner_uid) {
+    triplet = (object.unix_mode >> 6) & 7;
+  } else if (subject.gids.count(object.owner_gid) != 0) {
+    triplet = (object.unix_mode >> 3) & 7;
+  } else {
+    triplet = object.unix_mode & 7;
+  }
+  return (triplet & bit) != 0;
+}
+
+}  // namespace xsec

@@ -1,0 +1,30 @@
+// The Unix (4.4BSD) baseline: one owner, one group, nine permission bits.
+//
+// Paper §2: "The access control in Unix, which associates an individual and
+// a group owner with each file, is primitive and barely sufficient for
+// controlling file access, let alone for controlling an extensible system."
+//
+// Approximations (documented, deliberate — they are the *point* of the
+// baseline): no append-only bit (write-append collapses to write); execute
+// and extend both collapse to the x bit; delete is approximated by write on
+// the object; administrate is owner-only (chmod/chown semantics); no
+// negative rights; no MAC.
+
+#ifndef XSEC_SRC_BASELINES_UNIX_MODEL_H_
+#define XSEC_SRC_BASELINES_UNIX_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class UnixModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "unix"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_UNIX_MODEL_H_

@@ -1,0 +1,18 @@
+#include "src/baselines/vino_model.h"
+
+namespace xsec {
+
+bool VinoModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                       const BaselineObject& object, AccessMode mode) const {
+  (void)world;
+  (void)mode;  // the privilege check is mode-blind
+  if (subject.vino_privileged) {
+    return true;
+  }
+  if (object.vino_sensitive) {
+    return subject.uid == object.owner_uid;
+  }
+  return true;
+}
+
+}  // namespace xsec

@@ -1,0 +1,32 @@
+// The VINO baseline (paper §1.2).
+//
+// "VINO distinguishes between regular and privileged users, and uses dynamic
+// privilege checks before accessing sensitive data" (attributed to Seltzer,
+// personal communication). That is the whole publicly described mechanism,
+// so the model is exactly that:
+//
+//   privileged subject          -> everything allowed;
+//   regular subject             -> sensitive objects require ownership;
+//                                  non-sensitive objects are open.
+//
+// No groups, no negative rights, no execute/extend distinction, no MAC —
+// ownership of sensitive data is the only refinement over all-or-nothing.
+
+#ifndef XSEC_SRC_BASELINES_VINO_MODEL_H_
+#define XSEC_SRC_BASELINES_VINO_MODEL_H_
+
+#include "src/baselines/model.h"
+
+namespace xsec {
+
+class VinoModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "vino"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_VINO_MODEL_H_

@@ -1,0 +1,101 @@
+// A model-neutral world description for head-to-head protection comparisons.
+//
+// The paper's §1.2/§2 argument is comparative: Unix, AFS and NT cannot
+// express what extensible systems need; the Java sandbox and SPIN domains
+// are too coarse. To compare fairly, every scenario (experiment T1) is
+// phrased against one world structure that carries *all* the policy inputs —
+// Unix mode bits, object ACLs, SPIN domain links, origins, security classes —
+// and each ProtectionModel reads only the inputs its real-world counterpart
+// understands.
+
+#ifndef XSEC_SRC_BASELINES_WORLD_H_
+#define XSEC_SRC_BASELINES_WORLD_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dac/access_mode.h"
+#include "src/extsys/extension.h"  // for Origin
+#include "src/mac/security_class.h"
+
+namespace xsec {
+
+struct BaselineSubject {
+  std::string name;
+  uint32_t uid = 0;
+  std::set<uint32_t> gids;       // group memberships (transitively closed)
+  Origin origin = Origin::kLocal;
+  SecurityClass security_class;  // read by MAC-capable models only
+  // VINO distinguishes "regular and privileged users" (paper §1.2).
+  bool vino_privileged = false;
+  // Inferno mutually authenticates communicating parties; it says nothing
+  // about authorization, so this flag is all its model can consult.
+  bool inferno_authenticated = true;
+};
+
+// One entry of a generic object ACL (read by AFS/NT/xsec models).
+struct BaselineAce {
+  bool allow = true;
+  bool is_group = false;
+  uint32_t id = 0;  // uid or gid
+  AccessModeSet modes;
+};
+
+enum class ObjectCategory : uint8_t {
+  kFile = 0,
+  kDirectory,
+  kServiceProcedure,  // callable (execute target)
+  kServiceInterface,  // extensible (extend target)
+  kThread,            // another subject's thread object
+};
+
+struct BaselineObject {
+  std::string path;  // hierarchical ("/fs/projects/report")
+  ObjectCategory category = ObjectCategory::kFile;
+  uint32_t owner_uid = 0;
+  uint32_t owner_gid = 0;
+  // Unix permission bits, 0oOGW style (e.g. 0644). Only 9 rwx bits are used.
+  uint16_t unix_mode = 0644;
+  std::vector<BaselineAce> acl;  // object-granular ACL
+  std::string spin_domain;       // which SPIN domain this object belongs to
+  SecurityClass security_class;  // MAC label
+  // VINO's dynamic privilege checks guard "sensitive data"; scenarios mark
+  // which objects count as sensitive.
+  bool vino_sensitive = false;
+};
+
+struct BaselineWorld {
+  std::vector<BaselineSubject> subjects;
+  std::vector<BaselineObject> objects;
+  // SPIN: subject name -> names of domains the extension was linked against.
+  std::map<std::string, std::set<std::string>> spin_links;
+  // Java sandbox health: when any prong is broken, the sandbox fails open
+  // for untrusted code (the "three prongs" critique, §1.2).
+  bool java_verifier_ok = true;
+  bool java_classloader_ok = true;
+  bool java_security_manager_ok = true;
+
+  const BaselineObject* FindObject(const std::string& path) const {
+    for (const BaselineObject& object : objects) {
+      if (object.path == path) {
+        return &object;
+      }
+    }
+    return nullptr;
+  }
+  BaselineSubject* FindSubject(const std::string& name) {
+    for (BaselineSubject& subject : subjects) {
+      if (subject.name == name) {
+        return &subject;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_WORLD_H_

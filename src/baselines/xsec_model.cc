@@ -1,0 +1,44 @@
+#include "src/baselines/xsec_model.h"
+
+namespace xsec {
+namespace {
+
+bool AceMatches(const BaselineAce& ace, const BaselineSubject& subject) {
+  if (ace.is_group) {
+    return subject.gids.count(ace.id) != 0;
+  }
+  return subject.uid == ace.id;
+}
+
+}  // namespace
+
+bool XsecDacModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                          const BaselineObject& object, AccessMode mode) const {
+  (void)world;
+  // Owners implicitly hold administrate (the bootstrap rule, as in the full
+  // reference monitor).
+  if (mode == AccessMode::kAdministrate && subject.uid == object.owner_uid) {
+    return true;
+  }
+  bool allowed = false;
+  for (const BaselineAce& ace : object.acl) {
+    if (!AceMatches(ace, subject) || !ace.modes.Contains(mode)) {
+      continue;
+    }
+    if (!ace.allow) {
+      return false;  // deny-overrides
+    }
+    allowed = true;
+  }
+  return allowed;
+}
+
+bool XsecFullModel::Allows(const BaselineWorld& world, const BaselineSubject& subject,
+                           const BaselineObject& object, AccessMode mode) const {
+  if (!dac_.Allows(world, subject, object, mode)) {
+    return false;
+  }
+  return flow_.ModeAllowed(subject.security_class, object.security_class, mode);
+}
+
+}  // namespace xsec

@@ -1,0 +1,54 @@
+// Adapters exposing the paper's model through the baseline interface, so
+// experiments T1/T3/F1 can compare it head-to-head with the others.
+//
+// XsecDacModel evaluates the object's own ACL with the full mode vocabulary
+// (including distinct execute/extend and write-append) and deny-overrides
+// semantics. XsecFullModel layers the lattice MAC on top: DAC must grant AND
+// the flow rules must permit — "users can not circumvent the basic security
+// of the system by exercising discretionary access control" (§2.2).
+
+#ifndef XSEC_SRC_BASELINES_XSEC_MODEL_H_
+#define XSEC_SRC_BASELINES_XSEC_MODEL_H_
+
+#include "src/baselines/model.h"
+#include "src/mac/flow_policy.h"
+
+namespace xsec {
+
+class XsecDacModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "xsec-dac"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+};
+
+class XsecFullModel : public ProtectionModel {
+ public:
+  XsecFullModel() : flow_(FlowPolicyOptions{}) {}
+
+  std::string_view name() const override { return "xsec-dac+mac"; }
+
+  bool Allows(const BaselineWorld& world, const BaselineSubject& subject,
+              const BaselineObject& object, AccessMode mode) const override;
+
+ private:
+  XsecDacModel dac_;
+  FlowPolicy flow_;
+};
+
+// Allows everything; the "no protection" floor for T1 and the mediation-cost
+// floor for F1.
+class NullModel : public ProtectionModel {
+ public:
+  std::string_view name() const override { return "none"; }
+
+  bool Allows(const BaselineWorld&, const BaselineSubject&, const BaselineObject&,
+              AccessMode) const override {
+    return true;
+  }
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASELINES_XSEC_MODEL_H_

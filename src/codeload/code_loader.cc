@@ -1,0 +1,108 @@
+#include "src/codeload/code_loader.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+namespace {
+
+void MixBytes(uint64_t& hash, std::string_view text) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  hash ^= 0xff;  // field separator
+  hash *= 1099511628211ULL;
+}
+
+void MixU64(uint64_t& hash, uint64_t value) {
+  hash ^= value;
+  hash *= 1099511628211ULL;
+}
+
+}  // namespace
+
+uint64_t ComputeManifestChecksum(const ExtensionManifest& manifest) {
+  uint64_t hash = 14695981039346656037ULL;
+  MixBytes(hash, manifest.name);
+  MixU64(hash, static_cast<uint64_t>(manifest.origin));
+  MixU64(hash, manifest.imports.size());
+  for (const std::string& import : manifest.imports) {
+    MixBytes(hash, import);
+  }
+  MixU64(hash, manifest.exports.size());
+  for (const ExportSpec& spec : manifest.exports) {
+    MixBytes(hash, spec.interface_path);
+  }
+  if (manifest.static_class.has_value()) {
+    MixU64(hash, 1);
+    MixU64(hash, manifest.static_class->Hash());
+  } else {
+    MixU64(hash, 0);
+  }
+  return hash;
+}
+
+CodeImage PackageExtension(ExtensionManifest manifest) {
+  CodeImage image;
+  image.checksum = ComputeManifestChecksum(manifest);
+  image.manifest = std::move(manifest);
+  return image;
+}
+
+void OriginPolicy::SetCeiling(Origin origin, SecurityClass ceiling) {
+  ceilings_[origin] = std::move(ceiling);
+}
+
+void OriginPolicy::Forbid(Origin origin) { ceilings_.erase(origin); }
+
+StatusOr<SecurityClass> OriginPolicy::CeilingFor(Origin origin) const {
+  auto it = ceilings_.find(origin);
+  if (it == ceilings_.end()) {
+    return PermissionDeniedError(
+        StrFormat("code of origin '%s' is not accepted",
+                  std::string(OriginName(origin)).c_str()));
+  }
+  return it->second;
+}
+
+OriginPolicy OriginPolicy::Standard(SecurityClass local_top, SecurityClass org,
+                                    SecurityClass remote_floor) {
+  OriginPolicy policy;
+  policy.SetCeiling(Origin::kLocal, std::move(local_top));
+  policy.SetCeiling(Origin::kOrganization, std::move(org));
+  policy.SetCeiling(Origin::kRemote, std::move(remote_floor));
+  return policy;
+}
+
+StatusOr<ExtensionId> CodeLoader::Load(const CodeImage& image, const Subject& loader) {
+  if (ComputeManifestChecksum(image.manifest) != image.checksum) {
+    ++rejected_tampered_;
+    return PermissionDeniedError(
+        StrFormat("extension '%s' failed integrity verification",
+                  image.manifest.name.c_str()));
+  }
+  auto ceiling = policy_.CeilingFor(image.manifest.origin);
+  if (!ceiling.ok()) {
+    ++rejected_forbidden_origin_;
+    return ceiling.status();
+  }
+  // The effective class can never exceed the origin ceiling: meet() with
+  // whatever the manifest requested (or the ceiling itself if it requested
+  // nothing). Also capped by the loader's own clearance — code cannot gain
+  // trust by being loaded.
+  SecurityClass effective = *ceiling;
+  if (image.manifest.static_class.has_value()) {
+    effective = effective.Meet(*image.manifest.static_class);
+  }
+  effective = effective.Meet(loader.security_class);
+
+  ExtensionManifest pinned = image.manifest;
+  pinned.static_class = effective;
+  auto id = kernel_->LoadExtension(pinned, loader);
+  if (id.ok()) {
+    ++loads_;
+  }
+  return id;
+}
+
+}  // namespace xsec

@@ -1,0 +1,110 @@
+#include "src/core/applet_example.h"
+
+#include "src/base/strings.h"
+#include "src/core/secure_system.h"
+
+namespace xsec {
+
+AppletMatrix RunAppletExample() {
+  SecureSystem sys;
+  (void)sys.labels().DefineLevels({"others", "organization", "local"});
+  (void)sys.labels().DefineCategory("myself");
+  (void)sys.labels().DefineCategory("department-1");
+  (void)sys.labels().DefineCategory("department-2");
+  (void)sys.labels().DefineCategory("outside");
+
+  struct Actor {
+    std::string name;
+    SecurityClass cls;
+  };
+  std::vector<Actor> actors = {
+      {"user", *sys.labels().MakeClass(
+                   "local", {"myself", "department-1", "department-2", "outside"})},
+      {"applet-dep1", *sys.labels().MakeClass("organization", {"department-1"})},
+      {"applet-dep2", *sys.labels().MakeClass("organization", {"department-2"})},
+      {"applet-both",
+       *sys.labels().MakeClass("organization", {"department-1", "department-2"})},
+      {"applet-outside", *sys.labels().MakeClass("others", {"outside"})},
+  };
+
+  // One file per actor, labeled at the creator's class, with a maximally
+  // permissive ACL so the outcome is decided by the lattice alone.
+  NameSpace& ns = sys.name_space();
+  (void)ns.BindPath("/fs/applets", NodeKind::kDirectory, sys.system_principal());
+  {
+    Acl open_dir;
+    open_dir.AddEntry(AclEntry{AclEntryType::kAllow, sys.everyone(),
+                               AccessMode::kList | AccessMode::kRead});
+    (void)ns.SetAclRef(*ns.Lookup("/fs/applets"), sys.kernel().acls().Create(std::move(open_dir)));
+  }
+
+  AppletMatrix matrix;
+  std::vector<Subject> subjects;
+  for (const Actor& actor : actors) {
+    PrincipalId user = *sys.CreateUser(actor.name);
+    subjects.push_back(sys.Login(user, actor.cls));
+    matrix.subjects.push_back(actor.name);
+    matrix.subject_classes.push_back(sys.labels().ClassToString(actor.cls));
+
+    std::string path = StrFormat("/fs/applets/%s-file", actor.name.c_str());
+    NodeId file = *sys.fs().CreateFileAsSystem(path, {1, 2, 3});
+    (void)ns.SetLabelRef(file, sys.labels().StoreLabel(actor.cls));
+    Acl open_acl;
+    open_acl.AddEntry(AclEntry{AclEntryType::kAllow, sys.everyone(),
+                               AccessMode::kRead | AccessMode::kWrite |
+                                   AccessMode::kWriteAppend | AccessMode::kList});
+    (void)ns.SetAclRef(file, sys.kernel().acls().Create(std::move(open_acl)));
+    matrix.files.push_back(actor.name + "-file");
+    matrix.file_classes.push_back(sys.labels().ClassToString(actor.cls));
+  }
+
+  for (size_t i = 0; i < actors.size(); ++i) {
+    std::vector<bool> read_row, append_row, exp_read_row, exp_append_row;
+    for (size_t j = 0; j < actors.size(); ++j) {
+      std::string path = StrFormat("/fs/applets/%s-file", actors[j].name.c_str());
+      bool read =
+          sys.monitor().CheckPath(subjects[i], path, AccessMode::kRead).allowed;
+      bool append =
+          sys.monitor().CheckPath(subjects[i], path, AccessMode::kWriteAppend).allowed;
+      bool exp_read = actors[i].cls.Dominates(actors[j].cls);
+      bool exp_append = actors[j].cls.Dominates(actors[i].cls);
+      read_row.push_back(read);
+      append_row.push_back(append);
+      exp_read_row.push_back(exp_read);
+      exp_append_row.push_back(exp_append);
+      if (read != exp_read) {
+        ++matrix.mismatches;
+      }
+      if (append != exp_append) {
+        ++matrix.mismatches;
+      }
+    }
+    matrix.read_allowed.push_back(std::move(read_row));
+    matrix.append_allowed.push_back(std::move(append_row));
+    matrix.expected_read.push_back(std::move(exp_read_row));
+    matrix.expected_append.push_back(std::move(exp_append_row));
+  }
+  return matrix;
+}
+
+std::string RenderAppletMatrix(const AppletMatrix& matrix) {
+  std::string out;
+  out += StrFormat("%-16s", "subject \\ file");
+  for (const std::string& file : matrix.files) {
+    out += StrFormat(" %-20s", file.c_str());
+  }
+  out += "\n";
+  for (size_t i = 0; i < matrix.subjects.size(); ++i) {
+    out += StrFormat("%-16s", matrix.subjects[i].c_str());
+    for (size_t j = 0; j < matrix.files.size(); ++j) {
+      std::string cell;
+      cell += matrix.read_allowed[i][j] ? 'R' : '.';
+      cell += matrix.append_allowed[i][j] ? 'A' : '.';
+      out += StrFormat(" %-20s", cell.c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xsec

@@ -1,0 +1,48 @@
+// The paper's §2.2 worked example, executed end-to-end on the real system.
+//
+// "a user could use three linearly ordered labels (say local, organization
+// and others in descending order) … and a set of labels (say myself,
+// department-1, department-2 and outside) representing different categories.
+// The user's applets would use a security class consisting of the local
+// label and the entire second set of labels and thus have access to all
+// files … Two applets from within the organization using the department-1
+// and department-2 labels respectively thus have access to some files … but
+// can not access each other's files. However, a third applet … that uses
+// both … labels can access the data of both."
+//
+// RunAppletExample builds a SecureSystem with exactly these labels, five
+// applet subjects, and one file per applet labeled at its creator's class
+// with a *maximally permissive* ACL (so the matrix is decided purely by the
+// mandatory lattice, as in the paper's example). It probes read and
+// write-append for every subject × file pair and compares against the
+// lattice-derived expectation. Experiment T2 prints the matrix; a test pins
+// mismatches == 0 and the paper's specific claims.
+
+#ifndef XSEC_SRC_CORE_APPLET_EXAMPLE_H_
+#define XSEC_SRC_CORE_APPLET_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+namespace xsec {
+
+struct AppletMatrix {
+  std::vector<std::string> subjects;             // row labels
+  std::vector<std::string> files;                // column labels
+  std::vector<std::string> subject_classes;      // rendered classes
+  std::vector<std::string> file_classes;
+  std::vector<std::vector<bool>> read_allowed;   // [subject][file], measured
+  std::vector<std::vector<bool>> append_allowed;
+  std::vector<std::vector<bool>> expected_read;  // lattice-derived
+  std::vector<std::vector<bool>> expected_append;
+  int mismatches = 0;
+};
+
+AppletMatrix RunAppletExample();
+
+// Renders the matrix as the T2 table ('R'=read, 'A'=append, '.'=denied).
+std::string RenderAppletMatrix(const AppletMatrix& matrix);
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_CORE_APPLET_EXAMPLE_H_

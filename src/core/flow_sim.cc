@@ -1,0 +1,75 @@
+#include "src/core/flow_sim.h"
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/mac/flow_policy.h"
+
+namespace xsec {
+
+FlowSimResult RunFlowSimulation(const ProtectionModel& model, const FlowSimConfig& config) {
+  Rng rng(config.seed);
+  FlowPolicy flow{FlowPolicyOptions{}};
+
+  auto random_class = [&]() {
+    TrustLevel level = static_cast<TrustLevel>(rng.NextBelow(config.num_levels));
+    CategorySet cats(config.num_categories);
+    for (size_t c = 0; c < config.num_categories; ++c) {
+      if (rng.NextBool(1, 2)) {
+        cats.Set(c);
+      }
+    }
+    return SecurityClass(level, std::move(cats));
+  };
+
+  BaselineWorld world;
+  constexpr uint32_t kEveryoneGid = 1;
+  for (size_t i = 0; i < config.num_subjects; ++i) {
+    BaselineSubject subject;
+    subject.name = StrFormat("s%zu", i);
+    subject.uid = static_cast<uint32_t>(100 + i);
+    subject.gids = {kEveryoneGid};
+    subject.origin = Origin::kLocal;  // keep the Java sandbox maximally open
+    subject.security_class = random_class();
+    world.subjects.push_back(std::move(subject));
+    world.spin_links[StrFormat("s%zu", i)] = {"all"};
+  }
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    BaselineObject object;
+    object.path = StrFormat("/fs/data/o%zu", i);
+    object.owner_uid = 100;  // someone else; ownership is irrelevant here
+    object.unix_mode = 0777;
+    object.acl = {BaselineAce{true, true, kEveryoneGid, AccessModeSet::All()}};
+    object.spin_domain = "all";
+    object.security_class = random_class();
+    world.objects.push_back(std::move(object));
+  }
+
+  constexpr AccessMode kOps[] = {AccessMode::kRead, AccessMode::kWrite,
+                                 AccessMode::kWriteAppend};
+  FlowSimResult result;
+  for (uint64_t op = 0; op < config.num_ops; ++op) {
+    const BaselineSubject& subject =
+        world.subjects[rng.NextBelow(world.subjects.size())];
+    const BaselineObject& object = world.objects[rng.NextBelow(world.objects.size())];
+    AccessMode mode = kOps[rng.NextBelow(3)];
+    bool allowed = model.Allows(world, subject, object, mode);
+    bool flow_legal = flow.ModeAllowed(subject.security_class, object.security_class, mode);
+    ++result.ops;
+    if (allowed) {
+      ++result.allowed;
+      if (!flow_legal) {
+        ++result.flow_violations;
+      }
+    } else {
+      ++result.denied;
+      if (flow_legal) {
+        // DAC was wide open, so a denial of a flow-legal op is the model
+        // being more restrictive than the policy requires.
+        ++result.over_restrictions;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xsec

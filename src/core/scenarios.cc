@@ -1,0 +1,537 @@
+#include "src/core/scenarios.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+namespace {
+
+// Shared lattice for every scenario.
+// Levels (ascending trust): 0 = others, 1 = organization, 2 = local.
+// Categories: 0 = myself, 1 = department-1, 2 = department-2, 3 = outside.
+SecurityClass Cls(TrustLevel level, std::initializer_list<size_t> cats) {
+  CategorySet set(4);
+  for (size_t cat : cats) {
+    set.Set(cat);
+  }
+  return SecurityClass(level, std::move(set));
+}
+
+// Shared cast. uids: local=1 dep1=2 dep2=3 both=4 remote=5 reporter=6 audit=7.
+// gids: staff=10 dep1=11 dep2=12 staff-all=13 everyone=99.
+constexpr uint32_t kUidLocal = 1, kUidDep1 = 2, kUidDep2 = 3, kUidBoth = 4, kUidRemote = 5,
+                   kUidReporter = 6, kUidAudit = 7;
+constexpr uint32_t kGidStaff = 10, kGidDep1 = 11, kGidDep2 = 12, kGidStaffAll = 13,
+                   kGidEveryone = 99;
+
+std::vector<BaselineSubject> Cast() {
+  std::vector<BaselineSubject> cast = {
+      {"local-user", kUidLocal, {kGidStaff, kGidEveryone}, Origin::kLocal,
+       Cls(2, {0, 1, 2, 3})},
+      {"org-dep1", kUidDep1, {kGidDep1, kGidStaffAll, kGidEveryone}, Origin::kOrganization,
+       Cls(1, {1})},
+      {"org-dep2", kUidDep2, {kGidDep2, kGidStaffAll, kGidEveryone}, Origin::kOrganization,
+       Cls(1, {2})},
+      {"org-both", kUidBoth, {kGidDep1, kGidDep2, kGidStaffAll, kGidEveryone},
+       Origin::kOrganization, Cls(1, {1, 2})},
+      // An auditor cleared for both departments but owning nothing:
+      // distinguishes class-based sharing from ownership-based sharing.
+      {"org-audit", kUidAudit, {kGidDep1, kGidDep2, kGidStaffAll, kGidEveryone},
+       Origin::kOrganization, Cls(1, {1, 2})},
+      {"remote", kUidRemote, {kGidEveryone}, Origin::kRemote, Cls(0, {3})},
+      {"reporter", kUidReporter, {kGidEveryone}, Origin::kRemote, Cls(0, {})},
+  };
+  // The local user is the machine owner: VINO-privileged.
+  cast[0].vino_privileged = true;
+  return cast;
+}
+
+BaselineAce AllowUser(uint32_t uid, AccessModeSet modes) {
+  return BaselineAce{true, false, uid, modes};
+}
+BaselineAce AllowGroup(uint32_t gid, AccessModeSet modes) {
+  return BaselineAce{true, true, gid, modes};
+}
+BaselineAce DenyUser(uint32_t uid, AccessModeSet modes) {
+  return BaselineAce{false, false, uid, modes};
+}
+
+constexpr AccessModeSet kRW = AccessMode::kRead | AccessMode::kWrite;
+
+// S1 — ThreadMurder (§1.2): an untrusted applet must not be able to kill
+// another applet's thread; the owner must still be able to kill its own.
+Scenario S1() {
+  Scenario s;
+  s.id = "S1";
+  s.title = "ThreadMurder: cross-applet thread kill";
+  s.paper_ref = "§1.2 (McGraw/Felten counterexample to the Java sandbox)";
+  s.world.subjects = Cast();
+  BaselineObject t1;
+  t1.path = "/obj/threads/t1";
+  t1.category = ObjectCategory::kThread;
+  t1.owner_uid = kUidDep1;
+  t1.owner_gid = kGidDep1;
+  t1.unix_mode = 0600;
+  t1.acl = {AllowUser(kUidDep1, AccessMode::kRead | AccessMode::kWrite | AccessMode::kDelete |
+                                    AccessMode::kList)};
+  t1.spin_domain = "threads";
+  t1.vino_sensitive = true;
+  t1.security_class = Cls(1, {1});
+  s.world.objects = {t1};
+  s.world.spin_links = {{"org-dep1", {"threads"}}, {"remote", {"threads"}}};
+  s.probes = {
+      {"remote", "/obj/threads/t1", AccessMode::kDelete, false,
+       "untrusted applet kills another applet's thread"},
+      {"org-dep1", "/obj/threads/t1", AccessMode::kDelete, true, "owner kills its own thread"},
+  };
+  return s;
+}
+
+// S2 — the sandbox's raison d'être: remote code must not read local files,
+// while local code keeps working.
+Scenario S2() {
+  Scenario s;
+  s.id = "S2";
+  s.title = "Remote code reads a local file";
+  s.paper_ref = "§1.2 (trusted local vs untrusted remote extensions)";
+  s.world.subjects = Cast();
+  BaselineObject dir;
+  dir.path = "/fs/local";
+  dir.category = ObjectCategory::kDirectory;
+  dir.owner_uid = kUidLocal;
+  dir.acl = {AllowUser(kUidLocal, AccessModeSet::All())};
+  dir.security_class = Cls(2, {0});
+  BaselineObject secret;
+  secret.path = "/fs/local/secret";
+  secret.owner_uid = kUidLocal;
+  secret.owner_gid = kGidStaff;
+  secret.unix_mode = 0640;
+  secret.acl = {AllowUser(kUidLocal, kRW)};
+  secret.security_class = Cls(2, {0});
+  secret.vino_sensitive = true;
+  s.world.objects = {dir, secret};
+  s.world.spin_links = {{"local-user", {"fs"}}, {"remote", {"net"}}};
+  s.probes = {
+      {"remote", "/fs/local/secret", AccessMode::kRead, false, "read-up from untrusted code"},
+      {"local-user", "/fs/local/secret", AccessMode::kRead, true, "trusted local access"},
+  };
+  return s;
+}
+
+// S3 — functionality floor: legitimate access must keep working, including
+// public data for untrusted code (the Java sandbox is too coarse here).
+Scenario S3() {
+  Scenario s;
+  s.id = "S3";
+  s.title = "Legitimate access keeps working (incl. public files)";
+  s.paper_ref = "§1.2 (sandbox blocks whole services, e.g. all file access)";
+  s.world.subjects = Cast();
+  BaselineObject ldir;
+  ldir.path = "/fs/local";
+  ldir.category = ObjectCategory::kDirectory;
+  ldir.owner_uid = kUidLocal;
+  ldir.acl = {AllowUser(kUidLocal, AccessModeSet::All())};
+  ldir.security_class = Cls(2, {0, 1, 2, 3});
+  BaselineObject tool;
+  tool.path = "/fs/local/tool";
+  tool.owner_uid = kUidLocal;
+  tool.owner_gid = kGidStaff;
+  tool.unix_mode = 0600;
+  tool.acl = {AllowUser(kUidLocal, kRW)};
+  tool.security_class = Cls(2, {0, 1, 2, 3});
+  tool.vino_sensitive = true;
+  BaselineObject pdir;
+  pdir.path = "/fs/pub";
+  pdir.category = ObjectCategory::kDirectory;
+  pdir.owner_uid = kUidReporter;
+  pdir.acl = {AllowUser(kUidReporter, AccessModeSet::All()),
+              AllowGroup(kGidEveryone, AccessMode::kRead | AccessMode::kList)};
+  pdir.security_class = Cls(0, {});
+  BaselineObject motd;
+  motd.path = "/fs/pub/motd";
+  motd.owner_uid = kUidReporter;
+  motd.owner_gid = kGidEveryone;
+  motd.unix_mode = 0644;
+  motd.acl = {AllowUser(kUidReporter, kRW), AllowGroup(kGidEveryone, AccessMode::kRead)};
+  motd.security_class = Cls(0, {});
+  s.world.objects = {ldir, tool, pdir, motd};
+  s.world.spin_links = {{"local-user", {"fs"}}, {"remote", {"fs"}},
+                        {"reporter", {"fs"}}};
+  s.probes = {
+      {"local-user", "/fs/local/tool", AccessMode::kRead, true, "own file read"},
+      {"local-user", "/fs/local/tool", AccessMode::kWrite, true, "own file write"},
+      {"remote", "/fs/pub/motd", AccessMode::kRead, true, "public file stays readable"},
+      {"reporter", "/fs/pub/motd", AccessMode::kWrite, true, "author updates own public file"},
+  };
+  return s;
+}
+
+// Shared /fs/org directory for S4/S5/S7/S11/S12.
+BaselineObject OrgDir(std::vector<BaselineAce> acl) {
+  BaselineObject dir;
+  dir.path = "/fs/org";
+  dir.category = ObjectCategory::kDirectory;
+  dir.owner_uid = kUidLocal;
+  dir.owner_gid = kGidStaffAll;
+  dir.unix_mode = 0750;
+  dir.acl = std::move(acl);
+  dir.security_class = Cls(1, {});
+  return dir;
+}
+
+// S4 — §2: "applets that originate from within the organization should not
+// be able to access or interfere with each other (unless some controlled
+// sharing of information is desired)".
+Scenario S4() {
+  Scenario s;
+  s.id = "S4";
+  s.title = "Departments separated within one trust level";
+  s.paper_ref = "§2 (categories within a level of trust)";
+  s.world.subjects = Cast();
+  BaselineObject dep1;
+  dep1.path = "/fs/org/dep1.txt";
+  dep1.owner_uid = kUidDep1;
+  dep1.owner_gid = kGidDep1;
+  dep1.unix_mode = 0640;
+  dep1.acl = {AllowUser(kUidDep1, kRW), AllowGroup(kGidDep1, AccessMode::kRead)};
+  dep1.security_class = Cls(1, {1});
+  dep1.vino_sensitive = true;
+  BaselineObject dep2;
+  dep2.path = "/fs/org/dep2.txt";
+  dep2.owner_uid = kUidDep2;
+  dep2.owner_gid = kGidDep2;
+  dep2.unix_mode = 0640;
+  dep2.acl = {AllowUser(kUidDep2, kRW), AllowGroup(kGidDep2, AccessMode::kRead)};
+  dep2.security_class = Cls(1, {2});
+  dep2.vino_sensitive = true;
+  s.world.objects = {OrgDir({AllowGroup(kGidDep1, AccessMode::kRead | AccessMode::kList),
+                             AllowGroup(kGidDep2, AccessMode::kRead | AccessMode::kList)}),
+                     dep1, dep2};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"org-dep2", {"fs"}}, {"org-both", {"fs"}}};
+  s.probes = {
+      {"org-dep1", "/fs/org/dep1.txt", AccessMode::kRead, true, "own department data"},
+      {"org-dep1", "/fs/org/dep2.txt", AccessMode::kRead, false, "other department's data"},
+      {"org-dep2", "/fs/org/dep2.txt", AccessMode::kRead, true, "own department data"},
+      {"org-both", "/fs/org/dep1.txt", AccessMode::kRead, true, "dual-label subject (paper §2.2)"},
+      {"org-both", "/fs/org/dep2.txt", AccessMode::kRead, true, "dual-label subject (paper §2.2)"},
+  };
+  return s;
+}
+
+// S5 — a joint compartment: data labeled with BOTH departments may only be
+// read by subjects holding both categories. Discretionary ACLs are
+// disjunctive (any matching allow grants), so no DAC-only model can express
+// the conjunction — this is the mandatory lattice earning its keep.
+Scenario S5() {
+  Scenario s;
+  s.id = "S5";
+  s.title = "Joint compartment requires both categories";
+  s.paper_ref = "§2.2 (category subsets ordered by inclusion)";
+  s.world.subjects = Cast();
+  BaselineObject joint;
+  joint.path = "/fs/org/joint.txt";
+  joint.owner_uid = kUidBoth;
+  joint.owner_gid = kGidDep1;
+  joint.unix_mode = 0640;
+  joint.acl = {AllowUser(kUidBoth, kRW), AllowGroup(kGidDep1, AccessMode::kRead),
+               AllowGroup(kGidDep2, AccessMode::kRead)};
+  joint.security_class = Cls(1, {1, 2});
+  joint.vino_sensitive = true;
+  s.world.objects = {OrgDir({AllowGroup(kGidDep1, AccessMode::kRead | AccessMode::kList),
+                             AllowGroup(kGidDep2, AccessMode::kRead | AccessMode::kList)}),
+                     joint};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"org-dep2", {"fs"}}, {"org-both", {"fs"}}};
+  s.probes = {
+      {"org-both", "/fs/org/joint.txt", AccessMode::kRead, true, "holds both categories"},
+      {"org-dep1", "/fs/org/joint.txt", AccessMode::kRead, false, "holds only department-1"},
+      {"org-dep2", "/fs/org/joint.txt", AccessMode::kRead, false, "holds only department-2"},
+      {"org-audit", "/fs/org/joint.txt", AccessMode::kRead, true,
+       "class-based sharing, no ownership required"},
+  };
+  return s;
+}
+
+// S6 — per-file ACLs inside one directory: the AFS granularity critique.
+Scenario S6() {
+  Scenario s;
+  s.id = "S6";
+  s.title = "Different rights on two files in one directory";
+  s.paper_ref = "§2 (AFS ACLs 'at too high a grain')";
+  s.world.subjects = Cast();
+  BaselineObject dir;
+  dir.path = "/fs/shared";
+  dir.category = ObjectCategory::kDirectory;
+  dir.owner_uid = kUidLocal;
+  dir.unix_mode = 0755;
+  dir.acl = {AllowUser(kUidDep1, AccessMode::kRead | AccessMode::kList),
+             AllowUser(kUidDep2, AccessMode::kRead | AccessMode::kList)};
+  dir.security_class = Cls(1, {});
+  BaselineObject a;
+  a.path = "/fs/shared/a.txt";
+  a.owner_uid = kUidDep1;
+  a.unix_mode = 0600;
+  a.acl = {AllowUser(kUidDep1, AccessMode::kRead)};
+  a.security_class = Cls(1, {1});
+  a.vino_sensitive = true;
+  BaselineObject b;
+  b.path = "/fs/shared/b.txt";
+  b.owner_uid = kUidDep2;
+  b.unix_mode = 0600;
+  b.acl = {AllowUser(kUidDep2, AccessMode::kRead)};
+  b.security_class = Cls(1, {2});
+  b.vino_sensitive = true;
+  s.world.objects = {dir, a, b};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"org-dep2", {"fs"}}};
+  s.probes = {
+      {"org-dep1", "/fs/shared/a.txt", AccessMode::kRead, true, "granted per-file"},
+      {"org-dep1", "/fs/shared/b.txt", AccessMode::kRead, false, "not granted on this file"},
+      {"org-dep2", "/fs/shared/b.txt", AccessMode::kRead, true, "granted per-file"},
+  };
+  return s;
+}
+
+// S7 — negative entries: the group may read, one member is carved out.
+Scenario S7() {
+  Scenario s;
+  s.id = "S7";
+  s.title = "Negative ACL entry carves a member out of a group grant";
+  s.paper_ref = "§2.1 (positive and negative access for individuals and groups)";
+  s.world.subjects = Cast();
+  BaselineObject memo;
+  memo.path = "/fs/org/staff-memo";
+  memo.owner_uid = kUidLocal;
+  memo.owner_gid = kGidStaffAll;
+  memo.unix_mode = 0640;
+  memo.acl = {AllowGroup(kGidStaffAll, AccessMode::kRead),
+              DenyUser(kUidDep2, AccessMode::kRead)};
+  memo.security_class = Cls(0, {});
+  memo.vino_sensitive = true;
+  s.world.objects = {OrgDir({AllowGroup(kGidStaffAll, AccessMode::kRead | AccessMode::kList),
+                             DenyUser(kUidDep2, AccessMode::kRead)}),
+                     memo};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"org-dep2", {"fs"}}};
+  s.probes = {
+      {"org-dep1", "/fs/org/staff-memo", AccessMode::kRead, true, "group grant applies"},
+      {"org-dep2", "/fs/org/staff-memo", AccessMode::kRead, false, "negative entry overrides"},
+  };
+  return s;
+}
+
+// S8/S9 — the paper's two new access modes must be separable.
+Scenario S8() {
+  Scenario s;
+  s.id = "S8";
+  s.title = "Extend granted without execute";
+  s.paper_ref = "§2.1 (execute and extend are distinct modes)";
+  s.world.subjects = Cast();
+  BaselineObject iface;
+  iface.path = "/svc/vfs/types/logfs";
+  iface.category = ObjectCategory::kServiceInterface;
+  iface.owner_uid = kUidLocal;
+  iface.unix_mode = 0600;
+  iface.acl = {AllowUser(kUidDep1, AccessMode::kExtend)};
+  iface.spin_domain = "vfs";
+  iface.security_class = Cls(1, {1});
+  s.world.objects = {iface};
+  s.world.spin_links = {{"org-dep1", {"vfs"}}};
+  s.probes = {
+      {"org-dep1", "/svc/vfs/types/logfs", AccessMode::kExtend, true,
+       "may provide the implementation"},
+      {"org-dep1", "/svc/vfs/types/logfs", AccessMode::kExecute, false,
+       "but may not invoke the service"},
+  };
+  return s;
+}
+
+Scenario S9() {
+  Scenario s;
+  s.id = "S9";
+  s.title = "Execute granted without extend";
+  s.paper_ref = "§2.1 (execute and extend are distinct modes)";
+  s.world.subjects = Cast();
+  BaselineObject proc;
+  proc.path = "/svc/fs/read";
+  proc.category = ObjectCategory::kServiceProcedure;
+  proc.owner_uid = kUidLocal;
+  proc.unix_mode = 0010;  // group x: Unix's best attempt
+  proc.owner_gid = kGidDep1;
+  proc.acl = {AllowUser(kUidDep1, AccessMode::kExecute)};
+  proc.spin_domain = "fs";
+  proc.security_class = Cls(0, {});
+  s.world.objects = {proc};
+  s.world.spin_links = {{"org-dep1", {"fs"}}};
+  s.probes = {
+      {"org-dep1", "/svc/fs/read", AccessMode::kExecute, true, "may call the service"},
+      {"org-dep1", "/svc/fs/read", AccessMode::kExtend, false,
+       "but may not hijack it with a specialization"},
+  };
+  return s;
+}
+
+// S10 — write-append up, no blind overwrite, no read-back: the paper's
+// parenthetical about write-append in §2.2. The DAC layer deliberately
+// grants read/write/append to everyone; only a mandatory rule can still
+// stop the overwrite and the read-up.
+Scenario S10() {
+  Scenario s;
+  s.id = "S10";
+  s.title = "Low-trust subject may append to a high log, not overwrite or read";
+  s.paper_ref = "§2.2 (write-append limits blind overwrites up)";
+  s.world.subjects = Cast();
+  BaselineObject syslog;
+  syslog.path = "/obj/syslog";
+  syslog.owner_uid = kUidLocal;
+  syslog.owner_gid = kGidStaff;
+  syslog.unix_mode = 0626;  // other rw: Unix's best attempt at world-append
+  syslog.acl = {AllowUser(kUidLocal, AccessModeSet::All()),
+                AllowGroup(kGidEveryone, AccessMode::kRead | AccessMode::kWrite |
+                                             AccessMode::kWriteAppend)};
+  syslog.security_class = Cls(2, {0, 1, 2, 3});
+  syslog.vino_sensitive = true;
+  s.world.objects = {syslog};
+  s.world.spin_links = {{"reporter", {"log"}}};
+  s.probes = {
+      {"reporter", "/obj/syslog", AccessMode::kWriteAppend, true, "append up is legal flow"},
+      {"reporter", "/obj/syslog", AccessMode::kWrite, false, "blind overwrite up is not"},
+      {"reporter", "/obj/syslog", AccessMode::kRead, false, "read-up is not"},
+  };
+  return s;
+}
+
+// S11/S12 — "users can not circumvent the basic security of the system by
+// exercising discretionary access control" (§2.2): DAC grants broadly, MAC
+// still confines.
+Scenario S11() {
+  Scenario s;
+  s.id = "S11";
+  s.title = "World-readable ACL cannot leak data up the lattice";
+  s.paper_ref = "§2.2 (mandatory control overrides discretionary grants)";
+  s.world.subjects = Cast();
+  BaselineObject data;
+  data.path = "/fs/org/dep1-data";
+  data.owner_uid = kUidDep1;
+  data.owner_gid = kGidDep1;
+  data.unix_mode = 0644;
+  data.acl = {AllowUser(kUidDep1, kRW), AllowGroup(kGidEveryone, AccessMode::kRead)};
+  data.security_class = Cls(1, {1});
+  data.vino_sensitive = true;
+  s.world.objects = {OrgDir({AllowGroup(kGidEveryone, AccessMode::kRead | AccessMode::kList)}),
+                     data};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"remote", {"fs"}}, {"local-user", {"fs"}}};
+  s.probes = {
+      {"remote", "/fs/org/dep1-data", AccessMode::kRead, false,
+       "DAC grants world read, lattice forbids read-up"},
+      {"org-dep1", "/fs/org/dep1-data", AccessMode::kRead, true, "owner reads own data"},
+      {"local-user", "/fs/org/dep1-data", AccessMode::kRead, true, "read-down is legal"},
+      {"org-both", "/fs/org/dep1-data", AccessMode::kRead, true,
+       "dominating class reads without owning"},
+  };
+  return s;
+}
+
+Scenario S12() {
+  Scenario s;
+  s.id = "S12";
+  s.title = "Cross-category leak via world grant at the same level";
+  s.paper_ref = "§2.2 (strict separation of control compartments)";
+  s.world.subjects = Cast();
+  BaselineObject secret;
+  secret.path = "/fs/org/dep1-secret";
+  secret.owner_uid = kUidDep1;
+  secret.owner_gid = kGidDep1;
+  secret.unix_mode = 0644;
+  secret.acl = {AllowUser(kUidDep1, kRW), AllowGroup(kGidEveryone, AccessMode::kRead)};
+  secret.security_class = Cls(1, {1});
+  secret.vino_sensitive = true;
+  s.world.objects = {OrgDir({AllowGroup(kGidEveryone, AccessMode::kRead | AccessMode::kList)}),
+                     secret};
+  s.world.spin_links = {{"org-dep1", {"fs"}}, {"org-dep2", {"fs"}}, {"org-both", {"fs"}}};
+  s.probes = {
+      {"org-dep2", "/fs/org/dep1-secret", AccessMode::kRead, false,
+       "same level, disjoint category"},
+      {"org-both", "/fs/org/dep1-secret", AccessMode::kRead, true, "superset category reads"},
+  };
+  return s;
+}
+
+// S13 — the "three prongs" critique: one broken component must not collapse
+// the whole protection system. The Java world's verifier is broken here; a
+// single central facility is unaffected by definition.
+Scenario S13() {
+  Scenario s;
+  s.id = "S13";
+  s.title = "Robustness to a single broken component";
+  s.paper_ref = "§1.2 (three prongs; economy of mechanism §3)";
+  s.world.subjects = Cast();
+  s.world.java_verifier_ok = false;
+  BaselineObject dir;
+  dir.path = "/fs/local";
+  dir.category = ObjectCategory::kDirectory;
+  dir.owner_uid = kUidLocal;
+  dir.acl = {AllowUser(kUidLocal, AccessModeSet::All())};
+  dir.security_class = Cls(2, {0});
+  BaselineObject secret;
+  secret.path = "/fs/local/secret2";
+  secret.owner_uid = kUidLocal;
+  secret.owner_gid = kGidStaff;
+  secret.unix_mode = 0600;
+  secret.acl = {AllowUser(kUidLocal, kRW)};
+  secret.security_class = Cls(2, {0});
+  secret.vino_sensitive = true;
+  s.world.objects = {dir, secret};
+  s.world.spin_links = {{"local-user", {"fs"}}, {"remote", {"net"}}};
+  s.probes = {
+      {"remote", "/fs/local/secret2", AccessMode::kRead, false,
+       "a broken verifier must not open the file system"},
+      {"local-user", "/fs/local/secret2", AccessMode::kRead, true, "local access unaffected"},
+  };
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> BuildScenarios() {
+  return {S1(), S2(), S3(), S4(), S5(), S6(), S7(), S8(), S9(), S10(), S11(), S12(), S13()};
+}
+
+ScenarioResult RunScenario(const Scenario& scenario, const ProtectionModel& model) {
+  ScenarioResult result;
+  for (const Probe& probe : scenario.probes) {
+    const BaselineSubject* subject = nullptr;
+    for (const BaselineSubject& candidate : scenario.world.subjects) {
+      if (candidate.name == probe.subject) {
+        subject = &candidate;
+        break;
+      }
+    }
+    const BaselineObject* object = scenario.world.FindObject(probe.object);
+    if (subject == nullptr || object == nullptr) {
+      result.handled = false;
+      result.failed_probe_notes.push_back(
+          StrFormat("%s: bad probe (unknown subject or object)", scenario.id.c_str()));
+      continue;
+    }
+    bool allowed = model.Allows(scenario.world, *subject, *object, probe.mode);
+    if (allowed == probe.should_allow) {
+      continue;
+    }
+    result.handled = false;
+    if (probe.should_allow) {
+      ++result.functionality_failures;
+    } else {
+      ++result.security_failures;
+    }
+    result.failed_probe_notes.push_back(StrFormat(
+        "%s/%s: %s %s %s -> %s, expected %s (%s)", scenario.id.c_str(),
+        std::string(model.name()).c_str(), probe.subject.c_str(),
+        std::string(AccessModeName(probe.mode)).c_str(), probe.object.c_str(),
+        allowed ? "ALLOW" : "DENY", probe.should_allow ? "ALLOW" : "DENY", probe.why.c_str()));
+  }
+  return result;
+}
+
+ModelSet::ModelSet() {
+  all_ = {&none_, &inferno_, &java_, &spin_, &vino_, &afs_,
+          &unix_, &nt_, &xsec_dac_, &xsec_full_};
+}
+
+}  // namespace xsec

@@ -1,0 +1,81 @@
+// The scenario library: every protection claim and counterexample in the
+// paper, phrased as a concrete world plus expected-outcome probes.
+//
+// A scenario is *handled* by a protection model iff every probe matches:
+// accesses that must be denied are denied (security) AND accesses that must
+// succeed succeed (functionality). Over-restrictive models fail functionality
+// probes; permissive models fail security probes. Experiment T1 prints the
+// resulting matrix; tests pin the expected row for every model.
+
+#ifndef XSEC_SRC_CORE_SCENARIOS_H_
+#define XSEC_SRC_CORE_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/afs_model.h"
+#include "src/baselines/inferno_model.h"
+#include "src/baselines/java_sandbox_model.h"
+#include "src/baselines/model.h"
+#include "src/baselines/nt_model.h"
+#include "src/baselines/spin_domain_model.h"
+#include "src/baselines/unix_model.h"
+#include "src/baselines/vino_model.h"
+#include "src/baselines/world.h"
+#include "src/baselines/xsec_model.h"
+
+namespace xsec {
+
+struct Probe {
+  std::string subject;  // BaselineSubject::name
+  std::string object;   // BaselineObject::path
+  AccessMode mode = AccessMode::kRead;
+  bool should_allow = false;
+  std::string why;  // one-line rationale shown in failure reports
+};
+
+struct Scenario {
+  std::string id;         // "S1".."S13"
+  std::string title;
+  std::string paper_ref;  // which section/claim this reproduces
+  BaselineWorld world;
+  std::vector<Probe> probes;
+};
+
+// All thirteen scenarios (see each builder's comment for the paper mapping).
+std::vector<Scenario> BuildScenarios();
+
+struct ScenarioResult {
+  bool handled = true;
+  int security_failures = 0;     // should-deny but allowed
+  int functionality_failures = 0;  // should-allow but denied
+  std::vector<std::string> failed_probe_notes;
+};
+
+ScenarioResult RunScenario(const Scenario& scenario, const ProtectionModel& model);
+
+// The ten models of experiment T1 (every system the paper surveys plus the
+// proposed model in both halves), weakest first.
+class ModelSet {
+ public:
+  ModelSet();
+  const std::vector<const ProtectionModel*>& all() const { return all_; }
+
+ private:
+  NullModel none_;
+  InfernoModel inferno_;
+  JavaSandboxModel java_;
+  SpinDomainModel spin_;
+  VinoModel vino_;
+  AfsModel afs_;
+  UnixModel unix_;
+  NtModel nt_;
+  XsecDacModel xsec_dac_;
+  XsecFullModel xsec_full_;
+  std::vector<const ProtectionModel*> all_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_CORE_SCENARIOS_H_

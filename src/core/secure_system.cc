@@ -1,0 +1,99 @@
+#include "src/core/secure_system.h"
+
+#include <cassert>
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+SecureSystem::SecureSystem(MonitorOptions options) : kernel_(options) {
+  fs_ = std::make_unique<MemFs>(&kernel_);
+  mbufs_ = std::make_unique<MbufPool>(&kernel_);
+  threads_ = std::make_unique<ThreadService>(&kernel_);
+  log_ = std::make_unique<LogService>(&kernel_);
+  vfs_ = std::make_unique<VfsService>(&kernel_);
+  net_ = std::make_unique<NetStack>(&kernel_);
+  Status status = InstallDefaults();
+  assert(status.ok() && "SecureSystem boot failed");
+  (void)status;
+}
+
+Status SecureSystem::InstallDefaults() {
+  everyone_ = *kernel_.principals().CreateGroup("everyone");
+
+  XSEC_RETURN_IF_ERROR(fs_->Install());
+  XSEC_RETURN_IF_ERROR(mbufs_->Install());
+  XSEC_RETURN_IF_ERROR(threads_->Install());
+  XSEC_RETURN_IF_ERROR(log_->Install());
+  XSEC_RETURN_IF_ERROR(vfs_->Install());
+  XSEC_RETURN_IF_ERROR(net_->Install());
+
+  NameSpace& ns = kernel_.name_space();
+  AclStore& acls = kernel_.acls();
+  auto set_acl = [&](std::string_view path, Acl acl) -> Status {
+    auto node = ns.Lookup(path);
+    if (!node.ok()) {
+      return node.status();
+    }
+    return ns.SetAclRef(*node, acls.Create(std::move(acl)));
+  };
+
+  // Defaults: the hierarchy is browsable and services are callable by
+  // everyone; individual nodes restrict from there. Nothing is writable or
+  // extensible by default (fail-closed for mutation).
+  Acl listable;
+  listable.AddEntry(
+      AclEntry{AclEntryType::kAllow, everyone_, AccessMode::kList | AccessMode::kRead});
+  XSEC_RETURN_IF_ERROR(set_acl("/", std::move(listable)));
+
+  Acl callable;
+  callable.AddEntry(AclEntry{AclEntryType::kAllow, everyone_,
+                             AccessMode::kList | AccessMode::kExecute});
+  XSEC_RETURN_IF_ERROR(set_acl("/svc", std::move(callable)));
+
+  return OkStatus();
+}
+
+StatusOr<PrincipalId> SecureSystem::CreateUser(std::string_view name) {
+  auto user = kernel_.principals().CreateUser(name);
+  if (!user.ok()) {
+    return user;
+  }
+  XSEC_RETURN_IF_ERROR(kernel_.principals().AddMember(everyone_, *user));
+  return user;
+}
+
+StatusOr<PrincipalId> SecureSystem::CreateGroup(std::string_view name) {
+  return kernel_.principals().CreateGroup(name);
+}
+
+Subject SecureSystem::Login(PrincipalId principal, const SecurityClass& security_class) {
+  return kernel_.CreateSubject(principal, security_class);
+}
+
+StatusOr<Subject> SecureSystem::LoginChecked(std::string_view name,
+                                             std::string_view credential,
+                                             const SecurityClass& security_class) {
+  auto user = kernel_.principals().Authenticate(name, credential);
+  if (!user.ok()) {
+    return user.status();
+  }
+  const SecurityClass* clearance = kernel_.labels().ClearanceOf(user->value);
+  if (clearance != nullptr && !clearance->Dominates(security_class)) {
+    return PermissionDeniedError(
+        StrFormat("requested class %s exceeds the clearance of '%s'",
+                  kernel_.labels().ClassToString(security_class).c_str(),
+                  std::string(name).c_str()));
+  }
+  return kernel_.CreateSubject(*user, security_class);
+}
+
+Status SecureSystem::SetClearance(PrincipalId user, const SecurityClass& clearance) {
+  if (kernel_.principals().Get(user) == nullptr) {
+    return NotFoundError("no such principal");
+  }
+  kernel_.labels().SetClearance(user.value, clearance);
+  return OkStatus();
+}
+
+}  // namespace xsec

@@ -1,0 +1,76 @@
+#include "src/dac/access_mode.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+std::string_view AccessModeName(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead:
+      return "read";
+    case AccessMode::kWrite:
+      return "write";
+    case AccessMode::kWriteAppend:
+      return "write-append";
+    case AccessMode::kExecute:
+      return "execute";
+    case AccessMode::kExtend:
+      return "extend";
+    case AccessMode::kAdministrate:
+      return "administrate";
+    case AccessMode::kDelete:
+      return "delete";
+    case AccessMode::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+std::vector<AccessMode> AccessModeSet::Modes() const {
+  std::vector<AccessMode> out;
+  for (int i = 0; i < kAccessModeCount; ++i) {
+    AccessMode m = static_cast<AccessMode>(1u << i);
+    if (Contains(m)) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+std::string AccessModeSet::ToString() const {
+  if (empty()) {
+    return "-";
+  }
+  std::string out;
+  for (AccessMode m : Modes()) {
+    if (!out.empty()) {
+      out += '|';
+    }
+    out += AccessModeName(m);
+  }
+  return out;
+}
+
+StatusOr<AccessModeSet> AccessModeSet::Parse(std::string_view text) {
+  if (text == "-" || text.empty()) {
+    return AccessModeSet::None();
+  }
+  AccessModeSet out;
+  for (const std::string& piece : StrSplit(text, '|')) {
+    bool matched = false;
+    for (int i = 0; i < kAccessModeCount; ++i) {
+      AccessMode m = static_cast<AccessMode>(1u << i);
+      if (piece == AccessModeName(m)) {
+        out |= m;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return InvalidArgumentError(StrFormat("unknown access mode '%s'", piece.c_str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace xsec

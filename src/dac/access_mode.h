@@ -1,0 +1,96 @@
+// Access modes (paper §2.1).
+//
+// The paper keeps the conventional file-system modes — read, write,
+// write-append, administrate, delete, list — and adds the two modes that
+// correspond to the two ways extensions interact with an extensible system:
+//
+//   execute — the extension may *call on* a service;
+//   extend  — the extension may *extend (specialize)* a service.
+//
+// write-append exists so that a policy can let low-trust subjects add to an
+// object without being able to "blindly overwrite" it (§2.2).
+
+#ifndef XSEC_SRC_DAC_ACCESS_MODE_H_
+#define XSEC_SRC_DAC_ACCESS_MODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xsec {
+
+enum class AccessMode : uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kWriteAppend = 1u << 2,
+  kExecute = 1u << 3,
+  kExtend = 1u << 4,
+  kAdministrate = 1u << 5,
+  kDelete = 1u << 6,
+  kList = 1u << 7,
+};
+
+inline constexpr int kAccessModeCount = 8;
+
+std::string_view AccessModeName(AccessMode mode);
+
+// A set of access modes, as requested by a subject or granted by an ACL entry.
+class AccessModeSet {
+ public:
+  constexpr AccessModeSet() : bits_(0) {}
+  constexpr AccessModeSet(AccessMode mode) : bits_(static_cast<uint32_t>(mode)) {}  // NOLINT
+  constexpr explicit AccessModeSet(uint32_t bits) : bits_(bits) {}
+
+  static constexpr AccessModeSet All() { return AccessModeSet((1u << kAccessModeCount) - 1); }
+  static constexpr AccessModeSet None() { return AccessModeSet(); }
+
+  constexpr uint32_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr bool Contains(AccessMode mode) const {
+    return (bits_ & static_cast<uint32_t>(mode)) != 0;
+  }
+  constexpr bool ContainsAll(AccessModeSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(AccessModeSet other) const { return (bits_ & other.bits_) != 0; }
+
+  constexpr AccessModeSet operator|(AccessModeSet other) const {
+    return AccessModeSet(bits_ | other.bits_);
+  }
+  constexpr AccessModeSet operator&(AccessModeSet other) const {
+    return AccessModeSet(bits_ & other.bits_);
+  }
+  // Set difference: modes in *this not in `other`.
+  constexpr AccessModeSet operator-(AccessModeSet other) const {
+    return AccessModeSet(bits_ & ~other.bits_);
+  }
+  AccessModeSet& operator|=(AccessModeSet other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  constexpr bool operator==(const AccessModeSet& other) const { return bits_ == other.bits_; }
+
+  // Individual modes in the set.
+  std::vector<AccessMode> Modes() const;
+
+  // "read|execute"; "-" for the empty set.
+  std::string ToString() const;
+
+  // Parses the ToString() form.
+  static StatusOr<AccessModeSet> Parse(std::string_view text);
+
+ private:
+  uint32_t bits_;
+};
+
+inline constexpr AccessModeSet operator|(AccessMode a, AccessMode b) {
+  return AccessModeSet(a) | AccessModeSet(b);
+}
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_DAC_ACCESS_MODE_H_

@@ -1,0 +1,123 @@
+#include "src/dac/acl.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+void Acl::AddEntry(const AclEntry& entry) {
+  for (AclEntry& existing : entries_) {
+    if (existing.type == entry.type && existing.who == entry.who) {
+      existing.modes |= entry.modes;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+}
+
+size_t Acl::RemoveEntriesFor(PrincipalId who) {
+  size_t before = entries_.size();
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [who](const AclEntry& e) { return e.who == who; }),
+      entries_.end());
+  return before - entries_.size();
+}
+
+AclVerdict Acl::Evaluate(const DynamicBitset& closure, AccessModeSet requested) const {
+  if (requested.empty()) {
+    return AclVerdict::kGranted;
+  }
+  AccessModeSet allowed;
+  for (const AclEntry& entry : entries_) {
+    if (!closure.Test(entry.who.value)) {
+      continue;
+    }
+    if (entry.type == AclEntryType::kDeny) {
+      if (entry.modes.Intersects(requested)) {
+        return AclVerdict::kDeniedByEntry;
+      }
+    } else {
+      allowed |= entry.modes;
+    }
+  }
+  return allowed.ContainsAll(requested) ? AclVerdict::kGranted : AclVerdict::kNoMatchingGrant;
+}
+
+AccessModeSet Acl::EffectiveModes(const DynamicBitset& closure) const {
+  AccessModeSet allowed;
+  AccessModeSet denied;
+  for (const AclEntry& entry : entries_) {
+    if (!closure.Test(entry.who.value)) {
+      continue;
+    }
+    if (entry.type == AclEntryType::kDeny) {
+      denied |= entry.modes;
+    } else {
+      allowed |= entry.modes;
+    }
+  }
+  return allowed - denied;
+}
+
+std::string Acl::ToString() const {
+  std::string out;
+  for (const AclEntry& entry : entries_) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += entry.type == AclEntryType::kAllow ? "allow" : "deny";
+    out += StrFormat(" p%u %s", entry.who.value, entry.modes.ToString().c_str());
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+AclStore::AclRef AclStore::Create(Acl acl) {
+  AclRef ref = static_cast<AclRef>(acls_.size());
+  acls_.push_back(Slot{std::move(acl), ++store_generation_});
+  return ref;
+}
+
+const Acl* AclStore::Get(AclRef ref) const {
+  if (ref >= acls_.size()) {
+    return nullptr;
+  }
+  return &acls_[ref].acl;
+}
+
+Status AclStore::Replace(AclRef ref, Acl acl) {
+  if (ref >= acls_.size()) {
+    return NotFoundError("no such ACL");
+  }
+  acls_[ref].acl = std::move(acl);
+  acls_[ref].generation = ++store_generation_;
+  return OkStatus();
+}
+
+Status AclStore::AddEntry(AclRef ref, const AclEntry& entry) {
+  if (ref >= acls_.size()) {
+    return NotFoundError("no such ACL");
+  }
+  acls_[ref].acl.AddEntry(entry);
+  acls_[ref].generation = ++store_generation_;
+  return OkStatus();
+}
+
+Status AclStore::RemoveEntriesFor(AclRef ref, PrincipalId who) {
+  if (ref >= acls_.size()) {
+    return NotFoundError("no such ACL");
+  }
+  acls_[ref].acl.RemoveEntriesFor(who);
+  acls_[ref].generation = ++store_generation_;
+  return OkStatus();
+}
+
+uint64_t AclStore::GenerationOf(AclRef ref) const {
+  if (ref >= acls_.size()) {
+    return 0;
+  }
+  return acls_[ref].generation;
+}
+
+}  // namespace xsec

@@ -1,0 +1,79 @@
+#include "src/extsys/dispatcher.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+void EventDispatcher::Register(NodeId interface_node, ExtensionId extension,
+                               const SecurityClass& handler_class, HandlerFn handler) {
+  HandlerRecord record;
+  record.extension = extension;
+  record.handler_class = handler_class;
+  record.handler = std::move(handler);
+  record.registration_order = next_order_++;
+  handlers_[interface_node.value].push_back(std::move(record));
+  ++total_handlers_;
+}
+
+size_t EventDispatcher::UnregisterExtension(ExtensionId extension) {
+  size_t removed = 0;
+  for (auto& [node, records] : handlers_) {
+    size_t before = records.size();
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [extension](const HandlerRecord& r) {
+                                   return r.extension == extension;
+                                 }),
+                  records.end());
+    removed += before - records.size();
+  }
+  total_handlers_ -= removed;
+  return removed;
+}
+
+StatusOr<std::vector<const EventDispatcher::HandlerRecord*>> EventDispatcher::Select(
+    NodeId interface_node, const SecurityClass& caller_class, DispatchMode mode) const {
+  auto it = handlers_.find(interface_node.value);
+  if (it == handlers_.end() || it->second.empty()) {
+    return NotFoundError(
+        StrFormat("no handler registered on interface node %u", interface_node.value));
+  }
+  const std::vector<HandlerRecord>& records = it->second;
+
+  if (mode == DispatchMode::kFirstRegistered) {
+    return std::vector<const HandlerRecord*>{&records.front()};
+  }
+
+  std::vector<const HandlerRecord*> eligible;
+  for (const HandlerRecord& record : records) {
+    if (caller_class.Dominates(record.handler_class)) {
+      eligible.push_back(&record);
+    }
+  }
+  if (eligible.empty()) {
+    return PermissionDeniedError(
+        "caller's security class is not cleared for any registered handler");
+  }
+
+  if (mode == DispatchMode::kBroadcast) {
+    return eligible;
+  }
+
+  // kClassSelected: a maximal eligible handler; earliest registration among
+  // maximal-but-incomparable candidates.
+  const HandlerRecord* best = eligible.front();
+  for (const HandlerRecord* candidate : eligible) {
+    if (candidate->handler_class.StrictlyDominates(best->handler_class)) {
+      best = candidate;
+    }
+  }
+  return std::vector<const HandlerRecord*>{best};
+}
+
+size_t EventDispatcher::HandlerCount(NodeId interface_node) const {
+  auto it = handlers_.find(interface_node.value);
+  return it == handlers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace xsec

@@ -1,0 +1,77 @@
+// The event dispatcher: the mechanism by which extensions *extend* services
+// (paper §1.1, modeled on SPIN's event-dispatch model [Pardyak & Bershad]).
+//
+// An interface node can have many registered handlers, each installed by an
+// extension at link time after an `extend` check, and each carrying the
+// extension's (possibly statically assigned) security class. Dispatch
+// implements the paper's selection rule: "when the extended service is
+// invoked, the right extension is selected based on the security class of
+// the caller" (§2.2).
+//
+// Selection semantics: a handler is *eligible* for a caller iff the caller's
+// class dominates the handler's class (the caller is cleared to observe the
+// handler's behavior — the simple security property applied to code). Among
+// eligible handlers, kClassSelected picks a maximal one — the most trusted
+// specialization the caller is cleared for; earliest registration breaks
+// ties between incomparable maximal classes.
+
+#ifndef XSEC_SRC_EXTSYS_DISPATCHER_H_
+#define XSEC_SRC_EXTSYS_DISPATCHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/extsys/extension.h"
+#include "src/mac/security_class.h"
+#include "src/monitor/subject.h"
+#include "src/naming/namespace.h"
+
+namespace xsec {
+
+enum class DispatchMode : uint8_t {
+  // The paper's rule: best eligible handler by caller class.
+  kClassSelected = 0,
+  // First registered handler, no class filtering (plain dispatch baseline
+  // for experiment F6).
+  kFirstRegistered,
+  // All eligible handlers, registration order (SPIN events are multicast).
+  kBroadcast,
+};
+
+class EventDispatcher {
+ public:
+  struct HandlerRecord {
+    ExtensionId extension;
+    SecurityClass handler_class;
+    HandlerFn handler;
+    uint64_t registration_order = 0;
+  };
+
+  // Registers a handler on an interface node (the linker performs the
+  // `extend` access check before calling this).
+  void Register(NodeId interface_node, ExtensionId extension, const SecurityClass& handler_class,
+                HandlerFn handler);
+
+  // Removes every handler installed by `extension`. Returns how many.
+  size_t UnregisterExtension(ExtensionId extension);
+
+  // Picks the handler(s) for a caller without invoking them. Empty result
+  // with OK status cannot happen: no eligible handler is an error.
+  StatusOr<std::vector<const HandlerRecord*>> Select(NodeId interface_node,
+                                                     const SecurityClass& caller_class,
+                                                     DispatchMode mode) const;
+
+  size_t HandlerCount(NodeId interface_node) const;
+  size_t total_handlers() const { return total_handlers_; }
+
+ private:
+  std::unordered_map<uint32_t, std::vector<HandlerRecord>> handlers_;
+  uint64_t next_order_ = 0;
+  size_t total_handlers_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_EXTSYS_DISPATCHER_H_

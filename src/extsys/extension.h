@@ -1,0 +1,101 @@
+// Extensions: dynamically loaded units of code (paper §1.1).
+//
+// An extension interacts with the system in exactly two ways:
+//   - it *calls* already-supported services (its `imports`, checked against
+//     the `execute` access mode at link time and on every call);
+//   - it *extends* the base system by specializing existing interfaces (its
+//     `exports`, checked against the `extend` access mode and registered with
+//     the event dispatcher).
+//
+// A manifest may carry a *static* security class: "it may be necessary to
+// statically associate extensions with a certain security class to avoid
+// security breaches (for example, applets that originate outside the local
+// organization … might always run at the least level of trust)" (§2.2).
+
+#ifndef XSEC_SRC_EXTSYS_EXTENSION_H_
+#define XSEC_SRC_EXTSYS_EXTENSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/extsys/value.h"
+#include "src/mac/security_class.h"
+#include "src/monitor/subject.h"
+#include "src/naming/namespace.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+class Kernel;
+
+// Where the code came from; drives default trust assignment in the scenario
+// library (mirrors Java's local-disk vs network distinction, §1.2).
+enum class Origin : uint8_t {
+  kLocal = 0,
+  kOrganization,
+  kRemote,
+};
+
+std::string_view OriginName(Origin origin);
+
+// The execution context a handler receives. Handlers reach other services
+// only through `kernel` with the *caller's* subject — the class-propagation
+// rule ("the security class is passed on when another system service is
+// invoked", §2.2) falls out of this plumbing.
+struct CallContext {
+  Kernel* kernel = nullptr;
+  Subject* subject = nullptr;
+  Args args;
+};
+
+using HandlerFn = std::function<StatusOr<Value>(CallContext&)>;
+
+// One specialization an extension installs on an existing interface.
+struct ExportSpec {
+  std::string interface_path;  // the extension point, e.g. "/svc/vfs/read"
+  HandlerFn handler;
+};
+
+struct ExtensionManifest {
+  std::string name;
+  Origin origin = Origin::kRemote;
+  std::vector<std::string> imports;  // procedure paths this extension calls
+  std::vector<ExportSpec> exports;   // interfaces this extension specializes
+  // Statically assigned class; if unset the extension's handlers are
+  // registered at the loading subject's class.
+  std::optional<SecurityClass> static_class;
+};
+
+struct ExtensionId {
+  uint32_t value = 0xffffffff;
+  bool valid() const { return value != 0xffffffff; }
+  friend bool operator==(ExtensionId a, ExtensionId b) { return a.value == b.value; }
+};
+
+// A capability to call one imported procedure: the link-time grant plus the
+// resolved node. Calls through a capability skip path traversal but are still
+// re-checked against the node (so revocation takes effect), which is the
+// fast path experiment F1 measures.
+struct Capability {
+  NodeId node;
+  std::string path;  // for diagnostics
+};
+
+// The result of successfully linking a manifest.
+struct LinkedExtension {
+  ExtensionId id;
+  std::string name;
+  PrincipalId principal;        // who the extension was loaded for
+  SecurityClass handler_class;  // class its handlers are registered at
+  NodeId node;                  // the extension's own node under /ext
+  std::vector<Capability> imports;      // index-parallel with manifest.imports
+  std::vector<NodeId> export_points;    // interfaces it specialized
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_EXTSYS_EXTENSION_H_

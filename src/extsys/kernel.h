@@ -1,0 +1,119 @@
+// The kernel of the simulated extensible system: the "base system" of the
+// paper's §1.1 into which extensions are dynamically loaded and linked.
+//
+// The kernel owns the four policy stores, the reference monitor, the
+// procedure table and the event dispatcher. Services register procedures and
+// extension-point interfaces at boot (trusted, unmediated); afterwards every
+// interaction — an application invoking a procedure, an extension being
+// linked, an event being raised — is mediated by the reference monitor.
+//
+// The two interaction mechanisms of §1.1 map to:
+//   calls:        Kernel::Invoke / Kernel::CallCapability  (execute mode)
+//   extensions:   Kernel::LoadExtension + EventDispatcher  (extend mode)
+
+#ifndef XSEC_SRC_EXTSYS_KERNEL_H_
+#define XSEC_SRC_EXTSYS_KERNEL_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dac/acl.h"
+#include "src/extsys/dispatcher.h"
+#include "src/extsys/extension.h"
+#include "src/extsys/value.h"
+#include "src/mac/label_authority.h"
+#include "src/monitor/reference_monitor.h"
+#include "src/naming/namespace.h"
+#include "src/principal/registry.h"
+
+namespace xsec {
+
+class Kernel {
+ public:
+  explicit Kernel(MonitorOptions options = {});
+
+  // Non-copyable, non-movable: handlers capture `this`.
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -- Store access ----------------------------------------------------------
+  NameSpace& name_space() { return name_space_; }
+  AclStore& acls() { return acls_; }
+  PrincipalRegistry& principals() { return principals_; }
+  LabelAuthority& labels() { return labels_; }
+  ReferenceMonitor& monitor() { return *monitor_; }
+  EventDispatcher& dispatcher() { return dispatcher_; }
+
+  // The built-in most-privileged principal (owner of the namespace root).
+  PrincipalId system_principal() const { return system_; }
+  // A subject for the system principal at the lattice top.
+  Subject SystemSubject();
+
+  // Creates a fresh thread subject for a principal at a class.
+  Subject CreateSubject(PrincipalId principal, const SecurityClass& security_class);
+
+  // -- Boot-time (trusted) service registration ------------------------------
+  // These create name-space nodes directly; the base system is trusted code
+  // and is not subject to its own mediation (the monitor governs everything
+  // that happens *through* the kernel afterwards).
+  StatusOr<NodeId> RegisterService(std::string_view path, PrincipalId owner);
+  StatusOr<NodeId> RegisterInterface(std::string_view path, PrincipalId owner);
+  StatusOr<NodeId> RegisterProcedure(std::string_view path, PrincipalId owner, HandlerFn handler);
+
+  // Rebinds the implementation of an existing procedure node (service-side).
+  Status SetProcedureHandler(NodeId node, HandlerFn handler);
+
+  // -- Mediated operations ----------------------------------------------------
+
+  // Full-path call: resolve (with traversal checks), check `execute`, invoke.
+  // Invoking an interface node dispatches class-selected to a handler.
+  StatusOr<Value> Invoke(Subject& subject, std::string_view path, Args args);
+
+  // Capability call: node-level `execute` re-check only (no traversal). The
+  // fast path for linked extensions; revocation still takes effect because
+  // the node check re-runs (cached) on every call.
+  StatusOr<Value> CallCapability(Subject& subject, const Capability& capability, Args args);
+
+  // Raises an event on an extension-point interface: `execute` check on the
+  // interface, then dispatch per `mode`. kBroadcast returns the last
+  // handler's value.
+  StatusOr<Value> RaiseEvent(Subject& subject, std::string_view interface_path, Args args,
+                             DispatchMode mode = DispatchMode::kClassSelected);
+
+  // -- Extension lifecycle ----------------------------------------------------
+
+  // Links `manifest` on behalf of `loader`. The extension's handlers run at
+  // manifest.static_class if set, else at the loader's class; link-time
+  // import (`execute`) and export (`extend`) checks run at that class.
+  StatusOr<ExtensionId> LoadExtension(const ExtensionManifest& manifest, const Subject& loader);
+
+  // Unloads; requires the unloader to be the loading principal or to hold
+  // administrate on the extension's node.
+  Status UnloadExtension(const Subject& subject, ExtensionId id);
+
+  const LinkedExtension* GetExtension(ExtensionId id) const;
+  size_t loaded_extension_count() const { return loaded_count_; }
+
+ private:
+  StatusOr<Value> InvokeNode(Subject& subject, NodeId node, Args args);
+
+  NameSpace name_space_;
+  AclStore acls_;
+  PrincipalRegistry principals_;
+  LabelAuthority labels_;
+  std::unique_ptr<ReferenceMonitor> monitor_;
+  EventDispatcher dispatcher_;
+
+  std::unordered_map<uint32_t, HandlerFn> procedures_;
+  std::vector<std::optional<LinkedExtension>> extensions_;
+  size_t loaded_count_ = 0;
+  PrincipalId system_;
+  uint64_t next_thread_id_ = 1;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_EXTSYS_KERNEL_H_

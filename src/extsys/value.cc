@@ -1,0 +1,62 @@
+#include "src/extsys/value.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+namespace {
+
+template <typename T>
+StatusOr<T> ArgAs(const Args& args, size_t index, const char* type_name) {
+  if (index >= args.size()) {
+    return InvalidArgumentError(
+        StrFormat("argument %zu missing (got %zu arguments)", index, args.size()));
+  }
+  const T* value = std::get_if<T>(&args[index]);
+  if (value == nullptr) {
+    return InvalidArgumentError(StrFormat("argument %zu is not a %s", index, type_name));
+  }
+  return *value;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ArgInt(const Args& args, size_t index) {
+  return ArgAs<int64_t>(args, index, "integer");
+}
+
+StatusOr<bool> ArgBool(const Args& args, size_t index) { return ArgAs<bool>(args, index, "bool"); }
+
+StatusOr<std::string> ArgString(const Args& args, size_t index) {
+  return ArgAs<std::string>(args, index, "string");
+}
+
+StatusOr<std::vector<uint8_t>> ArgBytes(const Args& args, size_t index) {
+  return ArgAs<std::vector<uint8_t>>(args, index, "byte vector");
+}
+
+std::string ValueToString(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t i) const { return std::to_string(i); }
+    std::string operator()(const std::string& s) const { return StrFormat("\"%s\"", s.c_str()); }
+    std::string operator()(const std::vector<uint8_t>& b) const {
+      return StrFormat("<%zu bytes>", b.size());
+    }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+std::string ArgsToString(const Args& args) {
+  std::string out = "[";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += ValueToString(args[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xsec

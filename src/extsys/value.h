@@ -1,0 +1,35 @@
+// The value type passed across extension/service boundaries.
+//
+// Cross-boundary arguments and results are plain data (no pointers), so the
+// only way an extension can touch system state is through a mediated call —
+// this is the construction that substitutes for the type safety the paper
+// gets from Modula-3/Java (see DESIGN.md, substitutions table).
+
+#ifndef XSEC_SRC_EXTSYS_VALUE_H_
+#define XSEC_SRC_EXTSYS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xsec {
+
+using Value = std::variant<std::monostate, bool, int64_t, std::string, std::vector<uint8_t>>;
+using Args = std::vector<Value>;
+
+// Typed argument accessors; return INVALID_ARGUMENT on arity or type errors.
+StatusOr<int64_t> ArgInt(const Args& args, size_t index);
+StatusOr<bool> ArgBool(const Args& args, size_t index);
+StatusOr<std::string> ArgString(const Args& args, size_t index);
+StatusOr<std::vector<uint8_t>> ArgBytes(const Args& args, size_t index);
+
+// Debug rendering ("[42, \"x\"]").
+std::string ValueToString(const Value& value);
+std::string ArgsToString(const Args& args);
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_EXTSYS_VALUE_H_

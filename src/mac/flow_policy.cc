@@ -1,0 +1,56 @@
+#include "src/mac/flow_policy.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+std::string FlowVerdict::ToString() const {
+  if (allowed) {
+    return "flow-ok";
+  }
+  return StrFormat("flow-violation(%s)",
+                   std::string(AccessModeName(*violating_mode)).c_str());
+}
+
+bool FlowPolicy::ModeAllowed(const SecurityClass& subject, const SecurityClass& object,
+                             AccessMode mode) const {
+  switch (mode) {
+    case AccessMode::kRead:
+    case AccessMode::kList:
+    case AccessMode::kExecute:
+    case AccessMode::kExtend:
+      return subject.Dominates(object);
+    case AccessMode::kWriteAppend:
+      return object.Dominates(subject);
+    case AccessMode::kWrite:
+    case AccessMode::kDelete:
+      if (!object.Dominates(subject)) {
+        return false;
+      }
+      if (options_.write_up_requires_append) {
+        return subject.Dominates(object);  // together with the above: S = O
+      }
+      return true;
+    case AccessMode::kAdministrate:
+      return subject.Dominates(object) && object.Dominates(subject);
+  }
+  return false;
+}
+
+FlowVerdict FlowPolicy::Check(const SecurityClass& subject, const SecurityClass& object,
+                              AccessModeSet requested) const {
+  // Hot path: iterate the bitmask directly rather than materializing a
+  // vector of modes.
+  uint32_t bits = requested.bits();
+  while (bits != 0) {
+    uint32_t bit = bits & (~bits + 1);  // lowest set bit
+    bits ^= bit;
+    AccessMode mode = static_cast<AccessMode>(bit);
+    if (!ModeAllowed(subject, object, mode)) {
+      return FlowVerdict{false, mode};
+    }
+  }
+  return FlowVerdict{};
+}
+
+}  // namespace xsec

@@ -1,0 +1,91 @@
+// The label authority: the system-wide definitions of trust levels and
+// categories, plus storage for the labels attached to name-space nodes.
+//
+// The paper's §2.2 example defines three levels ("others" < "organization" <
+// "local") and four categories ("myself", "department-1", "department-2",
+// "outside"); examples/applet_orgs.cpp reproduces it verbatim.
+
+#ifndef XSEC_SRC_MAC_LABEL_AUTHORITY_H_
+#define XSEC_SRC_MAC_LABEL_AUTHORITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/mac/security_class.h"
+
+namespace xsec {
+
+class LabelAuthority {
+ public:
+  LabelAuthority();
+
+  // Defines the linearly ordered levels, ascending trust. May be called once;
+  // before it is called a single implicit level 0 exists.
+  Status DefineLevels(const std::vector<std::string>& ascending_names);
+
+  // Defines one category; returns its id (bit index).
+  StatusOr<size_t> DefineCategory(std::string_view name);
+
+  StatusOr<TrustLevel> LevelByName(std::string_view name) const;
+  StatusOr<size_t> CategoryByName(std::string_view name) const;
+  size_t level_count() const { return level_names_.size(); }
+  size_t category_count() const { return category_names_.size(); }
+
+  // Enumeration for policy serialization (ascending / id order).
+  const std::vector<std::string>& level_names() const { return level_names_; }
+  const std::vector<std::string>& category_names() const { return category_names_; }
+  // True once DefineLevels has replaced the implicit single level.
+  bool levels_defined() const { return level_names_.size() > 1 || level_names_[0] != "unclassified"; }
+
+  // Builds a class from names: MakeClass("organization", {"department-1"}).
+  StatusOr<SecurityClass> MakeClass(std::string_view level_name,
+                                    const std::vector<std::string>& category_names) const;
+
+  // Lattice extrema under the current definitions.
+  SecurityClass Bottom() const;
+  SecurityClass Top() const;
+
+  // "organization:{department-1,department-2}".
+  std::string ClassToString(const SecurityClass& cls) const;
+
+  // -- Label storage for name-space nodes -----------------------------------
+  // Nodes reference labels by opaque ref (Node::label_ref).
+  using LabelRef = uint32_t;
+  LabelRef StoreLabel(const SecurityClass& cls);
+  const SecurityClass* GetLabel(LabelRef ref) const;
+  Status ReplaceLabel(LabelRef ref, const SecurityClass& cls);
+
+  // Bumped on every label mutation; decision-cache validity.
+  uint64_t label_epoch() const { return label_epoch_; }
+
+  // -- Per-principal clearances ------------------------------------------------
+  // The paper has threads "function at the same security class as the
+  // associated principal"; the clearance is that per-principal bound. A
+  // principal with a clearance may only obtain subjects at classes the
+  // clearance dominates (SecureSystem::LoginChecked enforces this). No
+  // clearance = unrestricted. Keyed by principal id; the label authority
+  // owns all class assignments, so the binding lives here.
+  void SetClearance(uint32_t principal_id, SecurityClass clearance);
+  void ClearClearance(uint32_t principal_id);
+  // Null if no clearance is set for this principal.
+  const SecurityClass* ClearanceOf(uint32_t principal_id) const;
+  // Enumeration for policy serialization.
+  const std::unordered_map<uint32_t, SecurityClass>& clearances() const { return clearances_; }
+
+ private:
+  std::vector<std::string> level_names_;
+  std::unordered_map<std::string, TrustLevel> level_by_name_;
+  std::vector<std::string> category_names_;
+  std::unordered_map<std::string, size_t> category_by_name_;
+  std::vector<SecurityClass> labels_;
+  std::unordered_map<uint32_t, SecurityClass> clearances_;
+  uint64_t label_epoch_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MAC_LABEL_AUTHORITY_H_

@@ -1,0 +1,81 @@
+// Security classes for mandatory access control (paper §2.2).
+//
+// Following Bell-LaPadula and Denning's lattice model, a security class is
+// "the product of a linearly ordered set of levels of trust and of a subset
+// out of a set of categories (where all possible subsets are partially
+// ordered by subset inclusion)".
+//
+// The class lattice:
+//   (l1, C1) dominates (l2, C2)  iff  l1 >= l2 and C2 ⊆ C1
+//   join = (max level, union of categories)   — least upper bound
+//   meet = (min level, intersection)          — greatest lower bound
+//
+// The property tests check the lattice laws; experiment F3 measures the
+// dominance-check cost as a function of category-set width.
+
+#ifndef XSEC_SRC_MAC_SECURITY_CLASS_H_
+#define XSEC_SRC_MAC_SECURITY_CLASS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bitset.h"
+
+namespace xsec {
+
+// Index into the label authority's ordered level list; higher = more trusted.
+using TrustLevel = uint16_t;
+
+// Category sets are bitsets over category ids issued by the label authority.
+using CategorySet = DynamicBitset;
+
+class SecurityClass {
+ public:
+  SecurityClass() = default;
+  SecurityClass(TrustLevel level, CategorySet categories)
+      : level_(level), categories_(std::move(categories)) {}
+
+  TrustLevel level() const { return level_; }
+  const CategorySet& categories() const { return categories_; }
+
+  // Partial order over classes.
+  bool Dominates(const SecurityClass& other) const {
+    return level_ >= other.level_ && other.categories_.IsSubsetOf(categories_);
+  }
+  bool StrictlyDominates(const SecurityClass& other) const {
+    return Dominates(other) && !(*this == other);
+  }
+  // Neither dominates the other.
+  bool IncomparableWith(const SecurityClass& other) const {
+    return !Dominates(other) && !other.Dominates(*this);
+  }
+
+  // Lattice operations.
+  SecurityClass Join(const SecurityClass& other) const {
+    return SecurityClass(level_ > other.level_ ? level_ : other.level_,
+                         categories_.Union(other.categories_));
+  }
+  SecurityClass Meet(const SecurityClass& other) const {
+    return SecurityClass(level_ < other.level_ ? level_ : other.level_,
+                         categories_.Intersection(other.categories_));
+  }
+
+  bool operator==(const SecurityClass& other) const {
+    return level_ == other.level_ && categories_ == other.categories_;
+  }
+
+  uint64_t Hash() const {
+    return categories_.Hash() * 31 + level_;
+  }
+
+  // "(2,{0,3})" — numeric form; the label authority renders names.
+  std::string ToString() const;
+
+ private:
+  TrustLevel level_ = 0;
+  CategorySet categories_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MAC_SECURITY_CLASS_H_

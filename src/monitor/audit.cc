@@ -1,0 +1,77 @@
+#include "src/monitor/audit.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+std::string_view DenyReasonName(DenyReason reason) {
+  switch (reason) {
+    case DenyReason::kNone:
+      return "none";
+    case DenyReason::kNotFound:
+      return "not-found";
+    case DenyReason::kTraversal:
+      return "traversal";
+    case DenyReason::kDacExplicitDeny:
+      return "dac-explicit-deny";
+    case DenyReason::kDacNoGrant:
+      return "dac-no-grant";
+    case DenyReason::kMacFlow:
+      return "mac-flow";
+    case DenyReason::kNotAuthorized:
+      return "not-authorized";
+  }
+  return "unknown";
+}
+
+std::string AuditRecord::ToString() const {
+  return StrFormat("#%llu p%u/t%llu %s %s -> %s%s%s",
+                   static_cast<unsigned long long>(sequence), principal.value,
+                   static_cast<unsigned long long>(thread_id), path.c_str(),
+                   modes.ToString().c_str(), allowed ? "ALLOW" : "DENY",
+                   allowed ? "" : StrFormat(" (%s)", std::string(DenyReasonName(reason)).c_str())
+                                      .c_str(),
+                   detail.empty() ? "" : StrFormat(" [%s]", detail.c_str()).c_str());
+}
+
+void AuditLog::Record(AuditRecord record) {
+  ++total_checks_;
+  if (!record.allowed) {
+    ++total_denials_;
+  }
+  bool retain = policy_ == AuditPolicy::kAll ||
+                (policy_ == AuditPolicy::kDenialsOnly && !record.allowed);
+  if (!retain) {
+    return;
+  }
+  record.sequence = next_sequence_++;
+  if (sink_) {
+    sink_(record);
+  }
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<AuditRecord> AuditLog::Query(
+    const std::function<bool(const AuditRecord&)>& pred) const {
+  std::vector<AuditRecord> out;
+  for (const AuditRecord& r : records_) {
+    if (pred(r)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void AuditLog::Clear() {
+  records_.clear();
+  next_sequence_ = 0;
+  total_checks_ = 0;
+  total_denials_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace xsec

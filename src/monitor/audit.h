@@ -1,0 +1,107 @@
+// The audit log. The paper lists "auditing of security relevant system
+// events" among the concerns a complete security model must address (§1);
+// here every access decision can be recorded, under a configurable policy.
+// Experiment F7 measures the cost of each policy.
+
+#ifndef XSEC_SRC_MONITOR_AUDIT_H_
+#define XSEC_SRC_MONITOR_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dac/access_mode.h"
+#include "src/naming/namespace.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+enum class AuditPolicy : uint8_t {
+  kOff = 0,
+  kDenialsOnly,
+  kAll,
+};
+
+enum class DenyReason : uint8_t {
+  kNone = 0,          // allowed
+  kNotFound,          // target (or an ancestor) does not exist
+  kTraversal,         // denied while resolving an ancestor
+  kDacExplicitDeny,   // a negative ACL entry matched
+  kDacNoGrant,        // no positive ACL entry covered the request
+  kMacFlow,           // the lattice flow rules forbid the access
+  kNotAuthorized,     // administrative operation without administrate rights
+};
+
+std::string_view DenyReasonName(DenyReason reason);
+
+struct AuditRecord {
+  uint64_t sequence = 0;
+  PrincipalId principal;
+  uint64_t thread_id = 0;
+  NodeId node;
+  std::string path;          // resolved path, or the requested one on kNotFound
+  AccessModeSet modes;
+  bool allowed = false;
+  DenyReason reason = DenyReason::kNone;
+  std::string detail;        // human-readable explanation
+
+  std::string ToString() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void set_policy(AuditPolicy policy) { policy_ = policy; }
+  AuditPolicy policy() const { return policy_; }
+
+  // Records a decision if the policy asks for it. Counters are maintained
+  // regardless of policy.
+  void Record(AuditRecord record);
+
+  // True iff the current policy would retain a record with this outcome.
+  // Callers use this to skip building record text (path strings) that would
+  // be thrown away; if it returns false they call Count() instead.
+  bool WouldRetain(bool allowed) const {
+    return policy_ == AuditPolicy::kAll || (policy_ == AuditPolicy::kDenialsOnly && !allowed);
+  }
+
+  // Maintains counters without retaining a record.
+  void Count(bool allowed) {
+    ++total_checks_;
+    if (!allowed) {
+      ++total_denials_;
+    }
+  }
+
+  // Optional sink invoked for every retained record (e.g. a test collector).
+  void set_sink(std::function<void(const AuditRecord&)> sink) { sink_ = std::move(sink); }
+
+  // Retained records, oldest first.
+  const std::deque<AuditRecord>& records() const { return records_; }
+
+  // Records matching a predicate.
+  std::vector<AuditRecord> Query(const std::function<bool(const AuditRecord&)>& pred) const;
+
+  uint64_t total_checks() const { return total_checks_; }
+  uint64_t total_denials() const { return total_denials_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  AuditPolicy policy_ = AuditPolicy::kDenialsOnly;
+  std::deque<AuditRecord> records_;
+  std::function<void(const AuditRecord&)> sink_;
+  uint64_t next_sequence_ = 0;
+  uint64_t total_checks_ = 0;
+  uint64_t total_denials_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_AUDIT_H_

@@ -1,0 +1,67 @@
+#include "src/monitor/decision_cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace xsec {
+
+DecisionCache::DecisionCache(size_t slot_count_pow2) {
+  assert(slot_count_pow2 > 0 && std::has_single_bit(slot_count_pow2));
+  slots_.resize(slot_count_pow2);
+  mask_ = slot_count_pow2 - 1;
+}
+
+uint64_t DecisionCache::KeyHash(const Subject& subject, NodeId node, AccessModeSet modes) {
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(subject.principal.value);
+  mix(node.value);
+  mix(modes.bits());
+  mix(subject.security_class.Hash());
+  return h;
+}
+
+bool DecisionCache::Lookup(const Subject& subject, NodeId node, AccessModeSet modes,
+                           const CacheStamps& current, CachedDecision* out) {
+  uint64_t hash = KeyHash(subject, node, modes);
+  Slot& slot = slots_[hash & mask_];
+  if (!slot.occupied || slot.key_hash != hash || slot.principal != subject.principal.value ||
+      slot.node != node.value || slot.modes != modes.bits() ||
+      slot.class_hash != subject.security_class.Hash()) {
+    ++misses_;
+    return false;
+  }
+  if (!(slot.stamps == current)) {
+    ++stale_hits_;
+    slot.occupied = false;
+    return false;
+  }
+  ++hits_;
+  *out = slot.decision;
+  return true;
+}
+
+void DecisionCache::Insert(const Subject& subject, NodeId node, AccessModeSet modes,
+                           const CacheStamps& current, CachedDecision decision) {
+  uint64_t hash = KeyHash(subject, node, modes);
+  Slot& slot = slots_[hash & mask_];
+  slot.occupied = true;
+  slot.key_hash = hash;
+  slot.principal = subject.principal.value;
+  slot.node = node.value;
+  slot.modes = modes.bits();
+  slot.class_hash = subject.security_class.Hash();
+  slot.stamps = current;
+  slot.decision = decision;
+}
+
+void DecisionCache::Clear() {
+  for (Slot& slot : slots_) {
+    slot.occupied = false;
+  }
+}
+
+}  // namespace xsec

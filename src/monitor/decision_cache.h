@@ -1,0 +1,81 @@
+// A decision cache for the reference monitor.
+//
+// Keyed by (principal, node, requested modes, subject class); an entry also
+// snapshots four validity stamps — name-space generation, ACL-store
+// generation, membership epoch, label epoch. Any policy-relevant mutation
+// anywhere bumps one of the stamps and thereby invalidates every cached
+// decision. Coarse, but sound, and the common workload (many checks between
+// rare policy changes) is exactly what experiment F8 measures.
+//
+// The table is direct-mapped (power-of-two slots, overwrite on collision):
+// lookups stay O(1) with no allocation on the hot path.
+
+#ifndef XSEC_SRC_MONITOR_DECISION_CACHE_H_
+#define XSEC_SRC_MONITOR_DECISION_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dac/access_mode.h"
+#include "src/monitor/audit.h"
+#include "src/monitor/subject.h"
+#include "src/naming/namespace.h"
+
+namespace xsec {
+
+struct CacheStamps {
+  uint64_t namespace_generation = 0;
+  uint64_t acl_generation = 0;
+  uint64_t membership_epoch = 0;
+  uint64_t label_epoch = 0;
+
+  bool operator==(const CacheStamps&) const = default;
+};
+
+class DecisionCache {
+ public:
+  explicit DecisionCache(size_t slot_count_pow2 = 8192);
+
+  struct CachedDecision {
+    bool allowed = false;
+    DenyReason reason = DenyReason::kNone;
+  };
+
+  // Probes the cache; returns true and fills `out` on a valid hit.
+  bool Lookup(const Subject& subject, NodeId node, AccessModeSet modes,
+              const CacheStamps& current, CachedDecision* out);
+
+  void Insert(const Subject& subject, NodeId node, AccessModeSet modes,
+              const CacheStamps& current, CachedDecision decision);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t stale_hits() const { return stale_hits_; }
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    uint64_t key_hash = 0;
+    uint32_t principal = 0;
+    uint32_t node = 0;
+    uint32_t modes = 0;
+    uint64_t class_hash = 0;
+    CacheStamps stamps;
+    CachedDecision decision;
+  };
+
+  static uint64_t KeyHash(const Subject& subject, NodeId node, AccessModeSet modes);
+
+  std::vector<Slot> slots_;
+  uint64_t mask_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t stale_hits_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_DECISION_CACHE_H_

@@ -1,0 +1,397 @@
+#include "src/monitor/reference_monitor.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+Status Decision::ToStatus() const {
+  if (allowed) {
+    return OkStatus();
+  }
+  if (reason == DenyReason::kNotFound) {
+    return NotFoundError(detail);
+  }
+  return PermissionDeniedError(detail);
+}
+
+ReferenceMonitor::ReferenceMonitor(NameSpace* name_space, AclStore* acls,
+                                   PrincipalRegistry* principals, LabelAuthority* labels,
+                                   MonitorOptions options)
+    : name_space_(name_space),
+      acls_(acls),
+      principals_(principals),
+      labels_(labels),
+      options_(options),
+      flow_(options.flow),
+      audit_(options.audit_capacity),
+      cache_(options.cache_slots) {
+  audit_.set_policy(options.audit_policy);
+  // Every node must resolve to *some* label; the root carries ⊥ so an
+  // unlabeled tree degenerates to "MAC imposes no constraint among ⊥
+  // subjects" rather than to undefined behavior.
+  if (name_space_->Get(name_space_->root())->label_ref == kNoRef) {
+    (void)name_space_->SetLabelRef(name_space_->root(), labels_->StoreLabel(labels_->Bottom()));
+  }
+}
+
+CacheStamps ReferenceMonitor::CurrentStamps() const {
+  return CacheStamps{name_space_->global_generation(), acls_->store_generation(),
+                     principals_->membership_epoch(), labels_->label_epoch()};
+}
+
+const Acl* ReferenceMonitor::EffectiveAcl(NodeId node, AclStore::AclRef* ref_out) const {
+  const Node* n = name_space_->Get(node);
+  while (n != nullptr) {
+    if (n->acl_ref != kNoRef) {
+      if (ref_out != nullptr) {
+        *ref_out = n->acl_ref;
+      }
+      return acls_->Get(n->acl_ref);
+    }
+    if (n->id == name_space_->root()) {
+      break;
+    }
+    n = name_space_->Get(n->parent);
+  }
+  if (ref_out != nullptr) {
+    *ref_out = kNoRef;
+  }
+  return nullptr;
+}
+
+const SecurityClass& ReferenceMonitor::EffectiveLabel(NodeId node) const {
+  const Node* n = name_space_->Get(node);
+  while (n != nullptr) {
+    if (n->label_ref != kNoRef) {
+      return *labels_->GetLabel(n->label_ref);
+    }
+    if (n->id == name_space_->root()) {
+      break;
+    }
+    n = name_space_->Get(n->parent);
+  }
+  // Unreachable for live nodes: the constructor labels the root.
+  return *labels_->GetLabel(name_space_->Get(name_space_->root())->label_ref);
+}
+
+Decision ReferenceMonitor::CheckUncached(const Subject& subject, NodeId node,
+                                         AccessModeSet modes) {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return Decision{false, DenyReason::kNotFound, "node does not exist"};
+  }
+
+  if (options_.dac_enabled) {
+    AccessModeSet dac_modes = modes;
+    // Bootstrap rule: the owner always holds administrate, so a fresh node
+    // (which inherits its ACL) can be given one by its creator.
+    if (subject.principal == n->owner) {
+      dac_modes = dac_modes - AccessModeSet(AccessMode::kAdministrate);
+    }
+    if (!dac_modes.empty()) {
+      const Acl* acl = EffectiveAcl(node);
+      if (acl == nullptr) {
+        return Decision{false, DenyReason::kDacNoGrant, "no ACL grants this access"};
+      }
+      const DynamicBitset& closure = principals_->MembershipClosure(subject.principal);
+      AclVerdict verdict = acl->Evaluate(closure, dac_modes);
+      if (verdict == AclVerdict::kDeniedByEntry) {
+        return Decision{false, DenyReason::kDacExplicitDeny, "matched a negative ACL entry"};
+      }
+      if (verdict == AclVerdict::kNoMatchingGrant) {
+        return Decision{false, DenyReason::kDacNoGrant, "no ACL entry grants this access"};
+      }
+    }
+  }
+
+  if (options_.mac_enabled) {
+    const SecurityClass& label = EffectiveLabel(node);
+    FlowVerdict verdict = flow_.Check(subject.security_class, label, modes);
+    if (!verdict.allowed) {
+      return Decision{false, DenyReason::kMacFlow,
+                      StrFormat("%s of %s by subject at %s violates information flow",
+                                std::string(AccessModeName(*verdict.violating_mode)).c_str(),
+                                labels_->ClassToString(label).c_str(),
+                                labels_->ClassToString(subject.security_class).c_str())};
+    }
+  }
+
+  return Decision{true, DenyReason::kNone, ""};
+}
+
+void ReferenceMonitor::Audit(const Subject& subject, NodeId node, std::string path,
+                             AccessModeSet modes, const Decision& decision) {
+  if (!audit_.WouldRetain(decision.allowed)) {
+    audit_.Count(decision.allowed);
+    return;
+  }
+  AuditRecord record;
+  record.principal = subject.principal;
+  record.thread_id = subject.thread_id;
+  record.node = node;
+  record.path = path.empty() ? name_space_->PathOf(node) : std::move(path);
+  record.modes = modes;
+  record.allowed = decision.allowed;
+  record.reason = decision.reason;
+  record.detail = decision.detail;
+  audit_.Record(std::move(record));
+}
+
+Decision ReferenceMonitor::Check(const Subject& subject, NodeId node, AccessModeSet modes) {
+  if (options_.cache_enabled) {
+    CacheStamps stamps = CurrentStamps();
+    DecisionCache::CachedDecision cached;
+    if (cache_.Lookup(subject, node, modes, stamps, &cached)) {
+      Decision decision{cached.allowed, cached.reason, ""};
+      Audit(subject, node, "", modes, decision);
+      return decision;
+    }
+    Decision decision = CheckUncached(subject, node, modes);
+    cache_.Insert(subject, node, modes, stamps,
+                  DecisionCache::CachedDecision{decision.allowed, decision.reason});
+    Audit(subject, node, "", modes, decision);
+    return decision;
+  }
+  Decision decision = CheckUncached(subject, node, modes);
+  Audit(subject, node, "", modes, decision);
+  return decision;
+}
+
+Decision ReferenceMonitor::CheckFloating(Subject* subject, NodeId node, AccessModeSet modes) {
+  Decision decision = Check(*subject, node, modes);
+  if (decision.allowed && options_.mac_enabled &&
+      modes.Intersects(AccessMode::kRead | AccessMode::kList | AccessMode::kExecute)) {
+    subject->security_class = subject->security_class.Join(EffectiveLabel(node));
+  }
+  return decision;
+}
+
+Decision ReferenceMonitor::CheckPath(const Subject& subject, std::string_view path,
+                                     AccessModeSet modes, NodeId* resolved) {
+  auto components = ParsePath(path);
+  if (!components.ok()) {
+    Decision decision{false, DenyReason::kNotFound, components.status().message()};
+    Audit(subject, NodeId{}, std::string(path), modes, decision);
+    return decision;
+  }
+  NodeId cur = name_space_->root();
+  for (const std::string& component : *components) {
+    if (options_.check_traversal) {
+      Decision step = Check(subject, cur, AccessMode::kList);
+      if (!step.allowed) {
+        Decision decision{false, DenyReason::kTraversal,
+                          StrFormat("denied while resolving '%s': %s",
+                                    name_space_->PathOf(cur).c_str(), step.detail.c_str())};
+        Audit(subject, cur, std::string(path), modes, decision);
+        return decision;
+      }
+    }
+    auto child = name_space_->Child(cur, component);
+    if (!child.ok()) {
+      Decision decision{false, DenyReason::kNotFound, child.status().message()};
+      Audit(subject, cur, std::string(path), modes, decision);
+      return decision;
+    }
+    cur = *child;
+  }
+  if (resolved != nullptr) {
+    *resolved = cur;
+  }
+  return Check(subject, cur, modes);
+}
+
+std::string ReferenceMonitor::Explain(const Subject& subject, NodeId node,
+                                      AccessModeSet modes) const {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return "node does not exist\n";
+  }
+  std::string out;
+  const Principal* who = principals_->Get(subject.principal);
+  out += StrFormat("subject : %s at %s\n", who != nullptr ? who->name.c_str() : "?",
+                   labels_->ClassToString(subject.security_class).c_str());
+  const Principal* owner = principals_->Get(n->owner);
+  out += StrFormat("object  : %s (%s, owner %s)\n", name_space_->PathOf(node).c_str(),
+                   std::string(NodeKindName(n->kind)).c_str(),
+                   owner != nullptr ? owner->name.c_str() : "?");
+  out += StrFormat("request : %s\n", modes.ToString().c_str());
+
+  if (!options_.dac_enabled) {
+    out += "DAC     : disabled\n";
+  } else {
+    if (subject.principal == n->owner) {
+      out += "DAC     : subject owns the object (administrate implicit)\n";
+    }
+    // Find the governing ACL and say where it came from.
+    const Node* cursor = n;
+    while (cursor->acl_ref == kNoRef && cursor->id != name_space_->root()) {
+      cursor = name_space_->Get(cursor->parent);
+    }
+    if (cursor->acl_ref == kNoRef) {
+      out += "DAC     : no ACL anywhere up the tree -> everything denied\n";
+    } else {
+      const Acl* acl = acls_->Get(cursor->acl_ref);
+      out += StrFormat("DAC     : governed by the ACL on %s%s\n",
+                       name_space_->PathOf(cursor->id).c_str(),
+                       cursor->id == node ? "" : " (inherited)");
+      const DynamicBitset& closure = principals_->MembershipClosure(subject.principal);
+      AccessModeSet allowed, denied;
+      for (const AclEntry& entry : acl->entries()) {
+        bool matches = closure.Test(entry.who.value);
+        const Principal* p = principals_->Get(entry.who);
+        out += StrFormat("          %s %s %s%s\n",
+                         entry.type == AclEntryType::kAllow ? "allow" : "deny ",
+                         p != nullptr ? p->name.c_str() : "?",
+                         entry.modes.ToString().c_str(),
+                         matches ? "   <- matches this subject" : "");
+        if (matches) {
+          (entry.type == AclEntryType::kAllow ? allowed : denied) |= entry.modes;
+        }
+      }
+      AccessModeSet effective = allowed - denied;
+      out += StrFormat("          effective modes: %s -> %s\n", effective.ToString().c_str(),
+                       effective.ContainsAll(modes) ? "granted" : "NOT granted");
+    }
+  }
+
+  if (!options_.mac_enabled) {
+    out += "MAC     : disabled\n";
+  } else {
+    const SecurityClass& label = EffectiveLabel(node);
+    out += StrFormat("MAC     : object label %s\n", labels_->ClassToString(label).c_str());
+    FlowVerdict verdict = flow_.Check(subject.security_class, label, modes);
+    if (verdict.allowed) {
+      out += "          flow rules satisfied\n";
+    } else {
+      out += StrFormat("          %s violates flow (%s)\n",
+                       std::string(AccessModeName(*verdict.violating_mode)).c_str(),
+                       subject.security_class.Dominates(label)
+                           ? "object must dominate subject for this mode"
+                           : "subject does not dominate the object's label");
+    }
+  }
+  return out;
+}
+
+bool ReferenceMonitor::HasAdministrate(const Subject& subject, NodeId node) const {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return false;
+  }
+  if (subject.principal == n->owner) {
+    return true;
+  }
+  // A const-cast-free re-check without caching/auditing: administration is
+  // rare, so the plain path is fine.
+  ReferenceMonitor* self = const_cast<ReferenceMonitor*>(this);
+  return self->CheckUncached(subject, node, AccessMode::kAdministrate).allowed;
+}
+
+Status ReferenceMonitor::SetNodeAcl(const Subject& subject, NodeId node, Acl acl) {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  if (!HasAdministrate(subject, node)) {
+    Audit(subject, node, "", AccessMode::kAdministrate,
+          Decision{false, DenyReason::kNotAuthorized, "set-acl without administrate"});
+    return PermissionDeniedError(
+        StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
+  }
+  if (n->acl_ref == kNoRef) {
+    AclStore::AclRef ref = acls_->Create(std::move(acl));
+    return name_space_->SetAclRef(node, ref);
+  }
+  return acls_->Replace(n->acl_ref, std::move(acl));
+}
+
+Status ReferenceMonitor::AddAclEntry(const Subject& subject, NodeId node, const AclEntry& entry) {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  if (!HasAdministrate(subject, node)) {
+    Audit(subject, node, "", AccessMode::kAdministrate,
+          Decision{false, DenyReason::kNotAuthorized, "add-acl-entry without administrate"});
+    return PermissionDeniedError(
+        StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
+  }
+  if (n->acl_ref == kNoRef) {
+    // Copy-down: start the node's own ACL from its effective (inherited) one
+    // so adding an entry refines rather than replaces the inherited policy.
+    Acl base;
+    if (const Acl* inherited = EffectiveAcl(node); inherited != nullptr) {
+      base = *inherited;
+    }
+    base.AddEntry(entry);
+    AclStore::AclRef ref = acls_->Create(std::move(base));
+    return name_space_->SetAclRef(node, ref);
+  }
+  return acls_->AddEntry(n->acl_ref, entry);
+}
+
+Status ReferenceMonitor::RemoveAclEntriesFor(const Subject& subject, NodeId node,
+                                             PrincipalId who) {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  if (!HasAdministrate(subject, node)) {
+    Audit(subject, node, "", AccessMode::kAdministrate,
+          Decision{false, DenyReason::kNotAuthorized, "remove-acl-entries without administrate"});
+    return PermissionDeniedError(
+        StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
+  }
+  if (n->acl_ref == kNoRef) {
+    return OkStatus();  // only an inherited ACL; nothing of this node's to edit
+  }
+  return acls_->RemoveEntriesFor(n->acl_ref, who);
+}
+
+Status ReferenceMonitor::SetNodeLabel(const Subject& subject, NodeId node,
+                                      const SecurityClass& label) {
+  const Node* n = name_space_->Get(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  bool officer = security_officer_.valid() && subject.principal == security_officer_;
+  if (!officer) {
+    if (!HasAdministrate(subject, node)) {
+      Audit(subject, node, "", AccessMode::kAdministrate,
+            Decision{false, DenyReason::kNotAuthorized, "set-label without administrate"});
+      return PermissionDeniedError(
+          StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
+    }
+    if (options_.mac_enabled) {
+      const SecurityClass& current = EffectiveLabel(node);
+      bool sees_current = subject.security_class.Dominates(current);
+      bool assigns_own_class = label == subject.security_class;
+      if (!sees_current || !assigns_own_class) {
+        Audit(subject, node, "", AccessMode::kAdministrate,
+              Decision{false, DenyReason::kMacFlow, "relabel violates information flow"});
+        return PermissionDeniedError("relabel violates information flow");
+      }
+    }
+  }
+  if (n->label_ref == kNoRef) {
+    LabelAuthority::LabelRef ref = labels_->StoreLabel(label);
+    return name_space_->SetLabelRef(node, ref);
+  }
+  return labels_->ReplaceLabel(n->label_ref, label);
+}
+
+Status ReferenceMonitor::SetOwner(const Subject& subject, NodeId node, PrincipalId new_owner) {
+  if (name_space_->Get(node) == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  if (!HasAdministrate(subject, node)) {
+    return PermissionDeniedError(
+        StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
+  }
+  if (principals_->Get(new_owner) == nullptr) {
+    return NotFoundError("new owner does not exist");
+  }
+  return name_space_->SetOwner(node, new_owner);
+}
+
+}  // namespace xsec

@@ -1,0 +1,164 @@
+// The reference monitor: the paper's "central facility to provide naming and
+// protection services for the entire system" (§3).
+//
+// Every access in xsec — calling a procedure, extending an interface, reading
+// a file, listing a directory, killing a thread — funnels through
+// ReferenceMonitor::Check. The decision procedure is:
+//
+//   1. resolve the name (optionally checking `list` on every ancestor, so
+//      visibility of each level of the hierarchy is itself protected, §2.3);
+//   2. DAC: evaluate the node's *effective ACL* (its own, or the nearest
+//      ancestor's — ACL inheritance gives AFS-style directory defaults while
+//      still allowing per-leaf ACLs, which AFS cannot do, §1.2);
+//   3. MAC: check the flow rules between the subject's security class and the
+//      node's *effective label* (own or nearest ancestor's; the root is
+//      labeled ⊥ at construction so every node has a label). MAC is checked
+//      even when DAC granted: "users can not circumvent the basic security of
+//      the system by exercising discretionary access control" (§2.2);
+//   4. record the decision in the audit log.
+//
+// Decisions are cached (src/monitor/decision_cache.h); any policy mutation
+// invalidates the cache via generation stamps.
+
+#ifndef XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
+#define XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/dac/acl.h"
+#include "src/mac/flow_policy.h"
+#include "src/mac/label_authority.h"
+#include "src/monitor/audit.h"
+#include "src/monitor/decision_cache.h"
+#include "src/monitor/subject.h"
+#include "src/naming/namespace.h"
+#include "src/principal/registry.h"
+
+namespace xsec {
+
+struct Decision {
+  bool allowed = false;
+  DenyReason reason = DenyReason::kNone;
+  std::string detail;
+
+  // Converts to a Status for callers that propagate errors.
+  Status ToStatus() const;
+};
+
+struct MonitorOptions {
+  bool dac_enabled = true;
+  bool mac_enabled = true;
+  // Check `list` on every ancestor during resolution.
+  bool check_traversal = true;
+  bool cache_enabled = true;
+  FlowPolicyOptions flow;
+  AuditPolicy audit_policy = AuditPolicy::kDenialsOnly;
+  size_t cache_slots = 8192;
+  size_t audit_capacity = 4096;
+};
+
+class ReferenceMonitor {
+ public:
+  // The monitor borrows all four stores; they must outlive it.
+  ReferenceMonitor(NameSpace* name_space, AclStore* acls, PrincipalRegistry* principals,
+                   LabelAuthority* labels, MonitorOptions options = {});
+
+  // -- Access checks ---------------------------------------------------------
+
+  // Checks `modes` on an already-resolved node (no traversal checks).
+  Decision Check(const Subject& subject, NodeId node, AccessModeSet modes);
+
+  // Resolves `path` and checks; on success *resolved (if non-null) is set.
+  Decision CheckPath(const Subject& subject, std::string_view path, AccessModeSet modes,
+                     NodeId* resolved = nullptr);
+
+  // High-water-mark variant (Denning's floating labels): like Check, but on
+  // a successful access containing an observation mode (read/list/execute),
+  // the subject's class is raised to the join of its current class and the
+  // object's label. The subject thereafter carries everything it has seen:
+  // a later write to a lower object is denied by the ordinary ⋆-property, so
+  // even *sequences* of individually legal accesses cannot relay data
+  // downward through a subject. The paper's model uses fixed per-principal
+  // classes; this is the natural extension its lattice supports.
+  Decision CheckFloating(Subject* subject, NodeId node, AccessModeSet modes);
+
+  // -- Policy administration -------------------------------------------------
+  // All three require the subject to hold `administrate` on the node. The
+  // node's owner implicitly holds administrate (the bootstrap rule: a fresh
+  // node has no ACL of its own and someone must be able to give it one).
+
+  Status SetNodeAcl(const Subject& subject, NodeId node, Acl acl);
+  Status AddAclEntry(const Subject& subject, NodeId node, const AclEntry& entry);
+  // Removes every entry (both polarities) naming `who` from the node's own
+  // ACL. A no-op if the node only inherits an ACL.
+  Status RemoveAclEntriesFor(const Subject& subject, NodeId node, PrincipalId who);
+
+  // Non-officer relabeling additionally requires, under MAC, that the
+  // subject dominates the node's current label (it must be cleared to see
+  // what it relabels) and that the new label equal the subject's own class —
+  // a subject classifies objects at exactly its level, so labels can be
+  // bootstrapped upward from ⊥ but never laundered up or down past the
+  // subject. The registered security officer bypasses the MAC conditions
+  // (a trusted subject in the Bell-LaPadula sense).
+  Status SetNodeLabel(const Subject& subject, NodeId node, const SecurityClass& label);
+
+  Status SetOwner(const Subject& subject, NodeId node, PrincipalId new_owner);
+
+  // The security officer may relabel arbitrarily (trusted subject in the
+  // Bell-LaPadula sense). Unset by default.
+  void set_security_officer(PrincipalId officer) { security_officer_ = officer; }
+  PrincipalId security_officer() const { return security_officer_; }
+
+  // -- Effective policy resolution (own or inherited) ------------------------
+
+  // The ACL governing a node: its own, else the nearest ancestor's, else null
+  // (no ACL anywhere => DAC denies everything except the owner's administrate).
+  const Acl* EffectiveAcl(NodeId node, AclStore::AclRef* ref_out = nullptr) const;
+
+  // The label governing a node. The root always has one (⊥ by default).
+  const SecurityClass& EffectiveLabel(NodeId node) const;
+
+  // True iff the subject holds administrate on the node (ACL grant or owner).
+  bool HasAdministrate(const Subject& subject, NodeId node) const;
+
+  // -- Introspection ---------------------------------------------------------
+
+  // A human-readable, multi-line diagnosis of why `subject` can or cannot
+  // perform `modes` on `node`: ownership, the governing ACL (and where it
+  // was inherited from), which entries matched, and the label comparison.
+  // Purely informational — performs no caching and no auditing.
+  std::string Explain(const Subject& subject, NodeId node, AccessModeSet modes) const;
+
+  AuditLog& audit() { return audit_; }
+  const AuditLog& audit() const { return audit_; }
+  DecisionCache& cache() { return cache_; }
+  const MonitorOptions& options() const { return options_; }
+  void set_audit_policy(AuditPolicy policy) { audit_.set_policy(policy); }
+
+  NameSpace& name_space() { return *name_space_; }
+  AclStore& acls() { return *acls_; }
+  PrincipalRegistry& principals() { return *principals_; }
+  LabelAuthority& labels() { return *labels_; }
+
+ private:
+  Decision CheckUncached(const Subject& subject, NodeId node, AccessModeSet modes);
+  CacheStamps CurrentStamps() const;
+  void Audit(const Subject& subject, NodeId node, std::string path, AccessModeSet modes,
+             const Decision& decision);
+
+  NameSpace* name_space_;
+  AclStore* acls_;
+  PrincipalRegistry* principals_;
+  LabelAuthority* labels_;
+  MonitorOptions options_;
+  FlowPolicy flow_;
+  AuditLog audit_;
+  DecisionCache cache_;
+  PrincipalId security_officer_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_

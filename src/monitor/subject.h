@@ -1,0 +1,29 @@
+// A subject: the active entity access decisions are made about.
+//
+// Paper §2.2: "threads of control serve as subjects and function at the same
+// security class as the associated principal. The security class is passed on
+// when another system service is invoked." A Subject therefore carries a
+// principal (for DAC) and a current security class (for MAC); the extensible
+// system substrate (src/extsys/) propagates the class across invocations.
+
+#ifndef XSEC_SRC_MONITOR_SUBJECT_H_
+#define XSEC_SRC_MONITOR_SUBJECT_H_
+
+#include <cstdint>
+
+#include "src/mac/security_class.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+struct Subject {
+  PrincipalId principal;
+  SecurityClass security_class;
+
+  // Distinguishes concurrent threads of the same principal in audit records.
+  uint64_t thread_id = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_SUBJECT_H_

@@ -1,0 +1,236 @@
+#include "src/naming/namespace.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDirectory:
+      return "directory";
+    case NodeKind::kService:
+      return "service";
+    case NodeKind::kInterface:
+      return "interface";
+    case NodeKind::kObject:
+      return "object";
+    case NodeKind::kProcedure:
+      return "procedure";
+    case NodeKind::kFile:
+      return "file";
+  }
+  return "unknown";
+}
+
+bool KindAllowsChildren(NodeKind kind) {
+  return kind != NodeKind::kProcedure && kind != NodeKind::kFile;
+}
+
+NameSpace::NameSpace() {
+  Node root;
+  root.id = NodeId{0};
+  root.parent = NodeId{0};
+  root.kind = NodeKind::kDirectory;
+  root.name = "";
+  nodes_.push_back(std::move(root));
+}
+
+Node* NameSpace::GetMutable(NodeId id) {
+  if (id.value >= nodes_.size() || !nodes_[id.value].alive) {
+    return nullptr;
+  }
+  return &nodes_[id.value];
+}
+
+const Node* NameSpace::Get(NodeId id) const {
+  if (id.value >= nodes_.size() || !nodes_[id.value].alive) {
+    return nullptr;
+  }
+  return &nodes_[id.value];
+}
+
+void NameSpace::Touch(Node& node) {
+  ++node.generation;
+  ++global_generation_;
+}
+
+StatusOr<NodeId> NameSpace::Bind(NodeId parent, std::string_view name, NodeKind kind,
+                                 PrincipalId owner) {
+  Node* p = GetMutable(parent);
+  if (p == nullptr) {
+    return NotFoundError("parent node does not exist");
+  }
+  if (!KindAllowsChildren(p->kind)) {
+    return FailedPreconditionError(
+        StrFormat("node '%s' is a %s and cannot have children", PathOf(parent).c_str(),
+                  std::string(NodeKindName(p->kind)).c_str()));
+  }
+  if (!IsValidComponent(name)) {
+    return InvalidArgumentError(StrFormat("invalid name '%s'", std::string(name).c_str()));
+  }
+  if (p->children.find(name) != p->children.end()) {
+    return AlreadyExistsError(
+        StrFormat("'%s' already exists under '%s'", std::string(name).c_str(),
+                  PathOf(parent).c_str()));
+  }
+  NodeId id{static_cast<uint32_t>(nodes_.size())};
+  Node child;
+  child.id = id;
+  child.parent = parent;
+  child.kind = kind;
+  child.name = std::string(name);
+  child.owner = owner;
+  nodes_.push_back(std::move(child));
+  // Vector may have reallocated; re-fetch the parent.
+  Node& pp = nodes_[parent.value];
+  pp.children.emplace(std::string(name), id);
+  Touch(pp);
+  return id;
+}
+
+StatusOr<NodeId> NameSpace::BindPath(std::string_view path, NodeKind kind, PrincipalId owner) {
+  auto components = ParsePath(path);
+  if (!components.ok()) {
+    return components.status();
+  }
+  if (components->empty()) {
+    return InvalidArgumentError("cannot bind the root");
+  }
+  NodeId cur = root();
+  for (size_t i = 0; i + 1 < components->size(); ++i) {
+    auto child = Child(cur, (*components)[i]);
+    if (child.ok()) {
+      cur = *child;
+      continue;
+    }
+    auto made = Bind(cur, (*components)[i], NodeKind::kDirectory, owner);
+    if (!made.ok()) {
+      return made.status();
+    }
+    cur = *made;
+  }
+  return Bind(cur, components->back(), kind, owner);
+}
+
+Status NameSpace::Unbind(NodeId node) {
+  Node* n = GetMutable(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  if (node == root()) {
+    return FailedPreconditionError("cannot unbind the root");
+  }
+  if (!n->children.empty()) {
+    return FailedPreconditionError(
+        StrFormat("'%s' still has %zu children", PathOf(node).c_str(), n->children.size()));
+  }
+  Node& parent = nodes_[n->parent.value];
+  parent.children.erase(n->name);
+  n->alive = false;
+  Touch(parent);
+  Touch(*n);
+  return OkStatus();
+}
+
+StatusOr<NodeId> NameSpace::Child(NodeId parent, std::string_view name) const {
+  const Node* p = Get(parent);
+  if (p == nullptr) {
+    return NotFoundError("parent node does not exist");
+  }
+  auto it = p->children.find(name);
+  if (it == p->children.end()) {
+    return NotFoundError(StrFormat("'%s' has no child '%s'", PathOf(parent).c_str(),
+                                   std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+StatusOr<NodeId> NameSpace::Lookup(std::string_view path) const {
+  return LookupWithAncestors(path, nullptr);
+}
+
+StatusOr<NodeId> NameSpace::LookupWithAncestors(std::string_view path,
+                                                std::vector<NodeId>* ancestors) const {
+  auto components = ParsePath(path);
+  if (!components.ok()) {
+    return components.status();
+  }
+  NodeId cur = root();
+  for (const std::string& component : *components) {
+    if (ancestors != nullptr) {
+      ancestors->push_back(cur);
+    }
+    auto next = Child(cur, component);
+    if (!next.ok()) {
+      return next.status();
+    }
+    cur = *next;
+  }
+  return cur;
+}
+
+StatusOr<std::vector<NodeId>> NameSpace::List(NodeId node) const {
+  const Node* n = Get(node);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  std::vector<NodeId> out;
+  out.reserve(n->children.size());
+  for (const auto& [name, id] : n->children) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::string NameSpace::PathOf(NodeId id) const {
+  const Node* n = Get(id);
+  if (n == nullptr) {
+    return "<dead>";
+  }
+  if (id == root()) {
+    return "/";
+  }
+  std::vector<const Node*> chain;
+  while (n->id != root()) {
+    chain.push_back(n);
+    n = &nodes_[n->parent.value];
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    out += '/';
+    out += (*it)->name;
+  }
+  return out;
+}
+
+Status NameSpace::SetAclRef(NodeId id, uint32_t acl_ref) {
+  Node* n = GetMutable(id);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  n->acl_ref = acl_ref;
+  Touch(*n);
+  return OkStatus();
+}
+
+Status NameSpace::SetLabelRef(NodeId id, uint32_t label_ref) {
+  Node* n = GetMutable(id);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  n->label_ref = label_ref;
+  Touch(*n);
+  return OkStatus();
+}
+
+Status NameSpace::SetOwner(NodeId id, PrincipalId owner) {
+  Node* n = GetMutable(id);
+  if (n == nullptr) {
+    return NotFoundError("node does not exist");
+  }
+  n->owner = owner;
+  Touch(*n);
+  return OkStatus();
+}
+
+}  // namespace xsec

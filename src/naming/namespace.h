@@ -1,0 +1,135 @@
+// The single, universal, hierarchical name space (paper §2.3).
+//
+// Every protected thing in the system — services, interfaces, objects,
+// procedures/methods, directories, files — is a node in one tree. Leaves are
+// procedures and files; non-leaves are directories, services, interfaces and
+// objects. The reference monitor attaches protection state (an ACL reference
+// and a MAC label reference) to every node, which is what lets one central
+// facility enforce all protection: "this similarity in structure allows for
+// the use of a single, universal name space … and thus enables a central name
+// server to enforce all protection."
+//
+// This class is only the tree; it stores the security references as opaque
+// handles and never interprets them. Interpretation is the reference
+// monitor's job (src/monitor/), keeping the mechanism in exactly one place.
+
+#ifndef XSEC_SRC_NAMING_NAMESPACE_H_
+#define XSEC_SRC_NAMING_NAMESPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/naming/path.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+enum class NodeKind : uint8_t {
+  kDirectory = 0,  // pure grouping (also: Java package, SPIN domain)
+  kService,        // a loadable system service
+  kInterface,      // a group of procedures; the unit extensions extend
+  kObject,         // an instance (e.g. a thread, an mbuf pool)
+  kProcedure,      // leaf: a callable method/procedure
+  kFile,           // leaf: file contents live in the memfs service
+};
+
+std::string_view NodeKindName(NodeKind kind);
+
+// True for kinds that may have children.
+bool KindAllowsChildren(NodeKind kind);
+
+struct NodeId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xffffffff;
+
+  bool valid() const { return value != kInvalid; }
+
+  friend bool operator==(NodeId a, NodeId b) { return a.value == b.value; }
+  friend bool operator!=(NodeId a, NodeId b) { return a.value != b.value; }
+  friend bool operator<(NodeId a, NodeId b) { return a.value < b.value; }
+};
+
+// Opaque references into the security layers. kNoRef means "not set":
+// an unset ACL falls back to the nearest ancestor's ACL; an unset label
+// falls back to the nearest labeled ancestor (the monitor implements both).
+inline constexpr uint32_t kNoRef = 0xffffffff;
+
+struct Node {
+  NodeId id;
+  NodeId parent;
+  NodeKind kind = NodeKind::kDirectory;
+  std::string name;          // component name; "" for the root
+  bool alive = true;         // false once unbound (ids are never reused)
+  uint64_t generation = 0;   // bumped on any structural or metadata change
+
+  PrincipalId owner;         // creating principal; administrate fallback
+  uint32_t acl_ref = kNoRef;
+  uint32_t label_ref = kNoRef;
+
+  // Children sorted by name for deterministic listing.
+  std::map<std::string, NodeId, std::less<>> children;
+};
+
+class NameSpace {
+ public:
+  NameSpace();
+
+  NodeId root() const { return NodeId{0}; }
+
+  // Creates a child of `parent`. Fails if the parent is a leaf kind, is dead,
+  // or already has a child with that name.
+  StatusOr<NodeId> Bind(NodeId parent, std::string_view name, NodeKind kind, PrincipalId owner);
+
+  // Creates every missing intermediate directory, then the final node with
+  // `kind`. Existing intermediates are reused regardless of their kind as
+  // long as they allow children.
+  StatusOr<NodeId> BindPath(std::string_view path, NodeKind kind, PrincipalId owner);
+
+  // Removes a node. Fails on the root or on a node with live children.
+  Status Unbind(NodeId node);
+
+  // Pure name resolution; no access checks (the monitor layers those on).
+  StatusOr<NodeId> Lookup(std::string_view path) const;
+
+  // Resolution that also reports the ancestor chain (root first, excluding
+  // the target). The monitor checks traversal rights on each ancestor.
+  StatusOr<NodeId> LookupWithAncestors(std::string_view path,
+                                       std::vector<NodeId>* ancestors) const;
+
+  // Single-step child lookup.
+  StatusOr<NodeId> Child(NodeId parent, std::string_view name) const;
+
+  // Children of a node, sorted by name.
+  StatusOr<std::vector<NodeId>> List(NodeId node) const;
+
+  const Node* Get(NodeId id) const;
+
+  // Reconstructs the absolute path of a live node.
+  std::string PathOf(NodeId id) const;
+
+  // Security-metadata mutators (called by the monitor; bump generations).
+  Status SetAclRef(NodeId id, uint32_t acl_ref);
+  Status SetLabelRef(NodeId id, uint32_t label_ref);
+  Status SetOwner(NodeId id, PrincipalId owner);
+
+  size_t node_count() const { return nodes_.size(); }
+
+  // Bumped on every mutation anywhere in the tree; decision-cache validity.
+  uint64_t global_generation() const { return global_generation_; }
+
+ private:
+  Node* GetMutable(NodeId id);
+  void Touch(Node& node);
+
+  std::vector<Node> nodes_;
+  uint64_t global_generation_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_NAMING_NAMESPACE_H_

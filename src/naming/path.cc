@@ -1,0 +1,80 @@
+#include "src/naming/path.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+bool IsValidComponent(std::string_view name) {
+  if (name.empty() || name == "." || name == "..") {
+    return false;
+  }
+  for (unsigned char c : name) {
+    // No separators, whitespace, or control characters: names must survive
+    // the whitespace-delimited policy format and audit lines unambiguously.
+    if (c == '/' || c <= ' ' || c == 0x7f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<std::string>> ParsePath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgumentError(
+        StrFormat("path must be absolute: '%s'", std::string(path).c_str()));
+  }
+  std::vector<std::string> components;
+  if (path == "/") {
+    return components;
+  }
+  size_t start = 1;
+  while (start <= path.size()) {
+    size_t pos = path.find('/', start);
+    std::string_view piece = pos == std::string_view::npos ? path.substr(start)
+                                                           : path.substr(start, pos - start);
+    if (!IsValidComponent(piece)) {
+      return InvalidArgumentError(
+          StrFormat("path '%s' has an invalid component", std::string(path).c_str()));
+    }
+    components.emplace_back(piece);
+    if (pos == std::string_view::npos) {
+      break;
+    }
+    start = pos + 1;
+    if (start == path.size()) {
+      return InvalidArgumentError(
+          StrFormat("path '%s' has a trailing slash", std::string(path).c_str()));
+    }
+  }
+  return components;
+}
+
+std::string JoinPath(std::string_view parent, std::string_view child) {
+  std::string out(parent);
+  if (out.empty() || out.back() != '/') {
+    out += '/';
+  }
+  out += child;
+  return out;
+}
+
+std::string ParentPath(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return "/";
+  }
+  size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string_view Basename(std::string_view path) {
+  if (path == "/" || path.empty()) {
+    return {};
+  }
+  size_t pos = path.rfind('/');
+  return path.substr(pos + 1);
+}
+
+}  // namespace xsec

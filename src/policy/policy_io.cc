@@ -1,0 +1,329 @@
+#include "src/policy/policy_io.h"
+
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace xsec {
+namespace {
+
+StatusOr<NodeKind> KindByName(std::string_view name) {
+  for (NodeKind kind : {NodeKind::kDirectory, NodeKind::kService, NodeKind::kInterface,
+                        NodeKind::kObject, NodeKind::kProcedure, NodeKind::kFile}) {
+    if (name == NodeKindName(kind)) {
+      return kind;
+    }
+  }
+  return InvalidArgumentError(StrFormat("unknown node kind '%s'", std::string(name).c_str()));
+}
+
+std::string PrincipalName(Kernel& kernel, PrincipalId id) {
+  const Principal* p = kernel.principals().Get(id);
+  return p != nullptr ? p->name : StrFormat("p%u", id.value);
+}
+
+void SerializeNodePolicy(Kernel& kernel, NodeId id, std::string* out) {
+  const Node* node = kernel.name_space().Get(id);
+  std::string path = kernel.name_space().PathOf(id);
+  if (id != kernel.name_space().root()) {
+    *out += StrFormat("node %s %s %s\n", path.c_str(),
+                      std::string(NodeKindName(node->kind)).c_str(),
+                      PrincipalName(kernel, node->owner).c_str());
+  }
+  if (node->label_ref != kNoRef) {
+    const SecurityClass* cls = kernel.labels().GetLabel(node->label_ref);
+    std::string line = StrFormat("label %s", path.c_str());
+    const auto& level_names = kernel.labels().level_names();
+    line += " " + (cls->level() < level_names.size()
+                       ? level_names[cls->level()]
+                       : StrFormat("level-%u", static_cast<unsigned>(cls->level())));
+    const auto& category_names = kernel.labels().category_names();
+    for (size_t cat : cls->categories().ToIndices()) {
+      line += " " + (cat < category_names.size() ? category_names[cat]
+                                                 : StrFormat("cat-%zu", cat));
+    }
+    *out += line + "\n";
+  }
+  if (node->acl_ref != kNoRef) {
+    const Acl* acl = kernel.acls().Get(node->acl_ref);
+    if (acl->empty()) {
+      // An empty own ACL is meaningful: it overrides any inherited ACL and
+      // denies everything, so it must survive serialization explicitly.
+      *out += StrFormat("acl %s none\n", path.c_str());
+    }
+    for (const AclEntry& entry : acl->entries()) {
+      *out += StrFormat("acl %s %s %s %s\n", path.c_str(),
+                        entry.type == AclEntryType::kAllow ? "allow" : "deny",
+                        PrincipalName(kernel, entry.who).c_str(),
+                        entry.modes.ToString().c_str());
+    }
+  }
+  auto children = kernel.name_space().List(id);
+  if (children.ok()) {
+    for (NodeId child : *children) {
+      SerializeNodePolicy(kernel, child, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string SerializePolicy(Kernel& kernel) {
+  std::string out = "xsec-policy v1\n";
+
+  if (kernel.labels().levels_defined()) {
+    out += "levels";
+    for (const std::string& level : kernel.labels().level_names()) {
+      out += " " + level;
+    }
+    out += "\n";
+  }
+  for (const std::string& category : kernel.labels().category_names()) {
+    out += "category " + category + "\n";
+  }
+
+  PrincipalRegistry& registry = kernel.principals();
+  for (uint32_t i = 0; i < registry.principal_count(); ++i) {
+    const Principal* p = registry.Get(PrincipalId{i});
+    out += std::string(p->kind == PrincipalKind::kUser ? "user " : "group ") + p->name + "\n";
+  }
+  for (uint32_t i = 0; i < registry.principal_count(); ++i) {
+    const Principal* p = registry.Get(PrincipalId{i});
+    if (p->kind != PrincipalKind::kGroup) {
+      continue;
+    }
+    auto members = registry.MembersOf(PrincipalId{i});
+    for (PrincipalId member : *members) {
+      out += StrFormat("member %s %s\n", p->name.c_str(),
+                       PrincipalName(kernel, member).c_str());
+    }
+  }
+  // Clearances, in principal-id order for determinism.
+  for (uint32_t i = 0; i < registry.principal_count(); ++i) {
+    const SecurityClass* clearance = kernel.labels().ClearanceOf(i);
+    if (clearance == nullptr) {
+      continue;
+    }
+    std::string line = "clearance " + PrincipalName(kernel, PrincipalId{i});
+    const auto& level_names = kernel.labels().level_names();
+    line += " " + (clearance->level() < level_names.size()
+                       ? level_names[clearance->level()]
+                       : StrFormat("level-%u", static_cast<unsigned>(clearance->level())));
+    const auto& category_names = kernel.labels().category_names();
+    for (size_t cat : clearance->categories().ToIndices()) {
+      line += " " + (cat < category_names.size() ? category_names[cat]
+                                                 : StrFormat("cat-%zu", cat));
+    }
+    out += line + "\n";
+  }
+  if (kernel.monitor().security_officer().valid()) {
+    out += "officer " + PrincipalName(kernel, kernel.monitor().security_officer()) + "\n";
+  }
+
+  SerializeNodePolicy(kernel, kernel.name_space().root(), &out);
+  return out;
+}
+
+Status LoadPolicy(std::string_view text, Kernel* kernel) {
+  auto fail = [](size_t line_number, std::string message) {
+    return InvalidArgumentError(
+        StrFormat("policy line %zu: %s", line_number, message.c_str()));
+  };
+
+  auto principal_by_name = [kernel](const std::string& name) -> StatusOr<PrincipalId> {
+    return kernel->principals().FindByName(name);
+  };
+
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  bool saw_header = false;
+  // Paths whose first `acl` directive has been seen (that directive resets
+  // the node's ACL; later ones append).
+  std::set<std::string> acl_reset;
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    size_t line_number = i + 1;
+    std::string line = lines[i];
+    if (size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> tokens = StrSplit(line, ' ', /*skip_empty=*/true);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "xsec-policy" || tokens[1] != "v1") {
+        return fail(line_number, "expected header 'xsec-policy v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string& directive = tokens[0];
+
+    if (directive == "levels") {
+      std::vector<std::string> names(tokens.begin() + 1, tokens.end());
+      if (names.empty()) {
+        return fail(line_number, "levels needs at least one name");
+      }
+      if (kernel->labels().levels_defined()) {
+        if (kernel->labels().level_names() != names) {
+          return fail(line_number, "levels are already defined differently");
+        }
+        continue;
+      }
+      Status status = kernel->labels().DefineLevels(names);
+      if (!status.ok()) {
+        return fail(line_number, status.ToString());
+      }
+    } else if (directive == "category") {
+      if (tokens.size() != 2) {
+        return fail(line_number, "category needs exactly one name");
+      }
+      auto id = kernel->labels().DefineCategory(tokens[1]);
+      if (!id.ok() && id.status().code() != StatusCode::kAlreadyExists) {
+        return fail(line_number, id.status().ToString());
+      }
+    } else if (directive == "user" || directive == "group") {
+      if (tokens.size() != 2) {
+        return fail(line_number, directive + " needs exactly one name");
+      }
+      auto id = directive == "user" ? kernel->principals().CreateUser(tokens[1])
+                                    : kernel->principals().CreateGroup(tokens[1]);
+      if (!id.ok() && id.status().code() != StatusCode::kAlreadyExists) {
+        return fail(line_number, id.status().ToString());
+      }
+    } else if (directive == "member") {
+      if (tokens.size() != 3) {
+        return fail(line_number, "member needs <group> <member>");
+      }
+      auto group = principal_by_name(tokens[1]);
+      auto member = principal_by_name(tokens[2]);
+      if (!group.ok() || !member.ok()) {
+        return fail(line_number, "unknown principal in member directive");
+      }
+      Status status = kernel->principals().AddMember(*group, *member);
+      if (!status.ok() && status.code() != StatusCode::kAlreadyExists) {
+        return fail(line_number, status.ToString());
+      }
+    } else if (directive == "clearance") {
+      if (tokens.size() < 3) {
+        return fail(line_number, "clearance needs <user> <level> [<cat>...]");
+      }
+      auto user = principal_by_name(tokens[1]);
+      if (!user.ok()) {
+        return fail(line_number, "unknown principal in clearance directive");
+      }
+      std::vector<std::string> cats(tokens.begin() + 3, tokens.end());
+      auto cls = kernel->labels().MakeClass(tokens[2], cats);
+      if (!cls.ok()) {
+        return fail(line_number, cls.status().ToString());
+      }
+      kernel->labels().SetClearance(user->value, *cls);
+    } else if (directive == "officer") {
+      if (tokens.size() != 2) {
+        return fail(line_number, "officer needs exactly one name");
+      }
+      auto id = principal_by_name(tokens[1]);
+      if (!id.ok()) {
+        return fail(line_number, "unknown principal in officer directive");
+      }
+      kernel->monitor().set_security_officer(*id);
+    } else if (directive == "node") {
+      if (tokens.size() != 4) {
+        return fail(line_number, "node needs <path> <kind> <owner>");
+      }
+      auto kind = KindByName(tokens[2]);
+      if (!kind.ok()) {
+        return fail(line_number, kind.status().ToString());
+      }
+      auto owner = principal_by_name(tokens[3]);
+      if (!owner.ok()) {
+        return fail(line_number, "unknown owner in node directive");
+      }
+      auto existing = kernel->name_space().Lookup(tokens[1]);
+      if (existing.ok()) {
+        (void)kernel->name_space().SetOwner(*existing, *owner);
+      } else {
+        auto node = kernel->name_space().BindPath(tokens[1], *kind, *owner);
+        if (!node.ok()) {
+          return fail(line_number, node.status().ToString());
+        }
+      }
+    } else if (directive == "label") {
+      if (tokens.size() < 3) {
+        return fail(line_number, "label needs <path> <level> [<cat>...]");
+      }
+      auto node = kernel->name_space().Lookup(tokens[1]);
+      if (!node.ok()) {
+        return fail(line_number, "label names an unknown node");
+      }
+      std::vector<std::string> cats(tokens.begin() + 3, tokens.end());
+      auto cls = kernel->labels().MakeClass(tokens[2], cats);
+      if (!cls.ok()) {
+        return fail(line_number, cls.status().ToString());
+      }
+      const Node* n = kernel->name_space().Get(*node);
+      if (n->label_ref != kNoRef) {
+        (void)kernel->labels().ReplaceLabel(n->label_ref, *cls);
+      } else {
+        (void)kernel->name_space().SetLabelRef(*node, kernel->labels().StoreLabel(*cls));
+      }
+    } else if (directive == "acl") {
+      if (tokens.size() != 5 && !(tokens.size() == 3 && tokens[2] == "none")) {
+        return fail(line_number, "acl needs <path> allow|deny <principal> <modes>, or none");
+      }
+      auto node = kernel->name_space().Lookup(tokens[1]);
+      if (!node.ok()) {
+        return fail(line_number, "acl names an unknown node");
+      }
+      if (tokens.size() == 3) {
+        // "acl <path> none": install an explicit empty own ACL.
+        const Node* n = kernel->name_space().Get(*node);
+        acl_reset.insert(tokens[1]);
+        if (n->acl_ref != kNoRef) {
+          (void)kernel->acls().Replace(n->acl_ref, Acl());
+        } else {
+          (void)kernel->name_space().SetAclRef(*node, kernel->acls().Create(Acl()));
+        }
+        continue;
+      }
+      AclEntryType type;
+      if (tokens[2] == "allow") {
+        type = AclEntryType::kAllow;
+      } else if (tokens[2] == "deny") {
+        type = AclEntryType::kDeny;
+      } else {
+        return fail(line_number, "acl polarity must be allow or deny");
+      }
+      auto who = principal_by_name(tokens[3]);
+      if (!who.ok()) {
+        return fail(line_number, "unknown principal in acl directive");
+      }
+      auto modes = AccessModeSet::Parse(tokens[4]);
+      if (!modes.ok()) {
+        return fail(line_number, modes.status().ToString());
+      }
+      const Node* n = kernel->name_space().Get(*node);
+      AclEntry entry{type, *who, *modes};
+      if (acl_reset.insert(tokens[1]).second) {
+        // First acl directive for this path: replace the node's own ACL.
+        Acl fresh;
+        fresh.AddEntry(entry);
+        if (n->acl_ref != kNoRef) {
+          (void)kernel->acls().Replace(n->acl_ref, std::move(fresh));
+        } else {
+          (void)kernel->name_space().SetAclRef(*node, kernel->acls().Create(std::move(fresh)));
+        }
+      } else {
+        (void)kernel->acls().AddEntry(n->acl_ref, entry);
+      }
+    } else {
+      return fail(line_number, StrFormat("unknown directive '%s'", directive.c_str()));
+    }
+  }
+  if (!saw_header) {
+    return InvalidArgumentError("empty policy: missing 'xsec-policy v1' header");
+  }
+  return OkStatus();
+}
+
+}  // namespace xsec

@@ -1,0 +1,53 @@
+// Policy serialization: dump and restore the complete protection state of a
+// running kernel as a line-oriented text policy.
+//
+// A deployable security system needs its policy to outlive the process; this
+// module captures everything the reference monitor consults — trust levels,
+// categories, principals, group membership, the security officer, name-space
+// nodes with owners, labels, and per-node ACLs — and reapplies it to a fresh
+// kernel. Code (procedure handlers, extension images) is deliberately NOT
+// part of a policy: services re-register their handlers at boot and the
+// loader re-attaches policy to the same names, which is exactly the
+// single-name-space design of §2.3 paying off.
+//
+// Format (one directive per line, '#' comments, whitespace separated):
+//
+//   xsec-policy v1
+//   levels <low> <mid> <high>          # ascending trust, at most once
+//   category <name>                    # in id order
+//   user <name>
+//   group <name>
+//   member <group> <user-or-group>
+//   clearance <user> <level> [<cat>...]
+//   officer <name>
+//   node <path> <kind> <owner>         # pre-order, so parents precede
+//   label <path> <level> [<cat>...]
+//   acl <path> allow|deny <principal> <modes>   # modes: "read|execute" form
+//   acl <path> none                    # explicit empty own ACL (deny-all
+//                                      # override of any inherited ACL)
+//
+// Loading is idempotent with respect to pre-existing entities: principals
+// and nodes that already exist (the built-in "system" user, service nodes
+// registered at boot) are reused and their policy overwritten.
+
+#ifndef XSEC_SRC_POLICY_POLICY_IO_H_
+#define XSEC_SRC_POLICY_POLICY_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+// Renders the kernel's full protection state.
+std::string SerializePolicy(Kernel& kernel);
+
+// Applies a policy to a kernel (trusted, administrative operation). Returns
+// INVALID_ARGUMENT with a line number on any malformed directive; earlier
+// directives remain applied (load into a scratch kernel to validate first).
+Status LoadPolicy(std::string_view text, Kernel* kernel);
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_POLICY_POLICY_IO_H_

@@ -1,0 +1,44 @@
+// Principals: the subjects of discretionary access control.
+//
+// The paper builds its DAC on "individuals and groups in combination with
+// fully featured access control lists" (§2.1). This module provides both
+// kinds of principal plus the transitive membership closure that ACL
+// evaluation needs: an ACL entry naming a group matches a user iff the user
+// is (transitively) a member of that group.
+
+#ifndef XSEC_SRC_PRINCIPAL_PRINCIPAL_H_
+#define XSEC_SRC_PRINCIPAL_PRINCIPAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xsec {
+
+enum class PrincipalKind : uint8_t {
+  kUser = 0,
+  kGroup = 1,
+};
+
+// A dense, registry-scoped identifier. Dense ids let membership closures be
+// bitsets, which keeps ACL evaluation branch-free per entry.
+struct PrincipalId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xffffffff;
+
+  bool valid() const { return value != kInvalid; }
+
+  friend bool operator==(PrincipalId a, PrincipalId b) { return a.value == b.value; }
+  friend bool operator!=(PrincipalId a, PrincipalId b) { return a.value != b.value; }
+  friend bool operator<(PrincipalId a, PrincipalId b) { return a.value < b.value; }
+};
+
+struct Principal {
+  PrincipalId id;
+  PrincipalKind kind;
+  std::string name;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_PRINCIPAL_PRINCIPAL_H_

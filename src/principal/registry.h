@@ -1,0 +1,81 @@
+// The principal registry: creation of users and groups, nested group
+// membership, and cached transitive membership closures.
+//
+// Authentication proper is out of the paper's scope (§1); the registry
+// provides a deliberately simple credential check so examples and tests can
+// model a login step without pretending to be a real authentication protocol.
+
+#ifndef XSEC_SRC_PRINCIPAL_REGISTRY_H_
+#define XSEC_SRC_PRINCIPAL_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/bitset.h"
+#include "src/base/status.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+class PrincipalRegistry {
+ public:
+  PrincipalRegistry();
+
+  // Creation. Names are unique across users and groups.
+  StatusOr<PrincipalId> CreateUser(std::string_view name);
+  StatusOr<PrincipalId> CreateGroup(std::string_view name);
+
+  // Membership. `member` may be a user or a group (groups nest, as in AFS
+  // and NT). Cycles among groups are rejected so the closure is well-founded.
+  Status AddMember(PrincipalId group, PrincipalId member);
+  Status RemoveMember(PrincipalId group, PrincipalId member);
+
+  // Lookup.
+  StatusOr<PrincipalId> FindByName(std::string_view name) const;
+  const Principal* Get(PrincipalId id) const;
+  size_t principal_count() const { return principals_.size(); }
+
+  // The transitive closure of `user`: a bitset over principal ids containing
+  // the user itself plus every group it belongs to, directly or through
+  // nesting. Cached; invalidated on any membership change.
+  const DynamicBitset& MembershipClosure(PrincipalId user) const;
+
+  // Direct members of a group.
+  StatusOr<std::vector<PrincipalId>> MembersOf(PrincipalId group) const;
+
+  // Monotonic counter bumped on every membership mutation. The reference
+  // monitor's decision cache validates entries against this.
+  uint64_t membership_epoch() const { return membership_epoch_; }
+
+  // -- Simulated authentication ---------------------------------------------
+  // Associates a credential with a user; Authenticate() checks it. This is a
+  // stand-in for the authentication machinery the paper scopes out.
+  Status SetCredential(PrincipalId user, std::string_view credential);
+  StatusOr<PrincipalId> Authenticate(std::string_view name, std::string_view credential) const;
+
+ private:
+  struct Record {
+    Principal principal;
+    std::vector<PrincipalId> member_of;   // direct parent groups
+    std::vector<PrincipalId> members;     // direct members (groups only)
+    std::string credential;               // users only; empty = no login
+  };
+
+  bool WouldCreateCycle(PrincipalId group, PrincipalId member) const;
+  StatusOr<PrincipalId> Create(std::string_view name, PrincipalKind kind);
+
+  std::vector<Record> principals_;
+  std::unordered_map<std::string, uint32_t> by_name_;
+  uint64_t membership_epoch_ = 0;
+
+  // Closure cache, rebuilt lazily after membership changes.
+  mutable std::unordered_map<uint32_t, DynamicBitset> closure_cache_;
+  mutable uint64_t closure_cache_epoch_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_PRINCIPAL_REGISTRY_H_

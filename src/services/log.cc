@@ -1,0 +1,95 @@
+#include "src/services/log.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+LogService::LogService(Kernel* kernel, std::string service_path, std::string object_path)
+    : kernel_(kernel),
+      service_path_(std::move(service_path)),
+      object_path_(std::move(object_path)) {}
+
+Status LogService::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto node = kernel_->name_space().BindPath(object_path_, NodeKind::kObject, system);
+  if (!node.ok()) {
+    return node.status();
+  }
+  node_ = *node;
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto proc = [this, system](std::string_view name, HandlerFn fn) -> Status {
+    auto p = kernel_->RegisterProcedure(JoinPath(service_path_, name), system, std::move(fn));
+    return p.ok() ? OkStatus() : p.status();
+  };
+
+  XSEC_RETURN_IF_ERROR(proc("append", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto entry = ArgString(ctx.args, 0);
+    if (!entry.ok()) {
+      return entry.status();
+    }
+    XSEC_RETURN_IF_ERROR(AppendEntry(*ctx.subject, *entry));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("read", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto entries = ReadEntries(*ctx.subject);
+    if (!entries.ok()) {
+      return entries.status();
+    }
+    return Value{StrJoin(*entries, "\n")};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("size", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto size = Size(*ctx.subject);
+    if (!size.ok()) {
+      return size.status();
+    }
+    return Value{*size};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("truncate", [this](CallContext& ctx) -> StatusOr<Value> {
+    XSEC_RETURN_IF_ERROR(Truncate(*ctx.subject));
+    return Value{true};
+  }));
+  return OkStatus();
+}
+
+Status LogService::AppendEntry(Subject& subject, std::string_view entry) {
+  Decision decision = kernel_->monitor().Check(subject, node_, AccessMode::kWriteAppend);
+  if (!decision.allowed) {
+    // Full write also implies the ability to append.
+    decision = kernel_->monitor().Check(subject, node_, AccessMode::kWrite);
+  }
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  entries_.emplace_back(entry);
+  return OkStatus();
+}
+
+StatusOr<std::vector<std::string>> LogService::ReadEntries(Subject& subject) {
+  Decision decision = kernel_->monitor().Check(subject, node_, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  return entries_;
+}
+
+StatusOr<int64_t> LogService::Size(Subject& subject) {
+  Decision decision = kernel_->monitor().Check(subject, node_, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  return static_cast<int64_t>(entries_.size());
+}
+
+Status LogService::Truncate(Subject& subject) {
+  Decision decision = kernel_->monitor().Check(subject, node_, AccessMode::kWrite);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  entries_.clear();
+  return OkStatus();
+}
+
+}  // namespace xsec

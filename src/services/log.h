@@ -1,0 +1,46 @@
+// An append-only system log service.
+//
+// This is the canonical user of the `write-append` access mode (§2.1/§2.2):
+// low-trust subjects may be allowed to *add* entries to a higher-trust log
+// without being able to read it back or overwrite what is already there —
+// exactly the paper's "limit subjects at a lower level of trust to blindly
+// overwrite objects at a higher level of trust" case. The log object is a
+// single node (/obj/syslog by default); appends check write-append, reads
+// check read, truncation checks write.
+
+#ifndef XSEC_SRC_SERVICES_LOG_H_
+#define XSEC_SRC_SERVICES_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class LogService {
+ public:
+  LogService(Kernel* kernel, std::string service_path = "/svc/log",
+             std::string object_path = "/obj/syslog");
+
+  Status Install();
+
+  NodeId log_node() const { return node_; }
+
+  // -- Mediated operations ----------------------------------------------------
+  Status AppendEntry(Subject& subject, std::string_view entry);
+  StatusOr<std::vector<std::string>> ReadEntries(Subject& subject);
+  StatusOr<int64_t> Size(Subject& subject);
+  Status Truncate(Subject& subject);  // destructive: requires write
+
+ private:
+  Kernel* kernel_;
+  std::string service_path_;
+  std::string object_path_;
+  NodeId node_;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_LOG_H_

@@ -1,0 +1,158 @@
+#include "src/services/mbuf.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+MbufPool::MbufPool(Kernel* kernel, std::string service_path, Options options)
+    : kernel_(kernel), service_path_(std::move(service_path)), options_(options) {}
+
+Status MbufPool::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto proc = [this, system](std::string_view name, HandlerFn fn) -> Status {
+    auto node = kernel_->RegisterProcedure(JoinPath(service_path_, name), system, std::move(fn));
+    return node.ok() ? OkStatus() : node.status();
+  };
+
+  XSEC_RETURN_IF_ERROR(proc("alloc", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto size = ArgInt(ctx.args, 0);
+    if (!size.ok()) {
+      return size.status();
+    }
+    auto id = Alloc(*ctx.subject, static_cast<size_t>(*size));
+    if (!id.ok()) {
+      return id.status();
+    }
+    return Value{*id};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("free", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    if (!id.ok()) {
+      return id.status();
+    }
+    XSEC_RETURN_IF_ERROR(Free(*ctx.subject, *id));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("append", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    auto data = ArgBytes(ctx.args, 1);
+    if (!id.ok()) {
+      return id.status();
+    }
+    if (!data.ok()) {
+      return data.status();
+    }
+    XSEC_RETURN_IF_ERROR(Append(*ctx.subject, *id, *data));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("read", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto data = ReadAll(*ctx.subject, *id);
+    if (!data.ok()) {
+      return data.status();
+    }
+    return Value{std::move(*data)};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("chain", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto head = ArgInt(ctx.args, 0);
+    auto tail = ArgInt(ctx.args, 1);
+    if (!head.ok()) {
+      return head.status();
+    }
+    if (!tail.ok()) {
+      return tail.status();
+    }
+    XSEC_RETURN_IF_ERROR(Chain(*ctx.subject, *head, *tail));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("stats", [this](CallContext& ctx) -> StatusOr<Value> {
+    (void)ctx;
+    return Value{static_cast<int64_t>(live_buffers())};
+  }));
+  return OkStatus();
+}
+
+StatusOr<MbufPool::Buffer*> MbufPool::GetOwned(Subject& subject, int64_t id) {
+  auto it = buffers_.find(id);
+  if (it == buffers_.end()) {
+    return NotFoundError(StrFormat("no mbuf %lld", static_cast<long long>(id)));
+  }
+  if (it->second.owner != subject.principal &&
+      subject.principal != kernel_->system_principal()) {
+    return PermissionDeniedError(
+        StrFormat("mbuf %lld belongs to another principal", static_cast<long long>(id)));
+  }
+  return &it->second;
+}
+
+StatusOr<int64_t> MbufPool::Alloc(Subject& subject, size_t reserve_bytes) {
+  if (buffers_.size() >= options_.max_buffers) {
+    return ResourceExhaustedError("mbuf pool exhausted (buffer count)");
+  }
+  if (total_bytes_ + reserve_bytes > options_.max_total_bytes) {
+    return ResourceExhaustedError("mbuf pool exhausted (bytes)");
+  }
+  int64_t id = next_id_++;
+  Buffer buffer;
+  buffer.owner = subject.principal;
+  buffer.data.reserve(reserve_bytes);
+  buffers_.emplace(id, std::move(buffer));
+  return id;
+}
+
+Status MbufPool::Free(Subject& subject, int64_t id) {
+  auto buffer = GetOwned(subject, id);
+  if (!buffer.ok()) {
+    return buffer.status();
+  }
+  total_bytes_ -= (*buffer)->data.size();
+  buffers_.erase(id);
+  return OkStatus();
+}
+
+Status MbufPool::Append(Subject& subject, int64_t id, const std::vector<uint8_t>& data) {
+  auto buffer = GetOwned(subject, id);
+  if (!buffer.ok()) {
+    return buffer.status();
+  }
+  if (total_bytes_ + data.size() > options_.max_total_bytes) {
+    return ResourceExhaustedError("mbuf pool exhausted (bytes)");
+  }
+  (*buffer)->data.insert((*buffer)->data.end(), data.begin(), data.end());
+  total_bytes_ += data.size();
+  return OkStatus();
+}
+
+StatusOr<std::vector<uint8_t>> MbufPool::ReadAll(Subject& subject, int64_t id) {
+  auto buffer = GetOwned(subject, id);
+  if (!buffer.ok()) {
+    return buffer.status();
+  }
+  return (*buffer)->data;
+}
+
+Status MbufPool::Chain(Subject& subject, int64_t head, int64_t tail) {
+  auto head_buffer = GetOwned(subject, head);
+  if (!head_buffer.ok()) {
+    return head_buffer.status();
+  }
+  auto tail_buffer = GetOwned(subject, tail);
+  if (!tail_buffer.ok()) {
+    return tail_buffer.status();
+  }
+  std::vector<uint8_t>& dst = (*head_buffer)->data;
+  std::vector<uint8_t>& src = (*tail_buffer)->data;
+  dst.insert(dst.end(), src.begin(), src.end());
+  total_bytes_ -= src.size();
+  buffers_.erase(tail);
+  return OkStatus();
+}
+
+}  // namespace xsec

@@ -1,0 +1,67 @@
+// The mbuf (message buffer) pool service.
+//
+// The paper's §1.1 example of a useful extension — "an extension can be used
+// to provide a new file system that is not supported by the original system.
+// To implement this file system, the extension … uses existing services
+// (such as mbuf management)" — needs an mbuf service to build on; this is
+// it. Buffers are transient, principal-private kernel objects (they are not
+// named in the name space; whoever allocated a buffer is the only principal
+// that can touch it, plus the system principal). Procedures live under
+// /svc/mbuf/*, so *whether a subject may use the mbuf service at all* is
+// still decided centrally via execute access on those procedure nodes.
+
+#ifndef XSEC_SRC_SERVICES_MBUF_H_
+#define XSEC_SRC_SERVICES_MBUF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class MbufPool {
+ public:
+  struct Options {
+    size_t max_buffers = 65536;
+    size_t max_total_bytes = 64u << 20;
+  };
+
+  explicit MbufPool(Kernel* kernel) : MbufPool(kernel, "/svc/mbuf", Options()) {}
+  MbufPool(Kernel* kernel, std::string service_path, Options options);
+
+  Status Install();
+
+  // -- Mediated operations ----------------------------------------------------
+  StatusOr<int64_t> Alloc(Subject& subject, size_t reserve_bytes);
+  Status Free(Subject& subject, int64_t id);
+  Status Append(Subject& subject, int64_t id, const std::vector<uint8_t>& data);
+  StatusOr<std::vector<uint8_t>> ReadAll(Subject& subject, int64_t id);
+  // Chains `tail` onto `head` (head takes tail's bytes; tail is freed) —
+  // mbuf chaining as in BSD.
+  Status Chain(Subject& subject, int64_t head, int64_t tail);
+
+  size_t live_buffers() const { return buffers_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Buffer {
+    PrincipalId owner;
+    std::vector<uint8_t> data;
+  };
+
+  StatusOr<Buffer*> GetOwned(Subject& subject, int64_t id);
+
+  Kernel* kernel_;
+  std::string service_path_;
+  Options options_;
+  std::unordered_map<int64_t, Buffer> buffers_;
+  int64_t next_id_ = 1;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_MBUF_H_

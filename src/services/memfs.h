@@ -1,0 +1,70 @@
+// An in-memory file system service.
+//
+// Files and directories are ordinary name-space nodes (kFile / kDirectory)
+// under a mount directory (default "/fs"), so they are protected by the same
+// ACLs and labels as every other named object — the paper's point that "the
+// protection of extensions can be easily integrated with the protection of
+// other system objects, such as files" (§3). File contents live in the
+// service; all operations are procedures under /svc/fs/* and every data
+// access is checked by the central reference monitor, not by the service.
+//
+// Access-mode mapping:
+//   create  -> write on the parent directory
+//   mkdir   -> write on the parent directory
+//   read    -> read on the file
+//   write   -> write on the file (destructive overwrite)
+//   append  -> write-append (or write) on the file
+//   remove  -> delete on the file and write on the parent
+//   list    -> list on the directory
+//   stat    -> read on the file
+
+#ifndef XSEC_SRC_SERVICES_MEMFS_H_
+#define XSEC_SRC_SERVICES_MEMFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class MemFs {
+ public:
+  // Registers the mount directory and the /svc/fs procedures on `kernel`.
+  // The kernel must outlive this service.
+  MemFs(Kernel* kernel, std::string mount_path = "/fs", std::string service_path = "/svc/fs");
+
+  Status Install();
+
+  const std::string& mount_path() const { return mount_path_; }
+  const std::string& service_path() const { return service_path_; }
+
+  // Direct (trusted, unmediated) accessors for tests and workload setup.
+  StatusOr<NodeId> CreateFileAsSystem(std::string_view path, std::vector<uint8_t> contents);
+  size_t file_count() const { return contents_.size(); }
+
+  // -- Mediated operations (also exposed as procedures) ----------------------
+  StatusOr<NodeId> Create(Subject& subject, std::string_view path);
+  StatusOr<NodeId> MkDir(Subject& subject, std::string_view path);
+  StatusOr<std::vector<uint8_t>> Read(Subject& subject, std::string_view path);
+  Status Write(Subject& subject, std::string_view path, std::vector<uint8_t> data);
+  Status Append(Subject& subject, std::string_view path, const std::vector<uint8_t>& data);
+  Status Remove(Subject& subject, std::string_view path);
+  StatusOr<std::vector<std::string>> ListDir(Subject& subject, std::string_view path);
+  StatusOr<int64_t> Stat(Subject& subject, std::string_view path);
+
+ private:
+  // Resolves `path`, requiring it to be under the mount point and of `kind`.
+  StatusOr<NodeId> ResolveChecked(Subject& subject, std::string_view path, AccessModeSet modes,
+                                  NodeKind kind);
+
+  Kernel* kernel_;
+  std::string mount_path_;
+  std::string service_path_;
+  std::unordered_map<uint32_t, std::vector<uint8_t>> contents_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_MEMFS_H_

@@ -1,0 +1,211 @@
+#include "src/services/netstack.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+NetStack::NetStack(Kernel* kernel, std::string service_path, std::string object_dir)
+    : kernel_(kernel),
+      service_path_(std::move(service_path)),
+      object_dir_(std::move(object_dir)) {}
+
+std::string NetStack::ProtocolInterfacePath(std::string_view name) const {
+  return StrFormat("%s/proto/%s", service_path_.c_str(), std::string(name).c_str());
+}
+
+Status NetStack::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto dir = kernel_->name_space().BindPath(object_dir_, NodeKind::kDirectory, system);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  auto proto_dir =
+      kernel_->name_space().BindPath(JoinPath(service_path_, "proto"), NodeKind::kDirectory,
+                                     system);
+  if (!proto_dir.ok()) {
+    return proto_dir.status();
+  }
+  auto filter = kernel_->RegisterInterface(JoinPath(service_path_, "filter"), system);
+  if (!filter.ok()) {
+    return filter.status();
+  }
+  filter_iface_ = *filter;
+
+  auto proc = [this, system](std::string_view name, HandlerFn fn) -> Status {
+    auto p = kernel_->RegisterProcedure(JoinPath(service_path_, name), system, std::move(fn));
+    return p.ok() ? OkStatus() : p.status();
+  };
+  XSEC_RETURN_IF_ERROR(proc("create_device", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto name = ArgString(ctx.args, 0);
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto node = CreateDevice(*ctx.subject, *name);
+    if (!node.ok()) {
+      return node.status();
+    }
+    return Value{static_cast<int64_t>(node->value)};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("inject", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto device = ArgString(ctx.args, 0);
+    auto protocol = ArgString(ctx.args, 1);
+    auto payload = ArgBytes(ctx.args, 2);
+    if (!device.ok()) {
+      return device.status();
+    }
+    if (!protocol.ok()) {
+      return protocol.status();
+    }
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    auto delivered = Inject(*ctx.subject, *device, *protocol, std::move(*payload));
+    if (!delivered.ok()) {
+      return delivered.status();
+    }
+    return Value{*delivered};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("send", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto device = ArgString(ctx.args, 0);
+    auto payload = ArgBytes(ctx.args, 1);
+    if (!device.ok()) {
+      return device.status();
+    }
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    XSEC_RETURN_IF_ERROR(Send(*ctx.subject, *device, std::move(*payload)));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("delivered", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto device = ArgString(ctx.args, 0);
+    if (!device.ok()) {
+      return device.status();
+    }
+    auto count = Delivered(*ctx.subject, *device);
+    if (!count.ok()) {
+      return count.status();
+    }
+    return Value{*count};
+  }));
+  return OkStatus();
+}
+
+StatusOr<NodeId> NetStack::CreateProtocol(std::string_view name, PrincipalId owner) {
+  return kernel_->RegisterInterface(ProtocolInterfacePath(name), owner);
+}
+
+StatusOr<NodeId> NetStack::CreateDevice(Subject& subject, std::string_view name) {
+  if (!IsValidComponent(name)) {
+    return InvalidArgumentError("invalid device name");
+  }
+  if (devices_.find(name) != devices_.end()) {
+    return AlreadyExistsError(
+        StrFormat("device '%s' already exists", std::string(name).c_str()));
+  }
+  auto node = kernel_->name_space().BindPath(JoinPath(object_dir_, name), NodeKind::kObject,
+                                             subject.principal);
+  if (!node.ok()) {
+    return node.status();
+  }
+  (void)kernel_->name_space().SetLabelRef(
+      *node, kernel_->labels().StoreLabel(subject.security_class));
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, subject.principal,
+                AccessMode::kRead | AccessMode::kWrite | AccessMode::kWriteAppend |
+                    AccessMode::kDelete | AccessMode::kList});
+  (void)kernel_->name_space().SetAclRef(*node, kernel_->acls().Create(std::move(acl)));
+  Device device;
+  device.node = *node;
+  devices_.emplace(std::string(name), std::move(device));
+  return node;
+}
+
+StatusOr<NetStack::Device*> NetStack::ResolveDevice(Subject& subject, std::string_view name,
+                                                    AccessModeSet modes) {
+  auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    return NotFoundError(StrFormat("no device '%s'", std::string(name).c_str()));
+  }
+  Decision decision = kernel_->monitor().Check(subject, it->second.node, modes);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  return &it->second;
+}
+
+StatusOr<bool> NetStack::Inject(Subject& subject, std::string_view device,
+                                std::string_view proto, std::vector<uint8_t> payload) {
+  auto dev = ResolveDevice(subject, device, AccessMode::kWriteAppend);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  // Run every eligible filter; any `false` drops the packet. Filters are
+  // selected by the injecting subject's class, so a low injector cannot make
+  // its traffic bypass a low filter by pretending to be high.
+  if (kernel_->dispatcher().HandlerCount(filter_iface_) > 0) {
+    auto filters = kernel_->dispatcher().Select(filter_iface_, subject.security_class,
+                                                DispatchMode::kBroadcast);
+    if (filters.ok()) {
+      for (const EventDispatcher::HandlerRecord* record : *filters) {
+        CallContext ctx{kernel_, &subject,
+                        Args{Value{std::string(device)}, Value{std::string(proto)},
+                             Value{payload}}};
+        auto verdict = record->handler(ctx);
+        if (!verdict.ok()) {
+          return verdict.status();
+        }
+        if (const bool* pass = std::get_if<bool>(&*verdict); pass != nullptr && !*pass) {
+          ++packets_filtered_;
+          return false;
+        }
+      }
+    }
+  }
+  // Protocol dispatch: the implementation selected for this subject.
+  auto processed =
+      kernel_->RaiseEvent(subject, ProtocolInterfacePath(proto),
+                          Args{Value{std::string(device)}, Value{std::move(payload)}},
+                          DispatchMode::kClassSelected);
+  if (!processed.ok()) {
+    return processed.status();
+  }
+  auto* bytes = std::get_if<std::vector<uint8_t>>(&*processed);
+  if (bytes == nullptr) {
+    return InternalError("protocol handler returned a non-bytes value");
+  }
+  (*dev)->delivered.push_back(std::move(*bytes));
+  return true;
+}
+
+Status NetStack::Send(Subject& subject, std::string_view device,
+                      std::vector<uint8_t> payload) {
+  auto dev = ResolveDevice(subject, device, AccessMode::kWriteAppend);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  (*dev)->tx.push_back(std::move(payload));
+  return OkStatus();
+}
+
+StatusOr<int64_t> NetStack::Delivered(Subject& subject, std::string_view device) {
+  auto dev = ResolveDevice(subject, device, AccessMode::kRead);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  return static_cast<int64_t>((*dev)->delivered.size());
+}
+
+StatusOr<int64_t> NetStack::TxQueued(Subject& subject, std::string_view device) {
+  auto dev = ResolveDevice(subject, device, AccessMode::kRead);
+  if (!dev.ok()) {
+    return dev.status();
+  }
+  return static_cast<int64_t>((*dev)->tx.size());
+}
+
+}  // namespace xsec

@@ -1,0 +1,92 @@
+// A simulated network stack: SPIN's motivating extension domain.
+//
+// SPIN's flagship extensions were network protocol implementations pushed
+// into the kernel; this service reproduces that structure under the xsec
+// model:
+//
+//   - network devices are named objects (/obj/net/<name>) with ACLs and
+//     labels like any other object — receiving or sending on a device is a
+//     mediated read/write;
+//   - protocol handlers are extension-point interfaces
+//     (/svc/net/proto/<name>); an extension that implements, say, "rtp"
+//     exports a handler onto that interface after an `extend` check, and
+//     incoming packets are dispatched to the implementation selected by the
+//     *receiving subject's* security class;
+//   - packet filters are an interface (/svc/net/filter) dispatched in
+//     broadcast mode: every eligible filter sees the packet and any of them
+//     can drop it.
+//
+// Handler calling convention for protocol interfaces:
+//   args = [device:string, payload:bytes] -> returns bytes (the processed
+//   payload, appended to the device's delivery log).
+// Filter convention: args = [device:string, proto:string, payload:bytes]
+//   -> returns bool (false = drop).
+
+#ifndef XSEC_SRC_SERVICES_NETSTACK_H_
+#define XSEC_SRC_SERVICES_NETSTACK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class NetStack {
+ public:
+  NetStack(Kernel* kernel, std::string service_path = "/svc/net",
+           std::string object_dir = "/obj/net");
+
+  Status Install();
+
+  // Creates the extension-point interface for a protocol (administrator
+  // operation); `extend` on the returned node governs who may implement it.
+  StatusOr<NodeId> CreateProtocol(std::string_view name, PrincipalId owner);
+  std::string ProtocolInterfacePath(std::string_view name) const;
+  // The packet-filter extension point.
+  NodeId filter_interface() const { return filter_iface_; }
+
+  // -- Mediated operations ----------------------------------------------------
+
+  // Creates a device owned by the subject, labeled at the subject's class.
+  StatusOr<NodeId> CreateDevice(Subject& subject, std::string_view name);
+
+  // Simulates packet arrival on a device: requires write-append on the
+  // device, runs every eligible filter (any false drops the packet), then
+  // dispatches to the protocol implementation selected for this subject.
+  // Returns true if the packet was delivered, false if filtered out.
+  StatusOr<bool> Inject(Subject& subject, std::string_view device, std::string_view proto,
+                        std::vector<uint8_t> payload);
+
+  // Queues an outbound frame: requires write-append on the device.
+  Status Send(Subject& subject, std::string_view device, std::vector<uint8_t> payload);
+
+  // Delivered-packet count for a device: requires read on the device.
+  StatusOr<int64_t> Delivered(Subject& subject, std::string_view device);
+  // Outbound queue length: requires read.
+  StatusOr<int64_t> TxQueued(Subject& subject, std::string_view device);
+
+  uint64_t packets_filtered() const { return packets_filtered_; }
+
+ private:
+  struct Device {
+    NodeId node;
+    std::vector<std::vector<uint8_t>> delivered;
+    std::vector<std::vector<uint8_t>> tx;
+  };
+
+  StatusOr<Device*> ResolveDevice(Subject& subject, std::string_view name,
+                                  AccessModeSet modes);
+
+  Kernel* kernel_;
+  std::string service_path_;
+  std::string object_dir_;
+  NodeId filter_iface_;
+  std::map<std::string, Device, std::less<>> devices_;
+  uint64_t packets_filtered_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_NETSTACK_H_

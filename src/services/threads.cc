@@ -1,0 +1,228 @@
+#include "src/services/threads.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+ThreadService::ThreadService(Kernel* kernel, std::string service_path, std::string object_dir)
+    : kernel_(kernel),
+      service_path_(std::move(service_path)),
+      object_dir_(std::move(object_dir)) {}
+
+Status ThreadService::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto dir = kernel_->name_space().BindPath(object_dir_, NodeKind::kDirectory, system);
+  if (!dir.ok()) {
+    return dir.status();
+  }
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto proc = [this, system](std::string_view name, HandlerFn fn) -> Status {
+    auto node = kernel_->RegisterProcedure(JoinPath(service_path_, name), system, std::move(fn));
+    return node.ok() ? OkStatus() : node.status();
+  };
+
+  XSEC_RETURN_IF_ERROR(proc("spawn", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto name = ArgString(ctx.args, 0);
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto id = Spawn(*ctx.subject, *name);
+    if (!id.ok()) {
+      return id.status();
+    }
+    return Value{*id};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("kill", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    if (!id.ok()) {
+      return id.status();
+    }
+    XSEC_RETURN_IF_ERROR(Kill(*ctx.subject, *id));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("list", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto ids = List(*ctx.subject);
+    if (!ids.ok()) {
+      return ids.status();
+    }
+    std::vector<std::string> pieces;
+    pieces.reserve(ids->size());
+    for (int64_t id : *ids) {
+      pieces.push_back(std::to_string(id));
+    }
+    return Value{StrJoin(pieces, ",")};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("send", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    auto message = ArgString(ctx.args, 1);
+    if (!id.ok()) {
+      return id.status();
+    }
+    if (!message.ok()) {
+      return message.status();
+    }
+    XSEC_RETURN_IF_ERROR(SendMessage(*ctx.subject, *id, *message));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("recv", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto messages = ReceiveMessages(*ctx.subject, *id);
+    if (!messages.ok()) {
+      return messages.status();
+    }
+    return Value{StrJoin(*messages, "\n")};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("status", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto id = ArgInt(ctx.args, 0);
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto running = IsRunning(*ctx.subject, *id);
+    if (!running.ok()) {
+      return running.status();
+    }
+    return Value{*running};
+  }));
+  return OkStatus();
+}
+
+StatusOr<int64_t> ThreadService::Spawn(Subject& subject, std::string_view name) {
+  int64_t id = next_id_++;
+  auto node = kernel_->name_space().BindPath(
+      StrFormat("%s/t%lld", object_dir_.c_str(), static_cast<long long>(id)),
+      NodeKind::kObject, subject.principal);
+  if (!node.ok()) {
+    return node.status();
+  }
+  // Label the thread object at the spawner's class and give the spawner an
+  // exclusive ACL. The service is trusted base-system code, so it writes the
+  // stores directly; everything *after* this point is mediated.
+  LabelAuthority::LabelRef label = kernel_->labels().StoreLabel(subject.security_class);
+  XSEC_RETURN_IF_ERROR(kernel_->name_space().SetLabelRef(*node, label));
+  Acl acl;
+  acl.AddEntry(AclEntry{AclEntryType::kAllow, subject.principal,
+                        AccessMode::kRead | AccessMode::kWrite | AccessMode::kDelete |
+                            AccessMode::kList | AccessMode::kWriteAppend});
+  // Message delivery (write-append) is discretionarily open to everyone;
+  // the mandatory lattice still confines it to upward flows, and the
+  // spawner can tighten the ACL afterwards.
+  auto everyone = kernel_->principals().FindByName("everyone");
+  if (everyone.ok()) {
+    acl.AddEntry(AclEntry{AclEntryType::kAllow, *everyone,
+                          AccessModeSet(AccessMode::kWriteAppend)});
+  }
+  XSEC_RETURN_IF_ERROR(
+      kernel_->name_space().SetAclRef(*node, kernel_->acls().Create(std::move(acl))));
+
+  Record record;
+  record.name = std::string(name);
+  record.owner = subject.principal;
+  record.node = *node;
+  records_.emplace(id, std::move(record));
+  return id;
+}
+
+Status ThreadService::Kill(Subject& subject, int64_t thread_id) {
+  auto it = records_.find(thread_id);
+  if (it == records_.end() || !it->second.running) {
+    return NotFoundError(
+        StrFormat("no running thread %lld", static_cast<long long>(thread_id)));
+  }
+  Decision decision = kernel_->monitor().Check(subject, it->second.node, AccessMode::kDelete);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  it->second.running = false;
+  return kernel_->name_space().Unbind(it->second.node);
+}
+
+StatusOr<std::vector<int64_t>> ThreadService::List(Subject& subject) {
+  std::vector<int64_t> visible;
+  for (const auto& [id, record] : records_) {
+    if (!record.running) {
+      continue;
+    }
+    Decision decision = kernel_->monitor().Check(subject, record.node, AccessMode::kRead);
+    if (decision.allowed) {
+      visible.push_back(id);
+    }
+  }
+  return visible;
+}
+
+StatusOr<bool> ThreadService::IsRunning(Subject& subject, int64_t thread_id) {
+  auto it = records_.find(thread_id);
+  if (it == records_.end()) {
+    return NotFoundError(StrFormat("no thread %lld", static_cast<long long>(thread_id)));
+  }
+  if (it->second.running) {
+    Decision decision = kernel_->monitor().Check(subject, it->second.node, AccessMode::kRead);
+    if (!decision.allowed) {
+      return decision.ToStatus();
+    }
+  }
+  return it->second.running;
+}
+
+Status ThreadService::SendMessage(Subject& subject, int64_t to_thread,
+                                  std::string_view message) {
+  auto it = records_.find(to_thread);
+  if (it == records_.end() || !it->second.running) {
+    return NotFoundError(
+        StrFormat("no running thread %lld", static_cast<long long>(to_thread)));
+  }
+  Decision decision =
+      kernel_->monitor().Check(subject, it->second.node, AccessMode::kWriteAppend);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  it->second.mailbox.emplace_back(message);
+  return OkStatus();
+}
+
+StatusOr<std::vector<std::string>> ThreadService::ReceiveMessages(Subject& subject,
+                                                                  int64_t thread_id) {
+  auto it = records_.find(thread_id);
+  if (it == records_.end() || !it->second.running) {
+    return NotFoundError(
+        StrFormat("no running thread %lld", static_cast<long long>(thread_id)));
+  }
+  Decision decision = kernel_->monitor().Check(subject, it->second.node, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  std::vector<std::string> drained = std::move(it->second.mailbox);
+  it->second.mailbox.clear();
+  return drained;
+}
+
+StatusOr<int64_t> ThreadService::PendingMessages(Subject& subject, int64_t thread_id) {
+  auto it = records_.find(thread_id);
+  if (it == records_.end() || !it->second.running) {
+    return NotFoundError(
+        StrFormat("no running thread %lld", static_cast<long long>(thread_id)));
+  }
+  Decision decision = kernel_->monitor().Check(subject, it->second.node, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  return static_cast<int64_t>(it->second.mailbox.size());
+}
+
+size_t ThreadService::live_count() const {
+  size_t n = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.running) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace xsec

@@ -1,0 +1,86 @@
+// The (simulated) thread service — the ThreadMurder target.
+//
+// McGraw & Felten's ThreadMurder applet (cited in §1.2) killed the threads of
+// every other applet in the same Java sandbox because the sandbox did not
+// isolate extensions from each other. Here every simulated thread is a named
+// object (/obj/threads/t<N>) labeled with its spawner's security class and
+// carrying a spawner-only ACL, so killing a thread is an ordinary mediated
+// `delete` access: MAC separates categories (a remote applet cannot reach an
+// organization thread at all) and DAC separates principals within one class.
+//
+// examples/threadmurder.cpp runs the attack against both this service and
+// the Java-sandbox baseline.
+
+#ifndef XSEC_SRC_SERVICES_THREADS_H_
+#define XSEC_SRC_SERVICES_THREADS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class ThreadService {
+ public:
+  ThreadService(Kernel* kernel, std::string service_path = "/svc/threads",
+                std::string object_dir = "/obj/threads");
+
+  Status Install();
+
+  // -- Mediated operations ----------------------------------------------------
+
+  // Spawns a simulated thread owned by the subject, labeled at the subject's
+  // class. Returns the thread id.
+  StatusOr<int64_t> Spawn(Subject& subject, std::string_view name);
+
+  // Kills a thread: a `delete` access on its node.
+  Status Kill(Subject& subject, int64_t thread_id);
+
+  // Thread ids whose node the subject can `read` (visibility is mediated,
+  // so a subject only ever learns about threads it is cleared to see).
+  StatusOr<std::vector<int64_t>> List(Subject& subject);
+
+  // True if running; requires `read` on the thread's node.
+  StatusOr<bool> IsRunning(Subject& subject, int64_t thread_id);
+
+  // -- Inter-thread messaging --------------------------------------------------
+  // Message passing between simulated threads is an information flow and is
+  // mediated like any other: delivering into a thread's mailbox is a
+  // write-append on the thread object (so messages flow up the lattice but
+  // never down), and draining one's mailbox is a read. This closes the other
+  // half of the sandbox-isolation hole §1.2 describes: under the Java model
+  // applets could not only kill each other but freely signal each other.
+
+  // Appends `message` to the target thread's mailbox (write-append check).
+  Status SendMessage(Subject& subject, int64_t to_thread, std::string_view message);
+
+  // Drains and returns the thread's mailbox (read check on its node).
+  StatusOr<std::vector<std::string>> ReceiveMessages(Subject& subject, int64_t thread_id);
+
+  // Mailbox depth without draining (read check).
+  StatusOr<int64_t> PendingMessages(Subject& subject, int64_t thread_id);
+
+  size_t live_count() const;
+  size_t total_spawned() const { return records_.size(); }
+
+ private:
+  struct Record {
+    std::string name;
+    PrincipalId owner;
+    NodeId node;
+    bool running = true;
+    std::vector<std::string> mailbox;
+  };
+
+  Kernel* kernel_;
+  std::string service_path_;
+  std::string object_dir_;
+  std::map<int64_t, Record> records_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_THREADS_H_

@@ -1,0 +1,127 @@
+#include "src/services/vfs.h"
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+VfsService::VfsService(Kernel* kernel, std::string service_path)
+    : kernel_(kernel), service_path_(std::move(service_path)) {}
+
+std::string VfsService::TypeInterfacePath(std::string_view type_name) const {
+  return StrFormat("%s/types/%s", service_path_.c_str(), std::string(type_name).c_str());
+}
+
+Status VfsService::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto types_dir =
+      kernel_->name_space().BindPath(JoinPath(service_path_, "types"), NodeKind::kDirectory,
+                                     system);
+  if (!types_dir.ok()) {
+    return types_dir.status();
+  }
+  auto proc = [this, system](std::string_view name, HandlerFn fn) -> Status {
+    auto p = kernel_->RegisterProcedure(JoinPath(service_path_, name), system, std::move(fn));
+    return p.ok() ? OkStatus() : p.status();
+  };
+
+  XSEC_RETURN_IF_ERROR(proc("read", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto type = ArgString(ctx.args, 0);
+    auto path = ArgString(ctx.args, 1);
+    if (!type.ok()) {
+      return type.status();
+    }
+    if (!path.ok()) {
+      return path.status();
+    }
+    auto data = Read(*ctx.subject, *type, *path);
+    if (!data.ok()) {
+      return data.status();
+    }
+    return Value{std::move(*data)};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("write", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto type = ArgString(ctx.args, 0);
+    auto path = ArgString(ctx.args, 1);
+    auto data = ArgBytes(ctx.args, 2);
+    if (!type.ok()) {
+      return type.status();
+    }
+    if (!path.ok()) {
+      return path.status();
+    }
+    if (!data.ok()) {
+      return data.status();
+    }
+    XSEC_RETURN_IF_ERROR(Write(*ctx.subject, *type, *path, std::move(*data)));
+    return Value{true};
+  }));
+  XSEC_RETURN_IF_ERROR(proc("list", [this](CallContext& ctx) -> StatusOr<Value> {
+    auto type = ArgString(ctx.args, 0);
+    auto path = ArgString(ctx.args, 1);
+    if (!type.ok()) {
+      return type.status();
+    }
+    if (!path.ok()) {
+      return path.status();
+    }
+    auto names = ListDir(*ctx.subject, *type, *path);
+    if (!names.ok()) {
+      return names.status();
+    }
+    return Value{std::move(*names)};
+  }));
+  return OkStatus();
+}
+
+StatusOr<NodeId> VfsService::CreateFsType(std::string_view type_name, PrincipalId owner) {
+  return kernel_->RegisterInterface(TypeInterfacePath(type_name), owner);
+}
+
+StatusOr<Value> VfsService::Forward(Subject& subject, std::string_view type, Args args) {
+  // The general interface forwards to the type's extension point; the
+  // dispatcher picks the right extension for this caller's class.
+  return kernel_->RaiseEvent(subject, TypeInterfacePath(type), std::move(args),
+                             DispatchMode::kClassSelected);
+}
+
+StatusOr<std::vector<uint8_t>> VfsService::Read(Subject& subject, std::string_view type,
+                                                std::string_view path) {
+  auto result = Forward(subject, type, Args{Value{std::string("read")},
+                                            Value{std::string(path)}});
+  if (!result.ok()) {
+    return result.status();
+  }
+  auto* bytes = std::get_if<std::vector<uint8_t>>(&*result);
+  if (bytes == nullptr) {
+    return InternalError("file-system extension returned a non-bytes value for read");
+  }
+  return std::move(*bytes);
+}
+
+Status VfsService::Write(Subject& subject, std::string_view type, std::string_view path,
+                         std::vector<uint8_t> data) {
+  auto result = Forward(subject, type,
+                        Args{Value{std::string("write")}, Value{std::string(path)},
+                             Value{std::move(data)}});
+  return result.ok() ? OkStatus() : result.status();
+}
+
+StatusOr<std::string> VfsService::ListDir(Subject& subject, std::string_view type,
+                                          std::string_view path) {
+  auto result = Forward(subject, type, Args{Value{std::string("list")},
+                                            Value{std::string(path)}});
+  if (!result.ok()) {
+    return result.status();
+  }
+  auto* text = std::get_if<std::string>(&*result);
+  if (text == nullptr) {
+    return InternalError("file-system extension returned a non-string value for list");
+  }
+  return std::move(*text);
+}
+
+}  // namespace xsec

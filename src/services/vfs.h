@@ -1,0 +1,59 @@
+// The virtual file system switch: the paper's worked specialization example.
+//
+// §1.1: "an extension can be used to provide a new file system that is not
+// supported by the original system. … to access the new file system, a user
+// invokes the existing, general file system interfaces which have been
+// extended (or specialized) by the extension to also handle the new type of
+// file system."
+//
+// Each registered file-system *type* is an extension-point interface node
+// (/svc/vfs/types/<type>). An extension that implements the type exports a
+// handler onto that node (an `extend`-checked operation at link time). User
+// code keeps calling the general procedures /svc/vfs/{read,write,list} with
+// the type name as the first argument; the VFS forwards the operation to the
+// type's interface, where the dispatcher selects the right extension for the
+// caller's security class.
+//
+// Handler calling convention: args = [op:string, path:string, data?:bytes],
+// op ∈ {"read","write","list"}; result is bytes for read, bool for write,
+// string for list.
+
+#ifndef XSEC_SRC_SERVICES_VFS_H_
+#define XSEC_SRC_SERVICES_VFS_H_
+
+#include <string>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class VfsService {
+ public:
+  VfsService(Kernel* kernel, std::string service_path = "/svc/vfs");
+
+  Status Install();
+
+  // Creates the extension-point interface for a new file-system type
+  // (administrator/base-system operation). Who may *implement* the type is
+  // then governed by the `extend` mode on the returned interface node.
+  StatusOr<NodeId> CreateFsType(std::string_view type_name, PrincipalId owner);
+
+  std::string TypeInterfacePath(std::string_view type_name) const;
+
+  // -- Mediated operations ----------------------------------------------------
+  StatusOr<std::vector<uint8_t>> Read(Subject& subject, std::string_view type,
+                                      std::string_view path);
+  Status Write(Subject& subject, std::string_view type, std::string_view path,
+               std::vector<uint8_t> data);
+  StatusOr<std::string> ListDir(Subject& subject, std::string_view type, std::string_view path);
+
+ private:
+  StatusOr<Value> Forward(Subject& subject, std::string_view type, Args args);
+
+  Kernel* kernel_;
+  std::string service_path_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_VFS_H_

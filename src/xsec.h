@@ -1,0 +1,18 @@
+// Umbrella header: the public face of the xsec library.
+//
+//   #include "src/xsec.h"
+//
+// pulls in the SecureSystem facade and everything reachable from it (name
+// space, principals, ACLs, labels, reference monitor, kernel, services),
+// plus the policy-persistence and code-loading helpers. Benchmarks and tests
+// include the narrow headers directly; applications usually only need this.
+
+#ifndef XSEC_SRC_XSEC_H_
+#define XSEC_SRC_XSEC_H_
+
+#include "src/codeload/code_loader.h"
+#include "src/core/applet_example.h"
+#include "src/core/secure_system.h"
+#include "src/policy/policy_io.h"
+
+#endif  // XSEC_SRC_XSEC_H_

@@ -1,0 +1,76 @@
+#include "src/dac/access_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+TEST(AccessModeTest, NamesAreStable) {
+  EXPECT_EQ(AccessModeName(AccessMode::kRead), "read");
+  EXPECT_EQ(AccessModeName(AccessMode::kWriteAppend), "write-append");
+  EXPECT_EQ(AccessModeName(AccessMode::kExecute), "execute");
+  EXPECT_EQ(AccessModeName(AccessMode::kExtend), "extend");
+  EXPECT_EQ(AccessModeName(AccessMode::kAdministrate), "administrate");
+}
+
+TEST(AccessModeSetTest, EmptyAndAll) {
+  EXPECT_TRUE(AccessModeSet::None().empty());
+  EXPECT_EQ(AccessModeSet::All().Modes().size(), static_cast<size_t>(kAccessModeCount));
+  EXPECT_TRUE(AccessModeSet::All().Contains(AccessMode::kExtend));
+}
+
+TEST(AccessModeSetTest, SetOperations) {
+  AccessModeSet rw = AccessMode::kRead | AccessMode::kWrite;
+  EXPECT_TRUE(rw.Contains(AccessMode::kRead));
+  EXPECT_FALSE(rw.Contains(AccessMode::kExecute));
+  EXPECT_TRUE(rw.ContainsAll(AccessModeSet(AccessMode::kRead)));
+  EXPECT_FALSE(rw.ContainsAll(rw | AccessMode::kExecute));
+  EXPECT_TRUE(rw.Intersects(AccessMode::kWrite | AccessMode::kDelete));
+  EXPECT_FALSE(rw.Intersects(AccessModeSet(AccessMode::kDelete)));
+
+  AccessModeSet minus = rw - AccessModeSet(AccessMode::kWrite);
+  EXPECT_TRUE(minus.Contains(AccessMode::kRead));
+  EXPECT_FALSE(minus.Contains(AccessMode::kWrite));
+}
+
+TEST(AccessModeSetTest, EveryModeRequestableAlone) {
+  for (int i = 0; i < kAccessModeCount; ++i) {
+    AccessMode m = static_cast<AccessMode>(1u << i);
+    AccessModeSet s(m);
+    EXPECT_EQ(s.Modes().size(), 1u);
+    EXPECT_EQ(s.Modes()[0], m);
+  }
+}
+
+TEST(AccessModeSetTest, ToStringRoundTrip) {
+  AccessModeSet s = AccessMode::kRead | AccessMode::kExecute | AccessMode::kExtend;
+  std::string text = s.ToString();
+  EXPECT_EQ(text, "read|execute|extend");
+  auto parsed = AccessModeSet::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(AccessModeSetTest, ParseEmpty) {
+  auto parsed = AccessModeSet::Parse("-");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+  EXPECT_EQ(AccessModeSet::None().ToString(), "-");
+}
+
+TEST(AccessModeSetTest, ParseRejectsUnknown) {
+  EXPECT_EQ(AccessModeSet::Parse("read|fly").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccessModeSetTest, RoundTripAllSubsets) {
+  // Exhaustive over all 256 subsets: ToString/Parse is a bijection.
+  for (uint32_t bits = 0; bits < (1u << kAccessModeCount); ++bits) {
+    AccessModeSet s(bits);
+    auto parsed = AccessModeSet::Parse(s.ToString());
+    ASSERT_TRUE(parsed.ok()) << s.ToString();
+    EXPECT_EQ(*parsed, s) << s.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,141 @@
+#include "src/monitor/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+AuditRecord MakeRecord(bool allowed, DenyReason reason = DenyReason::kNone) {
+  AuditRecord r;
+  r.principal = PrincipalId{1};
+  r.thread_id = 7;
+  r.node = NodeId{3};
+  r.path = "/svc/fs/read";
+  r.modes = AccessMode::kExecute;
+  r.allowed = allowed;
+  r.reason = reason;
+  return r;
+}
+
+TEST(AuditLogTest, DefaultPolicyRetainsDenialsOnly) {
+  AuditLog log;
+  EXPECT_EQ(log.policy(), AuditPolicy::kDenialsOnly);
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kDacNoGrant));
+  EXPECT_EQ(log.records().size(), 1u);
+  EXPECT_FALSE(log.records().front().allowed);
+  EXPECT_EQ(log.total_checks(), 2u);
+  EXPECT_EQ(log.total_denials(), 1u);
+}
+
+TEST(AuditLogTest, PolicyAllRetainsEverything) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  EXPECT_EQ(log.records().size(), 2u);
+}
+
+TEST(AuditLogTest, PolicyOffRetainsNothingButCounts) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kOff);
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.total_checks(), 1u);
+  EXPECT_EQ(log.total_denials(), 1u);
+}
+
+TEST(AuditLogTest, WouldRetainMatchesPolicy) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kOff);
+  EXPECT_FALSE(log.WouldRetain(true));
+  EXPECT_FALSE(log.WouldRetain(false));
+  log.set_policy(AuditPolicy::kDenialsOnly);
+  EXPECT_FALSE(log.WouldRetain(true));
+  EXPECT_TRUE(log.WouldRetain(false));
+  log.set_policy(AuditPolicy::kAll);
+  EXPECT_TRUE(log.WouldRetain(true));
+  EXPECT_TRUE(log.WouldRetain(false));
+}
+
+TEST(AuditLogTest, SequenceNumbersAreMonotonic) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeRecord(true));
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  for (const AuditRecord& r : log.records()) {
+    if (!first) {
+      EXPECT_EQ(r.sequence, prev + 1);
+    }
+    prev = r.sequence;
+    first = false;
+  }
+}
+
+TEST(AuditLogTest, CapacityEvictsOldest) {
+  AuditLog log(3);
+  log.set_policy(AuditPolicy::kAll);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeRecord(true));
+  }
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.records().front().sequence, 2u);
+}
+
+TEST(AuditLogTest, SinkSeesRetainedRecords) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kDenialsOnly);
+  int seen = 0;
+  log.set_sink([&seen](const AuditRecord& r) {
+    ++seen;
+    EXPECT_FALSE(r.allowed);
+  });
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(AuditLogTest, QueryFilters) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  log.Record(MakeRecord(false, DenyReason::kDacNoGrant));
+  auto flow = log.Query(
+      [](const AuditRecord& r) { return r.reason == DenyReason::kMacFlow; });
+  EXPECT_EQ(flow.size(), 1u);
+}
+
+TEST(AuditLogTest, ClearResetsEverything) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  log.Clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.total_checks(), 0u);
+  EXPECT_EQ(log.total_denials(), 0u);
+}
+
+TEST(AuditRecordTest, ToStringContainsKeyFields) {
+  AuditRecord r = MakeRecord(false, DenyReason::kMacFlow);
+  r.sequence = 12;
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("/svc/fs/read"), std::string::npos);
+  EXPECT_NE(text.find("DENY"), std::string::npos);
+  EXPECT_NE(text.find("mac-flow"), std::string::npos);
+  EXPECT_NE(text.find("execute"), std::string::npos);
+}
+
+TEST(DenyReasonTest, NamesAreStable) {
+  EXPECT_EQ(DenyReasonName(DenyReason::kNone), "none");
+  EXPECT_EQ(DenyReasonName(DenyReason::kDacExplicitDeny), "dac-explicit-deny");
+  EXPECT_EQ(DenyReasonName(DenyReason::kMacFlow), "mac-flow");
+  EXPECT_EQ(DenyReasonName(DenyReason::kTraversal), "traversal");
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/afs_model.h"
+#include "src/baselines/inferno_model.h"
+#include "src/baselines/java_sandbox_model.h"
+#include "src/baselines/nt_model.h"
+#include "src/baselines/spin_domain_model.h"
+#include "src/baselines/unix_model.h"
+#include "src/baselines/vino_model.h"
+#include "src/baselines/xsec_model.h"
+
+namespace xsec {
+namespace {
+
+SecurityClass Cls(TrustLevel level, std::initializer_list<size_t> cats = {}) {
+  CategorySet set(4);
+  for (size_t c : cats) {
+    set.Set(c);
+  }
+  return SecurityClass(level, std::move(set));
+}
+
+class BaselineModelTest : public ::testing::Test {
+ protected:
+  BaselineModelTest() {
+    owner_ = {"owner", 1, {10, 99}, Origin::kLocal, Cls(1)};
+    member_ = {"member", 2, {10, 99}, Origin::kOrganization, Cls(1)};
+    other_ = {"other", 3, {99}, Origin::kRemote, Cls(0)};
+    world_.subjects = {owner_, member_, other_};
+
+    file_.path = "/fs/dir/file";
+    file_.owner_uid = 1;
+    file_.owner_gid = 10;
+    file_.unix_mode = 0640;
+    file_.acl = {{true, false, 1, AccessMode::kRead | AccessMode::kWrite},
+                 {true, true, 10, AccessModeSet(AccessMode::kRead)}};
+    file_.security_class = Cls(1);
+
+    dir_.path = "/fs/dir";
+    dir_.category = ObjectCategory::kDirectory;
+    dir_.owner_uid = 1;
+    dir_.acl = {{true, true, 99, AccessModeSet(AccessMode::kRead)}};
+    world_.objects = {dir_, file_};
+  }
+
+  BaselineWorld world_;
+  BaselineSubject owner_, member_, other_;
+  BaselineObject file_, dir_;
+};
+
+TEST_F(BaselineModelTest, UnixOwnerGroupOther) {
+  UnixModel unix_model;
+  EXPECT_TRUE(unix_model.Allows(world_, owner_, file_, AccessMode::kRead));
+  EXPECT_TRUE(unix_model.Allows(world_, owner_, file_, AccessMode::kWrite));
+  EXPECT_TRUE(unix_model.Allows(world_, member_, file_, AccessMode::kRead));   // group r
+  EXPECT_FALSE(unix_model.Allows(world_, member_, file_, AccessMode::kWrite));
+  EXPECT_FALSE(unix_model.Allows(world_, other_, file_, AccessMode::kRead));   // other ---
+  // Administrate is owner-only (chmod semantics).
+  EXPECT_TRUE(unix_model.Allows(world_, owner_, file_, AccessMode::kAdministrate));
+  EXPECT_FALSE(unix_model.Allows(world_, member_, file_, AccessMode::kAdministrate));
+  // Append collapses to write; extend collapses to x.
+  EXPECT_TRUE(unix_model.Allows(world_, owner_, file_, AccessMode::kWriteAppend));
+  EXPECT_FALSE(unix_model.Allows(world_, owner_, file_, AccessMode::kExtend));  // no x bit
+}
+
+TEST_F(BaselineModelTest, UnixExecuteBit) {
+  UnixModel unix_model;
+  BaselineObject prog = file_;
+  prog.unix_mode = 0754;
+  EXPECT_TRUE(unix_model.Allows(world_, owner_, prog, AccessMode::kExecute));
+  EXPECT_TRUE(unix_model.Allows(world_, member_, prog, AccessMode::kExecute));
+  EXPECT_FALSE(unix_model.Allows(world_, other_, prog, AccessMode::kExecute));
+  // Unix cannot separate execute from extend: both map to x.
+  EXPECT_EQ(unix_model.Allows(world_, member_, prog, AccessMode::kExecute),
+            unix_model.Allows(world_, member_, prog, AccessMode::kExtend));
+}
+
+TEST_F(BaselineModelTest, AfsUsesParentDirectoryAcl) {
+  AfsModel afs;
+  // The file's own ACL denies `other` read, but /fs/dir's ACL grants the
+  // everyone group read — and AFS governs files by the directory's ACL.
+  EXPECT_TRUE(afs.Allows(world_, other_, file_, AccessMode::kRead));
+  // Directories are governed by their own ACL.
+  EXPECT_TRUE(afs.Allows(world_, other_, dir_, AccessMode::kRead));
+  EXPECT_FALSE(afs.Allows(world_, other_, dir_, AccessMode::kWrite));
+}
+
+TEST_F(BaselineModelTest, AfsNegativeRightsWork) {
+  AfsModel afs;
+  BaselineWorld w = world_;
+  w.objects[0].acl.push_back({false, false, 3, AccessModeSet(AccessMode::kRead)});
+  EXPECT_FALSE(afs.Allows(w, other_, w.objects[1], AccessMode::kRead));
+  EXPECT_TRUE(afs.Allows(w, member_, w.objects[1], AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, AfsFallsBackToOwnAclWithoutParent) {
+  AfsModel afs;
+  BaselineWorld w;
+  w.subjects = world_.subjects;
+  BaselineObject orphan = file_;
+  orphan.path = "/lonely/file";
+  w.objects = {orphan};
+  EXPECT_TRUE(afs.Allows(w, owner_, orphan, AccessMode::kRead));
+  EXPECT_FALSE(afs.Allows(w, other_, orphan, AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, NtDenyAcesWinRegardlessOfOrder) {
+  NtModel nt;
+  BaselineObject obj = file_;
+  // Allow listed before deny: NT canonicalization still applies the deny.
+  obj.acl = {{true, true, 10, AccessModeSet(AccessMode::kRead)},
+             {false, false, 2, AccessModeSet(AccessMode::kRead)}};
+  EXPECT_FALSE(nt.Allows(world_, member_, obj, AccessMode::kRead));
+  EXPECT_TRUE(nt.Allows(world_, owner_, obj, AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, NtHasAppendButNotExtend) {
+  NtModel nt;
+  BaselineObject obj = file_;
+  obj.acl = {{true, false, 2, AccessModeSet(AccessMode::kWriteAppend)}};
+  EXPECT_TRUE(nt.Allows(world_, member_, obj, AccessMode::kWriteAppend));
+  EXPECT_FALSE(nt.Allows(world_, member_, obj, AccessMode::kWrite));
+  // extend collapses to execute: granting execute grants extend too.
+  obj.acl = {{true, false, 2, AccessModeSet(AccessMode::kExecute)}};
+  EXPECT_TRUE(nt.Allows(world_, member_, obj, AccessMode::kExecute));
+  EXPECT_TRUE(nt.Allows(world_, member_, obj, AccessMode::kExtend));
+}
+
+TEST_F(BaselineModelTest, NtOwnerHoldsWriteDac) {
+  NtModel nt;
+  BaselineObject obj = file_;
+  obj.acl.clear();
+  EXPECT_TRUE(nt.Allows(world_, owner_, obj, AccessMode::kAdministrate));
+  EXPECT_FALSE(nt.Allows(world_, member_, obj, AccessMode::kAdministrate));
+}
+
+TEST_F(BaselineModelTest, JavaSandboxTrustIsBinary) {
+  JavaSandboxModel java;
+  // Local code: everything goes, even other subjects' files.
+  EXPECT_TRUE(java.Allows(world_, owner_, file_, AccessMode::kWrite));
+  // Remote code: no file access at all…
+  EXPECT_FALSE(java.Allows(world_, other_, file_, AccessMode::kRead));
+  EXPECT_FALSE(java.Allows(world_, other_, dir_, AccessMode::kList));
+  // …but full access to in-sandbox objects such as threads (ThreadMurder).
+  BaselineObject thread;
+  thread.path = "/obj/threads/t1";
+  thread.category = ObjectCategory::kThread;
+  thread.owner_uid = 1;
+  EXPECT_TRUE(java.Allows(world_, other_, thread, AccessMode::kDelete));
+}
+
+TEST_F(BaselineModelTest, JavaSandboxBrokenProngFailsOpen) {
+  JavaSandboxModel java;
+  BaselineWorld w = world_;
+  ASSERT_FALSE(java.Allows(w, other_, file_, AccessMode::kRead));
+  w.java_security_manager_ok = false;
+  EXPECT_TRUE(java.Allows(w, other_, file_, AccessMode::kRead));
+  w.java_security_manager_ok = true;
+  w.java_classloader_ok = false;
+  EXPECT_TRUE(java.Allows(w, other_, file_, AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, SpinDomainsAreAllOrNothing) {
+  SpinDomainModel spin;
+  BaselineWorld w = world_;
+  BaselineObject iface;
+  iface.path = "/svc/fs/read";
+  iface.category = ObjectCategory::kServiceProcedure;
+  iface.spin_domain = "fs";
+  w.objects.push_back(iface);
+  w.spin_links["member"] = {"fs"};
+
+  EXPECT_TRUE(spin.Allows(w, member_, iface, AccessMode::kExecute));
+  // Linked means extend too — no separation.
+  EXPECT_TRUE(spin.Allows(w, member_, iface, AccessMode::kExtend));
+  // Unlinked subjects get nothing.
+  EXPECT_FALSE(spin.Allows(w, other_, iface, AccessMode::kExecute));
+  // Data objects (no domain) are reachable by anyone with any link.
+  EXPECT_TRUE(spin.Allows(w, member_, w.objects[1], AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, XsecDacFullModeVocabulary) {
+  XsecDacModel dac;
+  BaselineObject iface;
+  iface.path = "/svc/vfs/types/logfs";
+  iface.category = ObjectCategory::kServiceInterface;
+  iface.owner_uid = 1;
+  iface.acl = {{true, false, 2, AccessModeSet(AccessMode::kExtend)}};
+  // Extend without execute is expressible.
+  EXPECT_TRUE(dac.Allows(world_, member_, iface, AccessMode::kExtend));
+  EXPECT_FALSE(dac.Allows(world_, member_, iface, AccessMode::kExecute));
+  // Deny-overrides.
+  iface.acl.push_back({false, false, 2, AccessModeSet(AccessMode::kExtend)});
+  EXPECT_FALSE(dac.Allows(world_, member_, iface, AccessMode::kExtend));
+  // Owner bootstrap for administrate.
+  EXPECT_TRUE(dac.Allows(world_, owner_, iface, AccessMode::kAdministrate));
+}
+
+TEST_F(BaselineModelTest, XsecFullAddsMandatoryLayer) {
+  XsecFullModel full;
+  BaselineObject secret = file_;
+  secret.acl = {{true, true, 99, AccessModeSet(AccessMode::kRead)}};  // world-readable DAC
+  secret.security_class = Cls(1, {1});
+  BaselineSubject cleared = member_;
+  cleared.security_class = Cls(1, {1});
+  EXPECT_TRUE(full.Allows(world_, cleared, secret, AccessMode::kRead));
+  // `other` is below the label: MAC forbids despite the DAC grant.
+  EXPECT_FALSE(full.Allows(world_, other_, secret, AccessMode::kRead));
+  // And DAC still binds: no grant, no access, even for dominating subjects.
+  secret.acl.clear();
+  EXPECT_FALSE(full.Allows(world_, cleared, secret, AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, VinoPrivilegeAndSensitivity) {
+  VinoModel vino;
+  BaselineSubject privileged = owner_;
+  privileged.vino_privileged = true;
+  BaselineSubject regular = member_;
+
+  BaselineObject open_obj = file_;
+  open_obj.vino_sensitive = false;
+  BaselineObject sensitive = file_;
+  sensitive.vino_sensitive = true;  // owner_uid = 1
+
+  // Privileged: everything.
+  EXPECT_TRUE(vino.Allows(world_, privileged, sensitive, AccessMode::kWrite));
+  // Regular on non-sensitive data: everything (no finer control exists).
+  EXPECT_TRUE(vino.Allows(world_, regular, open_obj, AccessMode::kWrite));
+  // Regular on sensitive data: ownership only.
+  EXPECT_FALSE(vino.Allows(world_, regular, sensitive, AccessMode::kRead));
+  BaselineObject own_sensitive = sensitive;
+  own_sensitive.owner_uid = regular.uid;
+  EXPECT_TRUE(vino.Allows(world_, regular, own_sensitive, AccessMode::kRead));
+  // Mode-blind: the dynamic check cannot tell read from extend.
+  EXPECT_EQ(vino.Allows(world_, regular, sensitive, AccessMode::kRead),
+            vino.Allows(world_, regular, sensitive, AccessMode::kExtend));
+}
+
+TEST_F(BaselineModelTest, InfernoAuthenticationIsNotAuthorization) {
+  InfernoModel inferno;
+  BaselineSubject authenticated = other_;  // remote, but mutually authenticated
+  authenticated.inferno_authenticated = true;
+  BaselineSubject spoofed = other_;
+  spoofed.inferno_authenticated = false;
+  // Knowing who someone is decides nothing about what they may do:
+  EXPECT_TRUE(inferno.Allows(world_, authenticated, file_, AccessMode::kWrite));
+  EXPECT_TRUE(inferno.Allows(world_, authenticated, file_, AccessMode::kAdministrate));
+  // Only a failed handshake blocks anything.
+  EXPECT_FALSE(inferno.Allows(world_, spoofed, file_, AccessMode::kRead));
+}
+
+TEST_F(BaselineModelTest, NullModelAllowsEverything) {
+  NullModel none;
+  EXPECT_TRUE(none.Allows(world_, other_, file_, AccessMode::kWrite));
+  EXPECT_TRUE(none.Allows(world_, other_, dir_, AccessMode::kAdministrate));
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,181 @@
+#include "src/base/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace xsec {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size_bits(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(BitsetTest, SetTestClear) {
+  DynamicBitset b(8);
+  b.Set(3);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_FALSE(b.Test(2));
+  EXPECT_EQ(b.Count(), 1u);
+  b.Clear(3);
+  EXPECT_FALSE(b.Test(3));
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, SetGrowsAutomatically) {
+  DynamicBitset b;
+  b.Set(130);
+  EXPECT_TRUE(b.Test(130));
+  EXPECT_GE(b.size_bits(), 131u);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitsetTest, ClearPastEndIsNoop) {
+  DynamicBitset b(4);
+  b.Clear(100);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.size_bits(), 4u);
+}
+
+TEST(BitsetTest, SetAllRespectsLogicalSize) {
+  DynamicBitset b(67);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 67u);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, SubsetBasics) {
+  DynamicBitset a(8), b(8);
+  a.Set(1);
+  b.Set(1);
+  b.Set(2);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(BitsetTest, EmptySetIsSubsetOfEverything) {
+  DynamicBitset empty;
+  DynamicBitset b(128);
+  b.Set(100);
+  EXPECT_TRUE(empty.IsSubsetOf(b));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+  EXPECT_FALSE(b.IsSubsetOf(empty));
+}
+
+TEST(BitsetTest, SubsetAcrossDifferentCapacities) {
+  DynamicBitset small(4);
+  small.Set(2);
+  DynamicBitset large(256);
+  large.Set(2);
+  large.Set(200);
+  EXPECT_TRUE(small.IsSubsetOf(large));
+  EXPECT_FALSE(large.IsSubsetOf(small));
+}
+
+TEST(BitsetTest, Disjoint) {
+  DynamicBitset a(64), b(64);
+  a.Set(1);
+  b.Set(2);
+  EXPECT_TRUE(a.IsDisjointFrom(b));
+  b.Set(1);
+  EXPECT_FALSE(a.IsDisjointFrom(b));
+}
+
+TEST(BitsetTest, UnionIntersectionDifference) {
+  DynamicBitset a(8), b(8);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  DynamicBitset u = a.Union(b);
+  EXPECT_TRUE(u.Test(1) && u.Test(2) && u.Test(3));
+  EXPECT_EQ(u.Count(), 3u);
+  DynamicBitset i = a.Intersection(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(2));
+  DynamicBitset d = a.Difference(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitsetTest, UnionInPlaceGrows) {
+  DynamicBitset a(4);
+  a.Set(0);
+  DynamicBitset b(128);
+  b.Set(100);
+  a.UnionInPlace(b);
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(100));
+}
+
+TEST(BitsetTest, EqualityIgnoresCapacity) {
+  DynamicBitset a(4), b(512);
+  a.Set(2);
+  b.Set(2);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(300);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitsetTest, ToIndicesAscending) {
+  DynamicBitset b(200);
+  b.Set(190);
+  b.Set(5);
+  b.Set(64);
+  EXPECT_EQ(b.ToIndices(), (std::vector<size_t>{5, 64, 190}));
+}
+
+TEST(BitsetTest, ToStringRendering) {
+  DynamicBitset b(8);
+  EXPECT_EQ(b.ToString(), "{}");
+  b.Set(1);
+  b.Set(3);
+  EXPECT_EQ(b.ToString(), "{1,3}");
+}
+
+// Property sweep: algebraic laws on random sets of varying widths.
+class BitsetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsetPropertyTest, AlgebraicLaws) {
+  Rng rng(GetParam());
+  size_t width = 1 + rng.NextBelow(300);
+  auto random_set = [&] {
+    DynamicBitset s(width);
+    for (size_t i = 0; i < width; ++i) {
+      if (rng.NextBool(1, 3)) {
+        s.Set(i);
+      }
+    }
+    return s;
+  };
+  DynamicBitset a = random_set(), b = random_set(), c = random_set();
+
+  // Union/intersection commute and associate.
+  EXPECT_TRUE(a.Union(b) == b.Union(a));
+  EXPECT_TRUE(a.Intersection(b) == b.Intersection(a));
+  EXPECT_TRUE(a.Union(b).Union(c) == a.Union(b.Union(c)));
+  EXPECT_TRUE(a.Intersection(b).Intersection(c) == a.Intersection(b.Intersection(c)));
+  // Absorption.
+  EXPECT_TRUE(a.Union(a.Intersection(b)) == a);
+  EXPECT_TRUE(a.Intersection(a.Union(b)) == a);
+  // Subset characterizations.
+  EXPECT_EQ(a.IsSubsetOf(b), a.Union(b) == b);
+  EXPECT_EQ(a.IsSubsetOf(b), a.Intersection(b) == a);
+  // Difference disjoint from subtrahend.
+  EXPECT_TRUE(a.Difference(b).IsDisjointFrom(b));
+  // Counts are consistent (inclusion-exclusion).
+  EXPECT_EQ(a.Union(b).Count() + a.Intersection(b).Count(), a.Count() + b.Count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetPropertyTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,145 @@
+#include "src/codeload/code_loader.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+class CodeLoaderTest : public ::testing::Test {
+ protected:
+  CodeLoaderTest() : kernel_(MonitorOptions{.check_traversal = false}) {
+    dev_ = *kernel_.principals().CreateUser("dev");
+    (void)kernel_.labels().DefineLevels({"others", "organization", "local"});
+    local_ = SecurityClass(2, Cats({0, 1}));
+    org_ = SecurityClass(1, Cats({0}));
+    remote_ = SecurityClass(0, Cats({}));
+    (void)*kernel_.RegisterService("/svc/s", kernel_.system_principal());
+    proc_ = *kernel_.RegisterProcedure("/svc/s/p", kernel_.system_principal(),
+                                       [](CallContext&) -> StatusOr<Value> {
+                                         return Value{int64_t{7}};
+                                       });
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, dev_, AccessMode::kExecute | AccessMode::kList});
+    (void)kernel_.name_space().SetAclRef(proc_, kernel_.acls().Create(std::move(acl)));
+  }
+
+  static CategorySet Cats(std::initializer_list<size_t> bits) {
+    CategorySet cats(2);
+    for (size_t b : bits) {
+      cats.Set(b);
+    }
+    return cats;
+  }
+
+  ExtensionManifest Manifest(Origin origin, std::string name = "ext") {
+    ExtensionManifest manifest;
+    manifest.name = std::move(name);
+    manifest.origin = origin;
+    return manifest;
+  }
+
+  OriginPolicy StandardPolicy() { return OriginPolicy::Standard(local_, org_, remote_); }
+
+  Kernel kernel_;
+  PrincipalId dev_;
+  SecurityClass local_, org_, remote_;
+  NodeId proc_;
+};
+
+TEST_F(CodeLoaderTest, ChecksumIsStructureSensitive) {
+  ExtensionManifest manifest = Manifest(Origin::kLocal);
+  manifest.imports = {"/svc/s/p"};
+  uint64_t base = ComputeManifestChecksum(manifest);
+  EXPECT_EQ(base, ComputeManifestChecksum(manifest));
+
+  ExtensionManifest renamed = manifest;
+  renamed.name = "other";
+  EXPECT_NE(base, ComputeManifestChecksum(renamed));
+
+  ExtensionManifest more_imports = manifest;
+  more_imports.imports.push_back("/svc/s/q");
+  EXPECT_NE(base, ComputeManifestChecksum(more_imports));
+
+  ExtensionManifest other_origin = manifest;
+  other_origin.origin = Origin::kRemote;
+  EXPECT_NE(base, ComputeManifestChecksum(other_origin));
+
+  ExtensionManifest pinned = manifest;
+  pinned.static_class = org_;
+  EXPECT_NE(base, ComputeManifestChecksum(pinned));
+}
+
+TEST_F(CodeLoaderTest, TamperedImageRejected) {
+  CodeLoader loader(&kernel_, StandardPolicy());
+  CodeImage image = PackageExtension(Manifest(Origin::kLocal));
+  image.manifest.imports.push_back("/svc/s/p");  // tamper after packaging
+  Subject subject = kernel_.CreateSubject(dev_, local_);
+  auto result = loader.Load(image, subject);
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(loader.rejected_tampered(), 1u);
+  EXPECT_EQ(loader.loads(), 0u);
+}
+
+TEST_F(CodeLoaderTest, ForbiddenOriginRejected) {
+  OriginPolicy policy = StandardPolicy();
+  policy.Forbid(Origin::kRemote);
+  CodeLoader loader(&kernel_, std::move(policy));
+  Subject subject = kernel_.CreateSubject(dev_, local_);
+  auto result = loader.Load(PackageExtension(Manifest(Origin::kRemote)), subject);
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(loader.rejected_forbidden_origin(), 1u);
+}
+
+TEST_F(CodeLoaderTest, RemoteCodeIsPinnedToTheFloor) {
+  // A remote manifest requesting the local class is clamped: the origin
+  // ceiling wins (the paper's "always run at the least level of trust").
+  CodeLoader loader(&kernel_, StandardPolicy());
+  ExtensionManifest manifest = Manifest(Origin::kRemote);
+  manifest.static_class = local_;  // greedy request
+  Subject subject = kernel_.CreateSubject(dev_, local_);
+  auto id = loader.Load(PackageExtension(manifest), subject);
+  ASSERT_TRUE(id.ok()) << id.status();
+  const LinkedExtension* ext = kernel_.GetExtension(*id);
+  EXPECT_TRUE(ext->handler_class == remote_.Meet(local_));
+  EXPECT_EQ(ext->handler_class.level(), 0);
+}
+
+TEST_F(CodeLoaderTest, LoaderClearanceAlsoCaps) {
+  // Even local-origin code loaded by an organization-class subject runs at
+  // most at the loader's class.
+  CodeLoader loader(&kernel_, StandardPolicy());
+  Subject org_loader = kernel_.CreateSubject(dev_, org_);
+  auto id = loader.Load(PackageExtension(Manifest(Origin::kLocal)), org_loader);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(kernel_.GetExtension(*id)->handler_class == local_.Meet(org_));
+}
+
+TEST_F(CodeLoaderTest, PinnedClassGovernsLinkChecks) {
+  // The remote floor cannot execute a procedure labeled organization-high,
+  // so a remote extension importing it fails to link even when the loader
+  // itself is fully trusted.
+  (void)kernel_.name_space().SetLabelRef(proc_, kernel_.labels().StoreLabel(org_));
+  CodeLoader loader(&kernel_, StandardPolicy());
+  ExtensionManifest manifest = Manifest(Origin::kRemote);
+  manifest.imports = {"/svc/s/p"};
+  Subject subject = kernel_.CreateSubject(dev_, local_);
+  auto result = loader.Load(PackageExtension(manifest), subject);
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+
+  // The same image from an organization origin links fine.
+  ExtensionManifest org_manifest = manifest;
+  org_manifest.origin = Origin::kOrganization;
+  EXPECT_TRUE(loader.Load(PackageExtension(org_manifest), subject).ok());
+  EXPECT_EQ(loader.loads(), 1u);
+}
+
+TEST_F(CodeLoaderTest, StandardPolicyCoversAllOrigins) {
+  OriginPolicy policy = StandardPolicy();
+  EXPECT_TRUE(policy.CeilingFor(Origin::kLocal).ok());
+  EXPECT_TRUE(policy.CeilingFor(Origin::kOrganization).ok());
+  EXPECT_TRUE(policy.CeilingFor(Origin::kRemote).ok());
+  EXPECT_TRUE(*policy.CeilingFor(Origin::kLocal) == local_);
+}
+
+}  // namespace
+}  // namespace xsec

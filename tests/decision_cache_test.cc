@@ -1,0 +1,123 @@
+#include "src/monitor/decision_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+Subject MakeSubject(uint32_t principal, TrustLevel level = 0) {
+  return Subject{PrincipalId{principal}, SecurityClass(level, CategorySet(4)), 1};
+}
+
+TEST(DecisionCacheTest, MissThenHit) {
+  DecisionCache cache(64);
+  Subject s = MakeSubject(1);
+  CacheStamps stamps{1, 1, 1, 1};
+  DecisionCache::CachedDecision out;
+  EXPECT_FALSE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, stamps, &out));
+  cache.Insert(s, NodeId{5}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+  ASSERT_TRUE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, stamps, &out));
+  EXPECT_TRUE(out.allowed);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DecisionCacheTest, StaleStampsInvalidate) {
+  DecisionCache cache(64);
+  Subject s = MakeSubject(1);
+  CacheStamps old_stamps{1, 1, 1, 1};
+  cache.Insert(s, NodeId{5}, AccessMode::kRead, old_stamps, {true, DenyReason::kNone});
+  CacheStamps new_stamps{2, 1, 1, 1};  // namespace changed
+  DecisionCache::CachedDecision out;
+  EXPECT_FALSE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, new_stamps, &out));
+  EXPECT_EQ(cache.stale_hits(), 1u);
+  // And the slot is vacated: a second lookup with the old stamps also misses.
+  EXPECT_FALSE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, old_stamps, &out));
+}
+
+TEST(DecisionCacheTest, EachStampComponentMatters) {
+  Subject s = MakeSubject(1);
+  CacheStamps base{5, 6, 7, 8};
+  for (int which = 0; which < 4; ++which) {
+    DecisionCache cache(64);
+    cache.Insert(s, NodeId{9}, AccessMode::kList, base, {true, DenyReason::kNone});
+    CacheStamps changed = base;
+    switch (which) {
+      case 0:
+        changed.namespace_generation++;
+        break;
+      case 1:
+        changed.acl_generation++;
+        break;
+      case 2:
+        changed.membership_epoch++;
+        break;
+      case 3:
+        changed.label_epoch++;
+        break;
+    }
+    DecisionCache::CachedDecision out;
+    EXPECT_FALSE(cache.Lookup(s, NodeId{9}, AccessMode::kList, changed, &out)) << which;
+  }
+}
+
+TEST(DecisionCacheTest, KeyIncludesPrincipalNodeModesAndClass) {
+  DecisionCache cache(1u << 12);
+  CacheStamps stamps{1, 1, 1, 1};
+  Subject s1 = MakeSubject(1);
+  cache.Insert(s1, NodeId{5}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+
+  DecisionCache::CachedDecision out;
+  // Different principal.
+  EXPECT_FALSE(cache.Lookup(MakeSubject(2), NodeId{5}, AccessMode::kRead, stamps, &out));
+  // Different node.
+  EXPECT_FALSE(cache.Lookup(s1, NodeId{6}, AccessMode::kRead, stamps, &out));
+  // Different modes.
+  EXPECT_FALSE(cache.Lookup(s1, NodeId{5}, AccessMode::kWrite, stamps, &out));
+  // Different security class (same principal).
+  EXPECT_FALSE(cache.Lookup(MakeSubject(1, 2), NodeId{5}, AccessMode::kRead, stamps, &out));
+  // Original still present.
+  EXPECT_TRUE(cache.Lookup(s1, NodeId{5}, AccessMode::kRead, stamps, &out));
+}
+
+TEST(DecisionCacheTest, CachesDenialsToo) {
+  DecisionCache cache(64);
+  Subject s = MakeSubject(1);
+  CacheStamps stamps{1, 1, 1, 1};
+  cache.Insert(s, NodeId{5}, AccessMode::kWrite, stamps,
+               {false, DenyReason::kDacExplicitDeny});
+  DecisionCache::CachedDecision out;
+  ASSERT_TRUE(cache.Lookup(s, NodeId{5}, AccessMode::kWrite, stamps, &out));
+  EXPECT_FALSE(out.allowed);
+  EXPECT_EQ(out.reason, DenyReason::kDacExplicitDeny);
+}
+
+TEST(DecisionCacheTest, ClearEmptiesEverySlot) {
+  DecisionCache cache(64);
+  Subject s = MakeSubject(1);
+  CacheStamps stamps{1, 1, 1, 1};
+  for (uint32_t n = 0; n < 32; ++n) {
+    cache.Insert(s, NodeId{n}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+  }
+  cache.Clear();
+  DecisionCache::CachedDecision out;
+  for (uint32_t n = 0; n < 32; ++n) {
+    EXPECT_FALSE(cache.Lookup(s, NodeId{n}, AccessMode::kRead, stamps, &out));
+  }
+}
+
+TEST(DecisionCacheTest, CollisionOverwrites) {
+  // A 1-slot cache: every distinct key collides.
+  DecisionCache cache(1);
+  Subject s = MakeSubject(1);
+  CacheStamps stamps{1, 1, 1, 1};
+  cache.Insert(s, NodeId{1}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+  cache.Insert(s, NodeId{2}, AccessMode::kRead, stamps, {false, DenyReason::kMacFlow});
+  DecisionCache::CachedDecision out;
+  EXPECT_FALSE(cache.Lookup(s, NodeId{1}, AccessMode::kRead, stamps, &out));
+  ASSERT_TRUE(cache.Lookup(s, NodeId{2}, AccessMode::kRead, stamps, &out));
+  EXPECT_FALSE(out.allowed);
+}
+
+}  // namespace
+}  // namespace xsec

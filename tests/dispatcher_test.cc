@@ -1,0 +1,125 @@
+#include "src/extsys/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+SecurityClass Cls(TrustLevel level, std::initializer_list<size_t> cats = {}) {
+  CategorySet set(4);
+  for (size_t c : cats) {
+    set.Set(c);
+  }
+  return SecurityClass(level, std::move(set));
+}
+
+HandlerFn Handler(int64_t tag) {
+  return [tag](CallContext&) -> StatusOr<Value> { return Value{tag}; };
+}
+
+int64_t TagOf(const EventDispatcher::HandlerRecord* record) {
+  CallContext ctx;
+  return std::get<int64_t>(*record->handler(ctx));
+}
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  EventDispatcher dispatcher_;
+  NodeId iface_{7};
+};
+
+TEST_F(DispatcherTest, NoHandlersIsNotFound) {
+  auto selected = dispatcher_.Select(iface_, Cls(2), DispatchMode::kClassSelected);
+  EXPECT_EQ(selected.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dispatcher_.HandlerCount(iface_), 0u);
+}
+
+TEST_F(DispatcherTest, ClassSelectedPicksMostTrustedEligible) {
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(0), Handler(100));
+  dispatcher_.Register(iface_, ExtensionId{1}, Cls(1), Handler(200));
+  dispatcher_.Register(iface_, ExtensionId{2}, Cls(2), Handler(300));
+
+  // A top caller gets the level-2 handler; a mid caller the level-1; a bottom
+  // caller the level-0.
+  auto top = dispatcher_.Select(iface_, Cls(2), DispatchMode::kClassSelected);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(TagOf(top->front()), 300);
+  auto mid = dispatcher_.Select(iface_, Cls(1), DispatchMode::kClassSelected);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(TagOf(mid->front()), 200);
+  auto low = dispatcher_.Select(iface_, Cls(0), DispatchMode::kClassSelected);
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(TagOf(low->front()), 100);
+}
+
+TEST_F(DispatcherTest, CallerBelowEveryHandlerIsDenied) {
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(1, {1}), Handler(1));
+  auto selected = dispatcher_.Select(iface_, Cls(0), DispatchMode::kClassSelected);
+  EXPECT_EQ(selected.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(DispatcherTest, CategorySeparationInSelection) {
+  // Handlers installed by department-1 and department-2 extensions.
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(1, {1}), Handler(10));
+  dispatcher_.Register(iface_, ExtensionId{1}, Cls(1, {2}), Handler(20));
+  // A department-1 caller only reaches the department-1 handler.
+  auto dep1 = dispatcher_.Select(iface_, Cls(1, {1}), DispatchMode::kClassSelected);
+  ASSERT_TRUE(dep1.ok());
+  EXPECT_EQ(TagOf(dep1->front()), 10);
+  auto dep2 = dispatcher_.Select(iface_, Cls(1, {2}), DispatchMode::kClassSelected);
+  ASSERT_TRUE(dep2.ok());
+  EXPECT_EQ(TagOf(dep2->front()), 20);
+  // A dual-category caller reaches both; ties between incomparable handler
+  // classes break by registration order.
+  auto both = dispatcher_.Select(iface_, Cls(1, {1, 2}), DispatchMode::kClassSelected);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(TagOf(both->front()), 10);
+}
+
+TEST_F(DispatcherTest, FirstRegisteredIgnoresClasses) {
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(2), Handler(1));
+  dispatcher_.Register(iface_, ExtensionId{1}, Cls(0), Handler(2));
+  auto selected = dispatcher_.Select(iface_, Cls(0), DispatchMode::kFirstRegistered);
+  ASSERT_TRUE(selected.ok());
+  // Plain dispatch hands a bottom caller the level-2 handler — exactly the
+  // hole class-selected dispatch closes.
+  EXPECT_EQ(TagOf(selected->front()), 1);
+}
+
+TEST_F(DispatcherTest, BroadcastReturnsAllEligibleInOrder) {
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(0), Handler(1));
+  dispatcher_.Register(iface_, ExtensionId{1}, Cls(1), Handler(2));
+  dispatcher_.Register(iface_, ExtensionId{2}, Cls(2), Handler(3));
+  auto selected = dispatcher_.Select(iface_, Cls(1), DispatchMode::kBroadcast);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 2u);
+  EXPECT_EQ(TagOf((*selected)[0]), 1);
+  EXPECT_EQ(TagOf((*selected)[1]), 2);
+}
+
+TEST_F(DispatcherTest, UnregisterExtensionRemovesItsHandlers) {
+  dispatcher_.Register(iface_, ExtensionId{0}, Cls(0), Handler(1));
+  dispatcher_.Register(iface_, ExtensionId{1}, Cls(0), Handler(2));
+  dispatcher_.Register(NodeId{8}, ExtensionId{0}, Cls(0), Handler(3));
+  EXPECT_EQ(dispatcher_.total_handlers(), 3u);
+  EXPECT_EQ(dispatcher_.UnregisterExtension(ExtensionId{0}), 2u);
+  EXPECT_EQ(dispatcher_.total_handlers(), 1u);
+  EXPECT_EQ(dispatcher_.HandlerCount(iface_), 1u);
+  auto selected = dispatcher_.Select(iface_, Cls(2), DispatchMode::kClassSelected);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(TagOf(selected->front()), 2);
+}
+
+TEST_F(DispatcherTest, HandlersOnDifferentInterfacesAreIndependent) {
+  dispatcher_.Register(NodeId{1}, ExtensionId{0}, Cls(0), Handler(1));
+  dispatcher_.Register(NodeId{2}, ExtensionId{1}, Cls(0), Handler(2));
+  auto a = dispatcher_.Select(NodeId{1}, Cls(2), DispatchMode::kClassSelected);
+  auto b = dispatcher_.Select(NodeId{2}, Cls(2), DispatchMode::kClassSelected);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(TagOf(a->front()), 1);
+  EXPECT_EQ(TagOf(b->front()), 2);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,72 @@
+#include "src/core/flow_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/java_sandbox_model.h"
+#include "src/baselines/nt_model.h"
+#include "src/baselines/unix_model.h"
+#include "src/baselines/xsec_model.h"
+
+namespace xsec {
+namespace {
+
+FlowSimConfig SmallConfig(uint64_t seed = 42) {
+  FlowSimConfig config;
+  config.num_subjects = 8;
+  config.num_objects = 32;
+  config.num_ops = 4000;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FlowSimTest, FullModelNeverViolatesFlow) {
+  XsecFullModel full;
+  for (uint64_t seed : {1u, 2u, 3u, 7u, 42u}) {
+    FlowSimResult result = RunFlowSimulation(full, SmallConfig(seed));
+    EXPECT_EQ(result.flow_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(result.ops, 4000u);
+    // And it is exactly as permissive as the lattice allows: with DAC wide
+    // open, it never over-restricts either.
+    EXPECT_EQ(result.over_restrictions, 0u) << "seed " << seed;
+    EXPECT_GT(result.allowed, 0u);
+    EXPECT_GT(result.denied, 0u);
+  }
+}
+
+TEST(FlowSimTest, DacOnlyModelLeaks) {
+  XsecDacModel dac;
+  FlowSimResult result = RunFlowSimulation(dac, SmallConfig());
+  // DAC is wide open in the simulation: everything is allowed, so every
+  // flow-illegal op leaks.
+  EXPECT_GT(result.flow_violations, 0u);
+  EXPECT_EQ(result.denied, 0u);
+}
+
+TEST(FlowSimTest, ClassicalModelsLeakToo) {
+  UnixModel unix_model;
+  NtModel nt;
+  JavaSandboxModel java;
+  FlowSimConfig config = SmallConfig();
+  EXPECT_GT(RunFlowSimulation(unix_model, config).flow_violations, 0u);
+  EXPECT_GT(RunFlowSimulation(nt, config).flow_violations, 0u);
+  EXPECT_GT(RunFlowSimulation(java, config).flow_violations, 0u);
+}
+
+TEST(FlowSimTest, DeterministicForFixedSeed) {
+  XsecDacModel dac;
+  FlowSimResult a = RunFlowSimulation(dac, SmallConfig(9));
+  FlowSimResult b = RunFlowSimulation(dac, SmallConfig(9));
+  EXPECT_EQ(a.flow_violations, b.flow_violations);
+  EXPECT_EQ(a.allowed, b.allowed);
+}
+
+TEST(FlowSimTest, CountsAreConsistent) {
+  XsecFullModel full;
+  FlowSimResult result = RunFlowSimulation(full, SmallConfig());
+  EXPECT_EQ(result.allowed + result.denied, result.ops);
+  EXPECT_LE(result.flow_violations, result.allowed);
+  EXPECT_LE(result.over_restrictions, result.denied);
+}
+
+}  // namespace
+}  // namespace xsec

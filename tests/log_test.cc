@@ -1,0 +1,92 @@
+#include "src/services/log.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+class LogServiceTest : public ::testing::Test {
+ protected:
+  LogServiceTest() {
+    (void)sys_.labels().DefineLevels({"low", "high"});
+    admin_user_ = *sys_.CreateUser("admin");
+    reporter_user_ = *sys_.CreateUser("reporter");
+    high_ = *sys_.labels().MakeClass("high", {});
+    admin_ = sys_.Login(admin_user_, high_);
+    reporter_ = sys_.Login(reporter_user_, sys_.labels().Bottom());
+
+    // The syslog object sits high; DAC grants broadly (MAC is the control).
+    NodeId node = sys_.log().log_node();
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, sys_.everyone(),
+                  AccessMode::kRead | AccessMode::kWrite | AccessMode::kWriteAppend});
+    (void)sys_.name_space().SetAclRef(node, sys_.kernel().acls().Create(std::move(acl)));
+    (void)sys_.name_space().SetLabelRef(node, sys_.labels().StoreLabel(high_));
+  }
+
+  SecureSystem sys_;
+  PrincipalId admin_user_, reporter_user_;
+  SecurityClass high_;
+  Subject admin_, reporter_;
+};
+
+TEST_F(LogServiceTest, LowSubjectMayAppendUp) {
+  EXPECT_TRUE(sys_.log().AppendEntry(reporter_, "boot ok").ok());
+  auto entries = sys_.log().ReadEntries(admin_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, (std::vector<std::string>{"boot ok"}));
+}
+
+TEST_F(LogServiceTest, LowSubjectMayNotReadBack) {
+  ASSERT_TRUE(sys_.log().AppendEntry(reporter_, "x").ok());
+  EXPECT_EQ(sys_.log().ReadEntries(reporter_).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.log().Size(reporter_).status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(LogServiceTest, LowSubjectMayNotTruncate) {
+  ASSERT_TRUE(sys_.log().AppendEntry(reporter_, "x").ok());
+  EXPECT_EQ(sys_.log().Truncate(reporter_).code(), StatusCode::kPermissionDenied);
+  // The high admin can truncate (equal classes).
+  ASSERT_TRUE(sys_.log().Truncate(admin_).ok());
+  EXPECT_EQ(*sys_.log().Size(admin_), 0);
+}
+
+TEST_F(LogServiceTest, AppendsPreserveOrder) {
+  ASSERT_TRUE(sys_.log().AppendEntry(reporter_, "one").ok());
+  ASSERT_TRUE(sys_.log().AppendEntry(admin_, "two").ok());
+  ASSERT_TRUE(sys_.log().AppendEntry(reporter_, "three").ok());
+  auto entries = sys_.log().ReadEntries(admin_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, (std::vector<std::string>{"one", "two", "three"}));
+  EXPECT_EQ(*sys_.log().Size(admin_), 3);
+}
+
+TEST_F(LogServiceTest, DacDenialStillApplies) {
+  // Replace the ACL with one that grants nothing to the reporter.
+  NodeId node = sys_.log().log_node();
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, admin_user_, AccessModeSet::All()});
+  (void)sys_.name_space().SetAclRef(node, sys_.kernel().acls().Create(std::move(acl)));
+  EXPECT_EQ(sys_.log().AppendEntry(reporter_, "x").code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(LogServiceTest, ProcedureInterface) {
+  ASSERT_TRUE(
+      sys_.Invoke(reporter_, "/svc/log/append", {Value{std::string("via-proc")}}).ok());
+  auto text = sys_.Invoke(admin_, "/svc/log/read", {});
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(std::get<std::string>(*text), "via-proc");
+  auto size = sys_.Invoke(admin_, "/svc/log/size", {});
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(std::get<int64_t>(*size), 1);
+  EXPECT_EQ(sys_.Invoke(reporter_, "/svc/log/read", {}).status().code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(sys_.Invoke(admin_, "/svc/log/truncate", {}).ok());
+  EXPECT_EQ(*sys_.log().Size(admin_), 0);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,105 @@
+#include "src/services/mbuf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+class MbufTest : public ::testing::Test {
+ protected:
+  MbufTest() {
+    alice_ = sys_.Login(*sys_.CreateUser("alice"), sys_.labels().Bottom());
+    bob_ = sys_.Login(*sys_.CreateUser("bob"), sys_.labels().Bottom());
+  }
+
+  SecureSystem sys_;
+  Subject alice_, bob_;
+};
+
+TEST_F(MbufTest, AllocAppendReadFree) {
+  auto id = sys_.mbufs().Alloc(alice_, 16);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(sys_.mbufs().Append(alice_, *id, {1, 2, 3}).ok());
+  auto data = sys_.mbufs().ReadAll(alice_, *id);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(sys_.mbufs().live_buffers(), 1u);
+  ASSERT_TRUE(sys_.mbufs().Free(alice_, *id).ok());
+  EXPECT_EQ(sys_.mbufs().live_buffers(), 0u);
+}
+
+TEST_F(MbufTest, BuffersArePrincipalPrivate) {
+  auto id = sys_.mbufs().Alloc(alice_, 8);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(sys_.mbufs().ReadAll(bob_, *id).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.mbufs().Append(bob_, *id, {9}).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.mbufs().Free(bob_, *id).code(), StatusCode::kPermissionDenied);
+  // The system principal may touch anything.
+  Subject root = sys_.SystemSubject();
+  EXPECT_TRUE(sys_.mbufs().ReadAll(root, *id).ok());
+}
+
+TEST_F(MbufTest, UnknownBufferIsNotFound) {
+  EXPECT_EQ(sys_.mbufs().ReadAll(alice_, 999).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sys_.mbufs().Free(alice_, 999).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MbufTest, ChainMovesBytesAndFreesTail) {
+  auto head = sys_.mbufs().Alloc(alice_, 8);
+  auto tail = sys_.mbufs().Alloc(alice_, 8);
+  ASSERT_TRUE(sys_.mbufs().Append(alice_, *head, {1}).ok());
+  ASSERT_TRUE(sys_.mbufs().Append(alice_, *tail, {2, 3}).ok());
+  ASSERT_TRUE(sys_.mbufs().Chain(alice_, *head, *tail).ok());
+  EXPECT_EQ(*sys_.mbufs().ReadAll(alice_, *head), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(sys_.mbufs().ReadAll(alice_, *tail).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sys_.mbufs().live_buffers(), 1u);
+}
+
+TEST_F(MbufTest, ChainRespectsOwnership) {
+  auto mine = sys_.mbufs().Alloc(alice_, 8);
+  auto theirs = sys_.mbufs().Alloc(bob_, 8);
+  EXPECT_EQ(sys_.mbufs().Chain(alice_, *mine, *theirs).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(MbufTest, PoolLimitsEnforced) {
+  MbufPool::Options tiny;
+  tiny.max_buffers = 2;
+  tiny.max_total_bytes = 4;
+  Kernel kernel;
+  MbufPool pool(&kernel, "/svc/tinybuf", tiny);
+  ASSERT_TRUE(pool.Install().ok());
+  Subject s{kernel.system_principal(), kernel.labels().Bottom(), 1};
+  auto a = pool.Alloc(s, 0);
+  auto b = pool.Alloc(s, 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.Alloc(s, 0).status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pool.Append(s, *a, {1, 2, 3, 4}).ok());
+  EXPECT_EQ(pool.Append(s, *b, {5}).code(), StatusCode::kResourceExhausted);
+  // Freeing returns capacity.
+  ASSERT_TRUE(pool.Free(s, *a).ok());
+  EXPECT_TRUE(pool.Alloc(s, 0).ok());
+}
+
+TEST_F(MbufTest, ProcedureInterface) {
+  auto id = sys_.Invoke(alice_, "/svc/mbuf/alloc", {Value{int64_t{16}}});
+  ASSERT_TRUE(id.ok());
+  int64_t handle = std::get<int64_t>(*id);
+  ASSERT_TRUE(sys_.Invoke(alice_, "/svc/mbuf/append",
+                          {Value{handle}, Value{std::vector<uint8_t>{7, 8}}})
+                  .ok());
+  auto data = sys_.Invoke(alice_, "/svc/mbuf/read", {Value{handle}});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::get<std::vector<uint8_t>>(*data), (std::vector<uint8_t>{7, 8}));
+  auto stats = sys_.Invoke(alice_, "/svc/mbuf/stats", {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(std::get<int64_t>(*stats), 1);
+  ASSERT_TRUE(sys_.Invoke(alice_, "/svc/mbuf/free", {Value{handle}}).ok());
+}
+
+}  // namespace
+}  // namespace xsec

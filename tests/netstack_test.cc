@@ -1,0 +1,203 @@
+#include "src/services/netstack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+// A protocol implementation that upper-cases the payload, tagged per class.
+HandlerFn UppercaseProto() {
+  return [](CallContext& ctx) -> StatusOr<Value> {
+    auto payload = ArgBytes(ctx.args, 1);
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    std::vector<uint8_t> out = *payload;
+    for (uint8_t& c : out) {
+      if (c >= 'a' && c <= 'z') {
+        c = static_cast<uint8_t>(c - 'a' + 'A');
+      }
+    }
+    return Value{out};
+  };
+}
+
+class NetStackTest : public ::testing::Test {
+ protected:
+  NetStackTest() {
+    (void)sys_.labels().DefineLevels({"low", "high"});
+    dev_user_ = *sys_.CreateUser("proto-dev");
+    user_user_ = *sys_.CreateUser("user");
+    other_user_ = *sys_.CreateUser("other");
+    high_ = *sys_.labels().MakeClass("high", {});
+    dev_ = sys_.Login(dev_user_, sys_.labels().Bottom());
+    user_ = sys_.Login(user_user_, sys_.labels().Bottom());
+    other_ = sys_.Login(other_user_, sys_.labels().Bottom());
+
+    NodeId iface = *sys_.net().CreateProtocol("upper", sys_.system_principal());
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, dev_user_, AccessModeSet(AccessMode::kExtend)});
+    acl.AddEntry({AclEntryType::kAllow, sys_.everyone(),
+                  AccessMode::kExecute | AccessMode::kList});
+    (void)sys_.name_space().SetAclRef(iface, sys_.kernel().acls().Create(std::move(acl)));
+  }
+
+  StatusOr<ExtensionId> LoadProto(std::string name = "upper-impl",
+                                  std::optional<SecurityClass> cls = {}) {
+    ExtensionManifest manifest;
+    manifest.name = std::move(name);
+    manifest.static_class = cls;
+    manifest.exports.push_back(
+        {sys_.net().ProtocolInterfacePath("upper"), UppercaseProto()});
+    return sys_.LoadExtension(manifest, dev_);
+  }
+
+  StatusOr<ExtensionId> LoadFilter(std::string name, uint8_t forbidden_first_byte) {
+    ExtensionManifest manifest;
+    manifest.name = std::move(name);
+    manifest.exports.push_back(
+        {"/svc/net/filter", [forbidden_first_byte](CallContext& ctx) -> StatusOr<Value> {
+           auto payload = ArgBytes(ctx.args, 2);
+           if (!payload.ok()) {
+             return payload.status();
+           }
+           return Value{payload->empty() || (*payload)[0] != forbidden_first_byte};
+         }});
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, dev_user_,
+                  AccessMode::kExtend | AccessMode::kExecute});
+    (void)sys_.name_space().SetAclRef(sys_.net().filter_interface(),
+                                      sys_.kernel().acls().Create(std::move(acl)));
+    return sys_.LoadExtension(manifest, dev_);
+  }
+
+  SecureSystem sys_;
+  PrincipalId dev_user_, user_user_, other_user_;
+  SecurityClass high_;
+  Subject dev_, user_, other_;
+};
+
+TEST_F(NetStackTest, DeviceLifecycleAndDelivery) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "eth0").ok());
+  auto delivered = sys_.net().Inject(user_, "eth0", "upper", Bytes("hello"));
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_TRUE(*delivered);
+  EXPECT_EQ(*sys_.net().Delivered(user_, "eth0"), 1);
+  // The device is a named, protected object.
+  EXPECT_TRUE(sys_.name_space().Lookup("/obj/net/eth0").ok());
+}
+
+TEST_F(NetStackTest, DevicesArePerOwnerProtected) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "eth0").ok());
+  // Another principal can neither inject into nor read the device.
+  EXPECT_EQ(sys_.net().Inject(other_, "eth0", "upper", Bytes("x")).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.net().Delivered(other_, "eth0").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.net().Send(other_, "eth0", Bytes("x")).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(NetStackTest, DuplicateAndInvalidDevices) {
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "eth0").ok());
+  EXPECT_EQ(sys_.net().CreateDevice(user_, "eth0").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(sys_.net().CreateDevice(user_, "bad/name").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sys_.net().Inject(user_, "missing", "upper", {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NetStackTest, UnimplementedProtocolIsNotFound) {
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "eth0").ok());
+  EXPECT_EQ(sys_.net().Inject(user_, "eth0", "upper", Bytes("x")).status().code(),
+            StatusCode::kNotFound);  // no handler registered yet
+  EXPECT_EQ(sys_.net().Inject(user_, "eth0", "nosuch", Bytes("x")).status().code(),
+            StatusCode::kNotFound);  // no such interface at all
+}
+
+TEST_F(NetStackTest, ProtocolHandlerProcessesPayload) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "eth0").ok());
+  ASSERT_TRUE(sys_.net().Inject(user_, "eth0", "upper", Bytes("abc")).ok());
+  // Delivered payloads pass through the extension (upper-cased).
+  // Reach into the service via a second injection + count check, then use
+  // the send queue for a distinguishable observation.
+  EXPECT_EQ(*sys_.net().Delivered(user_, "eth0"), 1);
+  ASSERT_TRUE(sys_.net().Send(user_, "eth0", Bytes("out")).ok());
+  EXPECT_EQ(*sys_.net().TxQueued(user_, "eth0"), 1);
+}
+
+TEST_F(NetStackTest, FiltersDropPackets) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(LoadFilter("no-x", 'x').ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(dev_, "eth0").ok());
+  auto passed = sys_.net().Inject(dev_, "eth0", "upper", Bytes("allowed"));
+  ASSERT_TRUE(passed.ok());
+  EXPECT_TRUE(*passed);
+  auto dropped = sys_.net().Inject(dev_, "eth0", "upper", Bytes("xblocked"));
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_FALSE(*dropped);
+  EXPECT_EQ(sys_.net().packets_filtered(), 1u);
+  EXPECT_EQ(*sys_.net().Delivered(dev_, "eth0"), 1);
+}
+
+TEST_F(NetStackTest, AllFiltersMustPass) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(LoadFilter("no-x", 'x').ok());
+  ASSERT_TRUE(LoadFilter("no-y", 'y').ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(dev_, "eth0").ok());
+  EXPECT_FALSE(*sys_.net().Inject(dev_, "eth0", "upper", Bytes("x1")));
+  EXPECT_FALSE(*sys_.net().Inject(dev_, "eth0", "upper", Bytes("y2")));
+  EXPECT_TRUE(*sys_.net().Inject(dev_, "eth0", "upper", Bytes("z3")));
+}
+
+TEST_F(NetStackTest, ClassSelectedProtocolImplementations) {
+  // Two implementations: the baseline at ⊥ and a premium one at high.
+  ASSERT_TRUE(LoadProto("upper-low", sys_.labels().Bottom()).ok());
+  ASSERT_TRUE(LoadProto("upper-high", high_).ok());
+  Subject user_high = sys_.Login(user_user_, high_);
+  ASSERT_TRUE(sys_.net().CreateDevice(user_high, "hi0").ok());
+  ASSERT_TRUE(sys_.net().CreateDevice(user_, "lo0").ok());
+  // Both callers are served (each by an implementation they dominate).
+  EXPECT_TRUE(*sys_.net().Inject(user_high, "hi0", "upper", Bytes("a")));
+  EXPECT_TRUE(*sys_.net().Inject(user_, "lo0", "upper", Bytes("b")));
+  // A low subject may still inject into the high device — that is a blind
+  // append up, legal under the ⋆-property — but it can never read it back.
+  EXPECT_TRUE(*sys_.net().Inject(user_, "hi0", "upper", Bytes("c")));
+  EXPECT_EQ(sys_.net().Delivered(user_, "hi0").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(*sys_.net().Delivered(user_high, "hi0"), 2);
+}
+
+TEST_F(NetStackTest, ExtendGrantRequiredForProtocolImplementations) {
+  ExtensionManifest manifest;
+  manifest.name = "rogue";
+  manifest.exports.push_back({sys_.net().ProtocolInterfacePath("upper"), UppercaseProto()});
+  EXPECT_EQ(sys_.LoadExtension(manifest, other_).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(NetStackTest, ProcedureInterface) {
+  ASSERT_TRUE(LoadProto().ok());
+  ASSERT_TRUE(sys_.Invoke(user_, "/svc/net/create_device", {Value{std::string("eth1")}}).ok());
+  auto delivered = sys_.Invoke(user_, "/svc/net/inject",
+                               {Value{std::string("eth1")}, Value{std::string("upper")},
+                                Value{Bytes("hi")}});
+  ASSERT_TRUE(delivered.ok()) << delivered.status();
+  EXPECT_TRUE(std::get<bool>(*delivered));
+  auto count = sys_.Invoke(user_, "/svc/net/delivered", {Value{std::string("eth1")}});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(std::get<int64_t>(*count), 1);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,66 @@
+#include "src/naming/path.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+TEST(PathTest, ParseRoot) {
+  auto c = ParsePath("/");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->empty());
+}
+
+TEST(PathTest, ParseNested) {
+  auto c = ParsePath("/svc/fs/read");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (std::vector<std::string>{"svc", "fs", "read"}));
+}
+
+TEST(PathTest, RejectsRelative) {
+  EXPECT_FALSE(ParsePath("svc/fs").ok());
+  EXPECT_FALSE(ParsePath("").ok());
+}
+
+TEST(PathTest, RejectsTrailingSlash) { EXPECT_FALSE(ParsePath("/svc/").ok()); }
+
+TEST(PathTest, RejectsEmptyComponent) { EXPECT_FALSE(ParsePath("/svc//fs").ok()); }
+
+TEST(PathTest, RejectsDotComponents) {
+  EXPECT_FALSE(ParsePath("/svc/./fs").ok());
+  EXPECT_FALSE(ParsePath("/svc/../fs").ok());
+}
+
+TEST(PathTest, ComponentValidity) {
+  EXPECT_TRUE(IsValidComponent("fs"));
+  EXPECT_TRUE(IsValidComponent("a-b_c.1"));
+  EXPECT_FALSE(IsValidComponent(""));
+  EXPECT_FALSE(IsValidComponent("."));
+  EXPECT_FALSE(IsValidComponent(".."));
+  EXPECT_FALSE(IsValidComponent("a/b"));
+  // Whitespace and control characters are rejected: names must survive the
+  // whitespace-delimited policy format unambiguously.
+  EXPECT_FALSE(IsValidComponent("a b"));
+  EXPECT_FALSE(IsValidComponent("a\tb"));
+  EXPECT_FALSE(IsValidComponent(std::string("a\x01b", 3)));
+}
+
+TEST(PathTest, JoinPath) {
+  EXPECT_EQ(JoinPath("/svc", "fs"), "/svc/fs");
+  EXPECT_EQ(JoinPath("/", "svc"), "/svc");
+}
+
+TEST(PathTest, ParentPath) {
+  EXPECT_EQ(ParentPath("/svc/fs/read"), "/svc/fs");
+  EXPECT_EQ(ParentPath("/svc"), "/");
+  EXPECT_EQ(ParentPath("/"), "/");
+}
+
+TEST(PathTest, Basename) {
+  EXPECT_EQ(Basename("/svc/fs/read"), "read");
+  EXPECT_EQ(Basename("/svc"), "svc");
+  EXPECT_EQ(Basename("/"), "");
+}
+
+}  // namespace
+}  // namespace xsec

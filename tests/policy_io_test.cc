@@ -1,0 +1,233 @@
+#include "src/policy/policy_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+TEST(PolicyIoTest, SerializeContainsEveryLayer) {
+  Kernel kernel;
+  (void)kernel.labels().DefineLevels({"low", "high"});
+  (void)kernel.labels().DefineCategory("alpha");
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  PrincipalId staff = *kernel.principals().CreateGroup("staff");
+  (void)kernel.principals().AddMember(staff, alice);
+  kernel.monitor().set_security_officer(alice);
+  NodeId dir = *kernel.name_space().BindPath("/fs/data", NodeKind::kDirectory, alice);
+  (void)kernel.name_space().SetLabelRef(
+      dir, kernel.labels().StoreLabel(*kernel.labels().MakeClass("high", {"alpha"})));
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, staff, AccessMode::kRead | AccessMode::kList});
+  acl.AddEntry({AclEntryType::kDeny, alice, AccessModeSet(AccessMode::kWrite)});
+  (void)kernel.name_space().SetAclRef(dir, kernel.acls().Create(std::move(acl)));
+
+  std::string text = SerializePolicy(kernel);
+  EXPECT_NE(text.find("xsec-policy v1"), std::string::npos);
+  EXPECT_NE(text.find("levels low high"), std::string::npos);
+  EXPECT_NE(text.find("category alpha"), std::string::npos);
+  EXPECT_NE(text.find("user alice"), std::string::npos);
+  EXPECT_NE(text.find("group staff"), std::string::npos);
+  EXPECT_NE(text.find("member staff alice"), std::string::npos);
+  EXPECT_NE(text.find("officer alice"), std::string::npos);
+  EXPECT_NE(text.find("node /fs/data directory alice"), std::string::npos);
+  EXPECT_NE(text.find("label /fs/data high alpha"), std::string::npos);
+  EXPECT_NE(text.find("acl /fs/data allow staff read|list"), std::string::npos);
+  EXPECT_NE(text.find("acl /fs/data deny alice write"), std::string::npos);
+}
+
+TEST(PolicyIoTest, RoundTripIsStable) {
+  Kernel source;
+  (void)source.labels().DefineLevels({"others", "organization", "local"});
+  (void)source.labels().DefineCategory("dep1");
+  (void)source.labels().DefineCategory("dep2");
+  PrincipalId alice = *source.principals().CreateUser("alice");
+  PrincipalId bob = *source.principals().CreateUser("bob");
+  PrincipalId team = *source.principals().CreateGroup("team");
+  (void)source.principals().AddMember(team, alice);
+  (void)source.principals().AddMember(team, bob);
+  NodeId a = *source.name_space().BindPath("/fs/a", NodeKind::kFile, alice);
+  NodeId b = *source.name_space().BindPath("/fs/b/c", NodeKind::kObject, bob);
+  (void)source.name_space().SetLabelRef(
+      a, source.labels().StoreLabel(*source.labels().MakeClass("organization", {"dep1"})));
+  Acl acl_a;
+  acl_a.AddEntry({AclEntryType::kAllow, team, AccessModeSet(AccessMode::kRead)});
+  (void)source.name_space().SetAclRef(a, source.acls().Create(std::move(acl_a)));
+  Acl acl_b;
+  acl_b.AddEntry({AclEntryType::kDeny, bob, AccessModeSet(AccessMode::kDelete)});
+  acl_b.AddEntry({AclEntryType::kAllow, alice, AccessModeSet::All()});
+  (void)source.name_space().SetAclRef(b, source.acls().Create(std::move(acl_b)));
+
+  std::string first = SerializePolicy(source);
+  Kernel restored;
+  ASSERT_TRUE(LoadPolicy(first, &restored).ok());
+  std::string second = SerializePolicy(restored);
+  EXPECT_EQ(first, second);
+}
+
+TEST(PolicyIoTest, RestoredKernelMakesIdenticalDecisions) {
+  Kernel source;
+  (void)source.labels().DefineLevels({"low", "high"});
+  (void)source.labels().DefineCategory("a");
+  PrincipalId alice = *source.principals().CreateUser("alice");
+  PrincipalId bob = *source.principals().CreateUser("bob");
+  NodeId secret = *source.name_space().BindPath("/fs/secret", NodeKind::kFile, alice);
+  (void)source.name_space().SetLabelRef(
+      secret, source.labels().StoreLabel(*source.labels().MakeClass("high", {"a"})));
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, alice, AccessMode::kRead | AccessMode::kWrite});
+  acl.AddEntry({AclEntryType::kAllow, bob, AccessModeSet(AccessMode::kRead)});
+  (void)source.name_space().SetAclRef(secret, source.acls().Create(std::move(acl)));
+
+  Kernel restored;
+  ASSERT_TRUE(LoadPolicy(SerializePolicy(source), &restored).ok());
+
+  PrincipalId r_alice = *restored.principals().FindByName("alice");
+  PrincipalId r_bob = *restored.principals().FindByName("bob");
+  NodeId r_secret = *restored.name_space().Lookup("/fs/secret");
+  SecurityClass high = *restored.labels().MakeClass("high", {"a"});
+
+  Subject alice_high = restored.CreateSubject(r_alice, high);
+  Subject bob_low = restored.CreateSubject(r_bob, restored.labels().Bottom());
+  Subject bob_high = restored.CreateSubject(r_bob, high);
+  EXPECT_TRUE(restored.monitor().Check(alice_high, r_secret, AccessMode::kRead).allowed);
+  EXPECT_TRUE(restored.monitor().Check(alice_high, r_secret, AccessMode::kWrite).allowed);
+  EXPECT_FALSE(restored.monitor().Check(bob_low, r_secret, AccessMode::kRead).allowed);
+  EXPECT_TRUE(restored.monitor().Check(bob_high, r_secret, AccessMode::kRead).allowed);
+  EXPECT_FALSE(restored.monitor().Check(bob_high, r_secret, AccessMode::kWrite).allowed);
+}
+
+TEST(PolicyIoTest, LoadOntoBootedSystemReattachesPolicyToServices) {
+  // Serialize a SecureSystem's policy and re-apply it to a fresh one: the
+  // service nodes already exist and are reused.
+  SecureSystem source;
+  PrincipalId alice = *source.CreateUser("alice");
+  (void)*source.CreateUser("carol");
+  NodeId read_proc = *source.name_space().Lookup("/svc/fs/read");
+  (void)source.monitor().AddAclEntry(
+      source.SystemSubject(), read_proc,
+      {AclEntryType::kDeny, alice, AccessModeSet(AccessMode::kExecute)});
+  std::string text = SerializePolicy(source.kernel());
+
+  SecureSystem fresh;
+  ASSERT_TRUE(LoadPolicy(text, &fresh.kernel()).ok());
+  PrincipalId r_alice = *fresh.principals().FindByName("alice");
+  Subject subject = fresh.Login(r_alice, fresh.labels().Bottom());
+  // The procedure still has its handler (services installed it) AND the
+  // restored deny applies.
+  auto denied = fresh.Invoke(subject, "/svc/fs/read", {Value{std::string("/fs/x")}});
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  // Another restored user (in the restored "everyone" group) is unaffected.
+  PrincipalId r_carol = *fresh.principals().FindByName("carol");
+  Subject carol = fresh.Login(r_carol, fresh.labels().Bottom());
+  auto not_found = fresh.Invoke(carol, "/svc/fs/read", {Value{std::string("/fs/x")}});
+  EXPECT_EQ(not_found.status().code(), StatusCode::kNotFound);  // no such file, but callable
+}
+
+TEST(PolicyIoTest, CommentsAndBlankLinesIgnored) {
+  Kernel kernel;
+  std::string text =
+      "# a policy\n"
+      "xsec-policy v1\n"
+      "\n"
+      "user carol   # trailing comment\n"
+      "group crew\n"
+      "member crew carol\n";
+  ASSERT_TRUE(LoadPolicy(text, &kernel).ok());
+  EXPECT_TRUE(kernel.principals().FindByName("carol").ok());
+  EXPECT_TRUE(kernel.principals().FindByName("crew").ok());
+}
+
+TEST(PolicyIoTest, MalformedPoliciesAreRejectedWithLineNumbers) {
+  Kernel kernel;
+  auto expect_fail = [&kernel](std::string_view text, std::string_view needle) {
+    Kernel fresh;
+    Status status = LoadPolicy(text, &fresh);
+    ASSERT_FALSE(status.ok()) << text;
+    EXPECT_NE(status.message().find(needle), std::string::npos) << status.message();
+  };
+  expect_fail("bogus header\n", "header");
+  expect_fail("", "empty policy");
+  expect_fail("xsec-policy v1\nfrobnicate x\n", "unknown directive");
+  expect_fail("xsec-policy v1\nuser\n", "exactly one name");
+  expect_fail("xsec-policy v1\nmember ghosts nobody\n", "unknown principal");
+  expect_fail("xsec-policy v1\nnode /x widget system\n", "unknown node kind");
+  expect_fail("xsec-policy v1\nlabel /missing low\n", "unknown node");
+  expect_fail("xsec-policy v1\nuser u\nnode /x file u\nacl /x maybe u read\n", "polarity");
+  expect_fail("xsec-policy v1\nuser u\nnode /x file u\nacl /x allow u fly\n",
+              "unknown access mode");
+  expect_fail("xsec-policy v1\nlevels a b\nlevels b a\n", "already defined differently");
+  // Line numbers are reported.
+  Status status = LoadPolicy("xsec-policy v1\n\nfrobnicate\n", &kernel);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+}
+
+TEST(PolicyIoTest, ClearancesSurviveRoundTrip) {
+  Kernel source;
+  (void)source.labels().DefineLevels({"low", "high"});
+  (void)source.labels().DefineCategory("a");
+  PrincipalId alice = *source.principals().CreateUser("alice");
+  CategorySet a(1);
+  a.Set(0);
+  source.labels().SetClearance(alice.value, SecurityClass(1, a));
+
+  std::string text = SerializePolicy(source);
+  EXPECT_NE(text.find("clearance alice high a"), std::string::npos);
+
+  Kernel restored;
+  ASSERT_TRUE(LoadPolicy(text, &restored).ok());
+  PrincipalId r_alice = *restored.principals().FindByName("alice");
+  const SecurityClass* clearance = restored.labels().ClearanceOf(r_alice.value);
+  ASSERT_NE(clearance, nullptr);
+  EXPECT_EQ(clearance->level(), 1);
+  EXPECT_TRUE(clearance->categories().Test(0));
+  EXPECT_EQ(text, SerializePolicy(restored));
+}
+
+TEST(PolicyIoTest, EmptyOwnAclSurvivesRoundTrip) {
+  // An empty own ACL overrides inheritance (deny-all); it must not vanish.
+  Kernel source;
+  PrincipalId alice = *source.principals().CreateUser("alice");
+  NodeId parent = *source.name_space().BindPath("/d", NodeKind::kDirectory, alice);
+  Acl generous;
+  generous.AddEntry({AclEntryType::kAllow, alice, AccessModeSet::All()});
+  (void)source.name_space().SetAclRef(parent, source.acls().Create(std::move(generous)));
+  NodeId child = *source.name_space().BindPath("/d/locked", NodeKind::kFile, alice);
+  (void)source.name_space().SetAclRef(child, source.acls().Create(Acl()));  // deny-all
+
+  std::string text = SerializePolicy(source);
+  EXPECT_NE(text.find("acl /d/locked none"), std::string::npos);
+
+  Kernel restored;
+  ASSERT_TRUE(LoadPolicy(text, &restored).ok());
+  PrincipalId r_alice = *restored.principals().FindByName("alice");
+  NodeId r_child = *restored.name_space().Lookup("/d/locked");
+  Subject subject = restored.CreateSubject(r_alice, restored.labels().Bottom());
+  EXPECT_FALSE(restored.monitor().Check(subject, r_child, AccessMode::kRead).allowed);
+  // Round-trip stability.
+  EXPECT_EQ(text, SerializePolicy(restored));
+}
+
+TEST(PolicyIoTest, FirstAclDirectiveResetsSubsequentAppend) {
+  Kernel kernel;
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  PrincipalId bob = *kernel.principals().CreateUser("bob");
+  NodeId node = *kernel.name_space().BindPath("/x", NodeKind::kFile, alice);
+  Acl stale;
+  stale.AddEntry({AclEntryType::kAllow, bob, AccessModeSet::All()});
+  (void)kernel.name_space().SetAclRef(node, kernel.acls().Create(std::move(stale)));
+
+  std::string text =
+      "xsec-policy v1\n"
+      "acl /x allow alice read\n"
+      "acl /x deny bob read\n";
+  ASSERT_TRUE(LoadPolicy(text, &kernel).ok());
+  const Acl* acl = kernel.acls().Get(kernel.name_space().Get(node)->acl_ref);
+  ASSERT_EQ(acl->entries().size(), 2u);  // the stale grant is gone
+  Subject bob_s = kernel.CreateSubject(bob, kernel.labels().Bottom());
+  EXPECT_FALSE(kernel.monitor().Check(bob_s, node, AccessMode::kRead).allowed);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,150 @@
+#include "src/core/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace xsec {
+namespace {
+
+// The expected T1 matrix (experiment T1; see EXPERIMENTS.md). Each row pins
+// which models handle a scenario. Any change to a model or scenario that
+// shifts a cell must be deliberate and re-reviewed.
+struct ExpectedRow {
+  std::string scenario;
+  // Model name -> handled?
+  std::map<std::string, bool> handled;
+};
+
+const std::vector<ExpectedRow>& ExpectedMatrix() {
+  static const std::vector<ExpectedRow> kMatrix = {
+      {"S1",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", true}, {"afs", true}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S2",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", true}, {"spin-domains", false}, {"vino", true}, {"afs", true}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S3",
+       {{"none", true}, {"inferno", true}, {"java-sandbox", false}, {"spin-domains", true}, {"vino", true}, {"afs", true}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S4",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S5",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", false}, {"xsec-dac+mac", true}}},
+      {"S6",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", true}, {"afs", false}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S7",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", true}, {"unix", false}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S8",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S9",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+      {"S10",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", false}, {"xsec-dac+mac", true}}},
+      {"S11",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", false}, {"xsec-dac+mac", true}}},
+      {"S12",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", false}, {"afs", false}, {"unix", false}, {"nt", false}, {"xsec-dac", false}, {"xsec-dac+mac", true}}},
+      {"S13",
+       {{"none", false}, {"inferno", false}, {"java-sandbox", false}, {"spin-domains", false}, {"vino", true}, {"afs", true}, {"unix", true}, {"nt", true}, {"xsec-dac", true}, {"xsec-dac+mac", true}}},
+  };
+  return kMatrix;
+}
+
+TEST(ScenariosTest, ThirteenScenariosExist) {
+  auto scenarios = BuildScenarios();
+  EXPECT_EQ(scenarios.size(), 13u);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].id, "S" + std::to_string(i + 1));
+    EXPECT_FALSE(scenarios[i].title.empty());
+    EXPECT_FALSE(scenarios[i].paper_ref.empty());
+    EXPECT_FALSE(scenarios[i].probes.empty());
+  }
+}
+
+TEST(ScenariosTest, ModelSetOrderIsWeakestFirst) {
+  ModelSet models;
+  ASSERT_EQ(models.all().size(), 10u);
+  EXPECT_EQ(models.all().front()->name(), "none");
+  EXPECT_EQ(models.all()[1]->name(), "inferno");
+  EXPECT_EQ(models.all()[4]->name(), "vino");
+  EXPECT_EQ(models.all().back()->name(), "xsec-dac+mac");
+}
+
+TEST(ScenariosTest, MatrixMatchesExpectation) {
+  ModelSet models;
+  auto scenarios = BuildScenarios();
+  const auto& expected = ExpectedMatrix();
+  ASSERT_EQ(scenarios.size(), expected.size());
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_EQ(scenarios[i].id, expected[i].scenario);
+    for (const ProtectionModel* model : models.all()) {
+      ScenarioResult result = RunScenario(scenarios[i], *model);
+      auto it = expected[i].handled.find(std::string(model->name()));
+      ASSERT_NE(it, expected[i].handled.end()) << model->name();
+      EXPECT_EQ(result.handled, it->second)
+          << scenarios[i].id << " under " << model->name() << ": "
+          << (result.failed_probe_notes.empty() ? "no notes"
+                                                : result.failed_probe_notes.front());
+    }
+  }
+}
+
+TEST(ScenariosTest, FullModelHandlesEverythingPerfectly) {
+  ModelSet models;
+  const ProtectionModel* full = models.all().back();
+  for (const Scenario& scenario : BuildScenarios()) {
+    ScenarioResult result = RunScenario(scenario, *full);
+    EXPECT_TRUE(result.handled) << scenario.id;
+    EXPECT_EQ(result.security_failures, 0) << scenario.id;
+    EXPECT_EQ(result.functionality_failures, 0) << scenario.id;
+  }
+}
+
+TEST(ScenariosTest, HandledCountsAreMonotoneTowardFullModel) {
+  ModelSet models;
+  auto scenarios = BuildScenarios();
+  // Count per model.
+  std::map<std::string, int> counts;
+  for (const ProtectionModel* model : models.all()) {
+    for (const Scenario& scenario : scenarios) {
+      counts[std::string(model->name())] += RunScenario(scenario, *model).handled ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(counts["none"], 1);
+  EXPECT_EQ(counts["inferno"], 1);
+  EXPECT_EQ(counts["java-sandbox"], 1);
+  EXPECT_EQ(counts["spin-domains"], 1);
+  EXPECT_EQ(counts["vino"], 5);
+  EXPECT_EQ(counts["afs"], 5);
+  EXPECT_EQ(counts["unix"], 6);
+  EXPECT_EQ(counts["nt"], 7);
+  EXPECT_EQ(counts["xsec-dac"], 9);
+  EXPECT_EQ(counts["xsec-dac+mac"], 13);
+}
+
+TEST(ScenariosTest, NoModelExceptFullHandlesTheMacScenarios) {
+  ModelSet models;
+  auto scenarios = BuildScenarios();
+  for (const Scenario& scenario : scenarios) {
+    if (scenario.id != "S5" && scenario.id != "S10" && scenario.id != "S11" &&
+        scenario.id != "S12") {
+      continue;
+    }
+    for (const ProtectionModel* model : models.all()) {
+      bool handled = RunScenario(scenario, *model).handled;
+      EXPECT_EQ(handled, model->name() == "xsec-dac+mac")
+          << scenario.id << " under " << model->name();
+    }
+  }
+}
+
+TEST(ScenariosTest, FailureNotesNameTheProbe) {
+  ModelSet models;
+  auto scenarios = BuildScenarios();
+  ScenarioResult result = RunScenario(scenarios[0], *models.all()[0]);  // S1 / none
+  ASSERT_FALSE(result.handled);
+  ASSERT_FALSE(result.failed_probe_notes.empty());
+  EXPECT_NE(result.failed_probe_notes[0].find("S1"), std::string::npos);
+  EXPECT_NE(result.failed_probe_notes[0].find("remote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,50 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  EXPECT_EQ(StrSplit("a,,c,", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_TRUE(StrSplit("", ',', /*skip_empty=*/true).empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "|"), "a|b|c");
+  EXPECT_EQ(StrJoin({}, "|"), "");
+  EXPECT_EQ(StrJoin({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/svc/fs", "/svc"));
+  EXPECT_FALSE(StartsWith("/sv", "/svc"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+  std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+}  // namespace
+}  // namespace xsec

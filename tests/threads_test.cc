@@ -1,0 +1,175 @@
+#include "src/services/threads.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+class ThreadServiceTest : public ::testing::Test {
+ protected:
+  ThreadServiceTest() {
+    (void)sys_.labels().DefineLevels({"others", "organization", "local"});
+    (void)sys_.labels().DefineCategory("department-1");
+    (void)sys_.labels().DefineCategory("department-2");
+    (void)sys_.labels().DefineCategory("outside");
+    dep1_user_ = *sys_.CreateUser("dep1");
+    dep2_user_ = *sys_.CreateUser("dep2");
+    remote_user_ = *sys_.CreateUser("remote");
+    dep1_ = sys_.Login(dep1_user_, *sys_.labels().MakeClass("organization", {"department-1"}));
+    dep2_ = sys_.Login(dep2_user_, *sys_.labels().MakeClass("organization", {"department-2"}));
+    remote_ = sys_.Login(remote_user_, *sys_.labels().MakeClass("others", {"outside"}));
+  }
+
+  SecureSystem sys_;
+  PrincipalId dep1_user_, dep2_user_, remote_user_;
+  Subject dep1_, dep2_, remote_;
+};
+
+TEST_F(ThreadServiceTest, SpawnAndStatus) {
+  auto id = sys_.threads().Spawn(dep1_, "worker");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(sys_.threads().live_count(), 1u);
+  auto running = sys_.threads().IsRunning(dep1_, *id);
+  ASSERT_TRUE(running.ok());
+  EXPECT_TRUE(*running);
+  // The thread object is a real named node.
+  EXPECT_TRUE(sys_.name_space().Lookup("/obj/threads/t1").ok());
+}
+
+TEST_F(ThreadServiceTest, OwnerCanKillOwnThread) {
+  auto id = sys_.threads().Spawn(dep1_, "worker");
+  ASSERT_TRUE(sys_.threads().Kill(dep1_, *id).ok());
+  EXPECT_EQ(sys_.threads().live_count(), 0u);
+  EXPECT_EQ(sys_.threads().Kill(dep1_, *id).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ThreadServiceTest, ThreadMurderIsDenied) {
+  // The McGraw/Felten attack: a remote applet tries to kill everyone else's
+  // threads. Under xsec the kill is a mediated delete and is denied twice
+  // over (MAC: incomparable classes; DAC: spawner-only ACL).
+  auto victim1 = sys_.threads().Spawn(dep1_, "v1");
+  auto victim2 = sys_.threads().Spawn(dep2_, "v2");
+  ASSERT_TRUE(victim1.ok());
+  ASSERT_TRUE(victim2.ok());
+  EXPECT_EQ(sys_.threads().Kill(remote_, *victim1).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.threads().Kill(remote_, *victim2).code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.threads().live_count(), 2u);
+}
+
+TEST_F(ThreadServiceTest, SameLevelDifferentCategoryCannotKill) {
+  auto victim = sys_.threads().Spawn(dep1_, "v");
+  EXPECT_EQ(sys_.threads().Kill(dep2_, *victim).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ThreadServiceTest, SamePrincipalDifferentClassCannotKill) {
+  // Even the same principal at a lower class cannot destroy its high thread
+  // (the strict-overwrite rule requires class equality for delete).
+  auto id = sys_.threads().Spawn(dep1_, "high");
+  Subject dep1_low = sys_.Login(dep1_user_, sys_.labels().Bottom());
+  EXPECT_EQ(sys_.threads().Kill(dep1_low, *id).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ThreadServiceTest, ListShowsOnlyVisibleThreads) {
+  (void)sys_.threads().Spawn(dep1_, "a");
+  (void)sys_.threads().Spawn(dep2_, "b");
+  (void)sys_.threads().Spawn(remote_, "c");
+  // dep1 sees only its own thread: read access to the others violates flow
+  // (incomparable) or DAC (spawner-only ACL).
+  auto dep1_view = sys_.threads().List(dep1_);
+  ASSERT_TRUE(dep1_view.ok());
+  EXPECT_EQ(*dep1_view, (std::vector<int64_t>{1}));
+  auto remote_view = sys_.threads().List(remote_);
+  ASSERT_TRUE(remote_view.ok());
+  EXPECT_EQ(*remote_view, (std::vector<int64_t>{3}));
+}
+
+TEST_F(ThreadServiceTest, StatusOfForeignThreadDenied) {
+  auto id = sys_.threads().Spawn(dep1_, "private");
+  EXPECT_EQ(sys_.threads().IsRunning(dep2_, *id).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ThreadServiceTest, ProcedureInterface) {
+  auto id = sys_.Invoke(dep1_, "/svc/threads/spawn", {Value{std::string("w")}});
+  ASSERT_TRUE(id.ok());
+  auto listed = sys_.Invoke(dep1_, "/svc/threads/list", {});
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(std::get<std::string>(*listed), "1");
+  auto status = sys_.Invoke(dep1_, "/svc/threads/status", {Value{std::get<int64_t>(*id)}});
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(std::get<bool>(*status));
+  ASSERT_TRUE(sys_.Invoke(dep1_, "/svc/threads/kill", {Value{std::get<int64_t>(*id)}}).ok());
+  EXPECT_EQ(sys_.threads().live_count(), 0u);
+}
+
+TEST_F(ThreadServiceTest, MessagingFlowsUpOnly) {
+  // dep1 spawns a worker; a bottom-class subject may deliver a message into
+  // it (append up: ⊥ ⊑ every class), but cannot read the mailbox; dep2
+  // (incomparable class) cannot deliver; and the remote applet's `outside`
+  // category makes it incomparable too, so even its delivery is denied.
+  auto worker = sys_.threads().Spawn(dep1_, "worker");
+  ASSERT_TRUE(worker.ok());
+  Subject bottom = sys_.Login(remote_user_, *sys_.labels().MakeClass("others", {}));
+  EXPECT_TRUE(sys_.threads().SendMessage(bottom, *worker, "ping from below").ok());
+  EXPECT_EQ(sys_.threads().SendMessage(dep2_, *worker, "cross-dept").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.threads().SendMessage(remote_, *worker, "outside-cat").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.threads().ReceiveMessages(bottom, *worker).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(sys_.threads().PendingMessages(bottom, *worker).status().code(),
+            StatusCode::kPermissionDenied);
+  // The owner drains its mailbox.
+  EXPECT_EQ(*sys_.threads().PendingMessages(dep1_, *worker), 1);
+  auto messages = sys_.threads().ReceiveMessages(dep1_, *worker);
+  ASSERT_TRUE(messages.ok());
+  EXPECT_EQ(*messages, (std::vector<std::string>{"ping from below"}));
+  EXPECT_EQ(*sys_.threads().PendingMessages(dep1_, *worker), 0);
+}
+
+TEST_F(ThreadServiceTest, MessagingToDeadOrMissingThreads) {
+  auto worker = sys_.threads().Spawn(dep1_, "w");
+  ASSERT_TRUE(sys_.threads().Kill(dep1_, *worker).ok());
+  EXPECT_EQ(sys_.threads().SendMessage(dep1_, *worker, "x").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sys_.threads().ReceiveMessages(dep1_, 999).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ThreadServiceTest, MessagingProcedureInterface) {
+  auto id = sys_.threads().Spawn(dep1_, "w");
+  Subject bottom = sys_.Login(remote_user_, *sys_.labels().MakeClass("others", {}));
+  ASSERT_TRUE(sys_.Invoke(bottom, "/svc/threads/send",
+                          {Value{*id}, Value{std::string("hello")}})
+                  .ok());
+  auto drained = sys_.Invoke(dep1_, "/svc/threads/recv", {Value{*id}});
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(std::get<std::string>(*drained), "hello");
+}
+
+TEST_F(ThreadServiceTest, OwnerCanTightenMailboxAcl) {
+  auto worker = sys_.threads().Spawn(dep1_, "w");
+  // The spawner revokes the world's delivery right with a deny entry.
+  NodeId node = *sys_.name_space().Lookup("/obj/threads/t1");
+  ASSERT_TRUE(sys_.monitor()
+                  .AddAclEntry(dep1_, node,
+                               {AclEntryType::kDeny, *sys_.principals().FindByName("remote"),
+                                AccessModeSet(AccessMode::kWriteAppend)})
+                  .ok());
+  EXPECT_EQ(sys_.threads().SendMessage(remote_, *worker, "spam").code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(ThreadServiceTest, KilledThreadNodeDisappears) {
+  auto id = sys_.threads().Spawn(dep1_, "gone");
+  ASSERT_TRUE(sys_.threads().Kill(dep1_, *id).ok());
+  EXPECT_FALSE(sys_.name_space().Lookup("/obj/threads/t1").ok());
+  auto running = sys_.threads().IsRunning(dep1_, *id);
+  ASSERT_TRUE(running.ok());
+  EXPECT_FALSE(*running);
+}
+
+}  // namespace
+}  // namespace xsec

@@ -1,0 +1,26 @@
+// Verifies the umbrella header is self-contained and sufficient for the
+// public API surface an application uses.
+#include "src/xsec.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+TEST(UmbrellaHeaderTest, PublicApiReachable) {
+  SecureSystem sys;
+  auto user = sys.CreateUser("u");
+  ASSERT_TRUE(user.ok());
+  Subject subject = sys.Login(*user, sys.labels().Bottom());
+  EXPECT_TRUE(sys.Invoke(subject, "/svc/mbuf/stats", {}).ok());
+  // Policy + codeload symbols are visible too.
+  std::string policy = SerializePolicy(sys.kernel());
+  EXPECT_NE(policy.find("xsec-policy v1"), std::string::npos);
+  CodeImage image = PackageExtension(ExtensionManifest{});
+  EXPECT_EQ(image.checksum, ComputeManifestChecksum(image.manifest));
+  AppletMatrix matrix;  // core example helpers
+  EXPECT_EQ(matrix.mismatches, 0);
+}
+
+}  // namespace
+}  // namespace xsec

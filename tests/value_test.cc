@@ -1,0 +1,42 @@
+#include "src/extsys/value.h"
+
+#include <gtest/gtest.h>
+
+namespace xsec {
+namespace {
+
+TEST(ValueTest, TypedAccessors) {
+  Args args = {Value{int64_t{42}}, Value{std::string("hi")}, Value{true},
+               Value{std::vector<uint8_t>{1, 2, 3}}};
+  EXPECT_EQ(*ArgInt(args, 0), 42);
+  EXPECT_EQ(*ArgString(args, 1), "hi");
+  EXPECT_EQ(*ArgBool(args, 2), true);
+  EXPECT_EQ(ArgBytes(args, 3)->size(), 3u);
+}
+
+TEST(ValueTest, ArityErrors) {
+  Args args = {Value{int64_t{1}}};
+  EXPECT_EQ(ArgInt(args, 1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArgString(args, 5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, TypeErrors) {
+  Args args = {Value{std::string("not-an-int")}};
+  EXPECT_EQ(ArgInt(args, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArgBool(args, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArgBytes(args, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ArgString(args, 0).ok());
+}
+
+TEST(ValueTest, Rendering) {
+  EXPECT_EQ(ValueToString(Value{}), "null");
+  EXPECT_EQ(ValueToString(Value{true}), "true");
+  EXPECT_EQ(ValueToString(Value{int64_t{-3}}), "-3");
+  EXPECT_EQ(ValueToString(Value{std::string("x")}), "\"x\"");
+  EXPECT_EQ(ValueToString(Value{std::vector<uint8_t>{1, 2}}), "<2 bytes>");
+  EXPECT_EQ(ArgsToString({Value{int64_t{1}}, Value{std::string("a")}}), "[1, \"a\"]");
+  EXPECT_EQ(ArgsToString({}), "[]");
+}
+
+}  // namespace
+}  // namespace xsec

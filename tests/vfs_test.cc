@@ -1,0 +1,166 @@
+#include "src/services/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+std::vector<uint8_t> Bytes(std::string_view text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+// A toy file-system implementation an extension exports: path -> bytes,
+// kept in the extension's own memory.
+HandlerFn MakeToyFs(std::shared_ptr<std::map<std::string, std::vector<uint8_t>>> store,
+                    std::string tag = "") {
+  return [store, tag](CallContext& ctx) -> StatusOr<Value> {
+    auto op = ArgString(ctx.args, 0);
+    auto path = ArgString(ctx.args, 1);
+    if (!op.ok()) {
+      return op.status();
+    }
+    if (!path.ok()) {
+      return path.status();
+    }
+    if (*op == "read") {
+      auto it = store->find(*path);
+      if (it == store->end()) {
+        return NotFoundError("no such file in toyfs");
+      }
+      return Value{it->second};
+    }
+    if (*op == "write") {
+      auto data = ArgBytes(ctx.args, 2);
+      if (!data.ok()) {
+        return data.status();
+      }
+      (*store)[*path] = *data;
+      return Value{true};
+    }
+    if (*op == "list") {
+      std::string names = tag;
+      for (const auto& [name, contents] : *store) {
+        if (!names.empty()) {
+          names += "\n";
+        }
+        names += name;
+      }
+      return Value{names};
+    }
+    return InvalidArgumentError("unknown vfs op");
+  };
+}
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() {
+    (void)sys_.labels().DefineLevels({"low", "high"});
+    dev_user_ = *sys_.CreateUser("dev");
+    user_user_ = *sys_.CreateUser("user");
+    dev_ = sys_.Login(dev_user_, sys_.labels().Bottom());
+    user_ = sys_.Login(user_user_, sys_.labels().Bottom());
+
+    NodeId iface = *sys_.vfs().CreateFsType("toyfs", sys_.system_principal());
+    iface_ = iface;
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, dev_user_, AccessModeSet(AccessMode::kExtend)});
+    acl.AddEntry({AclEntryType::kAllow, sys_.everyone(),
+                  AccessMode::kExecute | AccessMode::kList});
+    (void)sys_.name_space().SetAclRef(iface_, sys_.kernel().acls().Create(std::move(acl)));
+  }
+
+  StatusOr<ExtensionId> LoadToyFs(Subject& loader,
+                                  std::optional<SecurityClass> static_class = {},
+                                  std::string name = "toyfs-impl", std::string tag = "") {
+    auto store = std::make_shared<std::map<std::string, std::vector<uint8_t>>>();
+    ExtensionManifest manifest;
+    manifest.name = std::move(name);
+    manifest.static_class = static_class;
+    manifest.exports.push_back(
+        {sys_.vfs().TypeInterfacePath("toyfs"), MakeToyFs(store, std::move(tag))});
+    return sys_.LoadExtension(manifest, loader);
+  }
+
+  SecureSystem sys_;
+  PrincipalId dev_user_, user_user_;
+  Subject dev_, user_;
+  NodeId iface_;
+};
+
+TEST_F(VfsTest, ExtensionProvidesNewFileSystem) {
+  // The paper's §1.1 example end-to-end: the extension specializes the
+  // general interface; users keep using /svc/vfs/*.
+  ASSERT_TRUE(LoadToyFs(dev_).ok());
+  ASSERT_TRUE(sys_.vfs().Write(user_, "toyfs", "/a", Bytes("hello")).ok());
+  auto data = sys_.vfs().Read(user_, "toyfs", "/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("hello"));
+  auto names = sys_.vfs().ListDir(user_, "toyfs", "/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, "/a");
+}
+
+TEST_F(VfsTest, UnknownTypeIsNotFound) {
+  EXPECT_EQ(sys_.vfs().Read(user_, "nope", "/a").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, TypeWithoutImplementationIsNotFound) {
+  EXPECT_EQ(sys_.vfs().Read(user_, "toyfs", "/a").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, ExtendRequiresGrant) {
+  // `user` holds execute but not extend on the interface.
+  EXPECT_EQ(LoadToyFs(user_).status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(VfsTest, MissingFileErrorPropagates) {
+  ASSERT_TRUE(LoadToyFs(dev_).ok());
+  EXPECT_EQ(sys_.vfs().Read(user_, "toyfs", "/missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, ClassSelectedImplementation) {
+  SecurityClass high = *sys_.labels().MakeClass("high", {});
+  ASSERT_TRUE(LoadToyFs(dev_, sys_.labels().Bottom(), "toyfs-low", "low-impl").ok());
+  ASSERT_TRUE(LoadToyFs(dev_, high, "toyfs-high", "high-impl").ok());
+
+  Subject low_caller = sys_.Login(user_user_, sys_.labels().Bottom());
+  Subject high_caller = sys_.Login(user_user_, high);
+  auto low_list = sys_.vfs().ListDir(low_caller, "toyfs", "/");
+  ASSERT_TRUE(low_list.ok());
+  EXPECT_EQ(*low_list, "low-impl");
+  auto high_list = sys_.vfs().ListDir(high_caller, "toyfs", "/");
+  ASSERT_TRUE(high_list.ok());
+  EXPECT_EQ(*high_list, "high-impl");
+}
+
+TEST_F(VfsTest, UnloadingImplementationRemovesType) {
+  auto id = LoadToyFs(dev_);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(sys_.vfs().Write(user_, "toyfs", "/a", Bytes("x")).ok());
+  ASSERT_TRUE(sys_.UnloadExtension(dev_, *id).ok());
+  EXPECT_EQ(sys_.vfs().Read(user_, "toyfs", "/a").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, ProcedureInterface) {
+  ASSERT_TRUE(LoadToyFs(dev_).ok());
+  ASSERT_TRUE(sys_.Invoke(user_, "/svc/vfs/write",
+                          {Value{std::string("toyfs")}, Value{std::string("/f")},
+                           Value{Bytes("data")}})
+                  .ok());
+  auto read = sys_.Invoke(user_, "/svc/vfs/read",
+                          {Value{std::string("toyfs")}, Value{std::string("/f")}});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::get<std::vector<uint8_t>>(*read), Bytes("data"));
+  auto listed = sys_.Invoke(user_, "/svc/vfs/list",
+                            {Value{std::string("toyfs")}, Value{std::string("/")}});
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(std::get<std::string>(*listed), "/f");
+}
+
+}  // namespace
+}  // namespace xsec
