@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_macro.dir/bench_f10_macro.cc.o"
+  "CMakeFiles/bench_f10_macro.dir/bench_f10_macro.cc.o.d"
+  "bench_f10_macro"
+  "bench_f10_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

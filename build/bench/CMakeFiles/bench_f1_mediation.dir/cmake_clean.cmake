@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_mediation.dir/bench_f1_mediation.cc.o"
+  "CMakeFiles/bench_f1_mediation.dir/bench_f1_mediation.cc.o.d"
+  "bench_f1_mediation"
+  "bench_f1_mediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_mediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

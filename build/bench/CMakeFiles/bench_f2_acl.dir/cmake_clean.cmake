@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_acl.dir/bench_f2_acl.cc.o"
+  "CMakeFiles/bench_f2_acl.dir/bench_f2_acl.cc.o.d"
+  "bench_f2_acl"
+  "bench_f2_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

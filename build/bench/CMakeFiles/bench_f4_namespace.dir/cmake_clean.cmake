@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_namespace.dir/bench_f4_namespace.cc.o"
+  "CMakeFiles/bench_f4_namespace.dir/bench_f4_namespace.cc.o.d"
+  "bench_f4_namespace"
+  "bench_f4_namespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_namespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

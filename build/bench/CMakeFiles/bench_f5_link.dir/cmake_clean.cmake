@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_link.dir/bench_f5_link.cc.o"
+  "CMakeFiles/bench_f5_link.dir/bench_f5_link.cc.o.d"
+  "bench_f5_link"
+  "bench_f5_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_dispatch.dir/bench_f6_dispatch.cc.o"
+  "CMakeFiles/bench_f6_dispatch.dir/bench_f6_dispatch.cc.o.d"
+  "bench_f6_dispatch"
+  "bench_f6_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_audit.dir/bench_f7_audit.cc.o"
+  "CMakeFiles/bench_f7_audit.dir/bench_f7_audit.cc.o.d"
+  "bench_f7_audit"
+  "bench_f7_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f8_cache.cc" "bench/CMakeFiles/bench_f8_cache.dir/bench_f8_cache.cc.o" "gcc" "bench/CMakeFiles/bench_f8_cache.dir/bench_f8_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xsec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/xsec_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/xsec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/xsec_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/codeload/CMakeFiles/xsec_codeload.dir/DependInfo.cmake"
+  "/root/repo/build/src/extsys/CMakeFiles/xsec_extsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/xsec_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/xsec_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/xsec_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/xsec_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_cache.dir/bench_f8_cache.cc.o"
+  "CMakeFiles/bench_f8_cache.dir/bench_f8_cache.cc.o.d"
+  "bench_f8_cache"
+  "bench_f8_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_traversal.dir/bench_f9_traversal.cc.o"
+  "CMakeFiles/bench_f9_traversal.dir/bench_f9_traversal.cc.o.d"
+  "bench_f9_traversal"
+  "bench_f9_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

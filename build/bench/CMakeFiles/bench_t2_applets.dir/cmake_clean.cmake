@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_applets.dir/bench_t2_applets.cc.o"
+  "CMakeFiles/bench_t2_applets.dir/bench_t2_applets.cc.o.d"
+  "bench_t2_applets"
+  "bench_t2_applets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_applets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

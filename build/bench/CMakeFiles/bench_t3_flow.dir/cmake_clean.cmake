@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_flow.dir/bench_t3_flow.cc.o"
+  "CMakeFiles/bench_t3_flow.dir/bench_t3_flow.cc.o.d"
+  "bench_t3_flow"
+  "bench_t3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

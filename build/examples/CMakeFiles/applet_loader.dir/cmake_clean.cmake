@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applet_loader.dir/applet_loader.cpp.o"
+  "CMakeFiles/applet_loader.dir/applet_loader.cpp.o.d"
+  "applet_loader"
+  "applet_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applet_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applet_orgs.dir/applet_orgs.cpp.o"
+  "CMakeFiles/applet_orgs.dir/applet_orgs.cpp.o.d"
+  "applet_orgs"
+  "applet_orgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applet_orgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

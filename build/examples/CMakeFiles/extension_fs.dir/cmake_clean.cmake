@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fs.dir/extension_fs.cpp.o"
+  "CMakeFiles/extension_fs.dir/extension_fs.cpp.o.d"
+  "extension_fs"
+  "extension_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

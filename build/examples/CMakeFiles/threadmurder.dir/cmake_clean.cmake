@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threadmurder.dir/threadmurder.cpp.o"
+  "CMakeFiles/threadmurder.dir/threadmurder.cpp.o.d"
+  "threadmurder"
+  "threadmurder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threadmurder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_shell.dir/xsec_shell.cpp.o"
+  "CMakeFiles/xsec_shell.dir/xsec_shell.cpp.o.d"
+  "xsec_shell"
+  "xsec_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

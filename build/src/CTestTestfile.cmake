@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("principal")
+subdirs("naming")
+subdirs("dac")
+subdirs("mac")
+subdirs("monitor")
+subdirs("extsys")
+subdirs("policy")
+subdirs("codeload")
+subdirs("services")
+subdirs("baselines")
+subdirs("core")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_base.dir/bitset.cc.o"
+  "CMakeFiles/xsec_base.dir/bitset.cc.o.d"
+  "CMakeFiles/xsec_base.dir/rng.cc.o"
+  "CMakeFiles/xsec_base.dir/rng.cc.o.d"
+  "CMakeFiles/xsec_base.dir/status.cc.o"
+  "CMakeFiles/xsec_base.dir/status.cc.o.d"
+  "CMakeFiles/xsec_base.dir/strings.cc.o"
+  "CMakeFiles/xsec_base.dir/strings.cc.o.d"
+  "libxsec_base.a"
+  "libxsec_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

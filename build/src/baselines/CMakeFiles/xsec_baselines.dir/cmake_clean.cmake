@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_baselines.dir/afs_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/afs_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/java_sandbox_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/java_sandbox_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/nt_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/nt_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/spin_domain_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/spin_domain_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/unix_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/unix_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/vino_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/vino_model.cc.o.d"
+  "CMakeFiles/xsec_baselines.dir/xsec_model.cc.o"
+  "CMakeFiles/xsec_baselines.dir/xsec_model.cc.o.d"
+  "libxsec_baselines.a"
+  "libxsec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codeload/code_loader.cc" "src/codeload/CMakeFiles/xsec_codeload.dir/code_loader.cc.o" "gcc" "src/codeload/CMakeFiles/xsec_codeload.dir/code_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extsys/CMakeFiles/xsec_extsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/xsec_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/xsec_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/xsec_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/xsec_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

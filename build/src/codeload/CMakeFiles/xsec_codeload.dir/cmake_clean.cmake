@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_codeload.dir/code_loader.cc.o"
+  "CMakeFiles/xsec_codeload.dir/code_loader.cc.o.d"
+  "libxsec_codeload.a"
+  "libxsec_codeload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_codeload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_core.dir/applet_example.cc.o"
+  "CMakeFiles/xsec_core.dir/applet_example.cc.o.d"
+  "CMakeFiles/xsec_core.dir/flow_sim.cc.o"
+  "CMakeFiles/xsec_core.dir/flow_sim.cc.o.d"
+  "CMakeFiles/xsec_core.dir/scenarios.cc.o"
+  "CMakeFiles/xsec_core.dir/scenarios.cc.o.d"
+  "CMakeFiles/xsec_core.dir/secure_system.cc.o"
+  "CMakeFiles/xsec_core.dir/secure_system.cc.o.d"
+  "libxsec_core.a"
+  "libxsec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dac/access_mode.cc" "src/dac/CMakeFiles/xsec_dac.dir/access_mode.cc.o" "gcc" "src/dac/CMakeFiles/xsec_dac.dir/access_mode.cc.o.d"
+  "/root/repo/src/dac/acl.cc" "src/dac/CMakeFiles/xsec_dac.dir/acl.cc.o" "gcc" "src/dac/CMakeFiles/xsec_dac.dir/acl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_dac.dir/access_mode.cc.o"
+  "CMakeFiles/xsec_dac.dir/access_mode.cc.o.d"
+  "CMakeFiles/xsec_dac.dir/acl.cc.o"
+  "CMakeFiles/xsec_dac.dir/acl.cc.o.d"
+  "libxsec_dac.a"
+  "libxsec_dac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_extsys.dir/dispatcher.cc.o"
+  "CMakeFiles/xsec_extsys.dir/dispatcher.cc.o.d"
+  "CMakeFiles/xsec_extsys.dir/kernel.cc.o"
+  "CMakeFiles/xsec_extsys.dir/kernel.cc.o.d"
+  "CMakeFiles/xsec_extsys.dir/value.cc.o"
+  "CMakeFiles/xsec_extsys.dir/value.cc.o.d"
+  "libxsec_extsys.a"
+  "libxsec_extsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_extsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xsec_extsys.
+# This may be replaced when dependencies are built.

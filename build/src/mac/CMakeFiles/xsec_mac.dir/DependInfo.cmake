@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/flow_policy.cc" "src/mac/CMakeFiles/xsec_mac.dir/flow_policy.cc.o" "gcc" "src/mac/CMakeFiles/xsec_mac.dir/flow_policy.cc.o.d"
+  "/root/repo/src/mac/label_authority.cc" "src/mac/CMakeFiles/xsec_mac.dir/label_authority.cc.o" "gcc" "src/mac/CMakeFiles/xsec_mac.dir/label_authority.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/xsec_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

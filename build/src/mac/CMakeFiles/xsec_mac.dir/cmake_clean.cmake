@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_mac.dir/flow_policy.cc.o"
+  "CMakeFiles/xsec_mac.dir/flow_policy.cc.o.d"
+  "CMakeFiles/xsec_mac.dir/label_authority.cc.o"
+  "CMakeFiles/xsec_mac.dir/label_authority.cc.o.d"
+  "libxsec_mac.a"
+  "libxsec_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

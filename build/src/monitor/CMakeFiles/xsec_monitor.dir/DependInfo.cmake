@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/audit.cc" "src/monitor/CMakeFiles/xsec_monitor.dir/audit.cc.o" "gcc" "src/monitor/CMakeFiles/xsec_monitor.dir/audit.cc.o.d"
+  "/root/repo/src/monitor/decision_cache.cc" "src/monitor/CMakeFiles/xsec_monitor.dir/decision_cache.cc.o" "gcc" "src/monitor/CMakeFiles/xsec_monitor.dir/decision_cache.cc.o.d"
+  "/root/repo/src/monitor/reference_monitor.cc" "src/monitor/CMakeFiles/xsec_monitor.dir/reference_monitor.cc.o" "gcc" "src/monitor/CMakeFiles/xsec_monitor.dir/reference_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/xsec_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/xsec_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/xsec_mac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

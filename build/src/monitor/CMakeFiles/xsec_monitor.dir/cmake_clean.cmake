@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_monitor.dir/audit.cc.o"
+  "CMakeFiles/xsec_monitor.dir/audit.cc.o.d"
+  "CMakeFiles/xsec_monitor.dir/decision_cache.cc.o"
+  "CMakeFiles/xsec_monitor.dir/decision_cache.cc.o.d"
+  "CMakeFiles/xsec_monitor.dir/reference_monitor.cc.o"
+  "CMakeFiles/xsec_monitor.dir/reference_monitor.cc.o.d"
+  "libxsec_monitor.a"
+  "libxsec_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_naming.dir/namespace.cc.o"
+  "CMakeFiles/xsec_naming.dir/namespace.cc.o.d"
+  "CMakeFiles/xsec_naming.dir/path.cc.o"
+  "CMakeFiles/xsec_naming.dir/path.cc.o.d"
+  "libxsec_naming.a"
+  "libxsec_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_policy.dir/policy_io.cc.o"
+  "CMakeFiles/xsec_policy.dir/policy_io.cc.o.d"
+  "libxsec_policy.a"
+  "libxsec_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_principal.dir/registry.cc.o"
+  "CMakeFiles/xsec_principal.dir/registry.cc.o.d"
+  "libxsec_principal.a"
+  "libxsec_principal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_principal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

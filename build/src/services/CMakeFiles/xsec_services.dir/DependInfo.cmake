@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/log.cc" "src/services/CMakeFiles/xsec_services.dir/log.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/log.cc.o.d"
+  "/root/repo/src/services/mbuf.cc" "src/services/CMakeFiles/xsec_services.dir/mbuf.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/mbuf.cc.o.d"
+  "/root/repo/src/services/memfs.cc" "src/services/CMakeFiles/xsec_services.dir/memfs.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/memfs.cc.o.d"
+  "/root/repo/src/services/netstack.cc" "src/services/CMakeFiles/xsec_services.dir/netstack.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/netstack.cc.o.d"
+  "/root/repo/src/services/threads.cc" "src/services/CMakeFiles/xsec_services.dir/threads.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/threads.cc.o.d"
+  "/root/repo/src/services/vfs.cc" "src/services/CMakeFiles/xsec_services.dir/vfs.cc.o" "gcc" "src/services/CMakeFiles/xsec_services.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extsys/CMakeFiles/xsec_extsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/xsec_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/xsec_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/xsec_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/dac/CMakeFiles/xsec_dac.dir/DependInfo.cmake"
+  "/root/repo/build/src/principal/CMakeFiles/xsec_principal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xsec_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

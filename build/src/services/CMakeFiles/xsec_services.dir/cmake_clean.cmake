@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_services.dir/log.cc.o"
+  "CMakeFiles/xsec_services.dir/log.cc.o.d"
+  "CMakeFiles/xsec_services.dir/mbuf.cc.o"
+  "CMakeFiles/xsec_services.dir/mbuf.cc.o.d"
+  "CMakeFiles/xsec_services.dir/memfs.cc.o"
+  "CMakeFiles/xsec_services.dir/memfs.cc.o.d"
+  "CMakeFiles/xsec_services.dir/netstack.cc.o"
+  "CMakeFiles/xsec_services.dir/netstack.cc.o.d"
+  "CMakeFiles/xsec_services.dir/threads.cc.o"
+  "CMakeFiles/xsec_services.dir/threads.cc.o.d"
+  "CMakeFiles/xsec_services.dir/vfs.cc.o"
+  "CMakeFiles/xsec_services.dir/vfs.cc.o.d"
+  "libxsec_services.a"
+  "libxsec_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_base_tests.dir/bitset_test.cc.o"
+  "CMakeFiles/xsec_base_tests.dir/bitset_test.cc.o.d"
+  "CMakeFiles/xsec_base_tests.dir/rng_test.cc.o"
+  "CMakeFiles/xsec_base_tests.dir/rng_test.cc.o.d"
+  "CMakeFiles/xsec_base_tests.dir/status_test.cc.o"
+  "CMakeFiles/xsec_base_tests.dir/status_test.cc.o.d"
+  "CMakeFiles/xsec_base_tests.dir/strings_test.cc.o"
+  "CMakeFiles/xsec_base_tests.dir/strings_test.cc.o.d"
+  "xsec_base_tests"
+  "xsec_base_tests.pdb"
+  "xsec_base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_core_tests.dir/applet_example_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/applet_example_test.cc.o.d"
+  "CMakeFiles/xsec_core_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/xsec_core_tests.dir/flow_sim_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/flow_sim_test.cc.o.d"
+  "CMakeFiles/xsec_core_tests.dir/integration_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/xsec_core_tests.dir/scenarios_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/scenarios_test.cc.o.d"
+  "CMakeFiles/xsec_core_tests.dir/secure_system_test.cc.o"
+  "CMakeFiles/xsec_core_tests.dir/secure_system_test.cc.o.d"
+  "xsec_core_tests"
+  "xsec_core_tests.pdb"
+  "xsec_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_ext_tests.dir/code_loader_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/code_loader_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/kernel_fuzz_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/kernel_fuzz_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/netstack_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/netstack_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/policy_io_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/policy_io_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/property_extended_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/property_extended_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/property_monitor_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/property_monitor_test.cc.o.d"
+  "CMakeFiles/xsec_ext_tests.dir/umbrella_test.cc.o"
+  "CMakeFiles/xsec_ext_tests.dir/umbrella_test.cc.o.d"
+  "xsec_ext_tests"
+  "xsec_ext_tests.pdb"
+  "xsec_ext_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_ext_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_extsys_tests.dir/dispatcher_test.cc.o"
+  "CMakeFiles/xsec_extsys_tests.dir/dispatcher_test.cc.o.d"
+  "CMakeFiles/xsec_extsys_tests.dir/kernel_test.cc.o"
+  "CMakeFiles/xsec_extsys_tests.dir/kernel_test.cc.o.d"
+  "CMakeFiles/xsec_extsys_tests.dir/value_test.cc.o"
+  "CMakeFiles/xsec_extsys_tests.dir/value_test.cc.o.d"
+  "xsec_extsys_tests"
+  "xsec_extsys_tests.pdb"
+  "xsec_extsys_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_extsys_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_monitor_tests.dir/audit_test.cc.o"
+  "CMakeFiles/xsec_monitor_tests.dir/audit_test.cc.o.d"
+  "CMakeFiles/xsec_monitor_tests.dir/decision_cache_test.cc.o"
+  "CMakeFiles/xsec_monitor_tests.dir/decision_cache_test.cc.o.d"
+  "CMakeFiles/xsec_monitor_tests.dir/reference_monitor_test.cc.o"
+  "CMakeFiles/xsec_monitor_tests.dir/reference_monitor_test.cc.o.d"
+  "xsec_monitor_tests"
+  "xsec_monitor_tests.pdb"
+  "xsec_monitor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_monitor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

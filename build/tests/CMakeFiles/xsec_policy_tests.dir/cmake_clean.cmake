@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_policy_tests.dir/access_mode_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/access_mode_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/acl_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/acl_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/flow_policy_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/flow_policy_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/label_authority_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/label_authority_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/namespace_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/namespace_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/path_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/path_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/principal_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/principal_test.cc.o.d"
+  "CMakeFiles/xsec_policy_tests.dir/security_class_test.cc.o"
+  "CMakeFiles/xsec_policy_tests.dir/security_class_test.cc.o.d"
+  "xsec_policy_tests"
+  "xsec_policy_tests.pdb"
+  "xsec_policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsec_services_tests.dir/log_test.cc.o"
+  "CMakeFiles/xsec_services_tests.dir/log_test.cc.o.d"
+  "CMakeFiles/xsec_services_tests.dir/mbuf_test.cc.o"
+  "CMakeFiles/xsec_services_tests.dir/mbuf_test.cc.o.d"
+  "CMakeFiles/xsec_services_tests.dir/memfs_test.cc.o"
+  "CMakeFiles/xsec_services_tests.dir/memfs_test.cc.o.d"
+  "CMakeFiles/xsec_services_tests.dir/threads_test.cc.o"
+  "CMakeFiles/xsec_services_tests.dir/threads_test.cc.o.d"
+  "CMakeFiles/xsec_services_tests.dir/vfs_test.cc.o"
+  "CMakeFiles/xsec_services_tests.dir/vfs_test.cc.o.d"
+  "xsec_services_tests"
+  "xsec_services_tests.pdb"
+  "xsec_services_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsec_services_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

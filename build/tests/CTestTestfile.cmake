@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xsec_base_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_policy_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_monitor_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_extsys_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_services_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/xsec_ext_tests[1]_include.cmake")

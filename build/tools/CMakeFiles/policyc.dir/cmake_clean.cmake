@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policyc.dir/policyc.cc.o"
+  "CMakeFiles/policyc.dir/policyc.cc.o.d"
+  "policyc"
+  "policyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

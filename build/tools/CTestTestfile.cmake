@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(policyc_demo_checks "sh" "-c" "/root/repo/build/tools/policyc demo > demo.pol && /root/repo/build/tools/policyc check demo.pol")
+set_tests_properties(policyc_demo_checks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(policyc_rejects_garbage "sh" "-c" "echo garbage > bad.pol; ! /root/repo/build/tools/policyc check bad.pol")
+set_tests_properties(policyc_rejects_garbage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
