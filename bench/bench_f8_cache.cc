@@ -67,10 +67,11 @@ void WorkingSet(benchmark::State& state, bool cached) {
     ++i;
   }
   if (cached) {
+    // hits + misses == total probes (stale probes count inside misses, with
+    // stale_hits as a sub-counter), so this is the true hit rate.
     state.counters["hit_rate"] = benchmark::Counter(
         static_cast<double>(f.monitor->cache().hits()) /
-        static_cast<double>(f.monitor->cache().hits() + f.monitor->cache().misses() +
-                            f.monitor->cache().stale_hits()));
+        static_cast<double>(f.monitor->cache().hits() + f.monitor->cache().misses()));
   }
 }
 

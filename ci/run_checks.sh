@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full verification sweep: a Release build plus two sanitized builds, the
+# test suite under each, and the F11 parallel-mediation figure as JSON.
+#
+#   ci/run_checks.sh [--quick]
+#
+# --quick restricts the sanitizer ctest runs to the monitor + concurrency
+# tests (the multithreaded surface); the default runs everything everywhere.
+#
+# Outputs:
+#   build-release/   optimized build, full ctest
+#   build-tsan/      -fsanitize=thread, ctest (races fail the run)
+#   build-asan/      -fsanitize=address,undefined, ctest
+#   BENCH_f11.json   bench_f11_parallel results from the release build
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run_ctest() {
+  local dir="$1"
+  if [[ "$QUICK" == 1 ]]; then
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
+        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog')
+  else
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+  fi
+}
+
+echo "== Release build =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$JOBS"
+(cd build-release && ctest --output-on-failure -j "$JOBS")
+
+echo "== ThreadSanitizer build =="
+cmake -B build-tsan -S . -DXSEC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS"
+run_ctest build-tsan
+
+echo "== AddressSanitizer + UBSan build =="
+cmake -B build-asan -S . -DXSEC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS"
+run_ctest build-asan
+
+echo "== F11: parallel mediation throughput =="
+./build-release/bench/bench_f11_parallel \
+    --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
+    --benchmark_min_time=0.1s
+
+echo "All checks passed. Figure data in BENCH_f11.json."

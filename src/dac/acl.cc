@@ -1,6 +1,7 @@
 #include "src/dac/acl.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "src/base/strings.h"
 
@@ -74,50 +75,82 @@ std::string Acl::ToString() const {
 }
 
 AclStore::AclRef AclStore::Create(Acl acl) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   AclRef ref = static_cast<AclRef>(acls_.size());
-  acls_.push_back(Slot{std::move(acl), ++store_generation_});
+  acls_.push_back(Slot{std::move(acl), 0});
+  // Mutate, then publish: readers that observe the new generation also see
+  // the new ACL (the lock orders the data; release orders the stamp).
+  acls_.back().generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
   return ref;
 }
 
 const Acl* AclStore::Get(AclRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (ref >= acls_.size()) {
     return nullptr;
   }
   return &acls_[ref].acl;
 }
 
+AclVerdict AclStore::Evaluate(AclRef ref, const DynamicBitset& closure,
+                              AccessModeSet requested) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ref >= acls_.size()) {
+    return requested.empty() ? AclVerdict::kGranted : AclVerdict::kNoMatchingGrant;
+  }
+  return acls_[ref].acl.Evaluate(closure, requested);
+}
+
+bool AclStore::CopyAcl(AclRef ref, Acl* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ref >= acls_.size()) {
+    return false;
+  }
+  *out = acls_[ref].acl;
+  return true;
+}
+
 Status AclStore::Replace(AclRef ref, Acl acl) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (ref >= acls_.size()) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl = std::move(acl);
-  acls_[ref].generation = ++store_generation_;
+  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
   return OkStatus();
 }
 
 Status AclStore::AddEntry(AclRef ref, const AclEntry& entry) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (ref >= acls_.size()) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl.AddEntry(entry);
-  acls_[ref].generation = ++store_generation_;
+  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
   return OkStatus();
 }
 
 Status AclStore::RemoveEntriesFor(AclRef ref, PrincipalId who) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (ref >= acls_.size()) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl.RemoveEntriesFor(who);
-  acls_[ref].generation = ++store_generation_;
+  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
   return OkStatus();
 }
 
 uint64_t AclStore::GenerationOf(AclRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (ref >= acls_.size()) {
     return 0;
   }
   return acls_[ref].generation;
+}
+
+size_t AclStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return acls_.size();
 }
 
 }  // namespace xsec

@@ -18,7 +18,10 @@
 #ifndef XSEC_SRC_DAC_ACL_H_
 #define XSEC_SRC_DAC_ACL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +86,13 @@ class Acl {
 // Storage for ACLs referenced from name-space nodes. Each stored ACL carries
 // a generation stamp; any mutation bumps both the ACL's and the store's
 // generation, which invalidates cached decisions.
+//
+// Thread safety: all methods may be called concurrently; mutators take the
+// store lock exclusively. The monitor's check path evaluates in place under
+// the shared lock (Evaluate) rather than holding Get()'s pointer across the
+// lock release. Get() returns a pointer with a stable address (deque
+// storage), but the Acl it points at may be concurrently replaced or edited;
+// it is intended for single-threaded setup, tests, and serialization.
 class AclStore {
  public:
   using AclRef = uint32_t;
@@ -92,6 +102,15 @@ class AclStore {
 
   const Acl* Get(AclRef ref) const;
 
+  // Evaluates the stored ACL against a membership closure without exposing a
+  // reference: the whole evaluation happens under the store's shared lock, so
+  // it is atomic with respect to Replace/AddEntry/RemoveEntriesFor. A bad ref
+  // behaves like an empty ACL (kNoMatchingGrant for any nonempty request).
+  AclVerdict Evaluate(AclRef ref, const DynamicBitset& closure, AccessModeSet requested) const;
+
+  // Copies the stored ACL out under the shared lock. False on a bad ref.
+  bool CopyAcl(AclRef ref, Acl* out) const;
+
   // Replaces the ACL at `ref`; bumps generations.
   Status Replace(AclRef ref, Acl acl);
 
@@ -100,8 +119,9 @@ class AclStore {
   Status RemoveEntriesFor(AclRef ref, PrincipalId who);
 
   uint64_t GenerationOf(AclRef ref) const;
-  uint64_t store_generation() const { return store_generation_; }
-  size_t size() const { return acls_.size(); }
+  // Published with release ordering after the mutation it stamps.
+  uint64_t store_generation() const { return store_generation_.load(std::memory_order_acquire); }
+  size_t size() const;
 
  private:
   struct Slot {
@@ -109,8 +129,9 @@ class AclStore {
     uint64_t generation = 0;
   };
 
-  std::vector<Slot> acls_;
-  uint64_t store_generation_ = 0;
+  mutable std::shared_mutex mu_;
+  std::deque<Slot> acls_;
+  std::atomic<uint64_t> store_generation_{0};
 };
 
 }  // namespace xsec

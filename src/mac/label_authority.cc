@@ -1,5 +1,7 @@
 #include "src/mac/label_authority.h"
 
+#include <mutex>
+
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -19,6 +21,7 @@ Status LabelAuthority::DefineLevels(const std::vector<std::string>& ascending_na
   if (ascending_names.empty()) {
     return InvalidArgumentError("at least one level is required");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (level_names_.size() > 1) {
     return FailedPreconditionError("levels are already defined");
   }
@@ -35,7 +38,7 @@ Status LabelAuthority::DefineLevels(const std::vector<std::string>& ascending_na
   }
   level_names_ = ascending_names;
   level_by_name_ = std::move(by_name);
-  ++label_epoch_;
+  label_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 
@@ -44,17 +47,18 @@ StatusOr<size_t> LabelAuthority::DefineCategory(std::string_view name) {
     return InvalidArgumentError("category name must be nonempty");
   }
   std::string key(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (category_by_name_.count(key) != 0) {
     return AlreadyExistsError(StrFormat("category '%s' already exists", key.c_str()));
   }
   size_t id = category_names_.size();
   category_names_.push_back(key);
   category_by_name_.emplace(std::move(key), id);
-  ++label_epoch_;
+  label_epoch_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
-StatusOr<TrustLevel> LabelAuthority::LevelByName(std::string_view name) const {
+StatusOr<TrustLevel> LabelAuthority::LevelByNameLocked(std::string_view name) const {
   auto it = level_by_name_.find(std::string(name));
   if (it == level_by_name_.end()) {
     return NotFoundError(StrFormat("no trust level named '%s'", std::string(name).c_str()));
@@ -62,7 +66,7 @@ StatusOr<TrustLevel> LabelAuthority::LevelByName(std::string_view name) const {
   return it->second;
 }
 
-StatusOr<size_t> LabelAuthority::CategoryByName(std::string_view name) const {
+StatusOr<size_t> LabelAuthority::CategoryByNameLocked(std::string_view name) const {
   auto it = category_by_name_.find(std::string(name));
   if (it == category_by_name_.end()) {
     return NotFoundError(StrFormat("no category named '%s'", std::string(name).c_str()));
@@ -70,15 +74,41 @@ StatusOr<size_t> LabelAuthority::CategoryByName(std::string_view name) const {
   return it->second;
 }
 
+StatusOr<TrustLevel> LabelAuthority::LevelByName(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return LevelByNameLocked(name);
+}
+
+StatusOr<size_t> LabelAuthority::CategoryByName(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CategoryByNameLocked(name);
+}
+
+size_t LabelAuthority::level_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return level_names_.size();
+}
+
+size_t LabelAuthority::category_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return category_names_.size();
+}
+
+bool LabelAuthority::levels_defined() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return level_names_.size() > 1 || level_names_[0] != "unclassified";
+}
+
 StatusOr<SecurityClass> LabelAuthority::MakeClass(
     std::string_view level_name, const std::vector<std::string>& category_names) const {
-  auto level = LevelByName(level_name);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto level = LevelByNameLocked(level_name);
   if (!level.ok()) {
     return level.status();
   }
   CategorySet cats(category_names_.size());
   for (const std::string& cat : category_names) {
-    auto id = CategoryByName(cat);
+    auto id = CategoryByNameLocked(cat);
     if (!id.ok()) {
       return id.status();
     }
@@ -88,16 +118,19 @@ StatusOr<SecurityClass> LabelAuthority::MakeClass(
 }
 
 SecurityClass LabelAuthority::Bottom() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return SecurityClass(0, CategorySet(category_names_.size()));
 }
 
 SecurityClass LabelAuthority::Top() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   CategorySet all(category_names_.size());
   all.SetAll();
   return SecurityClass(static_cast<TrustLevel>(level_names_.size() - 1), std::move(all));
 }
 
 std::string LabelAuthority::ClassToString(const SecurityClass& cls) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string level = cls.level() < level_names_.size()
                           ? level_names_[cls.level()]
                           : StrFormat("level-%u", static_cast<unsigned>(cls.level()));
@@ -112,40 +145,59 @@ std::string LabelAuthority::ClassToString(const SecurityClass& cls) const {
 }
 
 LabelAuthority::LabelRef LabelAuthority::StoreLabel(const SecurityClass& cls) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   LabelRef ref = static_cast<LabelRef>(labels_.size());
-  labels_.push_back(cls);
-  ++label_epoch_;
+  labels_.push_back(std::make_shared<const SecurityClass>(cls));
+  // Mutate, then publish (release): readers that observe the new epoch see
+  // the new label.
+  label_epoch_.fetch_add(1, std::memory_order_release);
   return ref;
 }
 
 const SecurityClass* LabelAuthority::GetLabel(LabelRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (ref >= labels_.size()) {
     return nullptr;
   }
-  return &labels_[ref];
+  // Valid until the label at `ref` is replaced; single-threaded use only.
+  return labels_[ref].get();
+}
+
+std::shared_ptr<const SecurityClass> LabelAuthority::LabelHandle(LabelRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ref >= labels_.size()) {
+    return nullptr;
+  }
+  return labels_[ref];
 }
 
 void LabelAuthority::SetClearance(uint32_t principal_id, SecurityClass clearance) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   clearances_[principal_id] = std::move(clearance);
-  ++label_epoch_;
+  label_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void LabelAuthority::ClearClearance(uint32_t principal_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   clearances_.erase(principal_id);
-  ++label_epoch_;
+  label_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 const SecurityClass* LabelAuthority::ClearanceOf(uint32_t principal_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = clearances_.find(principal_id);
   return it == clearances_.end() ? nullptr : &it->second;
 }
 
 Status LabelAuthority::ReplaceLabel(LabelRef ref, const SecurityClass& cls) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (ref >= labels_.size()) {
     return NotFoundError("no such label");
   }
-  labels_[ref] = cls;
-  ++label_epoch_;
+  // Swap in a fresh immutable object; handles issued before this call keep
+  // the old label alive for their in-flight evaluations.
+  labels_[ref] = std::make_shared<const SecurityClass>(cls);
+  label_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 

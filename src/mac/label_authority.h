@@ -4,11 +4,23 @@
 // The paper's §2.2 example defines three levels ("others" < "organization" <
 // "local") and four categories ("myself", "department-1", "department-2",
 // "outside"); examples/applet_orgs.cpp reproduces it verbatim.
+//
+// Thread safety: all methods may be called concurrently; mutators take the
+// authority's lock exclusively and bump label_epoch_ before releasing it.
+// Stored labels are immutable SecurityClass objects held by shared_ptr:
+// ReplaceLabel swaps in a fresh object, so LabelHandle() hands the check path
+// shared ownership of a consistent label with no copy on the hot path. The
+// reference-returning accessors (GetLabel, ClearanceOf, level_names, ...)
+// are for single-threaded setup, tests, and serialization.
 
 #ifndef XSEC_SRC_MAC_LABEL_AUTHORITY_H_
 #define XSEC_SRC_MAC_LABEL_AUTHORITY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -32,14 +44,15 @@ class LabelAuthority {
 
   StatusOr<TrustLevel> LevelByName(std::string_view name) const;
   StatusOr<size_t> CategoryByName(std::string_view name) const;
-  size_t level_count() const { return level_names_.size(); }
-  size_t category_count() const { return category_names_.size(); }
+  size_t level_count() const;
+  size_t category_count() const;
 
-  // Enumeration for policy serialization (ascending / id order).
+  // Enumeration for policy serialization (ascending / id order). Not safe
+  // against concurrent DefineLevels/DefineCategory.
   const std::vector<std::string>& level_names() const { return level_names_; }
   const std::vector<std::string>& category_names() const { return category_names_; }
   // True once DefineLevels has replaced the implicit single level.
-  bool levels_defined() const { return level_names_.size() > 1 || level_names_[0] != "unclassified"; }
+  bool levels_defined() const;
 
   // Builds a class from names: MakeClass("organization", {"department-1"}).
   StatusOr<SecurityClass> MakeClass(std::string_view level_name,
@@ -57,10 +70,14 @@ class LabelAuthority {
   using LabelRef = uint32_t;
   LabelRef StoreLabel(const SecurityClass& cls);
   const SecurityClass* GetLabel(LabelRef ref) const;
+  // Shared ownership of the stored label; stays valid across a concurrent
+  // ReplaceLabel. Null on a bad ref. This is the check path's accessor.
+  std::shared_ptr<const SecurityClass> LabelHandle(LabelRef ref) const;
   Status ReplaceLabel(LabelRef ref, const SecurityClass& cls);
 
-  // Bumped on every label mutation; decision-cache validity.
-  uint64_t label_epoch() const { return label_epoch_; }
+  // Bumped on every label mutation; decision-cache validity. Published with
+  // release ordering after the mutation it stamps.
+  uint64_t label_epoch() const { return label_epoch_.load(std::memory_order_acquire); }
 
   // -- Per-principal clearances ------------------------------------------------
   // The paper has threads "function at the same security class as the
@@ -71,19 +88,28 @@ class LabelAuthority {
   // owns all class assignments, so the binding lives here.
   void SetClearance(uint32_t principal_id, SecurityClass clearance);
   void ClearClearance(uint32_t principal_id);
-  // Null if no clearance is set for this principal.
+  // Null if no clearance is set for this principal. The pointee may be
+  // replaced by a concurrent SetClearance; use only at login/setup time.
   const SecurityClass* ClearanceOf(uint32_t principal_id) const;
-  // Enumeration for policy serialization.
+  // Enumeration for policy serialization. Not safe against concurrent
+  // clearance mutation.
   const std::unordered_map<uint32_t, SecurityClass>& clearances() const { return clearances_; }
 
  private:
+  // Unlocked internals; callers hold mu_.
+  StatusOr<TrustLevel> LevelByNameLocked(std::string_view name) const;
+  StatusOr<size_t> CategoryByNameLocked(std::string_view name) const;
+
+  mutable std::shared_mutex mu_;
   std::vector<std::string> level_names_;
   std::unordered_map<std::string, TrustLevel> level_by_name_;
   std::vector<std::string> category_names_;
   std::unordered_map<std::string, size_t> category_by_name_;
-  std::vector<SecurityClass> labels_;
+  // Deque of immutable labels: addresses of the shared_ptr slots are stable
+  // and the pointed-to classes are never mutated in place.
+  std::deque<std::shared_ptr<const SecurityClass>> labels_;
   std::unordered_map<uint32_t, SecurityClass> clearances_;
-  uint64_t label_epoch_ = 0;
+  std::atomic<uint64_t> label_epoch_{0};
 };
 
 }  // namespace xsec

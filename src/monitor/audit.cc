@@ -35,43 +35,70 @@ std::string AuditRecord::ToString() const {
 }
 
 void AuditLog::Record(AuditRecord record) {
-  ++total_checks_;
-  if (!record.allowed) {
-    ++total_denials_;
-  }
-  bool retain = policy_ == AuditPolicy::kAll ||
-                (policy_ == AuditPolicy::kDenialsOnly && !record.allowed);
-  if (!retain) {
+  Count(record.allowed);
+  if (!WouldRetain(record.allowed)) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   record.sequence = next_sequence_++;
   if (sink_) {
     sink_(record);
   }
-  if (records_.size() >= capacity_) {
-    records_.pop_front();
-    ++dropped_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else if (capacity_ > 0) {
+    // Full: overwrite the oldest record (at head_) and advance.
+    ring_[head_] = std::move(record);
+    head_ = (head_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
   }
-  records_.push_back(std::move(record));
+}
+
+void AuditLog::set_sink(std::function<void(const AuditRecord&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+template <typename Visit>
+void AuditLog::ForEachLocked(Visit visit) const {
+  for (size_t i = head_; i < ring_.size(); ++i) {
+    visit(ring_[i]);
+  }
+  for (size_t i = 0; i < head_; ++i) {
+    visit(ring_[i]);
+  }
+}
+
+std::vector<AuditRecord> AuditLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditRecord> out;
+  out.reserve(ring_.size());
+  ForEachLocked([&out](const AuditRecord& r) { out.push_back(r); });
+  return out;
 }
 
 std::vector<AuditRecord> AuditLog::Query(
     const std::function<bool(const AuditRecord&)>& pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<AuditRecord> out;
-  for (const AuditRecord& r : records_) {
+  ForEachLocked([&out, &pred](const AuditRecord& r) {
     if (pred(r)) {
       out.push_back(r);
     }
-  }
+  });
   return out;
 }
 
 void AuditLog::Clear() {
-  records_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
   next_sequence_ = 0;
-  total_checks_ = 0;
-  total_denials_ = 0;
-  dropped_ = 0;
+  total_checks_.store(0, std::memory_order_relaxed);
+  total_denials_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace xsec

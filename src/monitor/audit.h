@@ -2,13 +2,21 @@
 // events" among the concerns a complete security model must address (§1);
 // here every access decision can be recorded, under a configurable policy.
 // Experiment F7 measures the cost of each policy.
+//
+// Thread safety: Record()/Count() may be called from any number of checking
+// threads. The counters are lock-free atomics, so the hot allow path (under
+// the default denials-only policy) never takes a lock; records that the
+// policy retains go into a bounded ring — many producers serialize briefly
+// on the ring mutex, the (single) consumer drains via records()/Query(),
+// and the oldest record is overwritten once the ring is full.
 
 #ifndef XSEC_SRC_MONITOR_AUDIT_H_
 #define XSEC_SRC_MONITOR_AUDIT_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,8 +62,8 @@ class AuditLog {
  public:
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
 
-  void set_policy(AuditPolicy policy) { policy_ = policy; }
-  AuditPolicy policy() const { return policy_; }
+  void set_policy(AuditPolicy policy) { policy_.store(policy, std::memory_order_relaxed); }
+  AuditPolicy policy() const { return policy_.load(std::memory_order_relaxed); }
 
   // Records a decision if the policy asks for it. Counters are maintained
   // regardless of policy.
@@ -65,41 +73,53 @@ class AuditLog {
   // Callers use this to skip building record text (path strings) that would
   // be thrown away; if it returns false they call Count() instead.
   bool WouldRetain(bool allowed) const {
-    return policy_ == AuditPolicy::kAll || (policy_ == AuditPolicy::kDenialsOnly && !allowed);
+    AuditPolicy p = policy();
+    return p == AuditPolicy::kAll || (p == AuditPolicy::kDenialsOnly && !allowed);
   }
 
-  // Maintains counters without retaining a record.
+  // Maintains counters without retaining a record. Lock-free.
   void Count(bool allowed) {
-    ++total_checks_;
+    total_checks_.fetch_add(1, std::memory_order_relaxed);
     if (!allowed) {
-      ++total_denials_;
+      total_denials_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   // Optional sink invoked for every retained record (e.g. a test collector).
-  void set_sink(std::function<void(const AuditRecord&)> sink) { sink_ = std::move(sink); }
+  // Install at setup time, before concurrent checking starts.
+  void set_sink(std::function<void(const AuditRecord&)> sink);
 
-  // Retained records, oldest first.
-  const std::deque<AuditRecord>& records() const { return records_; }
+  // Snapshot of the retained records, oldest first.
+  std::vector<AuditRecord> records() const;
 
-  // Records matching a predicate.
+  // Retained records matching a predicate, oldest first.
   std::vector<AuditRecord> Query(const std::function<bool(const AuditRecord&)>& pred) const;
 
-  uint64_t total_checks() const { return total_checks_; }
-  uint64_t total_denials() const { return total_denials_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t total_checks() const { return total_checks_.load(std::memory_order_relaxed); }
+  uint64_t total_denials() const { return total_denials_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   void Clear();
 
  private:
+  // Appends `visit(record)` for each retained record, oldest first, with
+  // mu_ held.
+  template <typename Visit>
+  void ForEachLocked(Visit visit) const;
+
   size_t capacity_;
-  AuditPolicy policy_ = AuditPolicy::kDenialsOnly;
-  std::deque<AuditRecord> records_;
+  std::atomic<AuditPolicy> policy_{AuditPolicy::kDenialsOnly};
+  std::atomic<uint64_t> total_checks_{0};
+  std::atomic<uint64_t> total_denials_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  // Ring of retained records: grows to capacity_, then head_ marks the
+  // oldest record and new ones overwrite it.
+  mutable std::mutex mu_;
+  std::vector<AuditRecord> ring_;
+  size_t head_ = 0;
   std::function<void(const AuditRecord&)> sink_;
   uint64_t next_sequence_ = 0;
-  uint64_t total_checks_ = 0;
-  uint64_t total_denials_ = 0;
-  uint64_t dropped_ = 0;
 };
 
 }  // namespace xsec

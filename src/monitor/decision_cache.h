@@ -7,16 +7,30 @@
 // decision. Coarse, but sound, and the common workload (many checks between
 // rare policy changes) is exactly what experiment F8 measures.
 //
-// The table is direct-mapped (power-of-two slots, overwrite on collision):
-// lookups stay O(1) with no allocation on the hot path.
+// The table is direct-mapped (power-of-two slots, overwrite on collision)
+// and sharded: the key hash selects a shard, each shard owns a disjoint
+// stripe of slots under its own lock, so concurrent Check() calls on
+// different shards never contend. Slots store the *full* key — wide
+// principal/node ids and the complete SecurityClass, not just its hash — so
+// a hash collision can never return another subject's cached decision
+// (slot matching by hash alone was a soundness bug; see
+// DecisionCacheTest.HashCollidingClassesDoNotAlias).
+//
+// Counter invariant: every Lookup() counts exactly one of {hit, miss}. A
+// probe that finds a matching key with stale stamps counts as a miss AND as
+// a stale_hit, so hits + misses == total probes and stale_hits <= misses.
 
 #ifndef XSEC_SRC_MONITOR_DECISION_CACHE_H_
 #define XSEC_SRC_MONITOR_DECISION_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/dac/access_mode.h"
+#include "src/mac/security_class.h"
 #include "src/monitor/audit.h"
 #include "src/monitor/subject.h"
 #include "src/naming/namespace.h"
@@ -50,30 +64,50 @@ class DecisionCache {
 
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t stale_hits() const { return stale_hits_; }
-  size_t slot_count() const { return slots_.size(); }
+  // Counters are kept per shard (updated under the shard lock the probe
+  // already holds, so the hot path shares no counter cache line across
+  // shards) and summed here.
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t stale_hits() const;
+  size_t slot_count() const { return shard_count_ * slots_per_shard_; }
+  size_t shard_count() const { return shard_count_; }
 
  private:
   struct Slot {
     bool occupied = false;
     uint64_t key_hash = 0;
-    uint32_t principal = 0;
-    uint32_t node = 0;
-    uint32_t modes = 0;
-    uint64_t class_hash = 0;
+    // Full key: ids stored at 64 bits (wider than today's 32-bit id types,
+    // so id growth can't silently reintroduce truncation) plus the complete
+    // subject class.
+    uint64_t principal = 0;
+    uint64_t node = 0;
+    uint64_t modes = 0;
+    SecurityClass subject_class;
     CacheStamps stamps;
     CachedDecision decision;
   };
 
+  struct Shard {
+    std::mutex mu;
+    std::vector<Slot> slots;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_hits = 0;
+  };
+
+  static constexpr size_t kMaxShards = 64;
+
   static uint64_t KeyHash(const Subject& subject, NodeId node, AccessModeSet modes);
 
-  std::vector<Slot> slots_;
-  uint64_t mask_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t stale_hits_ = 0;
+  // Shards are allocated once in the constructor and never resized (Shard
+  // holds a mutex, so the container must never move them).
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_count_ = 1;
+  size_t shard_mask_ = 0;
+  unsigned shard_bits_ = 0;
+  size_t slots_per_shard_ = 1;
+  size_t slot_mask_ = 0;
 };
 
 }  // namespace xsec

@@ -29,7 +29,9 @@ ReferenceMonitor::ReferenceMonitor(NameSpace* name_space, AclStore* acls,
   // Every node must resolve to *some* label; the root carries ⊥ so an
   // unlabeled tree degenerates to "MAC imposes no constraint among ⊥
   // subjects" rather than to undefined behavior.
-  if (name_space_->Get(name_space_->root())->label_ref == kNoRef) {
+  NameSpace::SecuritySnapshot root;
+  if (name_space_->SnapshotSecurity(name_space_->root(), &root) &&
+      root.own_label_ref == kNoRef) {
     (void)name_space_->SetLabelRef(name_space_->root(), labels_->StoreLabel(labels_->Bottom()));
   }
 }
@@ -59,25 +61,25 @@ const Acl* ReferenceMonitor::EffectiveAcl(NodeId node, AclStore::AclRef* ref_out
   return nullptr;
 }
 
-const SecurityClass& ReferenceMonitor::EffectiveLabel(NodeId node) const {
-  const Node* n = name_space_->Get(node);
-  while (n != nullptr) {
-    if (n->label_ref != kNoRef) {
-      return *labels_->GetLabel(n->label_ref);
+SecurityClass ReferenceMonitor::EffectiveLabel(NodeId node) const {
+  NameSpace::SecuritySnapshot snap;
+  if (name_space_->SnapshotSecurity(node, &snap) && snap.effective_label_ref != kNoRef) {
+    if (auto label = labels_->LabelHandle(snap.effective_label_ref)) {
+      return *label;
     }
-    if (n->id == name_space_->root()) {
-      break;
-    }
-    n = name_space_->Get(n->parent);
   }
-  // Unreachable for live nodes: the constructor labels the root.
-  return *labels_->GetLabel(name_space_->Get(name_space_->root())->label_ref);
+  // Unreachable for live nodes: the constructor labels the root. A default
+  // class is ⊥-shaped (level 0, no categories).
+  return SecurityClass();
 }
 
 Decision ReferenceMonitor::CheckUncached(const Subject& subject, NodeId node,
-                                         AccessModeSet modes) {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+                                         AccessModeSet modes) const {
+  // One locked ancestor walk yields owner + effective ACL/label refs; after
+  // this the stores are only touched through shared-ownership handles, so a
+  // concurrent policy mutation cannot tear the evaluation.
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return Decision{false, DenyReason::kNotFound, "node does not exist"};
   }
 
@@ -85,16 +87,15 @@ Decision ReferenceMonitor::CheckUncached(const Subject& subject, NodeId node,
     AccessModeSet dac_modes = modes;
     // Bootstrap rule: the owner always holds administrate, so a fresh node
     // (which inherits its ACL) can be given one by its creator.
-    if (subject.principal == n->owner) {
+    if (subject.principal == snap.owner) {
       dac_modes = dac_modes - AccessModeSet(AccessMode::kAdministrate);
     }
     if (!dac_modes.empty()) {
-      const Acl* acl = EffectiveAcl(node);
-      if (acl == nullptr) {
+      if (snap.effective_acl_ref == kNoRef) {
         return Decision{false, DenyReason::kDacNoGrant, "no ACL grants this access"};
       }
-      const DynamicBitset& closure = principals_->MembershipClosure(subject.principal);
-      AclVerdict verdict = acl->Evaluate(closure, dac_modes);
+      std::shared_ptr<const DynamicBitset> closure = principals_->Closure(subject.principal);
+      AclVerdict verdict = acls_->Evaluate(snap.effective_acl_ref, *closure, dac_modes);
       if (verdict == AclVerdict::kDeniedByEntry) {
         return Decision{false, DenyReason::kDacExplicitDeny, "matched a negative ACL entry"};
       }
@@ -105,7 +106,13 @@ Decision ReferenceMonitor::CheckUncached(const Subject& subject, NodeId node,
   }
 
   if (options_.mac_enabled) {
-    const SecurityClass& label = EffectiveLabel(node);
+    std::shared_ptr<const SecurityClass> handle =
+        snap.effective_label_ref != kNoRef ? labels_->LabelHandle(snap.effective_label_ref)
+                                           : nullptr;
+    // A live node always resolves to a label (the root carries ⊥); ⊥ is the
+    // defensive fallback for a torn-down tree.
+    SecurityClass fallback;
+    const SecurityClass& label = handle ? *handle : fallback;
     FlowVerdict verdict = flow_.Check(subject.security_class, label, modes);
     if (!verdict.allowed) {
       return Decision{false, DenyReason::kMacFlow,
@@ -139,6 +146,10 @@ void ReferenceMonitor::Audit(const Subject& subject, NodeId node, std::string pa
 
 Decision ReferenceMonitor::Check(const Subject& subject, NodeId node, AccessModeSet modes) {
   if (options_.cache_enabled) {
+    // Stamps are read (acquire) BEFORE evaluating. If a store mutates
+    // mid-evaluation its bump lands after our loads, so the entry we insert
+    // carries stamps that are already stale — a future probe re-evaluates.
+    // The race costs a redundant evaluation, never a wrong cached decision.
     CacheStamps stamps = CurrentStamps();
     DecisionCache::CachedDecision cached;
     if (cache_.Lookup(subject, node, modes, stamps, &cached)) {
@@ -234,10 +245,10 @@ std::string ReferenceMonitor::Explain(const Subject& subject, NodeId node,
       out += StrFormat("DAC     : governed by the ACL on %s%s\n",
                        name_space_->PathOf(cursor->id).c_str(),
                        cursor->id == node ? "" : " (inherited)");
-      const DynamicBitset& closure = principals_->MembershipClosure(subject.principal);
+      std::shared_ptr<const DynamicBitset> closure = principals_->Closure(subject.principal);
       AccessModeSet allowed, denied;
       for (const AclEntry& entry : acl->entries()) {
-        bool matches = closure.Test(entry.who.value);
+        bool matches = closure->Test(entry.who.value);
         const Principal* p = principals_->Get(entry.who);
         out += StrFormat("          %s %s %s%s\n",
                          entry.type == AclEntryType::kAllow ? "allow" : "deny ",
@@ -257,7 +268,7 @@ std::string ReferenceMonitor::Explain(const Subject& subject, NodeId node,
   if (!options_.mac_enabled) {
     out += "MAC     : disabled\n";
   } else {
-    const SecurityClass& label = EffectiveLabel(node);
+    SecurityClass label = EffectiveLabel(node);
     out += StrFormat("MAC     : object label %s\n", labels_->ClassToString(label).c_str());
     FlowVerdict verdict = flow_.Check(subject.security_class, label, modes);
     if (verdict.allowed) {
@@ -274,22 +285,21 @@ std::string ReferenceMonitor::Explain(const Subject& subject, NodeId node,
 }
 
 bool ReferenceMonitor::HasAdministrate(const Subject& subject, NodeId node) const {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return false;
   }
-  if (subject.principal == n->owner) {
+  if (subject.principal == snap.owner) {
     return true;
   }
-  // A const-cast-free re-check without caching/auditing: administration is
-  // rare, so the plain path is fine.
-  ReferenceMonitor* self = const_cast<ReferenceMonitor*>(this);
-  return self->CheckUncached(subject, node, AccessMode::kAdministrate).allowed;
+  // Re-check without caching/auditing: administration is rare, so the plain
+  // path is fine.
+  return CheckUncached(subject, node, AccessMode::kAdministrate).allowed;
 }
 
 Status ReferenceMonitor::SetNodeAcl(const Subject& subject, NodeId node, Acl acl) {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return NotFoundError("node does not exist");
   }
   if (!HasAdministrate(subject, node)) {
@@ -298,16 +308,16 @@ Status ReferenceMonitor::SetNodeAcl(const Subject& subject, NodeId node, Acl acl
     return PermissionDeniedError(
         StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
   }
-  if (n->acl_ref == kNoRef) {
+  if (snap.own_acl_ref == kNoRef) {
     AclStore::AclRef ref = acls_->Create(std::move(acl));
     return name_space_->SetAclRef(node, ref);
   }
-  return acls_->Replace(n->acl_ref, std::move(acl));
+  return acls_->Replace(snap.own_acl_ref, std::move(acl));
 }
 
 Status ReferenceMonitor::AddAclEntry(const Subject& subject, NodeId node, const AclEntry& entry) {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return NotFoundError("node does not exist");
   }
   if (!HasAdministrate(subject, node)) {
@@ -316,24 +326,24 @@ Status ReferenceMonitor::AddAclEntry(const Subject& subject, NodeId node, const 
     return PermissionDeniedError(
         StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
   }
-  if (n->acl_ref == kNoRef) {
+  if (snap.own_acl_ref == kNoRef) {
     // Copy-down: start the node's own ACL from its effective (inherited) one
     // so adding an entry refines rather than replaces the inherited policy.
     Acl base;
-    if (const Acl* inherited = EffectiveAcl(node); inherited != nullptr) {
-      base = *inherited;
+    if (snap.effective_acl_ref != kNoRef) {
+      (void)acls_->CopyAcl(snap.effective_acl_ref, &base);
     }
     base.AddEntry(entry);
     AclStore::AclRef ref = acls_->Create(std::move(base));
     return name_space_->SetAclRef(node, ref);
   }
-  return acls_->AddEntry(n->acl_ref, entry);
+  return acls_->AddEntry(snap.own_acl_ref, entry);
 }
 
 Status ReferenceMonitor::RemoveAclEntriesFor(const Subject& subject, NodeId node,
                                              PrincipalId who) {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return NotFoundError("node does not exist");
   }
   if (!HasAdministrate(subject, node)) {
@@ -342,16 +352,16 @@ Status ReferenceMonitor::RemoveAclEntriesFor(const Subject& subject, NodeId node
     return PermissionDeniedError(
         StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
   }
-  if (n->acl_ref == kNoRef) {
+  if (snap.own_acl_ref == kNoRef) {
     return OkStatus();  // only an inherited ACL; nothing of this node's to edit
   }
-  return acls_->RemoveEntriesFor(n->acl_ref, who);
+  return acls_->RemoveEntriesFor(snap.own_acl_ref, who);
 }
 
 Status ReferenceMonitor::SetNodeLabel(const Subject& subject, NodeId node,
                                       const SecurityClass& label) {
-  const Node* n = name_space_->Get(node);
-  if (n == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return NotFoundError("node does not exist");
   }
   bool officer = security_officer_.valid() && subject.principal == security_officer_;
@@ -363,7 +373,7 @@ Status ReferenceMonitor::SetNodeLabel(const Subject& subject, NodeId node,
           StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
     }
     if (options_.mac_enabled) {
-      const SecurityClass& current = EffectiveLabel(node);
+      SecurityClass current = EffectiveLabel(node);
       bool sees_current = subject.security_class.Dominates(current);
       bool assigns_own_class = label == subject.security_class;
       if (!sees_current || !assigns_own_class) {
@@ -373,15 +383,16 @@ Status ReferenceMonitor::SetNodeLabel(const Subject& subject, NodeId node,
       }
     }
   }
-  if (n->label_ref == kNoRef) {
+  if (snap.own_label_ref == kNoRef) {
     LabelAuthority::LabelRef ref = labels_->StoreLabel(label);
     return name_space_->SetLabelRef(node, ref);
   }
-  return labels_->ReplaceLabel(n->label_ref, label);
+  return labels_->ReplaceLabel(snap.own_label_ref, label);
 }
 
 Status ReferenceMonitor::SetOwner(const Subject& subject, NodeId node, PrincipalId new_owner) {
-  if (name_space_->Get(node) == nullptr) {
+  NameSpace::SecuritySnapshot snap;
+  if (!name_space_->SnapshotSecurity(node, &snap)) {
     return NotFoundError("node does not exist");
   }
   if (!HasAdministrate(subject, node)) {

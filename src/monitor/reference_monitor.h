@@ -19,6 +19,15 @@
 //
 // Decisions are cached (src/monitor/decision_cache.h); any policy mutation
 // invalidates the cache via generation stamps.
+//
+// Thread safety: Check/CheckPath/CheckFloating and the administrative
+// operations may be called concurrently from any number of threads. The
+// check path reads each store through a snapshot or shared-ownership handle
+// (NameSpace::SnapshotSecurity, PrincipalRegistry::Closure,
+// AclStore::Evaluate, LabelAuthority::LabelHandle) and reads the validity
+// stamps *before* evaluating, so a cached decision can be spuriously stale
+// but never wrongly fresh. Explain() and EffectiveAcl() are introspection
+// helpers for single-threaded use. set_security_officer() is setup-time.
 
 #ifndef XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
 #define XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
@@ -115,10 +124,12 @@ class ReferenceMonitor {
 
   // The ACL governing a node: its own, else the nearest ancestor's, else null
   // (no ACL anywhere => DAC denies everything except the owner's administrate).
+  // Returns a borrowed pointer; for single-threaded introspection only.
   const Acl* EffectiveAcl(NodeId node, AclStore::AclRef* ref_out = nullptr) const;
 
-  // The label governing a node. The root always has one (⊥ by default).
-  const SecurityClass& EffectiveLabel(NodeId node) const;
+  // The label governing a node, by value (safe against concurrent relabels).
+  // The root always has one (⊥ by default).
+  SecurityClass EffectiveLabel(NodeId node) const;
 
   // True iff the subject holds administrate on the node (ACL grant or owner).
   bool HasAdministrate(const Subject& subject, NodeId node) const;
@@ -143,7 +154,7 @@ class ReferenceMonitor {
   LabelAuthority& labels() { return *labels_; }
 
  private:
-  Decision CheckUncached(const Subject& subject, NodeId node, AccessModeSet modes);
+  Decision CheckUncached(const Subject& subject, NodeId node, AccessModeSet modes) const;
   CacheStamps CurrentStamps() const;
   void Audit(const Subject& subject, NodeId node, std::string path, AccessModeSet modes,
              const Decision& decision);

@@ -1,5 +1,7 @@
 #include "src/naming/namespace.h"
 
+#include <mutex>
+
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -35,7 +37,14 @@ NameSpace::NameSpace() {
   nodes_.push_back(std::move(root));
 }
 
-Node* NameSpace::GetMutable(NodeId id) {
+Node* NameSpace::GetMutableLocked(NodeId id) {
+  if (id.value >= nodes_.size() || !nodes_[id.value].alive) {
+    return nullptr;
+  }
+  return &nodes_[id.value];
+}
+
+const Node* NameSpace::GetLocked(NodeId id) const {
   if (id.value >= nodes_.size() || !nodes_[id.value].alive) {
     return nullptr;
   }
@@ -43,26 +52,26 @@ Node* NameSpace::GetMutable(NodeId id) {
 }
 
 const Node* NameSpace::Get(NodeId id) const {
-  if (id.value >= nodes_.size() || !nodes_[id.value].alive) {
-    return nullptr;
-  }
-  return &nodes_[id.value];
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetLocked(id);
 }
 
 void NameSpace::Touch(Node& node) {
   ++node.generation;
-  ++global_generation_;
+  // Release: the mutation this stamp publishes happened-before any reader
+  // that observes the new generation value.
+  global_generation_.fetch_add(1, std::memory_order_release);
 }
 
-StatusOr<NodeId> NameSpace::Bind(NodeId parent, std::string_view name, NodeKind kind,
-                                 PrincipalId owner) {
-  Node* p = GetMutable(parent);
+StatusOr<NodeId> NameSpace::BindLocked(NodeId parent, std::string_view name, NodeKind kind,
+                                       PrincipalId owner) {
+  Node* p = GetMutableLocked(parent);
   if (p == nullptr) {
     return NotFoundError("parent node does not exist");
   }
   if (!KindAllowsChildren(p->kind)) {
     return FailedPreconditionError(
-        StrFormat("node '%s' is a %s and cannot have children", PathOf(parent).c_str(),
+        StrFormat("node '%s' is a %s and cannot have children", PathOfLocked(parent).c_str(),
                   std::string(NodeKindName(p->kind)).c_str()));
   }
   if (!IsValidComponent(name)) {
@@ -71,7 +80,7 @@ StatusOr<NodeId> NameSpace::Bind(NodeId parent, std::string_view name, NodeKind 
   if (p->children.find(name) != p->children.end()) {
     return AlreadyExistsError(
         StrFormat("'%s' already exists under '%s'", std::string(name).c_str(),
-                  PathOf(parent).c_str()));
+                  PathOfLocked(parent).c_str()));
   }
   NodeId id{static_cast<uint32_t>(nodes_.size())};
   Node child;
@@ -81,11 +90,15 @@ StatusOr<NodeId> NameSpace::Bind(NodeId parent, std::string_view name, NodeKind 
   child.name = std::string(name);
   child.owner = owner;
   nodes_.push_back(std::move(child));
-  // Vector may have reallocated; re-fetch the parent.
-  Node& pp = nodes_[parent.value];
-  pp.children.emplace(std::string(name), id);
-  Touch(pp);
+  p->children.emplace(std::string(name), id);
+  Touch(*p);
   return id;
+}
+
+StatusOr<NodeId> NameSpace::Bind(NodeId parent, std::string_view name, NodeKind kind,
+                                 PrincipalId owner) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return BindLocked(parent, name, kind, owner);
 }
 
 StatusOr<NodeId> NameSpace::BindPath(std::string_view path, NodeKind kind, PrincipalId owner) {
@@ -96,24 +109,26 @@ StatusOr<NodeId> NameSpace::BindPath(std::string_view path, NodeKind kind, Princ
   if (components->empty()) {
     return InvalidArgumentError("cannot bind the root");
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   NodeId cur = root();
   for (size_t i = 0; i + 1 < components->size(); ++i) {
-    auto child = Child(cur, (*components)[i]);
+    auto child = ChildLocked(cur, (*components)[i]);
     if (child.ok()) {
       cur = *child;
       continue;
     }
-    auto made = Bind(cur, (*components)[i], NodeKind::kDirectory, owner);
+    auto made = BindLocked(cur, (*components)[i], NodeKind::kDirectory, owner);
     if (!made.ok()) {
       return made.status();
     }
     cur = *made;
   }
-  return Bind(cur, components->back(), kind, owner);
+  return BindLocked(cur, components->back(), kind, owner);
 }
 
 Status NameSpace::Unbind(NodeId node) {
-  Node* n = GetMutable(node);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Node* n = GetMutableLocked(node);
   if (n == nullptr) {
     return NotFoundError("node does not exist");
   }
@@ -122,7 +137,7 @@ Status NameSpace::Unbind(NodeId node) {
   }
   if (!n->children.empty()) {
     return FailedPreconditionError(
-        StrFormat("'%s' still has %zu children", PathOf(node).c_str(), n->children.size()));
+        StrFormat("'%s' still has %zu children", PathOfLocked(node).c_str(), n->children.size()));
   }
   Node& parent = nodes_[n->parent.value];
   parent.children.erase(n->name);
@@ -132,17 +147,22 @@ Status NameSpace::Unbind(NodeId node) {
   return OkStatus();
 }
 
-StatusOr<NodeId> NameSpace::Child(NodeId parent, std::string_view name) const {
-  const Node* p = Get(parent);
+StatusOr<NodeId> NameSpace::ChildLocked(NodeId parent, std::string_view name) const {
+  const Node* p = GetLocked(parent);
   if (p == nullptr) {
     return NotFoundError("parent node does not exist");
   }
   auto it = p->children.find(name);
   if (it == p->children.end()) {
-    return NotFoundError(StrFormat("'%s' has no child '%s'", PathOf(parent).c_str(),
+    return NotFoundError(StrFormat("'%s' has no child '%s'", PathOfLocked(parent).c_str(),
                                    std::string(name).c_str()));
   }
   return it->second;
+}
+
+StatusOr<NodeId> NameSpace::Child(NodeId parent, std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ChildLocked(parent, name);
 }
 
 StatusOr<NodeId> NameSpace::Lookup(std::string_view path) const {
@@ -155,12 +175,13 @@ StatusOr<NodeId> NameSpace::LookupWithAncestors(std::string_view path,
   if (!components.ok()) {
     return components.status();
   }
+  std::shared_lock<std::shared_mutex> lock(mu_);
   NodeId cur = root();
   for (const std::string& component : *components) {
     if (ancestors != nullptr) {
       ancestors->push_back(cur);
     }
-    auto next = Child(cur, component);
+    auto next = ChildLocked(cur, component);
     if (!next.ok()) {
       return next.status();
     }
@@ -170,7 +191,8 @@ StatusOr<NodeId> NameSpace::LookupWithAncestors(std::string_view path,
 }
 
 StatusOr<std::vector<NodeId>> NameSpace::List(NodeId node) const {
-  const Node* n = Get(node);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Node* n = GetLocked(node);
   if (n == nullptr) {
     return NotFoundError("node does not exist");
   }
@@ -182,8 +204,38 @@ StatusOr<std::vector<NodeId>> NameSpace::List(NodeId node) const {
   return out;
 }
 
-std::string NameSpace::PathOf(NodeId id) const {
-  const Node* n = Get(id);
+bool NameSpace::SnapshotSecurity(NodeId id, SecuritySnapshot* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Node* n = GetLocked(id);
+  if (n == nullptr) {
+    return false;
+  }
+  out->owner = n->owner;
+  out->own_acl_ref = n->acl_ref;
+  out->own_label_ref = n->label_ref;
+  out->effective_acl_ref = kNoRef;
+  out->effective_label_ref = kNoRef;
+  // Ancestors of a live node are always alive (only leaves can be unbound),
+  // so the walk needs no liveness checks.
+  const Node* cur = n;
+  while (true) {
+    if (out->effective_acl_ref == kNoRef && cur->acl_ref != kNoRef) {
+      out->effective_acl_ref = cur->acl_ref;
+    }
+    if (out->effective_label_ref == kNoRef && cur->label_ref != kNoRef) {
+      out->effective_label_ref = cur->label_ref;
+    }
+    if ((out->effective_acl_ref != kNoRef && out->effective_label_ref != kNoRef) ||
+        cur->id == root()) {
+      break;
+    }
+    cur = &nodes_[cur->parent.value];
+  }
+  return true;
+}
+
+std::string NameSpace::PathOfLocked(NodeId id) const {
+  const Node* n = GetLocked(id);
   if (n == nullptr) {
     return "<dead>";
   }
@@ -203,8 +255,19 @@ std::string NameSpace::PathOf(NodeId id) const {
   return out;
 }
 
+std::string NameSpace::PathOf(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return PathOfLocked(id);
+}
+
+size_t NameSpace::node_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return nodes_.size();
+}
+
 Status NameSpace::SetAclRef(NodeId id, uint32_t acl_ref) {
-  Node* n = GetMutable(id);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Node* n = GetMutableLocked(id);
   if (n == nullptr) {
     return NotFoundError("node does not exist");
   }
@@ -214,7 +277,8 @@ Status NameSpace::SetAclRef(NodeId id, uint32_t acl_ref) {
 }
 
 Status NameSpace::SetLabelRef(NodeId id, uint32_t label_ref) {
-  Node* n = GetMutable(id);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Node* n = GetMutableLocked(id);
   if (n == nullptr) {
     return NotFoundError("node does not exist");
   }
@@ -224,7 +288,8 @@ Status NameSpace::SetLabelRef(NodeId id, uint32_t label_ref) {
 }
 
 Status NameSpace::SetOwner(NodeId id, PrincipalId owner) {
-  Node* n = GetMutable(id);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Node* n = GetMutableLocked(id);
   if (n == nullptr) {
     return NotFoundError("node does not exist");
   }

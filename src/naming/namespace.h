@@ -12,12 +12,24 @@
 // This class is only the tree; it stores the security references as opaque
 // handles and never interprets them. Interpretation is the reference
 // monitor's job (src/monitor/), keeping the mechanism in exactly one place.
+//
+/// Thread safety: all public methods may be called concurrently. Mutators
+// take the tree lock exclusively; readers share it. Methods that return
+// values (ids, paths, SecuritySnapshot) are safe under concurrent mutation.
+// Get() returns a pointer whose *address* is stable for the life of the
+// NameSpace (nodes are never destroyed), but whose fields may change under a
+// concurrent mutator; callers that dereference it across operations must
+// either hold external synchronization or tolerate torn metadata — the
+// monitor's check path uses SnapshotSecurity() instead.
 
 #ifndef XSEC_SRC_NAMING_NAMESPACE_H_
 #define XSEC_SRC_NAMING_NAMESPACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -109,6 +121,21 @@ class NameSpace {
 
   const Node* Get(NodeId id) const;
 
+  // Everything the reference monitor needs to decide an access, copied out
+  // under one shared-lock acquisition so the ancestor walk is atomic with
+  // respect to concurrent tree mutation. The effective refs are the first
+  // non-kNoRef acl_ref / label_ref on the path node → root (ACL/label
+  // inheritance); the own refs are the node's own fields.
+  struct SecuritySnapshot {
+    PrincipalId owner;
+    uint32_t own_acl_ref = kNoRef;
+    uint32_t own_label_ref = kNoRef;
+    uint32_t effective_acl_ref = kNoRef;
+    uint32_t effective_label_ref = kNoRef;
+  };
+  // False iff the node does not exist (or is dead).
+  bool SnapshotSecurity(NodeId id, SecuritySnapshot* out) const;
+
   // Reconstructs the absolute path of a live node.
   std::string PathOf(NodeId id) const;
 
@@ -117,17 +144,30 @@ class NameSpace {
   Status SetLabelRef(NodeId id, uint32_t label_ref);
   Status SetOwner(NodeId id, PrincipalId owner);
 
-  size_t node_count() const { return nodes_.size(); }
+  size_t node_count() const;
 
   // Bumped on every mutation anywhere in the tree; decision-cache validity.
-  uint64_t global_generation() const { return global_generation_; }
+  // Published with release ordering *after* the mutation is complete, so a
+  // reader that observes a given generation and then reads the tree sees at
+  // least that mutation (see docs/MODEL.md, "Concurrency model").
+  uint64_t global_generation() const { return global_generation_.load(std::memory_order_acquire); }
 
  private:
-  Node* GetMutable(NodeId id);
+  // Unlocked internals; callers hold mu_ (shared for const, exclusive for
+  // mutation).
+  const Node* GetLocked(NodeId id) const;
+  Node* GetMutableLocked(NodeId id);
+  StatusOr<NodeId> ChildLocked(NodeId parent, std::string_view name) const;
+  StatusOr<NodeId> BindLocked(NodeId parent, std::string_view name, NodeKind kind,
+                              PrincipalId owner);
+  std::string PathOfLocked(NodeId id) const;
   void Touch(Node& node);
 
-  std::vector<Node> nodes_;
-  uint64_t global_generation_ = 0;
+  mutable std::shared_mutex mu_;
+  // Deque, not vector: node addresses stay stable across Bind, so Get()'s
+  // returned pointers never dangle.
+  std::deque<Node> nodes_;
+  std::atomic<uint64_t> global_generation_{0};
 };
 
 }  // namespace xsec

@@ -21,6 +21,7 @@ StatusOr<PrincipalId> PrincipalRegistry::Create(std::string_view name, Principal
     }
   }
   std::string key(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (by_name_.count(key) != 0) {
     return AlreadyExistsError(StrFormat("principal '%s' already exists", key.c_str()));
   }
@@ -40,7 +41,7 @@ StatusOr<PrincipalId> PrincipalRegistry::CreateGroup(std::string_view name) {
   return Create(name, PrincipalKind::kGroup);
 }
 
-bool PrincipalRegistry::WouldCreateCycle(PrincipalId group, PrincipalId member) const {
+bool PrincipalRegistry::WouldCreateCycleLocked(PrincipalId group, PrincipalId member) const {
   if (member == group) {
     return true;
   }
@@ -72,6 +73,7 @@ bool PrincipalRegistry::WouldCreateCycle(PrincipalId group, PrincipalId member) 
 }
 
 Status PrincipalRegistry::AddMember(PrincipalId group, PrincipalId member) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (group.value >= principals_.size() || member.value >= principals_.size()) {
     return NotFoundError("no such principal");
   }
@@ -83,18 +85,21 @@ Status PrincipalRegistry::AddMember(PrincipalId group, PrincipalId member) {
   if (std::find(g.members.begin(), g.members.end(), member) != g.members.end()) {
     return AlreadyExistsError("already a member");
   }
-  if (WouldCreateCycle(group, member)) {
+  if (WouldCreateCycleLocked(group, member)) {
     return FailedPreconditionError(
         StrFormat("adding '%s' to '%s' would create a membership cycle",
                   principals_[member.value].principal.name.c_str(), g.principal.name.c_str()));
   }
   g.members.push_back(member);
   principals_[member.value].member_of.push_back(group);
-  ++membership_epoch_;
+  // Mutate, then publish (release): a reader that observes the new epoch and
+  // then computes a closure sees the new edge.
+  membership_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 
 Status PrincipalRegistry::RemoveMember(PrincipalId group, PrincipalId member) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (group.value >= principals_.size() || member.value >= principals_.size()) {
     return NotFoundError("no such principal");
   }
@@ -106,11 +111,12 @@ Status PrincipalRegistry::RemoveMember(PrincipalId group, PrincipalId member) {
   g.members.erase(it);
   Record& m = principals_[member.value];
   m.member_of.erase(std::find(m.member_of.begin(), m.member_of.end(), group));
-  ++membership_epoch_;
+  membership_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
 
 StatusOr<PrincipalId> PrincipalRegistry::FindByName(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) {
     return NotFoundError(StrFormat("no principal named '%s'", std::string(name).c_str()));
@@ -119,42 +125,65 @@ StatusOr<PrincipalId> PrincipalRegistry::FindByName(std::string_view name) const
 }
 
 const Principal* PrincipalRegistry::Get(PrincipalId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id.value >= principals_.size()) {
     return nullptr;
   }
+  // The returned Principal's fields are immutable after creation and the
+  // deque keeps its address stable, so this pointer stays readable even
+  // under concurrent Create/AddMember.
   return &principals_[id.value].principal;
 }
 
-const DynamicBitset& PrincipalRegistry::MembershipClosure(PrincipalId user) const {
-  if (closure_cache_epoch_ != membership_epoch_) {
+size_t PrincipalRegistry::principal_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return principals_.size();
+}
+
+std::shared_ptr<const DynamicBitset> PrincipalRegistry::Closure(PrincipalId user) const {
+  uint64_t epoch = membership_epoch_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> cache_lock(closure_mu_);
+  if (closure_cache_epoch_ != epoch) {
+    // Old shared_ptrs stay alive in the hands of in-flight evaluations.
     closure_cache_.clear();
-    closure_cache_epoch_ = membership_epoch_;
+    closure_cache_epoch_ = epoch;
   }
   auto it = closure_cache_.find(user.value);
   if (it != closure_cache_.end()) {
     return it->second;
   }
-  DynamicBitset closure(principals_.size());
-  if (user.value < principals_.size()) {
-    std::deque<PrincipalId> queue{user};
-    closure.Set(user.value);
-    while (!queue.empty()) {
-      PrincipalId cur = queue.front();
-      queue.pop_front();
-      for (PrincipalId parent : principals_[cur.value].member_of) {
-        if (!closure.Test(parent.value)) {
-          closure.Set(parent.value);
-          queue.push_back(parent);
+  DynamicBitset closure;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    closure.Resize(principals_.size());
+    if (user.value < principals_.size()) {
+      std::deque<PrincipalId> queue{user};
+      closure.Set(user.value);
+      while (!queue.empty()) {
+        PrincipalId cur = queue.front();
+        queue.pop_front();
+        for (PrincipalId parent : principals_[cur.value].member_of) {
+          if (!closure.Test(parent.value)) {
+            closure.Set(parent.value);
+            queue.push_back(parent);
+          }
         }
       }
     }
   }
-  auto [ins, unused] = closure_cache_.emplace(user.value, std::move(closure));
-  (void)unused;
-  return ins->second;
+  auto sp = std::make_shared<const DynamicBitset>(std::move(closure));
+  closure_cache_.emplace(user.value, sp);
+  return sp;
+}
+
+const DynamicBitset& PrincipalRegistry::MembershipClosure(PrincipalId user) const {
+  // The closure object is co-owned by the cache entry, which lives until the
+  // next membership mutation — exactly the documented lifetime.
+  return *Closure(user);
 }
 
 StatusOr<std::vector<PrincipalId>> PrincipalRegistry::MembersOf(PrincipalId group) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (group.value >= principals_.size()) {
     return NotFoundError("no such principal");
   }
@@ -166,6 +195,7 @@ StatusOr<std::vector<PrincipalId>> PrincipalRegistry::MembersOf(PrincipalId grou
 }
 
 Status PrincipalRegistry::SetCredential(PrincipalId user, std::string_view credential) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (user.value >= principals_.size()) {
     return NotFoundError("no such principal");
   }
@@ -179,18 +209,19 @@ Status PrincipalRegistry::SetCredential(PrincipalId user, std::string_view crede
 
 StatusOr<PrincipalId> PrincipalRegistry::Authenticate(std::string_view name,
                                                       std::string_view credential) const {
-  auto id = FindByName(name);
-  if (!id.ok()) {
-    return id.status();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return NotFoundError(StrFormat("no principal named '%s'", std::string(name).c_str()));
   }
-  const Record& rec = principals_[id->value];
+  const Record& rec = principals_[it->second];
   if (rec.principal.kind != PrincipalKind::kUser) {
     return InvalidArgumentError("groups cannot log in");
   }
   if (rec.credential.empty() || rec.credential != credential) {
     return PermissionDeniedError("bad credential");
   }
-  return *id;
+  return PrincipalId{it->second};
 }
 
 }  // namespace xsec

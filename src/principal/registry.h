@@ -4,11 +4,25 @@
 // Authentication proper is out of the paper's scope (§1); the registry
 // provides a deliberately simple credential check so examples and tests can
 // model a login step without pretending to be a real authentication protocol.
+//
+// Thread safety: all methods may be called concurrently. Membership
+// mutations take the registry lock exclusively and bump membership_epoch_
+// before releasing it. The check path obtains closures through Closure(),
+// which hands out shared ownership so a concurrently invalidated closure
+// stays alive for in-flight evaluations. MembershipClosure() (the legacy
+// reference-returning form) is only safe when no membership mutation runs
+// concurrently: the referenced bitset lives until the closure cache is
+// invalidated by the next AddMember/RemoveMember.
 
 #ifndef XSEC_SRC_PRINCIPAL_REGISTRY_H_
 #define XSEC_SRC_PRINCIPAL_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -36,19 +50,26 @@ class PrincipalRegistry {
   // Lookup.
   StatusOr<PrincipalId> FindByName(std::string_view name) const;
   const Principal* Get(PrincipalId id) const;
-  size_t principal_count() const { return principals_.size(); }
+  size_t principal_count() const;
 
   // The transitive closure of `user`: a bitset over principal ids containing
   // the user itself plus every group it belongs to, directly or through
-  // nesting. Cached; invalidated on any membership change.
+  // nesting. Cached; invalidated on any membership change. The shared_ptr
+  // keeps the closure valid even if a concurrent membership mutation
+  // invalidates the cache mid-evaluation.
+  std::shared_ptr<const DynamicBitset> Closure(PrincipalId user) const;
+
+  // Legacy reference-returning form; the reference is valid until the next
+  // membership mutation. Prefer Closure() anywhere concurrency is possible.
   const DynamicBitset& MembershipClosure(PrincipalId user) const;
 
   // Direct members of a group.
   StatusOr<std::vector<PrincipalId>> MembersOf(PrincipalId group) const;
 
   // Monotonic counter bumped on every membership mutation. The reference
-  // monitor's decision cache validates entries against this.
-  uint64_t membership_epoch() const { return membership_epoch_; }
+  // monitor's decision cache validates entries against this. Published with
+  // release ordering after the mutation it stamps.
+  uint64_t membership_epoch() const { return membership_epoch_.load(std::memory_order_acquire); }
 
   // -- Simulated authentication ---------------------------------------------
   // Associates a credential with a user; Authenticate() checks it. This is a
@@ -64,15 +85,22 @@ class PrincipalRegistry {
     std::string credential;               // users only; empty = no login
   };
 
-  bool WouldCreateCycle(PrincipalId group, PrincipalId member) const;
+  // Callers hold mu_.
+  bool WouldCreateCycleLocked(PrincipalId group, PrincipalId member) const;
   StatusOr<PrincipalId> Create(std::string_view name, PrincipalKind kind);
 
-  std::vector<Record> principals_;
+  mutable std::shared_mutex mu_;  // guards principals_ and by_name_
+  // Deque, not vector: record addresses stay stable across Create, so Get()'s
+  // returned pointers never dangle.
+  std::deque<Record> principals_;
   std::unordered_map<std::string, uint32_t> by_name_;
-  uint64_t membership_epoch_ = 0;
+  std::atomic<uint64_t> membership_epoch_{0};
 
-  // Closure cache, rebuilt lazily after membership changes.
-  mutable std::unordered_map<uint32_t, DynamicBitset> closure_cache_;
+  // Closure cache, rebuilt lazily after membership changes. Guarded by its
+  // own mutex; computing a missing closure takes mu_ (shared) *inside*
+  // closure_mu_, and mutators never take closure_mu_, so the order is safe.
+  mutable std::mutex closure_mu_;
+  mutable std::unordered_map<uint32_t, std::shared_ptr<const DynamicBitset>> closure_cache_;
   mutable uint64_t closure_cache_epoch_ = 0;
 };
 

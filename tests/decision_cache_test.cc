@@ -106,6 +106,89 @@ TEST(DecisionCacheTest, ClearEmptiesEverySlot) {
   }
 }
 
+// Multiplicative inverse of an odd m modulo 2^64 (Newton iteration).
+uint64_t Inv64(uint64_t m) {
+  uint64_t x = m;
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - m * x;
+  }
+  return x;
+}
+
+// Regression for the hash-aliasing soundness bug: two subjects whose
+// security classes are different but whose 64-bit class hashes collide must
+// not share a cache entry. The seed implementation matched slots by class
+// *hash* alone, so the second subject read the first subject's cached
+// decision. The colliding class is constructed analytically from the FNV
+// constants; no luck required.
+TEST(DecisionCacheTest, HashCollidingClassesDoNotAlias) {
+  constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+  constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+  // Class A: level 1, no categories. Hash = kFnvOffset * 31 + 1.
+  SecurityClass a(1, CategorySet(64));
+
+  // Class B: level 0, one significant category word w chosen so that
+  // (kFnvOffset ^ w) * kFnvPrime * 31 == kFnvOffset * 31 + 1 (mod 2^64).
+  uint64_t target = kFnvOffset * 31 + 1;
+  uint64_t w = kFnvOffset ^ (target * Inv64(kFnvPrime * 31));
+  ASSERT_NE(w, 0u);  // w must be a significant word
+  CategorySet cats(64);
+  for (size_t bit = 0; bit < 64; ++bit) {
+    if ((w >> bit) & 1) {
+      cats.Set(bit);
+    }
+  }
+  SecurityClass b(0, std::move(cats));
+
+  ASSERT_EQ(a.Hash(), b.Hash());
+  ASSERT_FALSE(a == b);
+
+  DecisionCache cache(64);
+  CacheStamps stamps{1, 1, 1, 1};
+  Subject cleared{PrincipalId{1}, a, 1};
+  Subject uncleared{PrincipalId{1}, b, 1};
+  cache.Insert(cleared, NodeId{5}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+
+  DecisionCache::CachedDecision out;
+  EXPECT_FALSE(cache.Lookup(uncleared, NodeId{5}, AccessMode::kRead, stamps, &out))
+      << "a colliding class hash must not alias to another subject's decision";
+  // The entry itself is intact for the real key.
+  EXPECT_TRUE(cache.Lookup(cleared, NodeId{5}, AccessMode::kRead, stamps, &out));
+}
+
+// Counter invariant: every Lookup counts exactly one of {hit, miss}; a stale
+// probe counts as a miss AND bumps the stale_hits sub-counter. Hence
+// hits + misses == total probes and stale_hits <= misses, always.
+TEST(DecisionCacheTest, ProbeAccountingInvariant) {
+  DecisionCache cache(64);
+  Subject s = MakeSubject(1);
+  CacheStamps stamps{1, 1, 1, 1};
+  DecisionCache::CachedDecision out;
+  uint64_t probes = 0;
+
+  // Cold miss.
+  EXPECT_FALSE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, stamps, &out));
+  ++probes;
+  // Fresh hit.
+  cache.Insert(s, NodeId{5}, AccessMode::kRead, stamps, {true, DenyReason::kNone});
+  EXPECT_TRUE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, stamps, &out));
+  ++probes;
+  // Stale probe: counted as a miss AND a stale_hit, never double-counted.
+  CacheStamps bumped{2, 1, 1, 1};
+  EXPECT_FALSE(cache.Lookup(s, NodeId{5}, AccessMode::kRead, bumped, &out));
+  ++probes;
+  // Key mismatch miss.
+  EXPECT_FALSE(cache.Lookup(MakeSubject(2), NodeId{5}, AccessMode::kRead, bumped, &out));
+  ++probes;
+
+  EXPECT_EQ(cache.hits() + cache.misses(), probes);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.stale_hits(), 1u);
+  EXPECT_LE(cache.stale_hits(), cache.misses());
+}
+
 TEST(DecisionCacheTest, CollisionOverwrites) {
   // A 1-slot cache: every distinct key collides.
   DecisionCache cache(1);

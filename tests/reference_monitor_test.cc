@@ -287,7 +287,8 @@ TEST_F(ReferenceMonitorTest, AuditRecordsDenialsWithReason) {
   monitor_->audit().Clear();
   (void)monitor_->Check(Bottom(bob_), obj_, AccessMode::kRead);
   ASSERT_EQ(monitor_->audit().records().size(), 1u);
-  const AuditRecord& r = monitor_->audit().records().front();
+  // records() returns a snapshot by value; copy the record out of it.
+  const AuditRecord r = monitor_->audit().records().front();
   EXPECT_FALSE(r.allowed);
   EXPECT_EQ(r.reason, DenyReason::kDacNoGrant);
   EXPECT_EQ(r.path, "/d/sub/obj");
