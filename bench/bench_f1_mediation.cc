@@ -65,24 +65,32 @@ void BM_RawHandler(benchmark::State& state) {
 }
 BENCHMARK(BM_RawHandler);
 
-void CheckNode(benchmark::State& state, bool dac, bool mac, bool cache) {
-  Fixture f(Opts(dac, mac, cache));
+void CheckNode(benchmark::State& state, MonitorOptions options) {
+  Fixture f(options);
   for (auto _ : state) {
     Decision d = f.sys.monitor().Check(f.subject, f.proc, AccessMode::kExecute);
     benchmark::DoNotOptimize(d);
   }
 }
 
-void BM_CheckNode_None(benchmark::State& state) { CheckNode(state, false, false, false); }
-void BM_CheckNode_DacOnly(benchmark::State& state) { CheckNode(state, true, false, false); }
-void BM_CheckNode_MacOnly(benchmark::State& state) { CheckNode(state, false, true, false); }
-void BM_CheckNode_DacMac(benchmark::State& state) { CheckNode(state, true, true, false); }
-void BM_CheckNode_DacMacCached(benchmark::State& state) { CheckNode(state, true, true, true); }
+void BM_CheckNode_None(benchmark::State& state) { CheckNode(state, Opts(false, false, false)); }
+void BM_CheckNode_DacOnly(benchmark::State& state) { CheckNode(state, Opts(true, false, false)); }
+void BM_CheckNode_MacOnly(benchmark::State& state) { CheckNode(state, Opts(false, true, false)); }
+void BM_CheckNode_DacMac(benchmark::State& state) { CheckNode(state, Opts(true, true, false)); }
+void BM_CheckNode_DacMacCached(benchmark::State& state) { CheckNode(state, Opts(true, true, true)); }
+// The same cached hot path with MonitorStats off: the delta between this
+// and BM_CheckNode_DacMacCached is the stats overhead (budget: <5%).
+void BM_CheckNode_DacMacCached_NoStats(benchmark::State& state) {
+  MonitorOptions options = Opts(true, true, true);
+  options.stats_enabled = false;
+  CheckNode(state, options);
+}
 BENCHMARK(BM_CheckNode_None);
 BENCHMARK(BM_CheckNode_DacOnly);
 BENCHMARK(BM_CheckNode_MacOnly);
 BENCHMARK(BM_CheckNode_DacMac);
 BENCHMARK(BM_CheckNode_DacMacCached);
+BENCHMARK(BM_CheckNode_DacMacCached_NoStats);
 
 void BM_CapabilityCall(benchmark::State& state) {
   Fixture f(Opts(true, true, true));

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Full verification sweep: a Release build plus two sanitized builds, the
-# test suite under each, and the F11 parallel-mediation figure as JSON.
+# test suite under each, and the F1/F11 mediation figures as JSON.
 #
 #   ci/run_checks.sh [--quick]
 #
 # --quick restricts the sanitizer ctest runs to the monitor + concurrency
-# tests (the multithreaded surface); the default runs everything everywhere.
+# tests (the multithreaded surface, including the striped MonitorStats
+# counters and the mediated StatsService tree) plus the policy round-trip
+# tests; the default runs everything everywhere.
 #
 # Outputs:
 #   build-release/   optimized build, full ctest
 #   build-tsan/      -fsanitize=thread, ctest (races fail the run)
 #   build-asan/      -fsanitize=address,undefined, ctest
+#   BENCH_f1.json    bench_f1_mediation results (per-call overhead; the
+#                    Cached vs Cached_NoStats delta is the stats budget)
 #   BENCH_f11.json   bench_f11_parallel results from the release build
 
 set -euo pipefail
@@ -24,7 +28,7 @@ run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog')
+        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|MonitorStats|StatsService|PolicyIo|PolicyRoundTrip')
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
@@ -45,9 +49,14 @@ cmake -B build-asan -S . -DXSEC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Re
 cmake --build build-asan -j "$JOBS"
 run_ctest build-asan
 
+echo "== F1: per-call mediation overhead =="
+./build-release/bench/bench_f1_mediation \
+    --benchmark_out=BENCH_f1.json --benchmark_out_format=json \
+    --benchmark_min_time=0.1s
+
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \
     --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
     --benchmark_min_time=0.1s
 
-echo "All checks passed. Figure data in BENCH_f11.json."
+echo "All checks passed. Figure data in BENCH_f1.json and BENCH_f11.json."

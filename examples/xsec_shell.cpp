@@ -256,7 +256,12 @@ class Shell {
         std::printf("  %s\n", record.ToString().c_str());
       }
     } else if (cmd == "policy") {
-      std::printf("%s", SerializePolicy(sys_.kernel()).c_str());
+      auto policy = SerializePolicy(sys_.kernel());
+      if (policy.ok()) {
+        std::printf("%s", policy->c_str());
+      } else {
+        std::printf("  policy not serializable: %s\n", policy.status().ToString().c_str());
+      }
     } else {
       std::printf("  unknown command (try 'help')\n");
     }

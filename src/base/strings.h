@@ -22,6 +22,11 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 // Formats like printf into a std::string. Used for audit/diagnostic text.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Escapes `text` for inclusion inside a double-quoted JSON string:
+// backslash, quote, and control characters (as \uXXXX). Does not add the
+// surrounding quotes.
+std::string JsonEscape(std::string_view text);
+
 }  // namespace xsec
 
 #endif  // XSEC_SRC_BASE_STRINGS_H_

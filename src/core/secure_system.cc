@@ -13,6 +13,7 @@ SecureSystem::SecureSystem(MonitorOptions options) : kernel_(options) {
   log_ = std::make_unique<LogService>(&kernel_);
   vfs_ = std::make_unique<VfsService>(&kernel_);
   net_ = std::make_unique<NetStack>(&kernel_);
+  stats_ = std::make_unique<StatsService>(&kernel_);
   Status status = InstallDefaults();
   assert(status.ok() && "SecureSystem boot failed");
   (void)status;
@@ -27,6 +28,7 @@ Status SecureSystem::InstallDefaults() {
   XSEC_RETURN_IF_ERROR(log_->Install());
   XSEC_RETURN_IF_ERROR(vfs_->Install());
   XSEC_RETURN_IF_ERROR(net_->Install());
+  XSEC_RETURN_IF_ERROR(stats_->Install());
 
   NameSpace& ns = kernel_.name_space();
   AclStore& acls = kernel_.acls();

@@ -29,6 +29,7 @@
 #include "src/services/mbuf.h"
 #include "src/services/memfs.h"
 #include "src/services/netstack.h"
+#include "src/services/stats_service.h"
 #include "src/services/threads.h"
 #include "src/services/vfs.h"
 
@@ -50,6 +51,7 @@ class SecureSystem {
   LogService& log() { return *log_; }
   VfsService& vfs() { return *vfs_; }
   NetStack& net() { return *net_; }
+  StatsService& stats() { return *stats_; }
 
   PrincipalId everyone() const { return everyone_; }
   PrincipalId system_principal() const { return kernel_.system_principal(); }
@@ -96,6 +98,7 @@ class SecureSystem {
   std::unique_ptr<LogService> log_;
   std::unique_ptr<VfsService> vfs_;
   std::unique_ptr<NetStack> net_;
+  std::unique_ptr<StatsService> stats_;
   PrincipalId everyone_;
 };
 

@@ -1,5 +1,7 @@
 #include "src/monitor/audit.h"
 
+#include <ostream>
+
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -32,6 +34,20 @@ std::string AuditRecord::ToString() const {
                    allowed ? "" : StrFormat(" (%s)", std::string(DenyReasonName(reason)).c_str())
                                       .c_str(),
                    detail.empty() ? "" : StrFormat(" [%s]", detail.c_str()).c_str());
+}
+
+std::string AuditRecord::ToJson() const {
+  return StrFormat(
+      "{\"seq\":%llu,\"principal\":%u,\"thread\":%llu,\"node\":%u,\"path\":\"%s\","
+      "\"modes\":\"%s\",\"allowed\":%s,\"reason\":\"%s\",\"detail\":\"%s\"}",
+      static_cast<unsigned long long>(sequence), principal.value,
+      static_cast<unsigned long long>(thread_id), node.value, JsonEscape(path).c_str(),
+      modes.ToString().c_str(), allowed ? "true" : "false",
+      std::string(DenyReasonName(reason)).c_str(), JsonEscape(detail).c_str());
+}
+
+std::function<void(const AuditRecord&)> MakeNdjsonSink(std::ostream* out) {
+  return [out](const AuditRecord& record) { *out << record.ToJson() << '\n'; };
 }
 
 void AuditLog::Record(AuditRecord record) {

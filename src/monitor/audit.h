@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -42,6 +43,9 @@ enum class DenyReason : uint8_t {
   kNotAuthorized,     // administrative operation without administrate rights
 };
 
+// Number of DenyReason values, kNone included (per-reason counter arrays).
+inline constexpr size_t kDenyReasonCount = 7;
+
 std::string_view DenyReasonName(DenyReason reason);
 
 struct AuditRecord {
@@ -56,7 +60,17 @@ struct AuditRecord {
   std::string detail;        // human-readable explanation
 
   std::string ToString() const;
+
+  // One-line JSON object (no trailing newline) with the full record; the
+  // NDJSON streaming schema is documented in docs/MODEL.md §11.
+  std::string ToJson() const;
 };
+
+// A sink for AuditLog::set_sink that writes each retained record as one
+// NDJSON line to `out`. The stream must outlive the log; writes happen under
+// the log's ring mutex, so point it at a local file or buffer, not a slow
+// remote transport.
+std::function<void(const AuditRecord&)> MakeNdjsonSink(std::ostream* out);
 
 class AuditLog {
  public:

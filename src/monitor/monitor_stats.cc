@@ -1,0 +1,129 @@
+#include "src/monitor/monitor_stats.h"
+
+#include <bit>
+#include <chrono>
+
+namespace xsec {
+namespace {
+
+// Process-wide monotone instance ids make the per-thread slot cache safe
+// against allocator recycling: a new MonitorStats at an old address still
+// gets a fresh id, so stale cache entries can never alias it.
+std::atomic<uint64_t> g_next_instance_id{0};
+
+}  // namespace
+
+MonitorStats::MonitorStats()
+    : instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  slots_[kSlots].shared = true;
+}
+
+MonitorStats::Slot& MonitorStats::ClaimSlot(SlotCache& cache) {
+  uint32_t index = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = index < kSlots ? &slots_[index] : &slots_[kSlots];
+  cache = SlotCache{instance_id_, slot};
+  return *slot;
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void MonitorStats::RecordLatencyNs(uint64_t ns) {
+  size_t bucket = static_cast<size_t>(std::bit_width(ns));
+  if (bucket >= kLatencyBuckets) {
+    bucket = kLatencyBuckets - 1;
+  }
+  Slot& slot = LocalSlot();
+  Bump(slot, slot.latency_buckets[bucket]);
+  Bump(slot, slot.latency_samples);
+}
+
+uint64_t MonitorStats::checks_total() const {
+  // Every decision lands in exactly one reason bucket (kNone = allowed), so
+  // the total is the sum over reasons — no separate hot-path counter needed.
+  return Sum([](const Slot& s) {
+    uint64_t total = 0;
+    for (const auto& c : s.by_reason) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  });
+}
+
+uint64_t MonitorStats::denied_total() const {
+  uint64_t total = 0;
+  for (size_t i = 1; i < kDenyReasonCount; ++i) {  // skip kNone (allowed)
+    total += by_reason(static_cast<DenyReason>(i));
+  }
+  return total;
+}
+
+uint64_t MonitorStats::by_reason(DenyReason reason) const {
+  size_t i = static_cast<size_t>(reason);
+  return Sum([i](const Slot& s) { return s.by_reason[i].load(std::memory_order_relaxed); });
+}
+
+uint64_t MonitorStats::by_mode(AccessMode mode) const {
+  unsigned b = static_cast<unsigned>(std::countr_zero(static_cast<uint32_t>(mode)));
+  return Sum([b](const Slot& s) { return s.by_mode[b].load(std::memory_order_relaxed); });
+}
+
+uint64_t MonitorStats::latency_samples() const {
+  return Sum([](const Slot& s) { return s.latency_samples.load(std::memory_order_relaxed); });
+}
+
+uint64_t MonitorStats::latency_bucket(size_t i) const {
+  return Sum([i](const Slot& s) {
+    return s.latency_buckets[i].load(std::memory_order_relaxed);
+  });
+}
+
+uint64_t MonitorStats::LatencyQuantileNs(double q) const {
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // One pass copies the aggregated buckets so the rank and the scan agree
+  // even while recording continues.
+  uint64_t buckets[kLatencyBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    buckets[i] = latency_bucket(i);
+    total += buckets[i];
+  }
+  if (total == 0) {
+    return 0;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      // Upper bound of bucket i: 2^i - 1 ns (bucket 0 is exactly 0 ns).
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return (uint64_t{1} << (kLatencyBuckets - 1)) - 1;
+}
+
+void MonitorStats::Reset() {
+  for (Slot& slot : slots_) {
+    for (auto& c : slot.by_reason) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    for (auto& c : slot.by_mode) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    slot.latency_samples.store(0, std::memory_order_relaxed);
+    for (auto& c : slot.latency_buckets) {
+      c.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace xsec

@@ -1,0 +1,167 @@
+// Operational statistics for the mediation path.
+//
+// The paper's reference monitor is "a central facility to provide naming and
+// protection services for the entire system" (§3); this module is that
+// facility's own instrument panel. It extends the AuditLog's two coarse
+// counters into per-DenyReason denial counters, per-access-mode check
+// counters, and a fixed-bucket latency histogram sampled on the check path.
+// StatsService (src/services/stats_service.h) surfaces every counter as a
+// read-only node under /sys/monitor/... in the hierarchical namespace, so
+// visibility of the telemetry is itself mediated by the monitor.
+//
+// Thread safety and hot-path cost: a shared fetch_add per counter would put
+// several locked read-modify-writes (~7ns each measured) on every check —
+// far more than the mediation fast path itself costs. Counters are instead
+// striped: each recording thread claims a private cache-line-aligned slot
+// the first time it touches an instance and then increments with plain
+// relaxed load+store pairs (single writer per slot, ~0.4ns each). Threads
+// beyond kSlots share one overflow slot that falls back to fetch_add, so
+// totals stay exact at any thread count. Readers aggregate all slots with
+// relaxed loads. Latency is *sampled* (1 in kSampleEvery checks per thread)
+// so the two steady_clock reads stay off the common case.
+//
+// Counters are monotonically increasing and individually coherent but not
+// mutually consistent: a snapshot taken under concurrent checking may
+// observe a check in checks_total() whose reason counter has not landed
+// yet. Once the writing threads are quiescent (joined), totals are exact.
+// That is the documented trade for a lock-free allow path (docs/MODEL.md
+// §11).
+
+#ifndef XSEC_SRC_MONITOR_MONITOR_STATS_H_
+#define XSEC_SRC_MONITOR_MONITOR_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/dac/access_mode.h"
+#include "src/monitor/audit.h"
+
+namespace xsec {
+
+class MonitorStats {
+ public:
+  // Power-of-two log2 ns buckets: bucket i holds samples with
+  // latency in [2^(i-1), 2^i) ns (bucket 0 holds 0 ns). 2^31 ns ≈ 2.1 s
+  // caps the histogram; anything slower lands in the last bucket.
+  static constexpr size_t kLatencyBuckets = 32;
+  // One check in kSampleEvery (per thread) is timed; must be a power of two.
+  // Chosen so the two steady_clock reads a sample costs (~40ns each on a
+  // virtualized clock) amortize to well under a nanosecond per check.
+  static constexpr uint64_t kSampleEvery = 256;
+  // Threads with a private slot; the rest share the overflow slot.
+  static constexpr size_t kSlots = 32;
+
+  MonitorStats();
+  MonitorStats(const MonitorStats&) = delete;
+  MonitorStats& operator=(const MonitorStats&) = delete;
+
+  // -- Recording (check path; lock-free) --------------------------------------
+
+  // Counts one decision: the reason bucket (kNone = allowed) and one count
+  // per access mode present in the request. The total is derived on read —
+  // every decision lands in exactly one reason bucket — so the common
+  // single-mode check costs two load+store pairs, not three.
+  void RecordDecision(AccessModeSet modes, DenyReason reason) {
+    Slot& slot = LocalSlot();
+    Bump(slot, slot.by_reason[static_cast<size_t>(reason)]);
+    uint32_t bits = modes.bits();
+    while (bits != 0) {
+      unsigned b = static_cast<unsigned>(__builtin_ctz(bits));
+      Bump(slot, slot.by_mode[b]);
+      bits &= bits - 1;
+    }
+  }
+
+  // True once per kSampleEvery calls on this thread; the caller then times
+  // the check and reports it via RecordLatencyNs. The clock is a plain
+  // thread-local integer shared by all instances: sampling needs an
+  // unbiased 1-in-N trigger, not per-instance bookkeeping, so this stays a
+  // single unsynchronized increment.
+  bool ShouldSampleLatency() {
+    thread_local uint64_t sample_clock = 0;
+    return (sample_clock++ & (kSampleEvery - 1)) == 0;
+  }
+
+  void RecordLatencyNs(uint64_t ns);
+
+  // -- Reading (any thread; aggregates over the slots) -------------------------
+
+  uint64_t checks_total() const;
+  uint64_t allowed_total() const { return by_reason(DenyReason::kNone); }
+  uint64_t denied_total() const;
+  uint64_t by_reason(DenyReason reason) const;
+  uint64_t by_mode(AccessMode mode) const;
+  uint64_t latency_samples() const;
+  uint64_t latency_bucket(size_t i) const;
+
+  // Approximate quantile (q in [0,1]) of the sampled check latency, in ns:
+  // the upper bound of the histogram bucket containing the q-th sample.
+  // 0 if nothing has been sampled yet.
+  uint64_t LatencyQuantileNs(double q) const;
+
+  // Zeroes every counter. For tools and tests; not synchronized against
+  // concurrent recording (late increments may survive the reset).
+  void Reset();
+
+ private:
+  // One writer's counters, padded to its own cache line(s). `shared` is set
+  // on the overflow slot only, switching its writers to fetch_add.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> by_reason[kDenyReasonCount] = {};
+    std::atomic<uint64_t> by_mode[kAccessModeCount] = {};
+    std::atomic<uint64_t> latency_samples{0};
+    std::atomic<uint64_t> latency_buckets[kLatencyBuckets] = {};
+    bool shared = false;
+  };
+
+  // Single-writer slots use a plain load+store (no locked RMW); the shared
+  // overflow slot needs the atomic RMW for correctness.
+  static void Bump(Slot& slot, std::atomic<uint64_t>& counter) {
+    if (slot.shared) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counter.store(counter.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+    }
+  }
+
+  // Per-thread cache of the last-claimed slot, keyed by a process-wide
+  // instance id so a recycled allocation never aliases a stale entry.
+  struct SlotCache {
+    uint64_t instance = ~uint64_t{0};
+    Slot* slot = nullptr;
+  };
+
+  // The calling thread's slot for this instance: a private one while they
+  // last, the overflow slot after. The hit path is inline — one TLS load and
+  // a compare; only a thread's first touch of an instance leaves the header.
+  Slot& LocalSlot() {
+    thread_local SlotCache cache;
+    if (cache.instance == instance_id_) {
+      return *cache.slot;
+    }
+    return ClaimSlot(cache);
+  }
+
+  Slot& ClaimSlot(SlotCache& cache);
+
+  template <typename Fn>
+  uint64_t Sum(Fn&& per_slot) const {
+    uint64_t total = 0;
+    for (size_t s = 0; s < kSlots + 1; ++s) {
+      total += per_slot(slots_[s]);
+    }
+    return total;
+  }
+
+  const uint64_t instance_id_;
+  std::atomic<uint32_t> next_slot_{0};
+  Slot slots_[kSlots + 1];  // +1: the shared overflow slot
+};
+
+// Nanoseconds from the steady clock, for latency sampling.
+uint64_t MonotonicNowNs();
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_MONITOR_STATS_H_

@@ -128,6 +128,12 @@ Decision ReferenceMonitor::CheckUncached(const Subject& subject, NodeId node,
 
 void ReferenceMonitor::Audit(const Subject& subject, NodeId node, std::string path,
                              AccessModeSet modes, const Decision& decision) {
+  // Stats mirror the audit counters: every decision that reaches the audit
+  // layer — checks, path resolutions, administrative denials — lands in
+  // exactly one reason bucket (kNone for allows).
+  if (options_.stats_enabled) {
+    stats_.RecordDecision(modes, decision.allowed ? DenyReason::kNone : decision.reason);
+  }
   if (!audit_.WouldRetain(decision.allowed)) {
     audit_.Count(decision.allowed);
     return;
@@ -145,6 +151,17 @@ void ReferenceMonitor::Audit(const Subject& subject, NodeId node, std::string pa
 }
 
 Decision ReferenceMonitor::Check(const Subject& subject, NodeId node, AccessModeSet modes) {
+  if (options_.stats_enabled && stats_.ShouldSampleLatency()) {
+    uint64_t start = MonotonicNowNs();
+    Decision decision = CheckUnsampled(subject, node, modes);
+    stats_.RecordLatencyNs(MonotonicNowNs() - start);
+    return decision;
+  }
+  return CheckUnsampled(subject, node, modes);
+}
+
+Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
+                                          AccessModeSet modes) {
   if (options_.cache_enabled) {
     // Stamps are read (acquire) BEFORE evaluating. If a store mutates
     // mid-evaluation its bump lands after our loads, so the entry we insert
@@ -179,6 +196,17 @@ Decision ReferenceMonitor::CheckFloating(Subject* subject, NodeId node, AccessMo
 
 Decision ReferenceMonitor::CheckPath(const Subject& subject, std::string_view path,
                                      AccessModeSet modes, NodeId* resolved) {
+  if (options_.stats_enabled && stats_.ShouldSampleLatency()) {
+    uint64_t start = MonotonicNowNs();
+    Decision decision = CheckPathUnsampled(subject, path, modes, resolved);
+    stats_.RecordLatencyNs(MonotonicNowNs() - start);
+    return decision;
+  }
+  return CheckPathUnsampled(subject, path, modes, resolved);
+}
+
+Decision ReferenceMonitor::CheckPathUnsampled(const Subject& subject, std::string_view path,
+                                              AccessModeSet modes, NodeId* resolved) {
   auto components = ParsePath(path);
   if (!components.ok()) {
     Decision decision{false, DenyReason::kNotFound, components.status().message()};

@@ -41,6 +41,7 @@
 #include "src/mac/label_authority.h"
 #include "src/monitor/audit.h"
 #include "src/monitor/decision_cache.h"
+#include "src/monitor/monitor_stats.h"
 #include "src/monitor/subject.h"
 #include "src/naming/namespace.h"
 #include "src/principal/registry.h"
@@ -62,6 +63,9 @@ struct MonitorOptions {
   // Check `list` on every ancestor during resolution.
   bool check_traversal = true;
   bool cache_enabled = true;
+  // Maintain MonitorStats (per-reason/per-mode counters, sampled latency
+  // histogram). Relaxed atomics only; bench_f1_mediation pins the overhead.
+  bool stats_enabled = true;
   FlowPolicyOptions flow;
   AuditPolicy audit_policy = AuditPolicy::kDenialsOnly;
   size_t cache_slots = 8192;
@@ -144,6 +148,8 @@ class ReferenceMonitor {
 
   AuditLog& audit() { return audit_; }
   const AuditLog& audit() const { return audit_; }
+  MonitorStats& stats() { return stats_; }
+  const MonitorStats& stats() const { return stats_; }
   DecisionCache& cache() { return cache_; }
   const MonitorOptions& options() const { return options_; }
   void set_audit_policy(AuditPolicy policy) { audit_.set_policy(policy); }
@@ -155,6 +161,10 @@ class ReferenceMonitor {
 
  private:
   Decision CheckUncached(const Subject& subject, NodeId node, AccessModeSet modes) const;
+  // The check bodies, without latency sampling (the public wrappers add it).
+  Decision CheckUnsampled(const Subject& subject, NodeId node, AccessModeSet modes);
+  Decision CheckPathUnsampled(const Subject& subject, std::string_view path,
+                              AccessModeSet modes, NodeId* resolved);
   CacheStamps CurrentStamps() const;
   void Audit(const Subject& subject, NodeId node, std::string path, AccessModeSet modes,
              const Decision& decision);
@@ -166,6 +176,7 @@ class ReferenceMonitor {
   MonitorOptions options_;
   FlowPolicy flow_;
   AuditLog audit_;
+  MonitorStats stats_;
   DecisionCache cache_;
   PrincipalId security_officer_;
 };

@@ -9,9 +9,10 @@ bool IsValidComponent(std::string_view name) {
     return false;
   }
   for (unsigned char c : name) {
-    // No separators, whitespace, or control characters: names must survive
-    // the whitespace-delimited policy format and audit lines unambiguously.
-    if (c == '/' || c <= ' ' || c == 0x7f) {
+    // No separators, whitespace, control characters, or '#': names must
+    // survive the whitespace-delimited, '#'-commented policy format and
+    // audit lines unambiguously.
+    if (c == '/' || c <= ' ' || c == 0x7f || c == '#') {
       return false;
     }
   }

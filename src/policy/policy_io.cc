@@ -17,31 +17,65 @@ StatusOr<NodeKind> KindByName(std::string_view name) {
   return InvalidArgumentError(StrFormat("unknown node kind '%s'", std::string(name).c_str()));
 }
 
-std::string PrincipalName(Kernel& kernel, PrincipalId id) {
+// The serialized form must load back: every token we emit has to be a name
+// LoadPolicy can resolve. A kernel can legally hold state with no such name
+// — a label whose level index exceeds the defined levels, a category bit
+// beyond the defined categories, a node owned by a principal id that is not
+// in the registry. Emitting a synthetic fallback token ("level-5", "cat-9",
+// "p42") would produce a policy file that errors on reload, so serialization
+// fails loudly instead, naming the offending object.
+StatusOr<std::string> PrincipalName(Kernel& kernel, PrincipalId id, const char* context) {
   const Principal* p = kernel.principals().Get(id);
-  return p != nullptr ? p->name : StrFormat("p%u", id.value);
+  if (p == nullptr) {
+    return FailedPreconditionError(
+        StrFormat("%s references principal id %u, which is not in the registry; "
+                  "the policy would not load back",
+                  context, id.value));
+  }
+  return p->name;
 }
 
-void SerializeNodePolicy(Kernel& kernel, NodeId id, std::string* out) {
+// Appends " <level> [<cat>...]" for `cls` to *line.
+Status AppendClassTokens(Kernel& kernel, const SecurityClass& cls, const char* context,
+                         std::string* line) {
+  const auto& level_names = kernel.labels().level_names();
+  if (cls.level() >= level_names.size()) {
+    return FailedPreconditionError(
+        StrFormat("%s uses level %u but only %zu level(s) are defined; "
+                  "the policy would not load back",
+                  context, static_cast<unsigned>(cls.level()), level_names.size()));
+  }
+  *line += " " + level_names[cls.level()];
+  const auto& category_names = kernel.labels().category_names();
+  for (size_t cat : cls.categories().ToIndices()) {
+    if (cat >= category_names.size()) {
+      return FailedPreconditionError(
+          StrFormat("%s uses category %zu but only %zu categories are defined; "
+                    "the policy would not load back",
+                    context, cat, category_names.size()));
+    }
+    *line += " " + category_names[cat];
+  }
+  return OkStatus();
+}
+
+Status SerializeNodePolicy(Kernel& kernel, NodeId id, std::string* out) {
   const Node* node = kernel.name_space().Get(id);
   std::string path = kernel.name_space().PathOf(id);
   if (id != kernel.name_space().root()) {
+    auto owner = PrincipalName(kernel, node->owner,
+                               StrFormat("node '%s'", path.c_str()).c_str());
+    if (!owner.ok()) {
+      return owner.status();
+    }
     *out += StrFormat("node %s %s %s\n", path.c_str(),
-                      std::string(NodeKindName(node->kind)).c_str(),
-                      PrincipalName(kernel, node->owner).c_str());
+                      std::string(NodeKindName(node->kind)).c_str(), owner->c_str());
   }
   if (node->label_ref != kNoRef) {
     const SecurityClass* cls = kernel.labels().GetLabel(node->label_ref);
     std::string line = StrFormat("label %s", path.c_str());
-    const auto& level_names = kernel.labels().level_names();
-    line += " " + (cls->level() < level_names.size()
-                       ? level_names[cls->level()]
-                       : StrFormat("level-%u", static_cast<unsigned>(cls->level())));
-    const auto& category_names = kernel.labels().category_names();
-    for (size_t cat : cls->categories().ToIndices()) {
-      line += " " + (cat < category_names.size() ? category_names[cat]
-                                                 : StrFormat("cat-%zu", cat));
-    }
+    XSEC_RETURN_IF_ERROR(AppendClassTokens(
+        kernel, *cls, StrFormat("label on '%s'", path.c_str()).c_str(), &line));
     *out += line + "\n";
   }
   if (node->acl_ref != kNoRef) {
@@ -52,23 +86,28 @@ void SerializeNodePolicy(Kernel& kernel, NodeId id, std::string* out) {
       *out += StrFormat("acl %s none\n", path.c_str());
     }
     for (const AclEntry& entry : acl->entries()) {
+      auto who = PrincipalName(kernel, entry.who,
+                               StrFormat("acl on '%s'", path.c_str()).c_str());
+      if (!who.ok()) {
+        return who.status();
+      }
       *out += StrFormat("acl %s %s %s %s\n", path.c_str(),
-                        entry.type == AclEntryType::kAllow ? "allow" : "deny",
-                        PrincipalName(kernel, entry.who).c_str(),
+                        entry.type == AclEntryType::kAllow ? "allow" : "deny", who->c_str(),
                         entry.modes.ToString().c_str());
     }
   }
   auto children = kernel.name_space().List(id);
   if (children.ok()) {
     for (NodeId child : *children) {
-      SerializeNodePolicy(kernel, child, out);
+      XSEC_RETURN_IF_ERROR(SerializeNodePolicy(kernel, child, out));
     }
   }
+  return OkStatus();
 }
 
 }  // namespace
 
-std::string SerializePolicy(Kernel& kernel) {
+StatusOr<std::string> SerializePolicy(Kernel& kernel) {
   std::string out = "xsec-policy v1\n";
 
   if (kernel.labels().levels_defined()) {
@@ -94,8 +133,12 @@ std::string SerializePolicy(Kernel& kernel) {
     }
     auto members = registry.MembersOf(PrincipalId{i});
     for (PrincipalId member : *members) {
-      out += StrFormat("member %s %s\n", p->name.c_str(),
-                       PrincipalName(kernel, member).c_str());
+      auto name = PrincipalName(kernel, member,
+                                StrFormat("group '%s'", p->name.c_str()).c_str());
+      if (!name.ok()) {
+        return name.status();
+      }
+      out += StrFormat("member %s %s\n", p->name.c_str(), name->c_str());
     }
   }
   // Clearances, in principal-id order for determinism.
@@ -104,23 +147,25 @@ std::string SerializePolicy(Kernel& kernel) {
     if (clearance == nullptr) {
       continue;
     }
-    std::string line = "clearance " + PrincipalName(kernel, PrincipalId{i});
-    const auto& level_names = kernel.labels().level_names();
-    line += " " + (clearance->level() < level_names.size()
-                       ? level_names[clearance->level()]
-                       : StrFormat("level-%u", static_cast<unsigned>(clearance->level())));
-    const auto& category_names = kernel.labels().category_names();
-    for (size_t cat : clearance->categories().ToIndices()) {
-      line += " " + (cat < category_names.size() ? category_names[cat]
-                                                 : StrFormat("cat-%zu", cat));
+    auto name = PrincipalName(kernel, PrincipalId{i}, "clearance");
+    if (!name.ok()) {
+      return name.status();
     }
+    std::string line = "clearance " + *name;
+    XSEC_RETURN_IF_ERROR(AppendClassTokens(
+        kernel, *clearance,
+        StrFormat("clearance of '%s'", name->c_str()).c_str(), &line));
     out += line + "\n";
   }
   if (kernel.monitor().security_officer().valid()) {
-    out += "officer " + PrincipalName(kernel, kernel.monitor().security_officer()) + "\n";
+    auto name = PrincipalName(kernel, kernel.monitor().security_officer(), "officer");
+    if (!name.ok()) {
+      return name.status();
+    }
+    out += "officer " + *name + "\n";
   }
 
-  SerializeNodePolicy(kernel, kernel.name_space().root(), &out);
+  XSEC_RETURN_IF_ERROR(SerializeNodePolicy(kernel, kernel.name_space().root(), &out));
   return out;
 }
 
@@ -241,6 +286,17 @@ Status LoadPolicy(std::string_view text, Kernel* kernel) {
       }
       auto existing = kernel->name_space().Lookup(tokens[1]);
       if (existing.ok()) {
+        // Re-using a pre-existing node (a service registered at boot, say) is
+        // fine, but only if it is the kind the policy says it is. Silently
+        // keeping a mismatched kind would give the loaded policy a different
+        // shape than the one that was serialized.
+        const Node* n = kernel->name_space().Get(*existing);
+        if (n->kind != *kind) {
+          return fail(line_number,
+                      StrFormat("node '%s' already exists as %s, policy says %s",
+                                tokens[1].c_str(), std::string(NodeKindName(n->kind)).c_str(),
+                                std::string(NodeKindName(*kind)).c_str()));
+        }
         (void)kernel->name_space().SetOwner(*existing, *owner);
       } else {
         auto node = kernel->name_space().BindPath(tokens[1], *kind, *owner);

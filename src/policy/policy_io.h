@@ -28,7 +28,14 @@
 //
 // Loading is idempotent with respect to pre-existing entities: principals
 // and nodes that already exist (the built-in "system" user, service nodes
-// registered at boot) are reused and their policy overwritten.
+// registered at boot) are reused and their policy overwritten — except that
+// a pre-existing node whose kind differs from the `node` directive is an
+// INVALID_ARGUMENT error, not a silent reuse.
+//
+// Tokenization constraints: the format is whitespace-separated with '#'
+// comments, so names and path components must not contain whitespace or
+// '#'. PrincipalRegistry and NameSpace reject such names at creation, which
+// keeps every representable kernel serializable on this axis.
 
 #ifndef XSEC_SRC_POLICY_POLICY_IO_H_
 #define XSEC_SRC_POLICY_POLICY_IO_H_
@@ -40,8 +47,12 @@
 
 namespace xsec {
 
-// Renders the kernel's full protection state.
-std::string SerializePolicy(Kernel& kernel);
+// Renders the kernel's full protection state. Returns FAILED_PRECONDITION
+// (never a best-effort placeholder) if the kernel holds state the format
+// cannot name — a label or clearance using a level/category index with no
+// defined name, or a node/ACL referencing a principal id that is not in the
+// registry. A success result always loads back via LoadPolicy.
+StatusOr<std::string> SerializePolicy(Kernel& kernel);
 
 // Applies a policy to a kernel (trusted, administrative operation). Returns
 // INVALID_ARGUMENT with a line number on any malformed directive; earlier

@@ -14,10 +14,11 @@ StatusOr<PrincipalId> PrincipalRegistry::Create(std::string_view name, Principal
     return InvalidArgumentError("principal name must be nonempty");
   }
   for (unsigned char c : name) {
-    // Names appear in the whitespace-delimited policy format and in audit
-    // lines; keep them unambiguous.
-    if (c <= ' ' || c == 0x7f) {
-      return InvalidArgumentError("principal name must not contain whitespace or controls");
+    // Names appear in the whitespace-delimited, '#'-commented policy format
+    // and in audit lines; keep them unambiguous.
+    if (c <= ' ' || c == 0x7f || c == '#') {
+      return InvalidArgumentError(
+          "principal name must not contain whitespace, controls, or '#'");
     }
   }
   std::string key(name);

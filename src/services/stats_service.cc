@@ -1,0 +1,157 @@
+#include "src/services/stats_service.h"
+
+#include "src/base/strings.h"
+#include "src/naming/path.h"
+
+namespace xsec {
+
+StatsService::StatsService(Kernel* kernel, std::string mount_path, std::string service_path)
+    : kernel_(kernel),
+      mount_path_(std::move(mount_path)),
+      service_path_(std::move(service_path)) {}
+
+Status StatsService::MountLeaf(const std::string& relative_path,
+                               std::function<std::string()> render) {
+  std::string full = JoinPath(mount_path_, relative_path);
+  auto node = kernel_->name_space().BindPath(full, NodeKind::kFile,
+                                             kernel_->system_principal());
+  if (!node.ok()) {
+    return node.status();
+  }
+  values_.emplace(std::move(full), Leaf{*node, std::move(render)});
+  return OkStatus();
+}
+
+Status StatsService::Install() {
+  PrincipalId system = kernel_->system_principal();
+  auto mount = kernel_->name_space().BindPath(mount_path_, NodeKind::kDirectory, system);
+  if (!mount.ok()) {
+    return mount.status();
+  }
+  // Fail-closed: telemetry reveals who was denied what, so the mount root
+  // carries an own ACL (overriding any permissive inherited default) that
+  // grants read|list to the system principal only. Administrators widen
+  // visibility with ordinary AddAclEntry calls.
+  Acl restricted;
+  restricted.AddEntry({AclEntryType::kAllow, system, AccessMode::kRead | AccessMode::kList});
+  XSEC_RETURN_IF_ERROR(
+      kernel_->name_space().SetAclRef(*mount, kernel_->acls().Create(std::move(restricted))));
+
+  ReferenceMonitor* monitor = &kernel_->monitor();
+  MonitorStats* stats = &monitor->stats();
+  DecisionCache* cache = &monitor->cache();
+  AuditLog* audit = &monitor->audit();
+  auto count = [](uint64_t v) { return std::to_string(v); };
+
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("checks/total", [stats, count] { return count(stats->checks_total()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("checks/allowed", [stats, count] { return count(stats->allowed_total()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("checks/denied", [stats, count] { return count(stats->denied_total()); }));
+  for (int i = 0; i < kAccessModeCount; ++i) {
+    AccessMode mode = static_cast<AccessMode>(1u << i);
+    XSEC_RETURN_IF_ERROR(MountLeaf(
+        StrFormat("checks/by-mode/%s", std::string(AccessModeName(mode)).c_str()),
+        [stats, count, mode] { return count(stats->by_mode(mode)); }));
+  }
+  for (size_t r = 1; r < kDenyReasonCount; ++r) {  // skip kNone (that is an allow)
+    DenyReason reason = static_cast<DenyReason>(r);
+    XSEC_RETURN_IF_ERROR(MountLeaf(
+        StrFormat("denials/by-reason/%s", std::string(DenyReasonName(reason)).c_str()),
+        [stats, count, reason] { return count(stats->by_reason(reason)); }));
+  }
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("cache/hits", [cache, count] { return count(cache->hits()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("cache/misses", [cache, count] { return count(cache->misses()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("cache/stale", [cache, count] { return count(cache->stale_hits()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("cache/hit_rate", [cache] {
+    uint64_t hits = cache->hits();
+    uint64_t probes = hits + cache->misses();
+    return StrFormat("%.6f", probes == 0 ? 0.0
+                                         : static_cast<double>(hits) /
+                                               static_cast<double>(probes));
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "latency/p50", [stats, count] { return count(stats->LatencyQuantileNs(0.50)); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "latency/p90", [stats, count] { return count(stats->LatencyQuantileNs(0.90)); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "latency/p99", [stats, count] { return count(stats->LatencyQuantileNs(0.99)); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "latency/samples", [stats, count] { return count(stats->latency_samples()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "audit/retained", [audit, count] { return count(audit->records().size()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("audit/dropped", [audit, count] { return count(audit->dropped()); }));
+
+  auto svc = kernel_->RegisterService(service_path_, system);
+  if (!svc.ok()) {
+    return svc.status();
+  }
+  auto read_node = kernel_->RegisterProcedure(
+      JoinPath(service_path_, "read"), system, [this](CallContext& ctx) -> StatusOr<Value> {
+        auto path = ArgString(ctx.args, 0);
+        if (!path.ok()) {
+          return path.status();
+        }
+        auto value = ReadStat(*ctx.subject, *path);
+        if (!value.ok()) {
+          return value.status();
+        }
+        return Value{std::move(*value)};
+      });
+  if (!read_node.ok()) {
+    return read_node.status();
+  }
+  auto dump_node = kernel_->RegisterProcedure(
+      JoinPath(service_path_, "dump"), system, [this](CallContext& ctx) -> StatusOr<Value> {
+        auto text = DumpTree(*ctx.subject);
+        if (!text.ok()) {
+          return text.status();
+        }
+        return Value{std::move(*text)};
+      });
+  return dump_node.ok() ? OkStatus() : dump_node.status();
+}
+
+StatusOr<std::string> StatsService::ReadStat(Subject& subject, std::string_view path) {
+  if (!StartsWith(path, mount_path_ + "/")) {
+    return InvalidArgumentError(
+        StrFormat("'%s' is outside the stats mount '%s'", std::string(path).c_str(),
+                  mount_path_.c_str()));
+  }
+  auto it = values_.find(std::string(path));
+  if (it == values_.end()) {
+    return NotFoundError(
+        StrFormat("'%s' is not a stats leaf", std::string(path).c_str()));
+  }
+  Decision decision = kernel_->monitor().Check(subject, it->second.node, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  return it->second.render();
+}
+
+StatusOr<std::string> StatsService::DumpTree(Subject& subject) {
+  std::string out;
+  for (const auto& [path, leaf] : values_) {
+    if (!kernel_->monitor().Check(subject, leaf.node, AccessMode::kRead).allowed) {
+      continue;  // the denial is counted and audited like any other
+    }
+    out += path + " " + leaf.render() + "\n";
+  }
+  return out;
+}
+
+std::string StatsService::RenderAll() const {
+  std::string out;
+  for (const auto& [path, leaf] : values_) {
+    out += path + " " + leaf.render() + "\n";
+  }
+  return out;
+}
+
+}  // namespace xsec

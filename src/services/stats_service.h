@@ -1,0 +1,92 @@
+// Monitor observability through the namespace itself.
+//
+// The paper's third pillar is a single hierarchical name space in which
+// every protected thing is a named, mediated object (§2.3). The reference
+// monitor's own operational state is no exception: this service mounts the
+// MonitorStats counters, the DecisionCache totals, and the AuditLog gauges
+// as read-only file nodes under /sys/monitor/..., and every read of one goes
+// back through ReferenceMonitor::Check on the leaf node (the same node-level
+// mediation the other services use). Visibility of security telemetry is
+// therefore governed by ACLs and labels like everything else — and a denied
+// stats read shows up in the very denial counters it was trying to read (the
+// model eating its own dogfood).
+//
+// Default policy: /sys/monitor carries an own ACL granting read|list to the
+// system principal only, so telemetry is fail-closed; administrators widen
+// it per node with ordinary AddAclEntry calls.
+//
+// Stats tree layout (docs/MODEL.md §11 is normative):
+//
+//   /sys/monitor/checks/total            decisions recorded, all outcomes
+//   /sys/monitor/checks/allowed          ... that allowed
+//   /sys/monitor/checks/denied           ... that denied
+//   /sys/monitor/checks/by-mode/<mode>   one per access mode (read, write, ...)
+//   /sys/monitor/denials/by-reason/<r>   one per DenyReason (not-found, ...)
+//   /sys/monitor/cache/hits|misses|stale|hit_rate
+//   /sys/monitor/latency/p50|p90|p99|samples   sampled check latency, ns
+//   /sys/monitor/audit/retained|dropped
+//
+// Values render on read from the live counters; two reads in one "snapshot"
+// are not mutually consistent (see MODEL.md §11 and ROADMAP open items).
+
+#ifndef XSEC_SRC_SERVICES_STATS_SERVICE_H_
+#define XSEC_SRC_SERVICES_STATS_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/extsys/kernel.h"
+
+namespace xsec {
+
+class StatsService {
+ public:
+  // The kernel must outlive this service.
+  StatsService(Kernel* kernel, std::string mount_path = "/sys/monitor",
+               std::string service_path = "/svc/stats");
+
+  // Binds the stats tree under mount_path (fail-closed ACL on the mount
+  // root) and registers the /svc/stats procedures:
+  //   read <path>   -> the node's current value (string)
+  //   dump          -> every readable node, "path value" per line
+  Status Install();
+
+  const std::string& mount_path() const { return mount_path_; }
+  const std::string& service_path() const { return service_path_; }
+
+  // -- Mediated operations ----------------------------------------------------
+
+  // Reads one stats node: Check(subject, node, read) on the leaf, then
+  // renders the current value. The check is the real monitor path, so a
+  // denial here is itself counted and audited.
+  StatusOr<std::string> ReadStat(Subject& subject, std::string_view path);
+
+  // Renders every stats node the subject can read, "path value" per line in
+  // path order. Nodes the subject cannot read are silently skipped — and
+  // each skip is a counted denial.
+  StatusOr<std::string> DumpTree(Subject& subject);
+
+  // Trusted render of the whole tree, no mediation (tools, tests).
+  std::string RenderAll() const;
+
+ private:
+  // Binds one leaf (relative to the mount) backed by `render`.
+  Status MountLeaf(const std::string& relative_path, std::function<std::string()> render);
+
+  struct Leaf {
+    NodeId node;
+    std::function<std::string()> render;
+  };
+
+  Kernel* kernel_;
+  std::string mount_path_;
+  std::string service_path_;
+  // Full path -> bound node + value renderer; ordered so dumps are
+  // deterministic.
+  std::map<std::string, Leaf> values_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_SERVICES_STATS_SERVICE_H_

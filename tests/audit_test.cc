@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 namespace xsec {
 namespace {
 
@@ -135,6 +138,60 @@ TEST(DenyReasonTest, NamesAreStable) {
   EXPECT_EQ(DenyReasonName(DenyReason::kDacExplicitDeny), "dac-explicit-deny");
   EXPECT_EQ(DenyReasonName(DenyReason::kMacFlow), "mac-flow");
   EXPECT_EQ(DenyReasonName(DenyReason::kTraversal), "traversal");
+}
+
+TEST(AuditRecordTest, ToJsonEmitsOneWellFormedObject) {
+  AuditRecord r = MakeRecord(false, DenyReason::kMacFlow);
+  r.sequence = 42;
+  r.detail = "write of level-1 violates flow";
+  std::string json = r.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // NDJSON: one line
+  EXPECT_NE(json.find("\"seq\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"/svc/fs/read\""), std::string::npos);
+  EXPECT_NE(json.find("\"allowed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"mac-flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"modes\":\"execute\""), std::string::npos);
+}
+
+TEST(AuditRecordTest, ToJsonEscapesStringFields) {
+  AuditRecord r = MakeRecord(false, DenyReason::kDacNoGrant);
+  r.path = "/odd/\"quoted\"\\path";
+  r.detail = "line\nbreak\tand control \x01";
+  std::string json = r.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\path"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(AuditLogTest, NdjsonSinkStreamsEveryRetainedRecord) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  std::ostringstream out;
+  log.set_sink(MakeNdjsonSink(&out));
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  std::string text = out.str();
+  // Two records, one JSON object per line.
+  size_t lines = static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(text.find("\"allowed\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"reason\":\"mac-flow\""), std::string::npos);
+}
+
+TEST(AuditLogTest, NdjsonSinkSeesOnlyWhatThePolicyRetains) {
+  AuditLog log;  // default: denials only
+  std::ostringstream out;
+  log.set_sink(MakeNdjsonSink(&out));
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(false, DenyReason::kDacNoGrant));
+  std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.find("\"allowed\":true"), std::string::npos);
 }
 
 }  // namespace

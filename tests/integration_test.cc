@@ -256,10 +256,11 @@ TEST_F(IntegrationTest, RebootCyclePreservesTheWholePolicy) {
   sys_.monitor().set_security_officer(admin_user_);
   sys_.kernel().labels().SetClearance(user2_.value, dep2_);
 
-  std::string policy = SerializePolicy(sys_.kernel());
+  auto policy = SerializePolicy(sys_.kernel());
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
 
   SecureSystem rebooted;
-  ASSERT_TRUE(LoadPolicy(policy, &rebooted.kernel()).ok());
+  ASSERT_TRUE(LoadPolicy(*policy, &rebooted.kernel()).ok());
 
   auto subject_of = [&rebooted](const char* name, const SecurityClass& cls) {
     return rebooted.Login(*rebooted.principals().FindByName(name), cls);

@@ -1,0 +1,175 @@
+#include "src/monitor/monitor_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/monitor/reference_monitor.h"
+
+namespace xsec {
+namespace {
+
+TEST(MonitorStatsTest, RecordDecisionCountsTotalReasonAndEveryMode) {
+  MonitorStats stats;
+  stats.RecordDecision(AccessMode::kRead | AccessMode::kWrite, DenyReason::kNone);
+  stats.RecordDecision(AccessModeSet(AccessMode::kRead), DenyReason::kDacNoGrant);
+  stats.RecordDecision(AccessModeSet(AccessMode::kExecute), DenyReason::kMacFlow);
+
+  EXPECT_EQ(stats.checks_total(), 3u);
+  EXPECT_EQ(stats.allowed_total(), 1u);
+  EXPECT_EQ(stats.denied_total(), 2u);
+  EXPECT_EQ(stats.by_reason(DenyReason::kDacNoGrant), 1u);
+  EXPECT_EQ(stats.by_reason(DenyReason::kMacFlow), 1u);
+  EXPECT_EQ(stats.by_reason(DenyReason::kTraversal), 0u);
+  // A multi-mode request counts once per mode present.
+  EXPECT_EQ(stats.by_mode(AccessMode::kRead), 2u);
+  EXPECT_EQ(stats.by_mode(AccessMode::kWrite), 1u);
+  EXPECT_EQ(stats.by_mode(AccessMode::kExecute), 1u);
+  EXPECT_EQ(stats.by_mode(AccessMode::kDelete), 0u);
+}
+
+TEST(MonitorStatsTest, LatencySamplingIsOneInSampleEvery) {
+  MonitorStats stats;
+  uint64_t sampled = 0;
+  for (uint64_t i = 0; i < 3 * MonitorStats::kSampleEvery; ++i) {
+    if (stats.ShouldSampleLatency()) {
+      ++sampled;
+    }
+  }
+  // The thread's clock phase is arbitrary, but any 3*kSampleEvery
+  // consecutive ticks contain exactly 3 multiples of kSampleEvery.
+  EXPECT_EQ(sampled, 3u);
+}
+
+TEST(MonitorStatsTest, LatencyHistogramAndQuantiles) {
+  MonitorStats stats;
+  // 10 fast samples (bucket for 100ns) and one slow outlier.
+  for (int i = 0; i < 10; ++i) {
+    stats.RecordLatencyNs(100);
+  }
+  stats.RecordLatencyNs(1'000'000);
+  EXPECT_EQ(stats.latency_samples(), 11u);
+  uint64_t p50 = stats.LatencyQuantileNs(0.50);
+  uint64_t p100 = stats.LatencyQuantileNs(1.0);
+  EXPECT_GE(p50, 100u);
+  EXPECT_LT(p50, 256u);  // the bucket upper bound containing 100ns
+  EXPECT_GE(p100, 1'000'000u);  // the max lands in the outlier's bucket
+  EXPECT_LE(p50, p100);
+  // An empty histogram reports 0.
+  MonitorStats empty;
+  EXPECT_EQ(empty.LatencyQuantileNs(0.5), 0u);
+}
+
+TEST(MonitorStatsTest, ResetZeroesEverything) {
+  MonitorStats stats;
+  stats.RecordDecision(AccessModeSet(AccessMode::kRead), DenyReason::kNone);
+  stats.RecordLatencyNs(50);
+  stats.Reset();
+  EXPECT_EQ(stats.checks_total(), 0u);
+  EXPECT_EQ(stats.by_mode(AccessMode::kRead), 0u);
+  EXPECT_EQ(stats.latency_samples(), 0u);
+  EXPECT_EQ(stats.LatencyQuantileNs(0.9), 0u);
+}
+
+class MonitorStatsIntegrationTest : public ::testing::Test {
+ protected:
+  MonitorStatsIntegrationTest() {
+    monitor_ = std::make_unique<ReferenceMonitor>(&ns_, &acls_, &principals_, &labels_,
+                                                  MonitorOptions{});
+    user_ = *principals_.CreateUser("u");
+    open_ = *ns_.BindPath("/open", NodeKind::kFile, user_);
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, user_, AccessModeSet(AccessMode::kRead)});
+    (void)ns_.SetAclRef(open_, acls_.Create(std::move(acl)));
+    locked_ = *ns_.BindPath("/locked", NodeKind::kFile, user_);
+    (void)ns_.SetAclRef(locked_, acls_.Create(Acl()));
+  }
+
+  NameSpace ns_;
+  AclStore acls_;
+  PrincipalRegistry principals_;
+  LabelAuthority labels_;
+  std::unique_ptr<ReferenceMonitor> monitor_;
+  PrincipalId user_;
+  NodeId open_, locked_;
+};
+
+TEST_F(MonitorStatsIntegrationTest, StatsMirrorAuditCountersOnEveryDecisionPath) {
+  Subject subject{user_, labels_.Bottom(), 1};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(monitor_->Check(subject, open_, AccessMode::kRead).allowed);
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(monitor_->Check(subject, locked_, AccessMode::kRead).allowed);
+  }
+  (void)monitor_->Check(subject, NodeId{9999}, AccessMode::kRead);  // not found
+
+  const MonitorStats& stats = monitor_->stats();
+  EXPECT_EQ(stats.checks_total(), monitor_->audit().total_checks());
+  EXPECT_EQ(stats.denied_total(), monitor_->audit().total_denials());
+  EXPECT_EQ(stats.allowed_total(), 5u);
+  EXPECT_EQ(stats.by_reason(DenyReason::kDacNoGrant), 3u);
+  EXPECT_EQ(stats.by_reason(DenyReason::kNotFound), 1u);
+  EXPECT_EQ(stats.by_mode(AccessMode::kRead), 9u);
+}
+
+TEST_F(MonitorStatsIntegrationTest, CachedAndUncachedDecisionsBothLand) {
+  // The first check misses the decision cache, the rest hit; stats must not
+  // care which path produced the decision.
+  Subject subject{user_, labels_.Bottom(), 1};
+  for (int i = 0; i < 10; ++i) {
+    (void)monitor_->Check(subject, open_, AccessMode::kRead);
+  }
+  EXPECT_EQ(monitor_->stats().checks_total(), 10u);
+  EXPECT_EQ(monitor_->stats().allowed_total(), 10u);
+}
+
+TEST_F(MonitorStatsIntegrationTest, SamplingPopulatesHistogramOnTheCheckPath) {
+  Subject subject{user_, labels_.Bottom(), 1};
+  // Whatever the thread's clock phase, 2*kSampleEvery consecutive checks
+  // tick past exactly two multiples of kSampleEvery.
+  size_t n = 2 * MonitorStats::kSampleEvery;
+  for (size_t i = 0; i < n; ++i) {
+    (void)monitor_->Check(subject, open_, AccessMode::kRead);
+  }
+  EXPECT_GE(monitor_->stats().latency_samples(), 2u);
+  EXPECT_LE(monitor_->stats().latency_samples(), 3u);
+}
+
+TEST_F(MonitorStatsIntegrationTest, DisabledStatsRecordNothing) {
+  MonitorOptions options;
+  options.stats_enabled = false;
+  ReferenceMonitor quiet(&ns_, &acls_, &principals_, &labels_, options);
+  Subject subject{user_, labels_.Bottom(), 1};
+  (void)quiet.Check(subject, open_, AccessMode::kRead);
+  (void)quiet.Check(subject, locked_, AccessMode::kRead);
+  EXPECT_EQ(quiet.stats().checks_total(), 0u);
+  EXPECT_EQ(quiet.stats().latency_samples(), 0u);
+  // The audit counters still run — stats are an overlay, not a replacement.
+  EXPECT_EQ(quiet.audit().total_checks(), 2u);
+}
+
+TEST_F(MonitorStatsIntegrationTest, ConcurrentCheckingKeepsTotalsCoherent) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Subject subject{user_, labels_.Bottom(), static_cast<uint64_t>(t + 1)};
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)monitor_->Check(subject, (i & 1) != 0 ? open_ : locked_, AccessMode::kRead);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  const MonitorStats& stats = monitor_->stats();
+  EXPECT_EQ(stats.checks_total(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.allowed_total() + stats.denied_total(), stats.checks_total());
+  EXPECT_EQ(stats.checks_total(), monitor_->audit().total_checks());
+}
+
+}  // namespace
+}  // namespace xsec

@@ -23,7 +23,9 @@ TEST(PolicyIoTest, SerializeContainsEveryLayer) {
   acl.AddEntry({AclEntryType::kDeny, alice, AccessModeSet(AccessMode::kWrite)});
   (void)kernel.name_space().SetAclRef(dir, kernel.acls().Create(std::move(acl)));
 
-  std::string text = SerializePolicy(kernel);
+  auto serialized = SerializePolicy(kernel);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  const std::string& text = *serialized;
   EXPECT_NE(text.find("xsec-policy v1"), std::string::npos);
   EXPECT_NE(text.find("levels low high"), std::string::npos);
   EXPECT_NE(text.find("category alpha"), std::string::npos);
@@ -59,11 +61,13 @@ TEST(PolicyIoTest, RoundTripIsStable) {
   acl_b.AddEntry({AclEntryType::kAllow, alice, AccessModeSet::All()});
   (void)source.name_space().SetAclRef(b, source.acls().Create(std::move(acl_b)));
 
-  std::string first = SerializePolicy(source);
+  auto first = SerializePolicy(source);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
   Kernel restored;
-  ASSERT_TRUE(LoadPolicy(first, &restored).ok());
-  std::string second = SerializePolicy(restored);
-  EXPECT_EQ(first, second);
+  ASSERT_TRUE(LoadPolicy(*first, &restored).ok());
+  auto second = SerializePolicy(restored);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*first, *second);
 }
 
 TEST(PolicyIoTest, RestoredKernelMakesIdenticalDecisions) {
@@ -80,8 +84,10 @@ TEST(PolicyIoTest, RestoredKernelMakesIdenticalDecisions) {
   acl.AddEntry({AclEntryType::kAllow, bob, AccessModeSet(AccessMode::kRead)});
   (void)source.name_space().SetAclRef(secret, source.acls().Create(std::move(acl)));
 
+  auto serialized = SerializePolicy(source);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
   Kernel restored;
-  ASSERT_TRUE(LoadPolicy(SerializePolicy(source), &restored).ok());
+  ASSERT_TRUE(LoadPolicy(*serialized, &restored).ok());
 
   PrincipalId r_alice = *restored.principals().FindByName("alice");
   PrincipalId r_bob = *restored.principals().FindByName("bob");
@@ -108,7 +114,9 @@ TEST(PolicyIoTest, LoadOntoBootedSystemReattachesPolicyToServices) {
   (void)source.monitor().AddAclEntry(
       source.SystemSubject(), read_proc,
       {AclEntryType::kDeny, alice, AccessModeSet(AccessMode::kExecute)});
-  std::string text = SerializePolicy(source.kernel());
+  auto serialized = SerializePolicy(source.kernel());
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  const std::string& text = *serialized;
 
   SecureSystem fresh;
   ASSERT_TRUE(LoadPolicy(text, &fresh.kernel()).ok());
@@ -172,7 +180,9 @@ TEST(PolicyIoTest, ClearancesSurviveRoundTrip) {
   a.Set(0);
   source.labels().SetClearance(alice.value, SecurityClass(1, a));
 
-  std::string text = SerializePolicy(source);
+  auto serialized = SerializePolicy(source);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  const std::string& text = *serialized;
   EXPECT_NE(text.find("clearance alice high a"), std::string::npos);
 
   Kernel restored;
@@ -182,7 +192,9 @@ TEST(PolicyIoTest, ClearancesSurviveRoundTrip) {
   ASSERT_NE(clearance, nullptr);
   EXPECT_EQ(clearance->level(), 1);
   EXPECT_TRUE(clearance->categories().Test(0));
-  EXPECT_EQ(text, SerializePolicy(restored));
+  auto again = SerializePolicy(restored);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(text, *again);
 }
 
 TEST(PolicyIoTest, EmptyOwnAclSurvivesRoundTrip) {
@@ -196,7 +208,9 @@ TEST(PolicyIoTest, EmptyOwnAclSurvivesRoundTrip) {
   NodeId child = *source.name_space().BindPath("/d/locked", NodeKind::kFile, alice);
   (void)source.name_space().SetAclRef(child, source.acls().Create(Acl()));  // deny-all
 
-  std::string text = SerializePolicy(source);
+  auto serialized = SerializePolicy(source);
+  ASSERT_TRUE(serialized.ok()) << serialized.status().ToString();
+  const std::string& text = *serialized;
   EXPECT_NE(text.find("acl /d/locked none"), std::string::npos);
 
   Kernel restored;
@@ -206,7 +220,101 @@ TEST(PolicyIoTest, EmptyOwnAclSurvivesRoundTrip) {
   Subject subject = restored.CreateSubject(r_alice, restored.labels().Bottom());
   EXPECT_FALSE(restored.monitor().Check(subject, r_child, AccessMode::kRead).allowed);
   // Round-trip stability.
-  EXPECT_EQ(text, SerializePolicy(restored));
+  auto again = SerializePolicy(restored);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(text, *again);
+}
+
+TEST(PolicyIoTest, SerializeFailsOnUnnamedLevel) {
+  // A label can hold a level index with no defined name (levels were never
+  // defined, or the class was built numerically). Serializing it used to
+  // emit "level-1", which LoadPolicy cannot parse; now it fails loudly.
+  Kernel kernel;
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  NodeId node = *kernel.name_space().BindPath("/x", NodeKind::kFile, alice);
+  (void)kernel.name_space().SetLabelRef(
+      node, kernel.labels().StoreLabel(SecurityClass(1, CategorySet())));
+
+  auto serialized = SerializePolicy(kernel);
+  ASSERT_FALSE(serialized.ok());
+  EXPECT_EQ(serialized.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(serialized.status().message().find("/x"), std::string::npos)
+      << serialized.status().message();
+  EXPECT_NE(serialized.status().message().find("level"), std::string::npos);
+}
+
+TEST(PolicyIoTest, SerializeFailsOnUnnamedCategory) {
+  Kernel kernel;
+  (void)kernel.labels().DefineLevels({"low", "high"});
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  CategorySet cats(3);
+  cats.Set(2);  // no category names defined at all
+  kernel.labels().SetClearance(alice.value, SecurityClass(1, cats));
+
+  auto serialized = SerializePolicy(kernel);
+  ASSERT_FALSE(serialized.ok());
+  EXPECT_EQ(serialized.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(serialized.status().message().find("alice"), std::string::npos)
+      << serialized.status().message();
+  EXPECT_NE(serialized.status().message().find("category"), std::string::npos);
+}
+
+TEST(PolicyIoTest, SerializeFailsOnUnregisteredPrincipal) {
+  // A node owned by a principal id outside the registry used to serialize
+  // as "p42"; that token never loads back.
+  Kernel kernel;
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  NodeId node = *kernel.name_space().BindPath("/x", NodeKind::kFile, alice);
+  (void)kernel.name_space().SetOwner(node, PrincipalId{42});
+
+  auto serialized = SerializePolicy(kernel);
+  ASSERT_FALSE(serialized.ok());
+  EXPECT_EQ(serialized.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(serialized.status().message().find("42"), std::string::npos)
+      << serialized.status().message();
+  EXPECT_NE(serialized.status().message().find("/x"), std::string::npos);
+}
+
+TEST(PolicyIoTest, NamesThatWouldBreakTokenizationAreRejectedAtCreation) {
+  // Spaces split tokens and '#' starts a comment in the policy format, so
+  // both are rejected where names enter the system — serialization then
+  // never has to escape.
+  Kernel kernel;
+  EXPECT_FALSE(kernel.principals().CreateUser("al ice").ok());
+  EXPECT_FALSE(kernel.principals().CreateUser("ali#ce").ok());
+  EXPECT_FALSE(kernel.principals().CreateUser("tab\tbed").ok());
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  EXPECT_FALSE(kernel.name_space().BindPath("/a b", NodeKind::kFile, alice).ok());
+  EXPECT_FALSE(kernel.name_space().BindPath("/a#b", NodeKind::kFile, alice).ok());
+  EXPECT_TRUE(kernel.name_space().BindPath("/a.b-c_d", NodeKind::kFile, alice).ok());
+}
+
+TEST(PolicyIoTest, NodeDirectiveRejectsKindMismatch) {
+  // Loading "node /x directory ..." onto an existing file must error, not
+  // silently keep the file.
+  Kernel kernel;
+  PrincipalId alice = *kernel.principals().CreateUser("alice");
+  (void)*kernel.name_space().BindPath("/x", NodeKind::kFile, alice);
+
+  Status status = LoadPolicy(
+      "xsec-policy v1\n"
+      "user alice\n"
+      "node /x directory alice\n",
+      &kernel);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos) << status.message();
+  EXPECT_NE(status.message().find("already exists as file"), std::string::npos);
+  // Matching kind still reuses the node and just reassigns the owner.
+  PrincipalId bob = *kernel.principals().CreateUser("bob");
+  (void)bob;
+  ASSERT_TRUE(LoadPolicy(
+                  "xsec-policy v1\n"
+                  "user bob\n"
+                  "node /x file bob\n",
+                  &kernel)
+                  .ok());
+  EXPECT_EQ(kernel.name_space().Get(*kernel.name_space().Lookup("/x"))->owner, bob);
 }
 
 TEST(PolicyIoTest, FirstAclDirectiveResetsSubsequentAppend) {

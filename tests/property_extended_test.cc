@@ -150,6 +150,16 @@ TEST_P(PolicyRoundTripTest, SerializeLoadSerializeIsStable) {
     (void)source.principals().AddMember(group, principals[rng.NextBelow(4)]);
     principals.push_back(group);
   }
+  // Clearances for a random subset, and sometimes a security officer — both
+  // must survive the round-trip like everything else.
+  for (int i = 0; i < 4; ++i) {
+    if (rng.NextBool(1, 2)) {
+      source.labels().SetClearance(principals[i].value, RandomClass(rng, 2, 3));
+    }
+  }
+  if (rng.NextBool(1, 2)) {
+    source.monitor().set_security_officer(principals[rng.NextBelow(4)]);
+  }
   std::vector<NodeId> nodes{source.name_space().root()};
   for (int i = 0; i < 15; ++i) {
     NodeId parent = nodes[rng.NextBelow(nodes.size())];
@@ -165,6 +175,8 @@ TEST_P(PolicyRoundTripTest, SerializeLoadSerializeIsStable) {
     nodes.push_back(*node);
     if (rng.NextBool(1, 2)) {
       Acl acl;
+      // entries == 0 leaves an empty own ACL — the deny-all override case,
+      // which serializes as "acl <path> none".
       size_t entries = rng.NextBelow(4);
       for (size_t e = 0; e < entries; ++e) {
         acl.AddEntry({rng.NextBool(1, 3) ? AclEntryType::kDeny : AclEntryType::kAllow,
@@ -179,11 +191,28 @@ TEST_P(PolicyRoundTripTest, SerializeLoadSerializeIsStable) {
     }
   }
 
-  std::string first = SerializePolicy(source);
+  auto first = SerializePolicy(source);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
   Kernel restored;
-  ASSERT_TRUE(LoadPolicy(first, &restored).ok()) << first;
-  std::string second = SerializePolicy(restored);
-  EXPECT_EQ(first, second);
+  ASSERT_TRUE(LoadPolicy(*first, &restored).ok()) << *first;
+  auto second = SerializePolicy(restored);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(*first, *second);
+
+  // The restored kernel agrees on clearances and the officer.
+  for (int i = 0; i < 4; ++i) {
+    const Principal* p = source.principals().Get(principals[i]);
+    auto r_id = restored.principals().FindByName(p->name);
+    ASSERT_TRUE(r_id.ok());
+    const SecurityClass* src_clr = source.labels().ClearanceOf(principals[i].value);
+    const SecurityClass* dst_clr = restored.labels().ClearanceOf(r_id->value);
+    ASSERT_EQ(src_clr == nullptr, dst_clr == nullptr) << p->name;
+    if (src_clr != nullptr) {
+      EXPECT_TRUE(*src_clr == *dst_clr) << p->name;
+    }
+  }
+  EXPECT_EQ(source.monitor().security_officer().valid(),
+            restored.monitor().security_officer().valid());
 
   // Decisions agree on a sample of triples.
   for (int trial = 0; trial < 100; ++trial) {

@@ -14,8 +14,9 @@ TEST(UmbrellaHeaderTest, PublicApiReachable) {
   Subject subject = sys.Login(*user, sys.labels().Bottom());
   EXPECT_TRUE(sys.Invoke(subject, "/svc/mbuf/stats", {}).ok());
   // Policy + codeload symbols are visible too.
-  std::string policy = SerializePolicy(sys.kernel());
-  EXPECT_NE(policy.find("xsec-policy v1"), std::string::npos);
+  auto policy = SerializePolicy(sys.kernel());
+  ASSERT_TRUE(policy.ok());
+  EXPECT_NE(policy->find("xsec-policy v1"), std::string::npos);
   CodeImage image = PackageExtension(ExtensionManifest{});
   EXPECT_EQ(image.checksum, ComputeManifestChecksum(image.manifest));
   AppletMatrix matrix;  // core example helpers

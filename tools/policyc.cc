@@ -42,16 +42,24 @@ int Check(const std::string& text, bool print_normalized) {
     std::fprintf(stderr, "policyc: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::string normalized = xsec::SerializePolicy(kernel);
+  auto normalized = xsec::SerializePolicy(kernel);
+  if (!normalized.ok()) {
+    std::fprintf(stderr, "policyc: %s\n", normalized.status().ToString().c_str());
+    return 1;
+  }
   // Idempotence self-check: the normalized form must load to itself.
   xsec::Kernel second;
-  if (!xsec::LoadPolicy(normalized, &second).ok() ||
-      xsec::SerializePolicy(second) != normalized) {
+  bool stable = xsec::LoadPolicy(*normalized, &second).ok();
+  if (stable) {
+    auto renormalized = xsec::SerializePolicy(second);
+    stable = renormalized.ok() && *renormalized == *normalized;
+  }
+  if (!stable) {
     std::fprintf(stderr, "policyc: internal error: normalization is not stable\n");
     return 1;
   }
   if (print_normalized) {
-    std::fputs(normalized.c_str(), stdout);
+    std::fputs(normalized->c_str(), stdout);
   } else {
     std::fprintf(stderr, "policyc: OK (%zu principals, %zu nodes)\n",
                  kernel.principals().principal_count(), kernel.name_space().node_count());
