@@ -92,6 +92,23 @@ BENCHMARK(BM_CheckNode_DacMac);
 BENCHMARK(BM_CheckNode_DacMacCached);
 BENCHMARK(BM_CheckNode_DacMacCached_NoStats);
 
+// Cost of rendering one consistent snapshot of every counter (the
+// /sys/monitor/snapshot read path): a reader-side operation, so it only
+// needs to be cheap relative to the publication epoch, not the check path.
+void BM_MonitorStatsSnapshot(benchmark::State& state) {
+  Fixture f(Opts(true, true, true));
+  for (int i = 0; i < 1024; ++i) {
+    Decision d = f.sys.monitor().Check(f.subject, f.proc, AccessMode::kExecute);
+    benchmark::DoNotOptimize(d);
+  }
+  MonitorStats& stats = f.sys.monitor().stats();
+  for (auto _ : state) {
+    MonitorStats::Snapshot snap = stats.TakeSnapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_MonitorStatsSnapshot);
+
 void BM_CapabilityCall(benchmark::State& state) {
   Fixture f(Opts(true, true, true));
   for (auto _ : state) {

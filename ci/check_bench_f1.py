@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regression gate for the F1 mediation figures.
+
+Compares a fresh BENCH_f1.json against the committed baseline
+(ci/bench_f1_baseline.json) on the *stats overhead ratio*:
+
+    ratio = median cpu_time(BM_CheckNode_DacMacCached)
+          / median cpu_time(BM_CheckNode_DacMacCached_NoStats)
+
+The ratio is the cached-check cost with MonitorStats on, relative to the
+same path with stats compiled out of the decision — i.e. exactly the
+hot-path budget the stats layer is held to. Using the ratio (not absolute
+nanoseconds) keeps the gate portable across machines: both measurements
+come from the same run, so CPU speed and virtualization noise cancel.
+
+Fails (exit 1) when the fresh ratio exceeds the baseline ratio by more
+than --tolerance (default 10%).
+
+Usage: check_bench_f1.py <fresh.json> <baseline.json> [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+CACHED = "BM_CheckNode_DacMacCached"
+NOSTATS = "BM_CheckNode_DacMacCached_NoStats"
+
+
+def cpu_time(path, name):
+    """Median cpu_time across all iteration runs of `name` (so files produced
+    with --benchmark_repetitions contribute every repetition, not just the
+    first; a single-run file degenerates to that run)."""
+    with open(path) as f:
+        data = json.load(f)
+    times = [
+        float(bench["cpu_time"])
+        for bench in data.get("benchmarks", [])
+        if bench.get("name") == name and bench.get("run_type", "iteration") == "iteration"
+    ]
+    if not times:
+        raise KeyError(f"{path}: no benchmark named {name}")
+    return statistics.median(times)
+
+
+def ratio(path):
+    on = cpu_time(path, CACHED)
+    off = cpu_time(path, NOSTATS)
+    if off <= 0:
+        raise ValueError(f"{path}: non-positive cpu_time for {NOSTATS}")
+    return on / off
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative ratio regression (default 0.10)")
+    args = parser.parse_args()
+
+    try:
+        fresh = ratio(args.fresh)
+        base = ratio(args.baseline)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as err:
+        print(f"check_bench_f1: {err}", file=sys.stderr)
+        return 1
+
+    overhead = (fresh - 1.0) * 100.0
+    print(f"stats-on/stats-off cached-check ratio: fresh {fresh:.4f} "
+          f"(overhead {overhead:+.1f}%), baseline {base:.4f}")
+
+    limit = base * (1.0 + args.tolerance)
+    if fresh > limit:
+        print(f"check_bench_f1: FAIL — fresh ratio {fresh:.4f} exceeds "
+              f"baseline {base:.4f} by more than {args.tolerance:.0%} "
+              f"(limit {limit:.4f})", file=sys.stderr)
+        return 1
+    print("check_bench_f1: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@
 #   build-tsan/      -fsanitize=thread, ctest (races fail the run)
 #   build-asan/      -fsanitize=address,undefined, ctest
 #   BENCH_f1.json    bench_f1_mediation results (per-call overhead; the
-#                    Cached vs Cached_NoStats delta is the stats budget)
+#                    Cached vs Cached_NoStats delta is the stats budget,
+#                    gated against ci/bench_f1_baseline.json by
+#                    ci/check_bench_f1.py — >10% ratio regression fails)
 #   BENCH_f11.json   bench_f11_parallel results from the release build
 
 set -euo pipefail
@@ -28,7 +30,7 @@ run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|MonitorStats|StatsService|PolicyIo|PolicyRoundTrip')
+        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|PolicyIo|PolicyRoundTrip')
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
@@ -52,7 +54,10 @@ run_ctest build-asan
 echo "== F1: per-call mediation overhead =="
 ./build-release/bench/bench_f1_mediation \
     --benchmark_out=BENCH_f1.json --benchmark_out_format=json \
-    --benchmark_min_time=0.1s
+    --benchmark_min_time=0.25 --benchmark_repetitions=3
+
+echo "== F1 regression gate (stats overhead ratio vs committed baseline) =="
+python3 ci/check_bench_f1.py BENCH_f1.json ci/bench_f1_baseline.json
 
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \

@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code ("OK", "PERMISSION_DENIED", ...).
@@ -67,6 +68,7 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Either a value or a non-OK status. Accessing value() on an error aborts in
 // debug builds; callers must check ok() first.

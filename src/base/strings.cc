@@ -1,6 +1,8 @@
 #include "src/base/strings.h"
 
+#include <cmath>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace xsec {
@@ -58,6 +60,49 @@ std::string StrFormat(const char* fmt, ...) {
     vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
   }
   va_end(args_copy);
+  return out;
+}
+
+std::string FormatFixed(double value, int precision) {
+  if (precision < 0) {
+    precision = 0;
+  }
+  if (precision > 9) {
+    precision = 9;
+  }
+  if (std::isnan(value)) {
+    return "nan";
+  }
+  if (std::isinf(value)) {
+    return value < 0 ? "-inf" : "inf";
+  }
+  bool negative = value < 0;
+  double v = negative ? -value : value;
+  uint64_t scale = 1;
+  for (int i = 0; i < precision; ++i) {
+    scale *= 10;
+  }
+  // Fixed-point needs the scaled value to fit 64 bits; beyond that the
+  // fraction is noise anyway, and "%.0f" emits no radix character.
+  if (v >= 9.0e18 / static_cast<double>(scale)) {
+    return StrFormat("%.0f", value);
+  }
+  uint64_t integral = static_cast<uint64_t>(v);
+  uint64_t frac = static_cast<uint64_t>((v - static_cast<double>(integral)) *
+                                            static_cast<double>(scale) +
+                                        0.5);
+  if (frac >= scale) {  // the fraction rounded up into the next integer
+    ++integral;
+    frac = 0;
+  }
+  std::string out = negative ? "-" : "";
+  out += std::to_string(integral);
+  if (precision > 0) {
+    std::string digits = std::to_string(frac);
+    out += '.';
+    out.append(static_cast<size_t>(precision) - digits.size(), '0');
+    out += digits;
+  }
   return out;
 }
 

@@ -22,6 +22,13 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 // Formats like printf into a std::string. Used for audit/diagnostic text.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Renders `value` with exactly `precision` fractional digits (clamped to
+// [0, 9]) and a '.' radix point regardless of the process locale — printf's
+// %f honors the locale's decimal separator, which makes golden tests and
+// machine-parsed gauges flaky. Values too large for 64-bit fixed-point fall
+// back to "%.0f" (radix-free, so still locale-independent).
+std::string FormatFixed(double value, int precision);
+
 // Escapes `text` for inclusion inside a double-quoted JSON string:
 // backslash, quote, and control characters (as \uXXXX). Does not add the
 // surrounding quotes.

@@ -78,8 +78,9 @@ class SecureSystem {
   Status SetClearance(PrincipalId user, const SecurityClass& clearance);
 
   // -- Forwarders for the common operations ------------------------------------
-  StatusOr<Value> Invoke(Subject& subject, std::string_view path, Args args) {
-    return kernel_.Invoke(subject, path, std::move(args));
+  StatusOr<Value> Invoke(Subject& subject, std::string_view path, Args args,
+                         const CallOptions& options = {}) {
+    return kernel_.Invoke(subject, path, std::move(args), options);
   }
   StatusOr<ExtensionId> LoadExtension(const ExtensionManifest& manifest, const Subject& loader) {
     return kernel_.LoadExtension(manifest, loader);

@@ -50,6 +50,11 @@ struct CallContext {
   Kernel* kernel = nullptr;
   Subject* subject = nullptr;
   Args args;
+  // Absolute deadline (MonotonicNowNs clock) after which a blocking handler
+  // must give up with kDeadlineExceeded; 0 means unbounded. Plumbed from
+  // CallOptions so long-poll procedures (e.g. /svc/stats watch) can honor a
+  // caller-imposed bound.
+  uint64_t deadline_ns = 0;
 };
 
 using HandlerFn = std::function<StatusOr<Value>(CallContext&)>;

@@ -1,6 +1,7 @@
 #include "src/extsys/kernel.h"
 
 #include "src/base/strings.h"
+#include "src/monitor/monitor_stats.h"
 
 namespace xsec {
 
@@ -58,7 +59,12 @@ Status Kernel::SetProcedureHandler(NodeId node, HandlerFn handler) {
   return OkStatus();
 }
 
-StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args) {
+StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
+                                   const CallOptions& options) {
+  if (options.deadline_ns != 0 && MonotonicNowNs() >= options.deadline_ns) {
+    return DeadlineExceededError(
+        StrFormat("deadline expired before invoking '%s'", name_space_.PathOf(node).c_str()));
+  }
   const Node* n = name_space_.Get(node);
   if (n == nullptr) {
     return NotFoundError("node vanished");
@@ -70,7 +76,7 @@ StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args) {
     if (!selected.ok()) {
       return selected.status();
     }
-    CallContext ctx{this, &subject, std::move(args)};
+    CallContext ctx{this, &subject, std::move(args), options.deadline_ns};
     return selected->front()->handler(ctx);
   }
   auto it = procedures_.find(node.value);
@@ -78,26 +84,27 @@ StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args) {
     return FailedPreconditionError(
         StrFormat("'%s' has no bound implementation", name_space_.PathOf(node).c_str()));
   }
-  CallContext ctx{this, &subject, std::move(args)};
+  CallContext ctx{this, &subject, std::move(args), options.deadline_ns};
   return it->second(ctx);
 }
 
-StatusOr<Value> Kernel::Invoke(Subject& subject, std::string_view path, Args args) {
+StatusOr<Value> Kernel::Invoke(Subject& subject, std::string_view path, Args args,
+                               const CallOptions& options) {
   NodeId node;
   Decision decision = monitor_->CheckPath(subject, path, AccessMode::kExecute, &node);
   if (!decision.allowed) {
     return decision.ToStatus();
   }
-  return InvokeNode(subject, node, std::move(args));
+  return InvokeNode(subject, node, std::move(args), options);
 }
 
 StatusOr<Value> Kernel::CallCapability(Subject& subject, const Capability& capability,
-                                       Args args) {
+                                       Args args, const CallOptions& options) {
   Decision decision = monitor_->Check(subject, capability.node, AccessMode::kExecute);
   if (!decision.allowed) {
     return decision.ToStatus();
   }
-  return InvokeNode(subject, capability.node, std::move(args));
+  return InvokeNode(subject, capability.node, std::move(args), options);
 }
 
 StatusOr<Value> Kernel::RaiseEvent(Subject& subject, std::string_view interface_path, Args args,

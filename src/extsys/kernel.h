@@ -31,6 +31,15 @@
 
 namespace xsec {
 
+// Per-call options for mediated invocation. `deadline_ns` is an absolute
+// timestamp on the MonotonicNowNs clock; 0 means no deadline. A call whose
+// deadline has already passed is rejected with kDeadlineExceeded before the
+// handler runs; otherwise the deadline is forwarded to the handler via
+// CallContext so blocking procedures can bound their wait.
+struct CallOptions {
+  uint64_t deadline_ns = 0;
+};
+
 class Kernel {
  public:
   explicit Kernel(MonitorOptions options = {});
@@ -70,12 +79,14 @@ class Kernel {
 
   // Full-path call: resolve (with traversal checks), check `execute`, invoke.
   // Invoking an interface node dispatches class-selected to a handler.
-  StatusOr<Value> Invoke(Subject& subject, std::string_view path, Args args);
+  StatusOr<Value> Invoke(Subject& subject, std::string_view path, Args args,
+                         const CallOptions& options = {});
 
   // Capability call: node-level `execute` re-check only (no traversal). The
   // fast path for linked extensions; revocation still takes effect because
   // the node check re-runs (cached) on every call.
-  StatusOr<Value> CallCapability(Subject& subject, const Capability& capability, Args args);
+  StatusOr<Value> CallCapability(Subject& subject, const Capability& capability, Args args,
+                                 const CallOptions& options = {});
 
   // Raises an event on an extension-point interface: `execute` check on the
   // interface, then dispatch per `mode`. kBroadcast returns the last
@@ -98,7 +109,8 @@ class Kernel {
   size_t loaded_extension_count() const { return loaded_count_; }
 
  private:
-  StatusOr<Value> InvokeNode(Subject& subject, NodeId node, Args args);
+  StatusOr<Value> InvokeNode(Subject& subject, NodeId node, Args args,
+                             const CallOptions& options);
 
   NameSpace name_space_;
   AclStore acls_;

@@ -1,8 +1,10 @@
 #include "src/monitor/audit.h"
 
+#include <cstdio>
 #include <ostream>
 
 #include "src/base/strings.h"
+#include "src/monitor/monitor_stats.h"
 
 namespace xsec {
 
@@ -50,6 +52,72 @@ std::function<void(const AuditRecord&)> MakeNdjsonSink(std::ostream* out) {
   return [out](const AuditRecord& record) { *out << record.ToJson() << '\n'; };
 }
 
+NdjsonFileRotator::NdjsonFileRotator(std::string path, NdjsonRotationPolicy policy)
+    : path_(std::move(path)), policy_(policy) {}
+
+NdjsonFileRotator::~NdjsonFileRotator() {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+  }
+}
+
+Status NdjsonFileRotator::Open() {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+  }
+  out_ = std::fopen(path_.c_str(), "w");
+  if (out_ == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", path_.c_str()));
+  }
+  bytes_ = 0;
+  opened_at_ns_ = MonotonicNowNs();
+  return OkStatus();
+}
+
+void NdjsonFileRotator::RotateIfNeeded(size_t next_line_bytes) {
+  bool over_size = policy_.max_bytes != 0 && bytes_ != 0 &&
+                   bytes_ + next_line_bytes > policy_.max_bytes;
+  bool over_age = policy_.max_age_ns != 0 && bytes_ != 0 &&
+                  MonotonicNowNs() - opened_at_ns_ >= policy_.max_age_ns;
+  if (!over_size && !over_age) {
+    return;
+  }
+  std::fclose(out_);
+  out_ = nullptr;
+  if (policy_.max_keep > 0) {
+    // Shift the history window: drop the oldest, slide the rest up, then
+    // move the just-closed file into the .1 position.
+    std::remove(StrFormat("%s.%zu", path_.c_str(), policy_.max_keep).c_str());
+    for (size_t k = policy_.max_keep; k > 1; --k) {
+      std::rename(StrFormat("%s.%zu", path_.c_str(), k - 1).c_str(),
+                  StrFormat("%s.%zu", path_.c_str(), k).c_str());
+    }
+    std::rename(path_.c_str(), StrFormat("%s.1", path_.c_str()).c_str());
+  }
+  ++rotations_;
+  (void)Open();  // max_keep == 0 lands here too: truncate in place
+}
+
+void NdjsonFileRotator::Write(const AuditRecord& record) {
+  if (out_ == nullptr) {
+    return;  // Open() failed or was never called; drop rather than crash
+  }
+  std::string line = record.ToJson();
+  line += '\n';
+  RotateIfNeeded(line.size());
+  if (out_ == nullptr) {
+    return;  // reopen after rotation failed
+  }
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fflush(out_);
+  bytes_ += line.size();
+}
+
+std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
+    std::shared_ptr<NdjsonFileRotator> rotator) {
+  return [rotator](const AuditRecord& record) { rotator->Write(record); };
+}
+
 void AuditLog::Record(AuditRecord record) {
   Count(record.allowed);
   if (!WouldRetain(record.allowed)) {
@@ -85,6 +153,11 @@ void AuditLog::ForEachLocked(Visit visit) const {
   for (size_t i = 0; i < head_; ++i) {
     visit(ring_[i]);
   }
+}
+
+size_t AuditLog::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
 }
 
 std::vector<AuditRecord> AuditLog::records() const {

@@ -15,8 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -72,6 +74,51 @@ struct AuditRecord {
 // remote transport.
 std::function<void(const AuditRecord&)> MakeNdjsonSink(std::ostream* out);
 
+// Rotation policy for an NDJSON audit file: the current file is rotated when
+// appending the next record would push it past max_bytes, or when it has
+// been open longer than max_age_ns (0 disables that limit). On rotation the
+// files shift path -> path.1 -> ... -> path.max_keep and the oldest is
+// deleted; max_keep == 0 truncates in place instead of keeping history.
+struct NdjsonRotationPolicy {
+  uint64_t max_bytes = 0;
+  uint64_t max_age_ns = 0;
+  size_t max_keep = 3;
+};
+
+// A size/age-rotating NDJSON audit file writer (tools/xsec_stats wires one
+// behind --ndjson). Not internally synchronized: the AuditLog invokes its
+// sink under the ring mutex, which already serializes writes.
+class NdjsonFileRotator {
+ public:
+  NdjsonFileRotator(std::string path, NdjsonRotationPolicy policy);
+  ~NdjsonFileRotator();
+  NdjsonFileRotator(const NdjsonFileRotator&) = delete;
+  NdjsonFileRotator& operator=(const NdjsonFileRotator&) = delete;
+
+  // Opens (truncating) the base file. Must succeed before Write is used.
+  Status Open();
+
+  void Write(const AuditRecord& record);
+
+  uint64_t rotations() const { return rotations_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void RotateIfNeeded(size_t next_line_bytes);
+
+  std::string path_;
+  NdjsonRotationPolicy policy_;
+  std::FILE* out_ = nullptr;
+  uint64_t bytes_ = 0;
+  uint64_t opened_at_ns_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+// Adapts a rotator into an AuditLog sink; the shared_ptr keeps it alive for
+// as long as the log holds the sink.
+std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
+    std::shared_ptr<NdjsonFileRotator> rotator);
+
 class AuditLog {
  public:
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
@@ -105,6 +152,10 @@ class AuditLog {
 
   // Snapshot of the retained records, oldest first.
   std::vector<AuditRecord> records() const;
+
+  // Number of currently retained records, without copying them (the cheap
+  // gauge behind /sys/monitor/audit/retained).
+  size_t retained() const;
 
   // Retained records matching a predicate, oldest first.
   std::vector<AuditRecord> Query(const std::function<bool(const AuditRecord&)>& pred) const;

@@ -1,30 +1,48 @@
 #include "src/services/stats_service.h"
 
+#include <chrono>
+#include <utility>
+
 #include "src/base/strings.h"
 #include "src/naming/path.h"
 
 namespace xsec {
 
+StatsService::StatsService(Kernel* kernel, StatsServiceOptions options)
+    : kernel_(kernel), options_(std::move(options)) {}
+
 StatsService::StatsService(Kernel* kernel, std::string mount_path, std::string service_path)
-    : kernel_(kernel),
-      mount_path_(std::move(mount_path)),
-      service_path_(std::move(service_path)) {}
+    : kernel_(kernel) {
+  options_.mount_path = std::move(mount_path);
+  options_.service_path = std::move(service_path);
+}
+
+StatsService::~StatsService() {
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    stop_ = true;
+  }
+  pub_cv_.notify_all();
+  if (publisher_.joinable()) {
+    publisher_.join();
+  }
+}
 
 Status StatsService::MountLeaf(const std::string& relative_path,
-                               std::function<std::string()> render) {
-  std::string full = JoinPath(mount_path_, relative_path);
+                               std::function<std::string()> render, bool in_dump) {
+  std::string full = JoinPath(options_.mount_path, relative_path);
   auto node = kernel_->name_space().BindPath(full, NodeKind::kFile,
                                              kernel_->system_principal());
   if (!node.ok()) {
     return node.status();
   }
-  values_.emplace(std::move(full), Leaf{*node, std::move(render)});
+  values_.emplace(std::move(full), Leaf{*node, std::move(render), in_dump});
   return OkStatus();
 }
 
 Status StatsService::Install() {
   PrincipalId system = kernel_->system_principal();
-  auto mount = kernel_->name_space().BindPath(mount_path_, NodeKind::kDirectory, system);
+  auto mount = kernel_->name_space().BindPath(options_.mount_path, NodeKind::kDirectory, system);
   if (!mount.ok()) {
     return mount.status();
   }
@@ -42,6 +60,14 @@ Status StatsService::Install() {
   DecisionCache* cache = &monitor->cache();
   AuditLog* audit = &monitor->audit();
   auto count = [](uint64_t v) { return std::to_string(v); };
+
+  // The sanctioned multi-counter view and its version stamp. The snapshot
+  // leaf is multi-line, so it is excluded from dumps; `version` does *not*
+  // refresh the publication on read — it answers "has anything been
+  // published since I last looked", which a self-refreshing value could not.
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("snapshot", [this] { return RenderSnapshot(); }, /*in_dump=*/false));
+  XSEC_RETURN_IF_ERROR(MountLeaf("version", [this] { return std::to_string(version()); }));
 
   XSEC_RETURN_IF_ERROR(
       MountLeaf("checks/total", [stats, count] { return count(stats->checks_total()); }));
@@ -70,9 +96,11 @@ Status StatsService::Install() {
   XSEC_RETURN_IF_ERROR(MountLeaf("cache/hit_rate", [cache] {
     uint64_t hits = cache->hits();
     uint64_t probes = hits + cache->misses();
-    return StrFormat("%.6f", probes == 0 ? 0.0
-                                         : static_cast<double>(hits) /
-                                               static_cast<double>(probes));
+    // Fixed 4-digit rendering with a locale-independent '.' radix point:
+    // this leaf is machine-parsed (tools/xsec_stats, golden tests), and
+    // printf "%f" follows the process locale's decimal separator.
+    return FormatFixed(
+        probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes), 4);
   }));
   XSEC_RETURN_IF_ERROR(MountLeaf(
       "latency/p50", [stats, count] { return count(stats->LatencyQuantileNs(0.50)); }));
@@ -83,16 +111,29 @@ Status StatsService::Install() {
   XSEC_RETURN_IF_ERROR(MountLeaf(
       "latency/samples", [stats, count] { return count(stats->latency_samples()); }));
   XSEC_RETURN_IF_ERROR(MountLeaf(
-      "audit/retained", [audit, count] { return count(audit->records().size()); }));
+      "audit/retained", [audit, count] { return count(audit->retained()); }));
   XSEC_RETURN_IF_ERROR(
       MountLeaf("audit/dropped", [audit, count] { return count(audit->dropped()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("rate/checks_per_sec", [this] {
+    MaybeTick();
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    return FormatFixed(ChecksPerSecLocked(), 2);
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("rate/denials_per_sec", [this] {
+    MaybeTick();
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    return FormatFixed(DenialsPerSecLocked(), 2);
+  }));
 
-  auto svc = kernel_->RegisterService(service_path_, system);
+  snapshot_node_ = values_.at(JoinPath(options_.mount_path, "snapshot")).node;
+
+  auto svc = kernel_->RegisterService(options_.service_path, system);
   if (!svc.ok()) {
     return svc.status();
   }
   auto read_node = kernel_->RegisterProcedure(
-      JoinPath(service_path_, "read"), system, [this](CallContext& ctx) -> StatusOr<Value> {
+      JoinPath(options_.service_path, "read"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
         auto path = ArgString(ctx.args, 0);
         if (!path.ok()) {
           return path.status();
@@ -107,21 +148,93 @@ Status StatsService::Install() {
     return read_node.status();
   }
   auto dump_node = kernel_->RegisterProcedure(
-      JoinPath(service_path_, "dump"), system, [this](CallContext& ctx) -> StatusOr<Value> {
+      JoinPath(options_.service_path, "dump"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
         auto text = DumpTree(*ctx.subject);
         if (!text.ok()) {
           return text.status();
         }
         return Value{std::move(*text)};
       });
-  return dump_node.ok() ? OkStatus() : dump_node.status();
+  if (!dump_node.ok()) {
+    return dump_node.status();
+  }
+  auto watch_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "watch"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
+        auto since = ArgInt(ctx.args, 0);
+        if (!since.ok()) {
+          return since.status();
+        }
+        int64_t timeout_ms = 1000;
+        if (ctx.args.size() > 1) {
+          auto t = ArgInt(ctx.args, 1);
+          if (!t.ok()) {
+            return t.status();
+          }
+          timeout_ms = *t;
+        }
+        if (timeout_ms < 0) {
+          timeout_ms = 0;
+        }
+        if (timeout_ms > 60'000) {
+          timeout_ms = 60'000;  // a watch never parks a thread for minutes
+        }
+        // Admission before blocking: watching the snapshot is reading it.
+        Decision decision =
+            kernel_->monitor().Check(*ctx.subject, snapshot_node_, AccessMode::kRead);
+        if (!decision.allowed) {
+          return decision.ToStatus();
+        }
+        uint64_t since_v;
+        if (*since < 0) {
+          // "Any change after this call": baseline a fresh publication that
+          // already folds in this watch's own admission check, so the caller
+          // blocks for the next *external* change instead of unblocking on
+          // the counter bump the watch itself just caused.
+          since_v = Tick();
+        } else {
+          since_v = static_cast<uint64_t>(*since);
+        }
+        uint64_t deadline =
+            MonotonicNowNs() + static_cast<uint64_t>(timeout_ms) * 1'000'000;
+        if (ctx.deadline_ns != 0 && ctx.deadline_ns < deadline) {
+          deadline = ctx.deadline_ns;
+        }
+        auto text = WaitForUpdate(since_v, deadline);
+        if (!text.ok()) {
+          return text.status();
+        }
+        return Value{std::move(*text)};
+      });
+  if (!watch_node.ok()) {
+    return watch_node.status();
+  }
+
+  Tick();  // version 1: the boot-time state
+
+  if (options_.background_publisher) {
+    publisher_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(pub_mu_);
+      while (!stop_) {
+        pub_cv_.wait_for(lock, std::chrono::nanoseconds(options_.epoch_interval_ns));
+        if (stop_) {
+          break;
+        }
+        lock.unlock();
+        Tick();
+        lock.lock();
+      }
+    });
+  }
+  return OkStatus();
 }
 
 StatusOr<std::string> StatsService::ReadStat(Subject& subject, std::string_view path) {
-  if (!StartsWith(path, mount_path_ + "/")) {
+  if (!StartsWith(path, options_.mount_path + "/")) {
     return InvalidArgumentError(
         StrFormat("'%s' is outside the stats mount '%s'", std::string(path).c_str(),
-                  mount_path_.c_str()));
+                  options_.mount_path.c_str()));
   }
   auto it = values_.find(std::string(path));
   if (it == values_.end()) {
@@ -138,6 +251,9 @@ StatusOr<std::string> StatsService::ReadStat(Subject& subject, std::string_view 
 StatusOr<std::string> StatsService::DumpTree(Subject& subject) {
   std::string out;
   for (const auto& [path, leaf] : values_) {
+    if (!leaf.in_dump) {
+      continue;  // multi-line leaves (snapshot) don't fit the line format
+    }
     if (!kernel_->monitor().Check(subject, leaf.node, AccessMode::kRead).allowed) {
       continue;  // the denial is counted and audited like any other
     }
@@ -149,8 +265,178 @@ StatusOr<std::string> StatsService::DumpTree(Subject& subject) {
 std::string StatsService::RenderAll() const {
   std::string out;
   for (const auto& [path, leaf] : values_) {
+    if (!leaf.in_dump) {
+      continue;
+    }
     out += path + " " + leaf.render() + "\n";
   }
+  return out;
+}
+
+uint64_t StatsService::Tick() {
+  ReferenceMonitor& monitor = kernel_->monitor();
+  // Capture everything before taking pub_mu_: TakeSnapshot can spin briefly
+  // around a concurrent Reset and must not do so while holding the
+  // publication lock watchers block on.
+  MonitorStats::Snapshot snap = monitor.stats().TakeSnapshot();
+  uint64_t cache_hits = monitor.cache().hits();
+  uint64_t cache_misses = monitor.cache().misses();
+  uint64_t cache_stale = monitor.cache().stale_hits();
+  uint64_t audit_retained = monitor.audit().retained();
+  uint64_t audit_dropped = monitor.audit().dropped();
+  uint64_t now = MonotonicNowNs();
+
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  bool changed = version_ == 0 || !snap.SameCounters(published_) ||
+                 cache_hits != pub_cache_hits_ || cache_misses != pub_cache_misses_ ||
+                 cache_stale != pub_cache_stale_ || audit_retained != pub_audit_retained_ ||
+                 audit_dropped != pub_audit_dropped_;
+  if (changed) {
+    ++version_;
+    snap.version = version_;
+    published_ = snap;
+    pub_cache_hits_ = cache_hits;
+    pub_cache_misses_ = cache_misses;
+    pub_cache_stale_ = cache_stale;
+    pub_audit_retained_ = audit_retained;
+    pub_audit_dropped_ = audit_dropped;
+  }
+  // The rate ring tracks cumulative counters per publication epoch; a
+  // decrease means the stats were Reset, which invalidates every delta.
+  if (!rate_ring_.empty() && snap.checks_total < rate_ring_.back().checks) {
+    rate_ring_.clear();
+  }
+  rate_ring_.push_back(RateEpoch{now, snap.checks_total, snap.denied});
+  while (rate_ring_.size() > 2 &&
+         now - rate_ring_[1].t_ns >= options_.rate_window_ns) {
+    rate_ring_.pop_front();
+  }
+  last_tick_ns_ = now;
+  if (changed) {
+    pub_cv_.notify_all();
+  }
+  return version_;
+}
+
+uint64_t StatsService::version() const {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  return version_;
+}
+
+void StatsService::MaybeTick() {
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    if (last_tick_ns_ != 0 &&
+        MonotonicNowNs() - last_tick_ns_ < options_.epoch_interval_ns) {
+      return;
+    }
+  }
+  Tick();
+}
+
+std::string StatsService::RenderSnapshot() {
+  MaybeTick();
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  return RenderSnapshotLocked();
+}
+
+StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadline_ns) {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(pub_mu_);
+    if (version_ > since) {
+      return RenderSnapshotLocked();
+    }
+    uint64_t now = MonotonicNowNs();
+    if (deadline_ns != 0 && now >= deadline_ns) {
+      return DeadlineExceededError(
+          StrFormat("no stats update past version %llu within the deadline",
+                    static_cast<unsigned long long>(since)));
+    }
+    // Self-clocking: when the current epoch has elapsed, this watcher takes
+    // its own fresh capture (outside the lock) instead of waiting for a
+    // publisher thread that may not exist.
+    uint64_t next_capture = last_tick_ns_ + options_.epoch_interval_ns;
+    if (now >= next_capture) {
+      lock.unlock();
+      Tick();
+      continue;
+    }
+    uint64_t wake = next_capture;
+    if (deadline_ns != 0 && deadline_ns < wake) {
+      wake = deadline_ns;
+    }
+    pub_cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+  }
+}
+
+double StatsService::ChecksPerSecLocked() const {
+  if (rate_ring_.size() < 2) {
+    return 0.0;
+  }
+  const RateEpoch& oldest = rate_ring_.front();
+  const RateEpoch& newest = rate_ring_.back();
+  if (newest.t_ns <= oldest.t_ns || newest.checks < oldest.checks) {
+    return 0.0;
+  }
+  return static_cast<double>(newest.checks - oldest.checks) * 1e9 /
+         static_cast<double>(newest.t_ns - oldest.t_ns);
+}
+
+double StatsService::DenialsPerSecLocked() const {
+  if (rate_ring_.size() < 2) {
+    return 0.0;
+  }
+  const RateEpoch& oldest = rate_ring_.front();
+  const RateEpoch& newest = rate_ring_.back();
+  if (newest.t_ns <= oldest.t_ns || newest.denials < oldest.denials) {
+    return 0.0;
+  }
+  return static_cast<double>(newest.denials - oldest.denials) * 1e9 /
+         static_cast<double>(newest.t_ns - oldest.t_ns);
+}
+
+std::string StatsService::RenderSnapshotLocked() const {
+  const std::string& m = options_.mount_path;
+  const MonitorStats::Snapshot& s = published_;
+  std::string out;
+  out += StrFormat("version %llu\n", static_cast<unsigned long long>(s.version));
+  out += StrFormat("reset_epoch %llu\n", static_cast<unsigned long long>(s.reset_epoch));
+  auto line = [&out, &m](const char* rel, uint64_t v) {
+    out += StrFormat("%s/%s %llu\n", m.c_str(), rel, static_cast<unsigned long long>(v));
+  };
+  line("checks/total", s.checks_total);
+  line("checks/allowed", s.allowed);
+  line("checks/denied", s.denied);
+  for (int i = 0; i < kAccessModeCount; ++i) {
+    AccessMode mode = static_cast<AccessMode>(1u << i);
+    line(StrFormat("checks/by-mode/%s", std::string(AccessModeName(mode)).c_str()).c_str(),
+         s.by_mode[i]);
+  }
+  for (size_t r = 1; r < kDenyReasonCount; ++r) {
+    DenyReason reason = static_cast<DenyReason>(r);
+    line(StrFormat("denials/by-reason/%s", std::string(DenyReasonName(reason)).c_str()).c_str(),
+         s.by_reason[r]);
+  }
+  line("cache/hits", pub_cache_hits_);
+  line("cache/misses", pub_cache_misses_);
+  line("cache/stale", pub_cache_stale_);
+  uint64_t probes = pub_cache_hits_ + pub_cache_misses_;
+  out += StrFormat("%s/cache/hit_rate %s\n", m.c_str(),
+                   FormatFixed(probes == 0 ? 0.0
+                                           : static_cast<double>(pub_cache_hits_) /
+                                                 static_cast<double>(probes),
+                               4)
+                       .c_str());
+  line("latency/p50", s.LatencyQuantileNs(0.50));
+  line("latency/p90", s.LatencyQuantileNs(0.90));
+  line("latency/p99", s.LatencyQuantileNs(0.99));
+  line("latency/samples", s.latency_samples);
+  line("audit/retained", pub_audit_retained_);
+  line("audit/dropped", pub_audit_dropped_);
+  out += StrFormat("%s/rate/checks_per_sec %s\n", m.c_str(),
+                   FormatFixed(ChecksPerSecLocked(), 2).c_str());
+  out += StrFormat("%s/rate/denials_per_sec %s\n", m.c_str(),
+                   FormatFixed(DenialsPerSecLocked(), 2).c_str());
   return out;
 }
 

@@ -17,6 +17,8 @@
 //
 // Stats tree layout (docs/MODEL.md §11 is normative):
 //
+//   /sys/monitor/snapshot                one consistent multi-line rendering
+//   /sys/monitor/version                 published snapshot version (counter)
 //   /sys/monitor/checks/total            decisions recorded, all outcomes
 //   /sys/monitor/checks/allowed          ... that allowed
 //   /sys/monitor/checks/denied           ... that denied
@@ -25,35 +27,69 @@
 //   /sys/monitor/cache/hits|misses|stale|hit_rate
 //   /sys/monitor/latency/p50|p90|p99|samples   sampled check latency, ns
 //   /sys/monitor/audit/retained|dropped
+//   /sys/monitor/rate/checks_per_sec     windowed rate over published epochs
+//   /sys/monitor/rate/denials_per_sec
 //
-// Values render on read from the live counters; two reads in one "snapshot"
-// are not mutually consistent (see MODEL.md §11 and ROADMAP open items).
+// Consistency: the plain counter leaves render live values on read, so two
+// separate leaf reads are not mutually consistent. The `snapshot` leaf is
+// the sanctioned multi-counter view — one MonitorStats::TakeSnapshot pass
+// whose invariants hold even under concurrent checking — and `version`
+// identifies which published epoch a snapshot came from. /svc/stats watch
+// long-polls for the next version change (see docs/MODEL.md §11).
 
 #ifndef XSEC_SRC_SERVICES_STATS_SERVICE_H_
 #define XSEC_SRC_SERVICES_STATS_SERVICE_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "src/extsys/kernel.h"
+#include "src/monitor/monitor_stats.h"
 
 namespace xsec {
+
+struct StatsServiceOptions {
+  std::string mount_path = "/sys/monitor";
+  std::string service_path = "/svc/stats";
+  // Publication epoch: the snapshot/rate leaves refresh at most this often,
+  // and a blocked watcher re-examines the counters once per interval (the
+  // watch path is self-clocking; no background thread is required).
+  uint64_t epoch_interval_ns = 20'000'000;  // 20 ms
+  // Window the /sys/monitor/rate/* leaves average over.
+  uint64_t rate_window_ns = 1'000'000'000;  // 1 s
+  // Optionally run a dedicated publisher thread that Ticks every epoch so
+  // versions advance even with no readers. Off by default: tests and tools
+  // get deterministic, single-threaded behavior unless they opt in.
+  bool background_publisher = false;
+};
 
 class StatsService {
  public:
   // The kernel must outlive this service.
-  StatsService(Kernel* kernel, std::string mount_path = "/sys/monitor",
+  explicit StatsService(Kernel* kernel, StatsServiceOptions options = {});
+  // Legacy convenience: custom mount/service paths, default intervals.
+  StatsService(Kernel* kernel, std::string mount_path,
                std::string service_path = "/svc/stats");
+  ~StatsService();
 
   // Binds the stats tree under mount_path (fail-closed ACL on the mount
   // root) and registers the /svc/stats procedures:
-  //   read <path>   -> the node's current value (string)
-  //   dump          -> every readable node, "path value" per line
+  //   read <path>            -> the node's current value (string)
+  //   dump                   -> every readable single-line node, "path value"
+  //   watch <since> [ms]     -> blocks until the published snapshot version
+  //                             exceeds `since` (pass -1 for "any change
+  //                             after this call"), then returns the new
+  //                             snapshot text; kDeadlineExceeded on timeout.
   Status Install();
 
-  const std::string& mount_path() const { return mount_path_; }
-  const std::string& service_path() const { return service_path_; }
+  const std::string& mount_path() const { return options_.mount_path; }
+  const std::string& service_path() const { return options_.service_path; }
 
   // -- Mediated operations ----------------------------------------------------
 
@@ -62,29 +98,92 @@ class StatsService {
   // denial here is itself counted and audited.
   StatusOr<std::string> ReadStat(Subject& subject, std::string_view path);
 
-  // Renders every stats node the subject can read, "path value" per line in
-  // path order. Nodes the subject cannot read are silently skipped — and
-  // each skip is a counted denial.
+  // Renders every single-line stats node the subject can read, "path value"
+  // per line in path order (the multi-line `snapshot` leaf is excluded).
+  // Nodes the subject cannot read are silently skipped — and each skip is a
+  // counted denial.
   StatusOr<std::string> DumpTree(Subject& subject);
 
-  // Trusted render of the whole tree, no mediation (tools, tests).
+  // -- Snapshot publication ---------------------------------------------------
+
+  // Captures the counters now and publishes them as a new version if they
+  // changed since the last publication (gauges included). Returns the
+  // current version either way. Thread-safe; wakes blocked watchers on a
+  // version change.
+  uint64_t Tick();
+
+  // Current published version (0 until the first Tick).
+  uint64_t version() const;
+
+  // Trusted render of the published snapshot (refreshing it first if it is
+  // older than one epoch), no mediation — tools, tests.
+  std::string RenderSnapshot();
+
+  // Trusted render of every single-line leaf, no mediation (tools, tests).
   std::string RenderAll() const;
 
+  // Blocks until the published version exceeds `since` or `deadline_ns`
+  // (absolute, MonotonicNowNs clock; 0 = unbounded) passes. Self-clocking:
+  // a blocked caller re-captures the counters once per epoch interval, so
+  // changes are observed within one epoch even with no background publisher.
+  // Returns the new snapshot text, or kDeadlineExceeded.
+  StatusOr<std::string> WaitForUpdate(uint64_t since, uint64_t deadline_ns);
+
  private:
-  // Binds one leaf (relative to the mount) backed by `render`.
-  Status MountLeaf(const std::string& relative_path, std::function<std::string()> render);
+  // Binds one leaf (relative to the mount) backed by `render`. Leaves with
+  // `in_dump` false (multi-line renderings) are skipped by DumpTree and
+  // RenderAll.
+  Status MountLeaf(const std::string& relative_path, std::function<std::string()> render,
+                   bool in_dump = true);
+
+  // Re-publishes only if the published snapshot is older than one epoch.
+  void MaybeTick();
+
+  // Renders the published snapshot + gauges. Caller holds pub_mu_.
+  std::string RenderSnapshotLocked() const;
+  // Windowed rates from the published epoch ring. Caller holds pub_mu_.
+  double ChecksPerSecLocked() const;
+  double DenialsPerSecLocked() const;
 
   struct Leaf {
     NodeId node;
     std::function<std::string()> render;
+    bool in_dump = true;
+  };
+
+  // One published epoch's cumulative counters; rate = windowed delta.
+  struct RateEpoch {
+    uint64_t t_ns = 0;
+    uint64_t checks = 0;
+    uint64_t denials = 0;
   };
 
   Kernel* kernel_;
-  std::string mount_path_;
-  std::string service_path_;
+  StatsServiceOptions options_;
   // Full path -> bound node + value renderer; ordered so dumps are
   // deterministic.
   std::map<std::string, Leaf> values_;
+  NodeId snapshot_node_;
+
+  // Publication state. pub_mu_ orders publications and protects everything
+  // below; pub_cv_ wakes watchers on a version change.
+  mutable std::mutex pub_mu_;
+  std::condition_variable pub_cv_;
+  uint64_t version_ = 0;
+  MonitorStats::Snapshot published_;
+  // Gauges captured alongside the snapshot (cache and audit state are owned
+  // by other components; these are their values as of `version_`).
+  uint64_t pub_cache_hits_ = 0;
+  uint64_t pub_cache_misses_ = 0;
+  uint64_t pub_cache_stale_ = 0;
+  uint64_t pub_audit_retained_ = 0;
+  uint64_t pub_audit_dropped_ = 0;
+  uint64_t last_tick_ns_ = 0;
+  std::deque<RateEpoch> rate_ring_;
+
+  // Optional background publisher.
+  bool stop_ = false;  // guarded by pub_mu_
+  std::thread publisher_;
 };
 
 }  // namespace xsec

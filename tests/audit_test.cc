@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 namespace xsec {
@@ -192,6 +196,122 @@ TEST(AuditLogTest, NdjsonSinkSeesOnlyWhatThePolicyRetains) {
   std::string text = out.str();
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
   EXPECT_EQ(text.find("\"allowed\":true"), std::string::npos);
+}
+
+TEST(AuditLogTest, RetainedGaugeCountsWithoutCopying) {
+  AuditLog log(4);
+  log.set_policy(AuditPolicy::kAll);
+  EXPECT_EQ(log.retained(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    log.Record(MakeRecord(true));
+  }
+  EXPECT_EQ(log.retained(), 3u);
+  for (int i = 0; i < 10; ++i) {  // ring caps at capacity
+    log.Record(MakeRecord(false, DenyReason::kMacFlow));
+  }
+  EXPECT_EQ(log.retained(), 4u);
+  log.Clear();
+  EXPECT_EQ(log.retained(), 0u);
+}
+
+class NdjsonRotationTest : public ::testing::Test {
+ protected:
+  NdjsonRotationTest() {
+    base_ = ::testing::TempDir() + "/xsec_rotate_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".ndjson";
+    CleanUp();
+  }
+  ~NdjsonRotationTest() override { CleanUp(); }
+
+  void CleanUp() {
+    std::remove(base_.c_str());
+    for (int k = 1; k <= 8; ++k) {
+      std::remove((base_ + "." + std::to_string(k)).c_str());
+    }
+  }
+
+  static bool Exists(const std::string& path) {
+    std::ifstream in(path);
+    return in.good();
+  }
+
+  static size_t FileBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<size_t>(in.tellg()) : 0;
+  }
+
+  std::string base_;
+};
+
+TEST_F(NdjsonRotationTest, RotatesBySizeAndShiftsHistory) {
+  size_t line_bytes = MakeRecord(false, DenyReason::kMacFlow).ToJson().size() + 1;
+  NdjsonRotationPolicy policy;
+  policy.max_bytes = 2 * line_bytes;  // two records per file
+  policy.max_keep = 2;
+  NdjsonFileRotator rotator(base_, policy);
+  ASSERT_TRUE(rotator.Open().ok());
+  for (int i = 0; i < 7; ++i) {
+    rotator.Write(MakeRecord(false, DenyReason::kMacFlow));
+  }
+  // 7 records at 2 per file: two full files rotated out, one live record.
+  EXPECT_EQ(rotator.rotations(), 3u);
+  EXPECT_TRUE(Exists(base_));
+  EXPECT_TRUE(Exists(base_ + ".1"));
+  EXPECT_TRUE(Exists(base_ + ".2"));
+  EXPECT_FALSE(Exists(base_ + ".3"));  // history is bounded at max_keep
+  EXPECT_EQ(FileBytes(base_), line_bytes);
+  EXPECT_EQ(FileBytes(base_ + ".1"), 2 * line_bytes);
+  // Every file holds whole NDJSON lines (no mid-record splits).
+  EXPECT_EQ(FileBytes(base_ + ".2"), 2 * line_bytes);
+}
+
+TEST_F(NdjsonRotationTest, ZeroKeepTruncatesInPlace) {
+  size_t line_bytes = MakeRecord(false).ToJson().size() + 1;
+  NdjsonRotationPolicy policy;
+  policy.max_bytes = line_bytes;  // one record per file
+  policy.max_keep = 0;
+  NdjsonFileRotator rotator(base_, policy);
+  ASSERT_TRUE(rotator.Open().ok());
+  for (int i = 0; i < 4; ++i) {
+    rotator.Write(MakeRecord(false));
+  }
+  EXPECT_EQ(rotator.rotations(), 3u);
+  EXPECT_EQ(FileBytes(base_), line_bytes);
+  EXPECT_FALSE(Exists(base_ + ".1"));
+}
+
+TEST_F(NdjsonRotationTest, RotatesByAge) {
+  NdjsonRotationPolicy policy;
+  policy.max_age_ns = 1;  // any nonzero delay between writes exceeds this
+  policy.max_keep = 1;
+  NdjsonFileRotator rotator(base_, policy);
+  ASSERT_TRUE(rotator.Open().ok());
+  rotator.Write(MakeRecord(false));
+  rotator.Write(MakeRecord(false));  // the file is already over-age
+  EXPECT_GE(rotator.rotations(), 1u);
+  EXPECT_TRUE(Exists(base_ + ".1"));
+}
+
+TEST_F(NdjsonRotationTest, WorksAsAnAuditLogSink) {
+  AuditLog log;
+  size_t line_bytes = MakeRecord(false, DenyReason::kDacNoGrant).ToJson().size() + 1;
+  NdjsonRotationPolicy policy;
+  policy.max_bytes = 2 * line_bytes;
+  policy.max_keep = 3;
+  auto rotator = std::make_shared<NdjsonFileRotator>(base_, policy);
+  ASSERT_TRUE(rotator->Open().ok());
+  log.set_sink(MakeRotatingNdjsonSink(rotator));
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeRecord(false, DenyReason::kDacNoGrant));
+  }
+  EXPECT_EQ(rotator->rotations(), 2u);
+  EXPECT_TRUE(Exists(base_));
+  EXPECT_TRUE(Exists(base_ + ".1"));
+  // The sequence numbers the log stamped survive in the rotated files.
+  std::ifstream rotated(base_ + ".1");
+  std::string line;
+  ASSERT_TRUE(std::getline(rotated, line));
+  EXPECT_NE(line.find("\"seq\":"), std::string::npos);
 }
 
 }  // namespace

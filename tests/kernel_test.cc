@@ -90,6 +90,37 @@ TEST_F(KernelTest, InvokePropagatesHandlerErrors) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(KernelTest, ExpiredDeadlineRejectsTheCallBeforeTheHandler) {
+  InstallAdder();
+  Grant("/svc/math/add", alice_, AccessModeSet(AccessMode::kExecute));
+  Subject subject = kernel_.CreateSubject(alice_, Cls(0));
+  CallOptions options;
+  options.deadline_ns = 1;  // the monotonic clock passed 1ns long ago
+  auto result = kernel_.Invoke(subject, "/svc/math/add",
+                               {Value{int64_t{2}}, Value{int64_t{3}}}, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(KernelTest, DeadlineReachesTheHandlerThroughCallContext) {
+  (void)*kernel_.RegisterService("/svc/t", kernel_.system_principal());
+  (void)*kernel_.RegisterProcedure("/svc/t/deadline", kernel_.system_principal(),
+                                   [](CallContext& ctx) -> StatusOr<Value> {
+                                     return Value{static_cast<int64_t>(ctx.deadline_ns)};
+                                   });
+  Grant("/svc/t/deadline", alice_, AccessModeSet(AccessMode::kExecute));
+  Subject subject = kernel_.CreateSubject(alice_, Cls(0));
+  // Unbounded by default.
+  auto unbounded = kernel_.Invoke(subject, "/svc/t/deadline", {});
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+  EXPECT_EQ(std::get<int64_t>(*unbounded), 0);
+  // A future deadline is forwarded verbatim for the handler to honor.
+  CallOptions options;
+  options.deadline_ns = MonotonicNowNs() + uint64_t{60} * 1'000'000'000;
+  auto bounded = kernel_.Invoke(subject, "/svc/t/deadline", {}, options);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(static_cast<uint64_t>(std::get<int64_t>(*bounded)), options.deadline_ns);
+}
+
 TEST_F(KernelTest, SubjectThreadIdsAreUnique) {
   Subject a = kernel_.CreateSubject(alice_, Cls(0));
   Subject b = kernel_.CreateSubject(alice_, Cls(0));

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/monitor/reference_monitor.h"
 
 namespace xsec {
@@ -59,6 +62,194 @@ TEST(MonitorStatsTest, LatencyHistogramAndQuantiles) {
   // An empty histogram reports 0.
   MonitorStats empty;
   EXPECT_EQ(empty.LatencyQuantileNs(0.5), 0u);
+}
+
+TEST(MonitorStatsTest, TwoInstancesSampleIndependently) {
+  // Regression: the sample clock used to be one process-wide thread_local
+  // shared by every MonitorStats instance, so a thread alternating between
+  // two instances (the kernel's monitor plus a test's) split one clock
+  // between them — each saw half its configured rate, phase-correlated.
+  // The clock now lives in the per-(thread, instance) slot-cache entry.
+  MonitorStats a;
+  MonitorStats b;
+  uint64_t sampled_a = 0;
+  uint64_t sampled_b = 0;
+  for (uint64_t i = 0; i < 3 * MonitorStats::kSampleEvery; ++i) {
+    if (a.ShouldSampleLatency()) {
+      ++sampled_a;
+    }
+    if (b.ShouldSampleLatency()) {
+      ++sampled_b;
+    }
+  }
+  EXPECT_EQ(sampled_a, 3u);
+  EXPECT_EQ(sampled_b, 3u);
+}
+
+TEST(MonitorStatsTest, LogLinearBucketBoundsRoundTrip) {
+  // Every value maps to a bucket whose upper bound is >= the value and
+  // within 1/kSubBuckets (12.5%) above it; below 2*kSubBuckets the buckets
+  // are exact.
+  std::vector<uint64_t> values;
+  for (uint64_t ns = 0; ns < 2 * MonitorStats::kSubBuckets; ++ns) {
+    values.push_back(ns);
+  }
+  for (uint64_t ns = 16; ns < (uint64_t{1} << MonitorStats::kMaxLatencyBits);
+       ns += 1 + ns / 3) {
+    values.push_back(ns);
+    values.push_back(ns - 1);
+    values.push_back(ns + 1);
+  }
+  for (uint64_t ns : values) {
+    size_t bucket = MonitorStats::LatencyBucketIndex(ns);
+    ASSERT_LT(bucket, MonitorStats::kLatencyBuckets);
+    uint64_t upper = MonitorStats::LatencyBucketUpperBoundNs(bucket);
+    ASSERT_GE(upper, ns) << "ns=" << ns << " bucket=" << bucket;
+    ASSERT_LE(upper, ns + ns / MonitorStats::kSubBuckets)
+        << "ns=" << ns << " bucket=" << bucket;
+    if (ns < 2 * MonitorStats::kSubBuckets) {
+      ASSERT_EQ(upper, ns);  // exact 1ns buckets at the bottom
+    }
+  }
+  // Bucket indices are monotone in the value (no fold-backs at octave edges).
+  size_t prev = 0;
+  for (uint64_t ns = 0; ns < 4096; ++ns) {
+    size_t bucket = MonitorStats::LatencyBucketIndex(ns);
+    ASSERT_GE(bucket, prev) << "ns=" << ns;
+    prev = bucket;
+  }
+  // At and past the cap everything lands in the last (overflow) bucket.
+  EXPECT_EQ(MonitorStats::LatencyBucketIndex(uint64_t{1} << MonitorStats::kMaxLatencyBits),
+            MonitorStats::kLatencyBuckets - 1);
+  EXPECT_EQ(MonitorStats::LatencyBucketIndex(~uint64_t{0}),
+            MonitorStats::kLatencyBuckets - 1);
+}
+
+TEST(MonitorStatsTest, QuantileEdgeCases) {
+  MonitorStats stats;
+  // q clamps and a single sample: every quantile is that sample's bucket.
+  stats.RecordLatencyNs(100);
+  uint64_t only = stats.LatencyQuantileNs(0.5);
+  EXPECT_GE(only, 100u);
+  EXPECT_EQ(stats.LatencyQuantileNs(0.0), only);
+  EXPECT_EQ(stats.LatencyQuantileNs(1.0), only);
+  EXPECT_EQ(stats.LatencyQuantileNs(-3.0), only);   // clamped to 0
+  EXPECT_EQ(stats.LatencyQuantileNs(42.0), only);   // clamped to 1
+
+  // q=0 is the min bucket, q=1 the max bucket.
+  stats.RecordLatencyNs(5);
+  stats.RecordLatencyNs(10'000);
+  EXPECT_EQ(stats.LatencyQuantileNs(0.0), 5u);  // exact bucket below 16ns
+  uint64_t p100 = stats.LatencyQuantileNs(1.0);
+  EXPECT_GE(p100, 10'000u);
+  EXPECT_LE(p100, 10'000u + 10'000u / 8);
+
+  // A sample past the histogram cap lands in the overflow bucket, whose
+  // upper bound is the cap itself — reported, not lost.
+  MonitorStats overflow;
+  overflow.RecordLatencyNs(~uint64_t{0});
+  EXPECT_EQ(overflow.LatencyQuantileNs(1.0),
+            MonitorStats::LatencyBucketUpperBoundNs(MonitorStats::kLatencyBuckets - 1));
+  EXPECT_EQ(overflow.latency_bucket(MonitorStats::kLatencyBuckets - 1), 1u);
+}
+
+TEST(MonitorStatsTest, QuantilesWithinTwelvePointFivePercentOfExact) {
+  MonitorStats stats;
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20'000; ++i) {
+    // A long-tailed mix: mostly fast checks, occasional slow outliers.
+    uint64_t ns = 20 + rng.NextBelow(400);
+    if (rng.NextBool(1, 50)) {
+      ns += 10'000 + rng.NextBelow(1'000'000);
+    }
+    samples.push_back(ns);
+    stats.RecordLatencyNs(ns);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.50, 0.90, 0.99}) {
+    uint64_t exact = samples[static_cast<size_t>(q * (samples.size() - 1))];
+    uint64_t approx = stats.LatencyQuantileNs(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact + exact / 8 + 1) << "q=" << q;
+  }
+}
+
+TEST(MonitorStatsTest, SnapshotInvariantsHoldUnderConcurrentChecking) {
+  MonitorStats stats;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&stats, &stop, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        AccessModeSet modes(AccessMode::kRead);
+        if (rng.NextBool(1, 3)) {
+          modes = AccessMode::kRead | AccessMode::kWrite;
+        }
+        DenyReason reason =
+            rng.NextBool(1, 2) ? DenyReason::kNone : DenyReason::kDacNoGrant;
+        stats.RecordDecision(modes, reason);
+        if (rng.NextBool(1, 16)) {
+          stats.RecordLatencyNs(50 + rng.NextBelow(1000));
+        }
+      }
+    });
+  }
+  // The property under test: every snapshot taken mid-flight satisfies the
+  // documented invariants, however the writers interleave.
+  for (int i = 0; i < 3000; ++i) {
+    MonitorStats::Snapshot snap = stats.TakeSnapshot();
+    ASSERT_EQ(snap.allowed + snap.denied, snap.checks_total);
+    uint64_t reason_total = 0;
+    for (uint64_t r : snap.by_reason) {
+      reason_total += r;
+    }
+    ASSERT_EQ(reason_total, snap.checks_total);
+    ASSERT_GE(snap.ModeTotal(), snap.checks_total);
+    ASSERT_GE(snap.LatencyBucketTotal(), snap.latency_samples);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : writers) {
+    th.join();
+  }
+  // Quiescent: the mode total is exact (reads were 1 mode, some 2).
+  MonitorStats::Snapshot final_snap = stats.TakeSnapshot();
+  EXPECT_GE(final_snap.ModeTotal(), final_snap.checks_total);
+  EXPECT_EQ(final_snap.LatencyBucketTotal(), final_snap.latency_samples);
+}
+
+TEST(MonitorStatsTest, SnapshotsNeverTearAcrossConcurrentResets) {
+  MonitorStats stats;
+  std::atomic<bool> stop{false};
+  std::thread resetter([&stats, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      stats.Reset();
+    }
+  });
+  // Readers must never observe a half-zeroed pass: within one snapshot the
+  // derived identity holds and the reason total matches, reset or not.
+  for (int i = 0; i < 2000; ++i) {
+    stats.RecordDecision(AccessModeSet(AccessMode::kRead), DenyReason::kNone);
+    MonitorStats::Snapshot snap = stats.TakeSnapshot();
+    ASSERT_EQ(snap.allowed + snap.denied, snap.checks_total);
+    ASSERT_GE(snap.ModeTotal(), 0u);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  resetter.join();
+}
+
+TEST(MonitorStatsTest, ResetBumpsTheSnapshotResetEpoch) {
+  MonitorStats stats;
+  EXPECT_EQ(stats.TakeSnapshot().reset_epoch, 0u);
+  stats.RecordDecision(AccessModeSet(AccessMode::kRead), DenyReason::kNone);
+  stats.Reset();
+  EXPECT_EQ(stats.TakeSnapshot().reset_epoch, 1u);
+  stats.Reset();
+  stats.Reset();
+  EXPECT_EQ(stats.TakeSnapshot().reset_epoch, 3u);
+  EXPECT_EQ(stats.TakeSnapshot().checks_total, 0u);
 }
 
 TEST(MonitorStatsTest, ResetZeroesEverything) {

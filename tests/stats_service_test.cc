@@ -118,6 +118,35 @@ TEST(StatsServiceTest, ProcedureInterfaceMirrorsDirectReads) {
   EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
 }
 
+TEST(StatsServiceTest, HitRateRendersFixedFourDigitsWithDotRadix) {
+  // Regression: the leaf used printf %f, whose radix character follows the
+  // process locale — a comma-decimal locale broke every parser of this
+  // value. It now renders via FormatFixed: exactly four fractional digits,
+  // always '.'.
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  for (int i = 0; i < 5; ++i) {
+    (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  }
+  auto rate = sys.stats().ReadStat(system, "/sys/monitor/cache/hit_rate");
+  ASSERT_TRUE(rate.ok()) << rate.status().ToString();
+  ASSERT_EQ(rate->size(), 6u) << *rate;  // "0.xxxx" or "1.0000"
+  EXPECT_EQ((*rate)[1], '.');
+  for (size_t i = 2; i < rate->size(); ++i) {
+    EXPECT_TRUE((*rate)[i] >= '0' && (*rate)[i] <= '9') << *rate;
+  }
+}
+
+TEST(StatsServiceTest, HitRateIsZeroWithNoCacheProbes) {
+  MonitorOptions options;
+  options.cache_enabled = false;  // no probes ever: the 0/0 case
+  SecureSystem sys(options);
+  Subject system = sys.SystemSubject();
+  auto rate = sys.stats().ReadStat(system, "/sys/monitor/cache/hit_rate");
+  ASSERT_TRUE(rate.ok()) << rate.status().ToString();
+  EXPECT_EQ(*rate, "0.0000");
+}
+
 TEST(StatsServiceTest, WidenedAclMakesTheTreeVisible) {
   // An administrator can grant read access like on any other node; no
   // stats-specific mechanism exists or is needed.

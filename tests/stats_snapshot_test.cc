@@ -1,0 +1,281 @@
+// Tests for the snapshot + subscription layer of StatsService: the
+// versioned /sys/monitor/snapshot rendering, the version leaf, the windowed
+// rate leaves, and the /svc/stats watch long-poll.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/core/secure_system.h"
+#include "src/services/stats_service.h"
+
+namespace xsec {
+namespace {
+
+// "key value" per line -> map. Values stay strings (hit_rate and the rates
+// are fixed-point decimals).
+std::map<std::string, std::string> ParseSnapshot(const std::string& text) {
+  std::map<std::string, std::string> out;
+  for (const std::string& line : StrSplit(text, '\n', /*skip_empty=*/true)) {
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      continue;
+    }
+    out[line.substr(0, sp)] = line.substr(sp + 1);
+  }
+  return out;
+}
+
+uint64_t Num(const std::map<std::string, std::string>& kv, const std::string& key) {
+  auto it = kv.find(key);
+  EXPECT_NE(it, kv.end()) << "missing snapshot key " << key;
+  return it == kv.end() ? 0 : std::stoull(it->second);
+}
+
+uint64_t SumPrefix(const std::map<std::string, std::string>& kv, const std::string& prefix) {
+  uint64_t total = 0;
+  for (const auto& [key, value] : kv) {
+    if (StartsWith(key, prefix)) {
+      total += std::stoull(value);
+    }
+  }
+  return total;
+}
+
+TEST(StatsSnapshotTest, SnapshotLeafRendersOneConsistentView) {
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  for (int i = 0; i < 7; ++i) {
+    (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  }
+  sys.stats().Tick();
+  auto text = sys.stats().ReadStat(system, "/sys/monitor/snapshot");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto kv = ParseSnapshot(*text);
+  EXPECT_GE(Num(kv, "version"), 1u);
+  EXPECT_EQ(Num(kv, "reset_epoch"), 0u);
+  uint64_t total = Num(kv, "/sys/monitor/checks/total");
+  EXPECT_GE(total, 7u);
+  EXPECT_EQ(Num(kv, "/sys/monitor/checks/allowed") + Num(kv, "/sys/monitor/checks/denied"),
+            total);
+  EXPECT_EQ(SumPrefix(kv, "/sys/monitor/denials/by-reason/"),
+            Num(kv, "/sys/monitor/checks/denied"));
+  EXPECT_GE(SumPrefix(kv, "/sys/monitor/checks/by-mode/"), total);
+  // The fixed-point leaves render with a '.' radix and fixed precision.
+  EXPECT_EQ(kv.at("/sys/monitor/cache/hit_rate").find('.'), 1u);
+  EXPECT_EQ(kv.at("/sys/monitor/rate/checks_per_sec").rfind('.'),
+            kv.at("/sys/monitor/rate/checks_per_sec").size() - 3);
+}
+
+TEST(StatsSnapshotTest, SnapshotIsExcludedFromDumpsButReadable) {
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  auto dump = sys.stats().DumpTree(system);
+  ASSERT_TRUE(dump.ok());
+  // The multi-line snapshot leaf would corrupt the "path value" line format.
+  EXPECT_EQ(dump->find("/sys/monitor/snapshot"), std::string::npos);
+  EXPECT_NE(dump->find("/sys/monitor/version "), std::string::npos);
+  EXPECT_NE(dump->find("/sys/monitor/rate/checks_per_sec "), std::string::npos);
+  // Unprivileged subjects are denied the snapshot like any other leaf.
+  auto bob = sys.CreateUser("bob");
+  ASSERT_TRUE(bob.ok());
+  Subject bob_s = sys.Login(*bob, sys.labels().Bottom());
+  auto denied = sys.stats().ReadStat(bob_s, "/sys/monitor/snapshot");
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(StatsSnapshotTest, InvariantsHoldOnEverySnapshotUnderConcurrentChecking) {
+  SecureSystem sys;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    // Login mutates kernel state; take the subject before spawning.
+    Subject subject = sys.Login(sys.system_principal(), sys.labels().Top());
+    writers.emplace_back([&sys, &stop, subject]() mutable {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)sys.monitor().Check(subject, sys.name_space().root(), AccessMode::kList);
+        (void)sys.monitor().Check(subject, NodeId{99'999}, AccessMode::kRead);
+      }
+    });
+  }
+  uint64_t last_version = 0;
+  for (int i = 0; i < 300; ++i) {
+    sys.stats().Tick();
+    auto kv = ParseSnapshot(sys.stats().RenderSnapshot());
+    uint64_t total = Num(kv, "/sys/monitor/checks/total");
+    ASSERT_EQ(Num(kv, "/sys/monitor/checks/allowed") + Num(kv, "/sys/monitor/checks/denied"),
+              total);
+    ASSERT_EQ(SumPrefix(kv, "/sys/monitor/denials/by-reason/"),
+              Num(kv, "/sys/monitor/checks/denied"));
+    ASSERT_GE(SumPrefix(kv, "/sys/monitor/checks/by-mode/"), total);
+    uint64_t version = Num(kv, "version");
+    ASSERT_GE(version, last_version);  // versions are monotone
+    last_version = version;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : writers) {
+    th.join();
+  }
+}
+
+TEST(StatsSnapshotTest, VersionAdvancesOnlyWhenCountersChange) {
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = uint64_t{3600} * 1'000'000'000;  // no auto refresh
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  uint64_t v0 = stats.version();
+  EXPECT_GE(v0, 1u);  // Install publishes the boot-time state
+  // Quiescent ticks publish nothing new.
+  EXPECT_EQ(stats.Tick(), v0);
+  EXPECT_EQ(stats.Tick(), v0);
+  // Any counter movement (even a denial) is a new version.
+  Subject subject = kernel.SystemSubject();
+  (void)kernel.monitor().Check(subject, kernel.name_space().root(), AccessMode::kList);
+  EXPECT_EQ(stats.Tick(), v0 + 1);
+  EXPECT_EQ(stats.Tick(), v0 + 1);
+}
+
+TEST(StatsSnapshotTest, VersionLeafDoesNotSelfRefresh) {
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = uint64_t{3600} * 1'000'000'000;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject subject = kernel.SystemSubject();
+  auto v_before = stats.ReadStat(subject, "/sys/monitor/version");
+  ASSERT_TRUE(v_before.ok()) << v_before.status().ToString();
+  // The reads above moved counters, but nothing re-published: the version
+  // leaf answers "what was last published", so staleness is observable.
+  auto v_after = stats.ReadStat(subject, "/sys/monitor/version");
+  ASSERT_TRUE(v_after.ok());
+  EXPECT_EQ(*v_before, *v_after);
+  stats.Tick();
+  auto v_ticked = stats.ReadStat(subject, "/sys/monitor/version");
+  ASSERT_TRUE(v_ticked.ok());
+  EXPECT_EQ(std::stoull(*v_ticked), std::stoull(*v_after) + 1);
+}
+
+TEST(StatsSnapshotTest, ResetClearsTheRateWindow) {
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  for (int i = 0; i < 50; ++i) {
+    (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  }
+  sys.stats().Tick();
+  sys.monitor().stats().Reset();
+  sys.stats().Tick();  // cumulative counters went backwards: window restarts
+  auto kv = ParseSnapshot(sys.stats().RenderSnapshot());
+  EXPECT_GE(Num(kv, "reset_epoch"), 1u);
+  // A one-entry (restarted) window reports 0.00 rather than a bogus delta.
+  EXPECT_EQ(kv.at("/sys/monitor/rate/checks_per_sec"), "0.00");
+}
+
+// A user who may call /svc/stats/* (the /svc default covers everyone) and
+// holds read|list on the stats mount, so the watch admission check passes.
+Subject LoginAuditor(SecureSystem& sys) {
+  auto auditor = sys.CreateUser("auditor");
+  EXPECT_TRUE(auditor.ok());
+  NodeId mount = *sys.name_space().Lookup("/sys/monitor");
+  EXPECT_TRUE(sys.monitor()
+                  .AddAclEntry(sys.SystemSubject(), mount,
+                               {AclEntryType::kAllow, *auditor,
+                                AccessMode::kRead | AccessMode::kList})
+                  .ok());
+  return sys.Login(*auditor, sys.labels().Bottom());
+}
+
+TEST(StatsWatchTest, WatchUnblocksWithinOneEpochOfAChange) {
+  SecureSystem sys;  // default 20ms epoch, no background publisher
+  Subject watcher = LoginAuditor(sys);
+  StatusOr<Value> result = InvalidArgumentError("not run");
+  std::thread blocked([&sys, &watcher, &result] {
+    // since = -1: baseline past this watch's own admission check, then block
+    // until the next external change.
+    result = sys.Invoke(watcher, "/svc/stats/watch",
+                        {Value{int64_t{-1}}, Value{int64_t{10'000}}});
+  });
+  // Give the watcher time to enter its wait, then move a counter.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  Subject system = sys.SystemSubject();
+  (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  blocked.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(std::holds_alternative<std::string>(*result));
+  auto kv = ParseSnapshot(std::get<std::string>(*result));
+  EXPECT_GE(Num(kv, "version"), 2u);
+  EXPECT_GE(Num(kv, "/sys/monitor/checks/total"), 1u);
+}
+
+TEST(StatsWatchTest, WatchTimesOutWhenNothingChanges) {
+  SecureSystem sys;
+  Subject watcher = LoginAuditor(sys);
+  uint64_t unreachable = uint64_t{1} << 40;  // a version that never arrives
+  auto start = std::chrono::steady_clock::now();
+  auto result = sys.Invoke(watcher, "/svc/stats/watch",
+                           {Value{static_cast<int64_t>(unreachable)}, Value{int64_t{50}}});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 45);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsWatchTest, CallDeadlineCapsTheWatchTimeout) {
+  SecureSystem sys;
+  Subject watcher = LoginAuditor(sys);
+  uint64_t unreachable = uint64_t{1} << 40;
+  CallOptions options;
+  options.deadline_ns = MonotonicNowNs() + 50'000'000;  // 50ms, well under 10s
+  auto start = std::chrono::steady_clock::now();
+  auto result =
+      sys.Invoke(watcher, "/svc/stats/watch",
+                 {Value{static_cast<int64_t>(unreachable)}, Value{int64_t{10'000}}}, options);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsWatchTest, WatchIsDeniedForUnprivilegedSubjects) {
+  SecureSystem sys;
+  auto bob = sys.CreateUser("bob");
+  ASSERT_TRUE(bob.ok());
+  Subject bob_s = sys.Login(*bob, sys.labels().Bottom());
+  // The admission check runs before blocking: a subject that may not read
+  // the snapshot is rejected immediately, not parked until the timeout.
+  auto start = std::chrono::steady_clock::now();
+  auto result = sys.Invoke(bob_s, "/svc/stats/watch",
+                           {Value{int64_t{-1}}, Value{int64_t{10'000}}});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsWatchTest, BackgroundPublisherAdvancesVersionsUnaided) {
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = 5'000'000;  // 5ms
+  options.background_publisher = true;
+  {
+    StatsService stats(&kernel, options);
+    ASSERT_TRUE(stats.Install().ok());
+    uint64_t v0 = stats.version();
+    Subject subject = kernel.SystemSubject();
+    (void)kernel.monitor().Check(subject, kernel.name_space().root(), AccessMode::kList);
+    // No explicit Tick: the publisher thread must fold the change in.
+    uint64_t deadline = MonotonicNowNs() + uint64_t{5} * 1'000'000'000;
+    while (stats.version() == v0 && MonotonicNowNs() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(stats.version(), v0);
+  }  // the destructor must stop and join the publisher cleanly
+}
+
+}  // namespace
+}  // namespace xsec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace xsec {
 namespace {
 
@@ -44,6 +46,30 @@ TEST(StringsTest, Format) {
   EXPECT_EQ(StrFormat("%s", ""), "");
   std::string big(500, 'a');
   EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringsTest, FormatFixedRendersExactPrecisionWithDotRadix) {
+  EXPECT_EQ(FormatFixed(0.0, 4), "0.0000");
+  EXPECT_EQ(FormatFixed(1.0, 4), "1.0000");
+  EXPECT_EQ(FormatFixed(0.5, 4), "0.5000");
+  EXPECT_EQ(FormatFixed(0.87654321, 4), "0.8765");
+  EXPECT_EQ(FormatFixed(12.345, 2), "12.35");   // round half up
+  EXPECT_EQ(FormatFixed(-2.5, 1), "-2.5");
+  EXPECT_EQ(FormatFixed(3.0, 0), "3");          // no radix char at precision 0
+  EXPECT_EQ(FormatFixed(0.05, 4), "0.0500");    // leading fraction zeros kept
+  EXPECT_EQ(FormatFixed(0.99999, 4), "1.0000"); // carry into the integer part
+}
+
+TEST(StringsTest, FormatFixedClampsAndHandlesNonFinite) {
+  EXPECT_EQ(FormatFixed(1.5, -3), "2");  // precision clamps to 0, rounds
+  EXPECT_EQ(FormatFixed(0.123456789012, 99), "0.123456789");  // clamps to 9
+  EXPECT_EQ(FormatFixed(std::numeric_limits<double>::quiet_NaN(), 4), "nan");
+  EXPECT_EQ(FormatFixed(std::numeric_limits<double>::infinity(), 4), "inf");
+  EXPECT_EQ(FormatFixed(-std::numeric_limits<double>::infinity(), 4), "-inf");
+  // Values too large for 64-bit fixed-point fall back to a radix-free form.
+  std::string huge = FormatFixed(1e30, 4);
+  EXPECT_EQ(huge.find('.'), std::string::npos);
+  EXPECT_FALSE(huge.empty());
 }
 
 }  // namespace

@@ -2,13 +2,19 @@
 //
 // Usage:
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
+//              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
+//              [--snapshot]
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
-// denied), and prints every /sys/monitor/... stats leaf. With --ndjson, each
-// audited decision is also streamed as one JSON object per line — '-' for
-// stdout. The workload is seeded, so two runs with the same arguments
-// produce the same counters (latency quantiles aside).
+// denied), and prints every /sys/monitor/... stats leaf (or, with
+// --snapshot, the consistent versioned snapshot rendering). With --ndjson,
+// each audited decision is also streamed as one JSON object per line — '-'
+// for stdout. When the target is a real file, --ndjson-max-bytes /
+// --ndjson-max-age-ms / --ndjson-keep enable size/age rotation
+// (file -> file.1 -> ... -> file.K). The workload is seeded, so two runs
+// with the same arguments produce the same counters (latency quantiles and
+// rates aside).
 //
 // Exit status: 0 on success, 1 on bad arguments or an unloadable policy.
 
@@ -17,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +46,8 @@ int main(int argc, char** argv) {
   std::string ndjson_file;
   uint64_t checks = 10000;
   uint64_t seed = 1;
+  xsec::NdjsonRotationPolicy rotation;
+  bool snapshot = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -50,6 +59,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--ndjson needs a file (or '-')");
       ndjson_file = v;
+    } else if (arg == "--ndjson-max-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--ndjson-max-bytes needs a byte count");
+      rotation.max_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ndjson-max-age-ms") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--ndjson-max-age-ms needs a duration");
+      rotation.max_age_ns = std::strtoull(v, nullptr, 10) * 1'000'000ull;
+    } else if (arg == "--ndjson-keep") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--ndjson-keep needs a count");
+      rotation.max_keep = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--snapshot") {
+      snapshot = true;
     } else if (arg == "--checks") {
       const char* v = next();
       if (v == nullptr) return Fail("--checks needs a count");
@@ -61,7 +84,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: xsec_stats [--policy <file>] [--checks N] [--seed S] "
-                   "[--ndjson <file|->]\n");
+                   "[--ndjson <file|->] [--ndjson-max-bytes B] "
+                   "[--ndjson-max-age-ms M] [--ndjson-keep K] [--snapshot]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -81,14 +105,27 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream ndjson_out;
+  std::shared_ptr<xsec::NdjsonFileRotator> rotator;
+  bool rotation_requested = rotation.max_bytes != 0 || rotation.max_age_ns != 0;
   if (!ndjson_file.empty()) {
-    std::ostream* out = &std::cout;
-    if (ndjson_file != "-") {
-      ndjson_out.open(ndjson_file);
-      if (!ndjson_out) return Fail("cannot open the ndjson file");
-      out = &ndjson_out;
+    if (ndjson_file != "-" && rotation_requested) {
+      rotator = std::make_shared<xsec::NdjsonFileRotator>(ndjson_file, rotation);
+      xsec::Status status = rotator->Open();
+      if (!status.ok()) {
+        std::fprintf(stderr, "xsec_stats: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      sys.monitor().audit().set_sink(xsec::MakeRotatingNdjsonSink(rotator));
+    } else {
+      if (rotation_requested) return Fail("rotation needs a real --ndjson file, not '-'");
+      std::ostream* out = &std::cout;
+      if (ndjson_file != "-") {
+        ndjson_out.open(ndjson_file);
+        if (!ndjson_out) return Fail("cannot open the ndjson file");
+        out = &ndjson_out;
+      }
+      sys.monitor().audit().set_sink(xsec::MakeNdjsonSink(out));
     }
-    sys.monitor().audit().set_sink(xsec::MakeNdjsonSink(out));
   }
 
   // A small world with deliberately mixed permissions: "reader" may read the
@@ -117,6 +154,8 @@ int main(int argc, char** argv) {
   xsec::Subject reader_s = sys.Login(*reader, sys.labels().Bottom());
   xsec::Subject outsider_s = sys.Login(*outsider, sys.labels().Bottom());
 
+  sys.stats().Tick();  // publish the boot-time baseline before the workload
+
   xsec::Rng rng(seed);
   for (uint64_t i = 0; i < checks; ++i) {
     xsec::Subject& subject = rng.NextBool(1, 2) ? reader_s : outsider_s;
@@ -126,6 +165,16 @@ int main(int argc, char** argv) {
     (void)sys.monitor().CheckPath(subject, path, mode);
   }
 
-  std::fputs(sys.stats().RenderAll().c_str(), stdout);
+  sys.stats().Tick();  // fold the workload into the published snapshot
+
+  if (snapshot) {
+    std::fputs(sys.stats().RenderSnapshot().c_str(), stdout);
+  } else {
+    std::fputs(sys.stats().RenderAll().c_str(), stdout);
+  }
+  if (rotator != nullptr) {
+    std::fprintf(stdout, "ndjson_rotations %llu\n",
+                 static_cast<unsigned long long>(rotator->rotations()));
+  }
   return 0;
 }
