@@ -4,14 +4,21 @@
 Compares a fresh BENCH_f1.json against the committed baseline
 (ci/bench_f1_baseline.json) on the *stats overhead ratio*:
 
-    ratio = median cpu_time(BM_CheckNode_DacMacCached)
-          / median cpu_time(BM_CheckNode_DacMacCached_NoStats)
+    ratio = median metric(BM_CheckNode_DacMacCached)
+          / median metric(BM_CheckNode_DacMacCached_NoStats)
 
 The ratio is the cached-check cost with MonitorStats on, relative to the
 same path with stats compiled out of the decision — i.e. exactly the
 hot-path budget the stats layer is held to. Using the ratio (not absolute
-nanoseconds) keeps the gate portable across machines: both measurements
-come from the same run, so CPU speed and virtualization noise cancel.
+numbers) keeps the gate portable across machines: both measurements come
+from the same run, so CPU speed and virtualization noise cancel.
+
+The metric is per-iteration instructions retired when BOTH files carry the
+INSTRUCTIONS perf counter for both benchmarks (run_checks.sh requests it
+via --benchmark_perf_counters=INSTRUCTIONS); an instruction count is
+deterministic, so the gate is immune to frequency scaling and scheduler
+noise. Files without the counter — libpfm-less builds, locked-down
+perf_event — fall back to median cpu_time.
 
 Fails (exit 1) when the fresh ratio exceeds the baseline ratio by more
 than --tolerance (default 10%).
@@ -26,29 +33,48 @@ import sys
 
 CACHED = "BM_CheckNode_DacMacCached"
 NOSTATS = "BM_CheckNode_DacMacCached_NoStats"
+COUNTER = "INSTRUCTIONS"
 
 
-def cpu_time(path, name):
-    """Median cpu_time across all iteration runs of `name` (so files produced
-    with --benchmark_repetitions contribute every repetition, not just the
-    first; a single-run file degenerates to that run)."""
+def load(path):
     with open(path) as f:
-        data = json.load(f)
-    times = [
-        float(bench["cpu_time"])
+        return json.load(f)
+
+
+def runs(data, name):
+    """All per-iteration runs of `name` (files produced with
+    --benchmark_repetitions contribute every repetition, not just the first;
+    a single-run file degenerates to that run)."""
+    return [
+        bench
         for bench in data.get("benchmarks", [])
         if bench.get("name") == name and bench.get("run_type", "iteration") == "iteration"
     ]
-    if not times:
-        raise KeyError(f"{path}: no benchmark named {name}")
-    return statistics.median(times)
 
 
-def ratio(path):
-    on = cpu_time(path, CACHED)
-    off = cpu_time(path, NOSTATS)
+def has_counter(data):
+    """True when every repetition of both gated benchmarks carries the
+    INSTRUCTIONS perf counter (google-benchmark emits perf counters as
+    per-iteration keys on each benchmark entry)."""
+    for name in (CACHED, NOSTATS):
+        entries = runs(data, name)
+        if not entries or not all(COUNTER in bench for bench in entries):
+            return False
+    return True
+
+
+def metric(data, path, name, key):
+    values = [float(bench[key]) for bench in runs(data, name) if key in bench]
+    if not values:
+        raise KeyError(f"{path}: no benchmark named {name} with field {key}")
+    return statistics.median(values)
+
+
+def ratio(data, path, key):
+    on = metric(data, path, CACHED, key)
+    off = metric(data, path, NOSTATS, key)
     if off <= 0:
-        raise ValueError(f"{path}: non-positive cpu_time for {NOSTATS}")
+        raise ValueError(f"{path}: non-positive {key} for {NOSTATS}")
     return on / off
 
 
@@ -61,14 +87,22 @@ def main():
     args = parser.parse_args()
 
     try:
-        fresh = ratio(args.fresh)
-        base = ratio(args.baseline)
+        fresh_data = load(args.fresh)
+        base_data = load(args.baseline)
+        # Instructions retired only gates when both sides measured it —
+        # comparing an instruction ratio against a cpu_time ratio would be
+        # meaningless.
+        key = ("INSTRUCTIONS"
+               if has_counter(fresh_data) and has_counter(base_data)
+               else "cpu_time")
+        fresh = ratio(fresh_data, args.fresh, key)
+        base = ratio(base_data, args.baseline, key)
     except (OSError, KeyError, ValueError, json.JSONDecodeError) as err:
         print(f"check_bench_f1: {err}", file=sys.stderr)
         return 1
 
     overhead = (fresh - 1.0) * 100.0
-    print(f"stats-on/stats-off cached-check ratio: fresh {fresh:.4f} "
+    print(f"stats-on/stats-off cached-check ratio [{key}]: fresh {fresh:.4f} "
           f"(overhead {overhead:+.1f}%), baseline {base:.4f}")
 
     limit = base * (1.0 + args.tolerance)

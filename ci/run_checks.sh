@@ -6,8 +6,9 @@
 #
 # --quick restricts the sanitizer ctest runs to the monitor + concurrency
 # tests (the multithreaded surface, including the striped MonitorStats
-# counters and the mediated StatsService tree) plus the policy round-trip
-# tests; the default runs everything everywhere.
+# counters, the mediated StatsService tree, the subscription channels, and
+# the cooperative-cancellation paths) plus the policy round-trip tests; the
+# default runs everything everywhere.
 #
 # Outputs:
 #   build-release/   optimized build, full ctest
@@ -16,8 +17,12 @@
 #   BENCH_f1.json    bench_f1_mediation results (per-call overhead; the
 #                    Cached vs Cached_NoStats delta is the stats budget,
 #                    gated against ci/bench_f1_baseline.json by
-#                    ci/check_bench_f1.py — >10% ratio regression fails)
+#                    ci/check_bench_f1.py — >10% ratio regression fails.
+#                    Collected with instructions-retired perf counters when
+#                    the benchmark library + kernel support them; the gate
+#                    prefers that metric and falls back to median cpu_time)
 #   BENCH_f11.json   bench_f11_parallel results from the release build
+#   BENCH_f12.json   bench_f12_subscription results (publish fan-out cost)
 
 set -euo pipefail
 
@@ -30,7 +35,7 @@ run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|PolicyIo|PolicyRoundTrip')
+        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip')
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
@@ -52,9 +57,19 @@ cmake --build build-asan -j "$JOBS"
 run_ctest build-asan
 
 echo "== F1: per-call mediation overhead =="
-./build-release/bench/bench_f1_mediation \
-    --benchmark_out=BENCH_f1.json --benchmark_out_format=json \
-    --benchmark_min_time=0.25 --benchmark_repetitions=3
+F1_RUN=(./build-release/bench/bench_f1_mediation
+    --benchmark_out=BENCH_f1.json --benchmark_out_format=json
+    --benchmark_min_time=0.25 --benchmark_repetitions=3)
+# Ask for instructions-retired counters: when the library was built with
+# libpfm and the kernel permits perf_event_open, every benchmark entry gains
+# an INSTRUCTIONS column and the gate below uses it (deterministic, immune
+# to CPU-frequency noise). Builds without the support either ignore the flag
+# with a notice or reject it outright — retry plainly in that case; the gate
+# then falls back to median cpu_time.
+if ! "${F1_RUN[@]}" --benchmark_perf_counters=INSTRUCTIONS; then
+  echo "perf counters unavailable; rerunning F1 without them"
+  "${F1_RUN[@]}"
+fi
 
 echo "== F1 regression gate (stats overhead ratio vs committed baseline) =="
 python3 ci/check_bench_f1.py BENCH_f1.json ci/bench_f1_baseline.json
@@ -62,6 +77,11 @@ python3 ci/check_bench_f1.py BENCH_f1.json ci/bench_f1_baseline.json
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \
     --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
-    --benchmark_min_time=0.1s
+    --benchmark_min_time=0.1
 
-echo "All checks passed. Figure data in BENCH_f1.json and BENCH_f11.json."
+echo "== F12: subscription fan-out on the publish path =="
+./build-release/bench/bench_f12_subscription \
+    --benchmark_out=BENCH_f12.json --benchmark_out_format=json \
+    --benchmark_min_time=0.1
+
+echo "All checks passed. Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json."

@@ -27,6 +27,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kDeadlineExceeded,
+  // The caller withdrew the request (cooperative cancellation), as opposed
+  // to kDeadlineExceeded where a time bound expired.
+  kCancelled,
 };
 
 // Human-readable name of a status code ("OK", "PERMISSION_DENIED", ...).
@@ -69,6 +72,7 @@ Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
 
 // Either a value or a non-OK status. Accessing value() on an error aborts in
 // debug builds; callers must check ok() first.

@@ -3,6 +3,7 @@
 #include "src/base/rng.h"
 #include "src/base/strings.h"
 #include "src/mac/flow_policy.h"
+#include "src/monitor/monitor_stats.h"
 
 namespace xsec {
 
@@ -47,7 +48,14 @@ FlowSimResult RunFlowSimulation(const ProtectionModel& model, const FlowSimConfi
   constexpr AccessMode kOps[] = {AccessMode::kRead, AccessMode::kWrite,
                                  AccessMode::kWriteAppend};
   FlowSimResult result;
+  uint64_t poll_every = config.poll_every_ops == 0 ? 1 : config.poll_every_ops;
   for (uint64_t op = 0; op < config.num_ops; ++op) {
+    if (op % poll_every == 0 &&
+        ((config.cancel != nullptr && config.cancel->load(std::memory_order_relaxed)) ||
+         (config.deadline_ns != 0 && MonotonicNowNs() >= config.deadline_ns))) {
+      result.cancelled = true;
+      return result;
+    }
     const BaselineSubject& subject =
         world.subjects[rng.NextBelow(world.subjects.size())];
     const BaselineObject& object = world.objects[rng.NextBelow(world.objects.size())];

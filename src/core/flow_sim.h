@@ -13,6 +13,7 @@
 #ifndef XSEC_SRC_CORE_FLOW_SIM_H_
 #define XSEC_SRC_CORE_FLOW_SIM_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/baselines/model.h"
@@ -26,6 +27,14 @@ struct FlowSimConfig {
   uint64_t seed = 42;
   size_t num_levels = 3;
   size_t num_categories = 4;
+  // Cooperative cancellation: the op loop polls the deadline and the cancel
+  // flag once per `poll_every_ops` operations (the poll interval), so a
+  // cancelled run stops within one interval instead of finishing num_ops.
+  // deadline_ns is absolute on the MonotonicNowNs clock; 0 disables it, a
+  // null `cancel` disables the flag. Handlers wire these from CallContext.
+  uint64_t deadline_ns = 0;
+  const std::atomic<bool>* cancel = nullptr;
+  uint64_t poll_every_ops = 512;
 };
 
 struct FlowSimResult {
@@ -34,6 +43,9 @@ struct FlowSimResult {
   uint64_t denied = 0;
   uint64_t flow_violations = 0;       // allowed but flow-illegal
   uint64_t over_restrictions = 0;     // denied but flow-legal (and DAC-legal)
+  // True iff the run stopped early at a cancellation point; `ops` then holds
+  // the operations actually executed. The partial counters remain valid.
+  bool cancelled = false;
 };
 
 FlowSimResult RunFlowSimulation(const ProtectionModel& model, const FlowSimConfig& config);

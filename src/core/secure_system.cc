@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/base/strings.h"
+#include "src/baselines/xsec_model.h"
+#include "src/core/flow_sim.h"
 
 namespace xsec {
 
@@ -29,6 +31,55 @@ Status SecureSystem::InstallDefaults() {
   XSEC_RETURN_IF_ERROR(vfs_->Install());
   XSEC_RETURN_IF_ERROR(net_->Install());
   XSEC_RETURN_IF_ERROR(stats_->Install());
+
+  // A long-running compute procedure: runs the T3 information-flow
+  // simulation under the full xsec model. It exists as a service both as a
+  // workload generator and as the reference cooperative-cancellation
+  // consumer: the op loop polls the call's deadline/cancel once per
+  // FlowSimConfig::poll_every_ops, so CallOptions::deadline_ns bounds the
+  // handler's in-call latency to one poll interval past the deadline.
+  //   args = [num_ops (int, default 10000), seed (int, default 42)]
+  //   returns "ops=N allowed=A denied=D violations=V over=O"
+  auto sim = kernel_.RegisterProcedure(
+      "/svc/sim/flow", kernel_.system_principal(),
+      [](CallContext& ctx) -> StatusOr<Value> {
+        FlowSimConfig config;
+        if (!ctx.args.empty()) {
+          auto ops = ArgInt(ctx.args, 0);
+          if (!ops.ok()) {
+            return ops.status();
+          }
+          if (*ops <= 0) {
+            return InvalidArgumentError("num_ops must be positive");
+          }
+          config.num_ops = static_cast<uint64_t>(*ops);
+        }
+        if (ctx.args.size() > 1) {
+          auto seed = ArgInt(ctx.args, 1);
+          if (!seed.ok()) {
+            return seed.status();
+          }
+          config.seed = static_cast<uint64_t>(*seed);
+        }
+        config.deadline_ns = ctx.deadline_ns;
+        config.cancel = ctx.cancel;
+        XsecFullModel model;
+        FlowSimResult result = RunFlowSimulation(model, config);
+        if (result.cancelled) {
+          Status why = ctx.CheckDeadline();
+          return why.ok() ? DeadlineExceededError("flow simulation cancelled mid-run") : why;
+        }
+        return Value{StrFormat(
+            "ops=%llu allowed=%llu denied=%llu violations=%llu over=%llu",
+            static_cast<unsigned long long>(result.ops),
+            static_cast<unsigned long long>(result.allowed),
+            static_cast<unsigned long long>(result.denied),
+            static_cast<unsigned long long>(result.flow_violations),
+            static_cast<unsigned long long>(result.over_restrictions))};
+      });
+  if (!sim.ok()) {
+    return sim.status();
+  }
 
   NameSpace& ns = kernel_.name_space();
   AclStore& acls = kernel_.acls();

@@ -15,6 +15,7 @@
 #ifndef XSEC_SRC_EXTSYS_EXTENSION_H_
 #define XSEC_SRC_EXTSYS_EXTENSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -55,6 +56,20 @@ struct CallContext {
   // CallOptions so long-poll procedures (e.g. /svc/stats watch) can honor a
   // caller-imposed bound.
   uint64_t deadline_ns = 0;
+  // Optional caller-owned cancellation flag (CallOptions::cancel); the caller
+  // sets it to withdraw the request mid-call. Must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+
+  // Cooperative-cancellation point. Long-running handlers are expected to
+  // call CheckDeadline() at least once per bounded unit of work (one filter,
+  // one simulation batch, one wait interval) and propagate a non-OK result;
+  // that contract — not preemption — is what makes deadline_ns bound a
+  // call's worst-case in-handler latency (docs/MODEL.md §11).
+  bool Cancelled() const;
+  // kCancelled if the cancel flag is set, kDeadlineExceeded if deadline_ns
+  // has passed, OK otherwise. Flag wins: an explicit withdrawal is reported
+  // as such even after the deadline.
+  Status CheckDeadline() const;
 };
 
 using HandlerFn = std::function<StatusOr<Value>(CallContext&)>;

@@ -5,6 +5,23 @@
 
 namespace xsec {
 
+bool CallContext::Cancelled() const {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return deadline_ns != 0 && MonotonicNowNs() >= deadline_ns;
+}
+
+Status CallContext::CheckDeadline() const {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return CancelledError("call cancelled by the caller");
+  }
+  if (deadline_ns != 0 && MonotonicNowNs() >= deadline_ns) {
+    return DeadlineExceededError("call deadline expired in handler");
+  }
+  return OkStatus();
+}
+
 std::string_view OriginName(Origin origin) {
   switch (origin) {
     case Origin::kLocal:
@@ -25,11 +42,11 @@ Kernel::Kernel(MonitorOptions options) {
 }
 
 Subject Kernel::SystemSubject() {
-  return Subject{system_, labels_.Top(), next_thread_id_++};
+  return Subject{system_, labels_.Top(), next_thread_id_.fetch_add(1, std::memory_order_relaxed)};
 }
 
 Subject Kernel::CreateSubject(PrincipalId principal, const SecurityClass& security_class) {
-  return Subject{principal, security_class, next_thread_id_++};
+  return Subject{principal, security_class, next_thread_id_.fetch_add(1, std::memory_order_relaxed)};
 }
 
 StatusOr<NodeId> Kernel::RegisterService(std::string_view path, PrincipalId owner) {
@@ -76,7 +93,7 @@ StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
     if (!selected.ok()) {
       return selected.status();
     }
-    CallContext ctx{this, &subject, std::move(args), options.deadline_ns};
+    CallContext ctx{this, &subject, std::move(args), options.deadline_ns, options.cancel};
     return selected->front()->handler(ctx);
   }
   auto it = procedures_.find(node.value);
@@ -84,7 +101,7 @@ StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
     return FailedPreconditionError(
         StrFormat("'%s' has no bound implementation", name_space_.PathOf(node).c_str()));
   }
-  CallContext ctx{this, &subject, std::move(args), options.deadline_ns};
+  CallContext ctx{this, &subject, std::move(args), options.deadline_ns, options.cancel};
   return it->second(ctx);
 }
 
@@ -108,7 +125,11 @@ StatusOr<Value> Kernel::CallCapability(Subject& subject, const Capability& capab
 }
 
 StatusOr<Value> Kernel::RaiseEvent(Subject& subject, std::string_view interface_path, Args args,
-                                   DispatchMode mode) {
+                                   DispatchMode mode, const CallOptions& options) {
+  if (options.deadline_ns != 0 && MonotonicNowNs() >= options.deadline_ns) {
+    return DeadlineExceededError(
+        StrFormat("deadline expired before raising '%s'", std::string(interface_path).c_str()));
+  }
   NodeId node;
   Decision decision = monitor_->CheckPath(subject, interface_path, AccessMode::kExecute, &node);
   if (!decision.allowed) {
@@ -120,7 +141,10 @@ StatusOr<Value> Kernel::RaiseEvent(Subject& subject, std::string_view interface_
   }
   Value last;
   for (const EventDispatcher::HandlerRecord* record : *selected) {
-    CallContext ctx{this, &subject, args};
+    CallContext ctx{this, &subject, args, options.deadline_ns, options.cancel};
+    // Cancellation point between broadcast handlers: a long chain gives up
+    // at the next handler boundary instead of running to completion.
+    XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
     auto result = record->handler(ctx);
     if (!result.ok()) {
       return result.status();

@@ -14,6 +14,7 @@
 #ifndef XSEC_SRC_EXTSYS_KERNEL_H_
 #define XSEC_SRC_EXTSYS_KERNEL_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -36,8 +37,14 @@ namespace xsec {
 // deadline has already passed is rejected with kDeadlineExceeded before the
 // handler runs; otherwise the deadline is forwarded to the handler via
 // CallContext so blocking procedures can bound their wait.
+//
+// `cancel` is an optional caller-owned flag: setting it to true withdraws
+// the request, and cooperative handlers (anything that polls
+// CallContext::CheckDeadline) return kCancelled at their next cancellation
+// point. The flag must outlive the call.
 struct CallOptions {
   uint64_t deadline_ns = 0;
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class Kernel {
@@ -90,9 +97,12 @@ class Kernel {
 
   // Raises an event on an extension-point interface: `execute` check on the
   // interface, then dispatch per `mode`. kBroadcast returns the last
-  // handler's value.
+  // handler's value. The deadline/cancel in `options` is forwarded to every
+  // handler and re-checked between broadcast handlers, so a long chain is
+  // cancellable at handler granularity.
   StatusOr<Value> RaiseEvent(Subject& subject, std::string_view interface_path, Args args,
-                             DispatchMode mode = DispatchMode::kClassSelected);
+                             DispatchMode mode = DispatchMode::kClassSelected,
+                             const CallOptions& options = {});
 
   // -- Extension lifecycle ----------------------------------------------------
 
@@ -123,7 +133,9 @@ class Kernel {
   std::vector<std::optional<LinkedExtension>> extensions_;
   size_t loaded_count_ = 0;
   PrincipalId system_;
-  uint64_t next_thread_id_ = 1;
+  // Atomic: subjects are minted from concurrent threads (watchers, pollers,
+  // test harnesses) and ids must stay unique.
+  std::atomic<uint64_t> next_thread_id_{1};
 };
 
 }  // namespace xsec

@@ -118,16 +118,7 @@ std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
   return [rotator](const AuditRecord& record) { rotator->Write(record); };
 }
 
-void AuditLog::Record(AuditRecord record) {
-  Count(record.allowed);
-  if (!WouldRetain(record.allowed)) {
-    return;
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  record.sequence = next_sequence_++;
-  if (sink_) {
-    sink_(record);
-  }
+void AuditLog::RingInsertLocked(AuditRecord record) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else if (capacity_ > 0) {
@@ -140,9 +131,110 @@ void AuditLog::Record(AuditRecord record) {
   }
 }
 
-void AuditLog::set_sink(std::function<void(const AuditRecord&)> sink) {
+void AuditLog::Record(AuditRecord record) {
+  Count(record.allowed);
+  if (!WouldRetain(record.allowed)) {
+    return;
+  }
+  std::shared_ptr<const Sink> sink;
+  AuditRecord for_sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.sequence = next_sequence_++;
+    if (sink_ != nullptr) {
+      if (drain_running_) {
+        // Only enqueue under mu_; the drainer does the sink I/O. Enqueueing
+        // in the same critical section that stamps the sequence is what
+        // keeps drained output exactly sequence-ordered.
+        if (drain_queue_.size() >= drain_options_.queue_capacity) {
+          sink_dropped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          drain_queue_.push_back(record);
+          drain_cv_.notify_one();
+        }
+      } else {
+        sink = sink_;     // invoke outside the lock, on a copy
+        for_sink = record;
+      }
+    }
+    RingInsertLocked(std::move(record));
+  }
+  if (sink != nullptr) {
+    // Recorders are never blocked on file I/O while holding the ring mutex;
+    // they may still wait here on each other (sink_mu_), which is what the
+    // async drain removes entirely.
+    std::lock_guard<std::mutex> serialize(sink_mu_);
+    (*sink)(for_sink);
+  }
+}
+
+void AuditLog::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
-  sink_ = std::move(sink);
+  sink_ = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+}
+
+void AuditLog::StartDrain(AuditDrainOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drain_running_) {
+    return;
+  }
+  if (options.queue_capacity == 0) {
+    options.queue_capacity = 1;
+  }
+  drain_options_ = options;
+  drain_stop_ = false;
+  drain_running_ = true;
+  drainer_ = std::thread([this] { DrainLoop(); });
+}
+
+void AuditLog::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    drain_cv_.wait(lock, [this] { return drain_stop_ || !drain_queue_.empty(); });
+    if (drain_queue_.empty()) {
+      return;  // stop requested and nothing left to flush
+    }
+    std::deque<AuditRecord> batch;
+    batch.swap(drain_queue_);
+    std::shared_ptr<const Sink> sink = sink_;
+    drain_busy_ = true;
+    lock.unlock();
+    if (sink != nullptr) {
+      std::lock_guard<std::mutex> serialize(sink_mu_);
+      for (const AuditRecord& record : batch) {
+        (*sink)(record);
+      }
+    }
+    lock.lock();
+    drain_busy_ = false;
+    if (drain_queue_.empty()) {
+      drain_idle_cv_.notify_all();
+    }
+  }
+}
+
+void AuditLog::StopDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!drain_running_) {
+      return;
+    }
+    drain_stop_ = true;
+  }
+  drain_cv_.notify_all();
+  drainer_.join();  // the drainer flushes the queue before exiting
+  std::lock_guard<std::mutex> lock(mu_);
+  drain_running_ = false;
+  drain_stop_ = false;
+}
+
+void AuditLog::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_idle_cv_.wait(lock, [this] { return drain_queue_.empty() && !drain_busy_; });
+  }
+  // Wait out any sink call currently in flight (sync recorder or drainer).
+  std::lock_guard<std::mutex> serialize(sink_mu_);
 }
 
 template <typename Visit>
@@ -184,10 +276,12 @@ void AuditLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
-  next_sequence_ = 0;
+  // next_sequence_ deliberately survives: resetting it would reissue ids
+  // already written to rotated NDJSON files, breaking dedup by `seq`.
   total_checks_.store(0, std::memory_order_relaxed);
   total_denials_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  sink_dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace xsec

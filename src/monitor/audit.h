@@ -9,18 +9,31 @@
 // policy retains go into a bounded ring — many producers serialize briefly
 // on the ring mutex, the (single) consumer drains via records()/Query(),
 // and the oldest record is overwritten once the ring is full.
+//
+// Sink I/O never runs under the ring mutex. Without a drain, the recording
+// thread invokes the sink on a copy of the record after releasing the ring
+// lock (serialized by a dedicated sink mutex, so sinks need no internal
+// locking — but two recorders' sink calls may then land out of sequence
+// order). With StartDrain(), Record only enqueues into a bounded drain queue
+// and a background drainer invokes the sink — file writes and NDJSON
+// rotation renames happen on the drainer, never on a mediated check, and
+// sink output is in exact sequence order. See docs/MODEL.md §11 for the
+// ordering/durability caveats.
 
 #ifndef XSEC_SRC_MONITOR_AUDIT_H_
 #define XSEC_SRC_MONITOR_AUDIT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/dac/access_mode.h"
@@ -69,9 +82,10 @@ struct AuditRecord {
 };
 
 // A sink for AuditLog::set_sink that writes each retained record as one
-// NDJSON line to `out`. The stream must outlive the log; writes happen under
-// the log's ring mutex, so point it at a local file or buffer, not a slow
-// remote transport.
+// NDJSON line to `out`. The stream must outlive the log; the log serializes
+// sink invocations (sink mutex, or the single drainer thread), so the sink
+// needs no locking of its own. A slow target stalls recorders unless the
+// log's async drain is running (AuditLog::StartDrain).
 std::function<void(const AuditRecord&)> MakeNdjsonSink(std::ostream* out);
 
 // Rotation policy for an NDJSON audit file: the current file is rotated when
@@ -86,8 +100,10 @@ struct NdjsonRotationPolicy {
 };
 
 // A size/age-rotating NDJSON audit file writer (tools/xsec_stats wires one
-// behind --ndjson). Not internally synchronized: the AuditLog invokes its
-// sink under the ring mutex, which already serializes writes.
+// behind --ndjson). Not internally synchronized: the AuditLog serializes its
+// sink invocations (never under the ring mutex). Under the async drain both
+// the fwrite and the rotation renames run on the drainer thread, off the
+// mediated check path entirely.
 class NdjsonFileRotator {
  public:
   NdjsonFileRotator(std::string path, NdjsonRotationPolicy policy);
@@ -119,9 +135,20 @@ class NdjsonFileRotator {
 std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
     std::shared_ptr<NdjsonFileRotator> rotator);
 
+// Configuration for the async audit drain (AuditLog::StartDrain). The drain
+// queue is bounded: when a slow sink lets it fill, newly retained records
+// skip the sink (counted in sink_dropped()) rather than blocking recorders —
+// the ring still retains them, so nothing is lost from records()/Query().
+struct AuditDrainOptions {
+  size_t queue_capacity = 4096;
+};
+
 class AuditLog {
  public:
+  using Sink = std::function<void(const AuditRecord&)>;
+
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
+  ~AuditLog() { StopDrain(); }
 
   void set_policy(AuditPolicy policy) { policy_.store(policy, std::memory_order_relaxed); }
   AuditPolicy policy() const { return policy_.load(std::memory_order_relaxed); }
@@ -146,9 +173,33 @@ class AuditLog {
     }
   }
 
-  // Optional sink invoked for every retained record (e.g. a test collector).
-  // Install at setup time, before concurrent checking starts.
-  void set_sink(std::function<void(const AuditRecord&)> sink);
+  // Optional sink invoked for every retained record (e.g. a test collector
+  // or an NDJSON writer). Invocations are serialized and never run under the
+  // ring mutex; without a drain the recording thread calls the sink itself
+  // (and blocks on its I/O), with one the drainer does. Install at setup
+  // time, before concurrent checking starts.
+  void set_sink(Sink sink);
+
+  // -- Async drain ------------------------------------------------------------
+
+  // Starts the background drainer: from here on Record() only enqueues (a
+  // bounded copy queue) and the drainer invokes the sink in sequence order.
+  // Idempotent while running. Thread-compatible with concurrent Record().
+  void StartDrain(AuditDrainOptions options = {});
+
+  // Drains whatever is queued, then stops and joins the drainer. Queued
+  // records are flushed to the sink before this returns (clean-shutdown
+  // durability); records that were dropped on a full queue are gone — see
+  // sink_dropped(). No-op if the drain is not running.
+  void StopDrain();
+
+  // Blocks until every record enqueued before this call has been handed to
+  // the sink (and any in-flight synchronous sink call has returned). With no
+  // drain running this only waits out the in-flight call.
+  void Flush();
+
+  // Retained records that skipped the sink because the drain queue was full.
+  uint64_t sink_dropped() const { return sink_dropped_.load(std::memory_order_relaxed); }
 
   // Snapshot of the retained records, oldest first.
   std::vector<AuditRecord> records() const;
@@ -164,6 +215,10 @@ class AuditLog {
   uint64_t total_denials() const { return total_denials_.load(std::memory_order_relaxed); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  // Discards the retained ring and zeroes the counters. Sequence numbers are
+  // NOT reset: records emitted after a Clear continue the sequence, so ids
+  // already exported (e.g. to rotated NDJSON files) are never reused and
+  // cross-rotation dedup/ordering by `seq` stays sound.
   void Clear();
 
  private:
@@ -172,19 +227,45 @@ class AuditLog {
   template <typename Visit>
   void ForEachLocked(Visit visit) const;
 
+  // Inserts into the bounded ring. Caller holds mu_.
+  void RingInsertLocked(AuditRecord record);
+
+  // The drainer thread's main loop.
+  void DrainLoop();
+
   size_t capacity_;
   std::atomic<AuditPolicy> policy_{AuditPolicy::kDenialsOnly};
   std::atomic<uint64_t> total_checks_{0};
   std::atomic<uint64_t> total_denials_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> sink_dropped_{0};
 
   // Ring of retained records: grows to capacity_, then head_ marks the
-  // oldest record and new ones overwrite it.
+  // oldest record and new ones overwrite it. mu_ also orders sequence
+  // stamping and drain-queue admission, which is what makes drained sink
+  // output exactly sequence-ordered.
   mutable std::mutex mu_;
   std::vector<AuditRecord> ring_;
   size_t head_ = 0;
-  std::function<void(const AuditRecord&)> sink_;
+  // Shared so a recorder can invoke the current sink after dropping mu_
+  // while set_sink concurrently swaps in a new one.
+  std::shared_ptr<const Sink> sink_;
   uint64_t next_sequence_ = 0;
+
+  // Serializes sink invocations (sync recorders and the drainer), so sinks
+  // never need internal locking. Always acquired without mu_ held.
+  std::mutex sink_mu_;
+
+  // Async drain state, guarded by mu_ (the queue is touched only on actual
+  // retention, never on the counting fast path).
+  std::deque<AuditRecord> drain_queue_;
+  AuditDrainOptions drain_options_;
+  bool drain_running_ = false;
+  bool drain_stop_ = false;
+  bool drain_busy_ = false;  // the drainer is mid-batch outside mu_
+  std::condition_variable drain_cv_;       // wakes the drainer
+  std::condition_variable drain_idle_cv_;  // wakes Flush waiters
+  std::thread drainer_;
 };
 
 }  // namespace xsec

@@ -63,7 +63,7 @@ Status NetStack::Install() {
     if (!payload.ok()) {
       return payload.status();
     }
-    auto delivered = Inject(*ctx.subject, *device, *protocol, std::move(*payload));
+    auto delivered = Inject(*ctx.subject, *device, *protocol, std::move(*payload), &ctx);
     if (!delivered.ok()) {
       return delivered.status();
     }
@@ -139,7 +139,10 @@ StatusOr<NetStack::Device*> NetStack::ResolveDevice(Subject& subject, std::strin
 }
 
 StatusOr<bool> NetStack::Inject(Subject& subject, std::string_view device,
-                                std::string_view proto, std::vector<uint8_t> payload) {
+                                std::string_view proto, std::vector<uint8_t> payload,
+                                const CallContext* call) {
+  uint64_t deadline_ns = call != nullptr ? call->deadline_ns : 0;
+  const std::atomic<bool>* cancel = call != nullptr ? call->cancel : nullptr;
   auto dev = ResolveDevice(subject, device, AccessMode::kWriteAppend);
   if (!dev.ok()) {
     return dev.status();
@@ -154,7 +157,11 @@ StatusOr<bool> NetStack::Inject(Subject& subject, std::string_view device,
       for (const EventDispatcher::HandlerRecord* record : *filters) {
         CallContext ctx{kernel_, &subject,
                         Args{Value{std::string(device)}, Value{std::string(proto)},
-                             Value{payload}}};
+                             Value{payload}},
+                        deadline_ns, cancel};
+        // Cancellation point: one filter is the poll interval, so a slow
+        // chain gives up at the next filter boundary.
+        XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
         auto verdict = record->handler(ctx);
         if (!verdict.ok()) {
           return verdict.status();
@@ -166,11 +173,15 @@ StatusOr<bool> NetStack::Inject(Subject& subject, std::string_view device,
       }
     }
   }
+  if (call != nullptr) {
+    XSEC_RETURN_IF_ERROR(call->CheckDeadline());
+  }
   // Protocol dispatch: the implementation selected for this subject.
   auto processed =
       kernel_->RaiseEvent(subject, ProtocolInterfacePath(proto),
                           Args{Value{std::string(device)}, Value{std::move(payload)}},
-                          DispatchMode::kClassSelected);
+                          DispatchMode::kClassSelected,
+                          CallOptions{deadline_ns, cancel});
   if (!processed.ok()) {
     return processed.status();
   }

@@ -56,8 +56,14 @@ class NetStack {
   // device, runs every eligible filter (any false drops the packet), then
   // dispatches to the protocol implementation selected for this subject.
   // Returns true if the packet was delivered, false if filtered out.
+  //
+  // `call` (optional) is the invoking call's context: its deadline/cancel is
+  // polled between filters and before protocol dispatch — one filter is the
+  // poll interval — and forwarded to filter and protocol handlers, so a slow
+  // filter chain is bounded by the caller's deadline_ns rather than running
+  // to completion.
   StatusOr<bool> Inject(Subject& subject, std::string_view device, std::string_view proto,
-                        std::vector<uint8_t> payload);
+                        std::vector<uint8_t> payload, const CallContext* call = nullptr);
 
   // Queues an outbound frame: requires write-append on the device.
   Status Send(Subject& subject, std::string_view device, std::vector<uint8_t> payload);

@@ -36,6 +36,7 @@ Status StatsService::MountLeaf(const std::string& relative_path,
   if (!node.ok()) {
     return node.status();
   }
+  std::unique_lock<std::shared_mutex> lock(values_mu_);
   values_.emplace(std::move(full), Leaf{*node, std::move(render), in_dump});
   return OkStatus();
 }
@@ -114,6 +115,13 @@ Status StatsService::Install() {
       "audit/retained", [audit, count] { return count(audit->retained()); }));
   XSEC_RETURN_IF_ERROR(
       MountLeaf("audit/dropped", [audit, count] { return count(audit->dropped()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "audit/sink_dropped", [audit, count] { return count(audit->sink_dropped()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "subscribers/active", [this] { return std::to_string(active_subscribers()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("subscribers/dropped", [this] {
+    return std::to_string(subscriber_dropped_total());
+  }));
   XSEC_RETURN_IF_ERROR(MountLeaf("rate/checks_per_sec", [this] {
     MaybeTick();
     std::lock_guard<std::mutex> lock(pub_mu_);
@@ -159,26 +167,45 @@ Status StatsService::Install() {
   if (!dump_node.ok()) {
     return dump_node.status();
   }
+  // Shared by watch and poll: the optional trailing timeout argument. A
+  // non-positive timeout used to park the caller for a zero-length wait that
+  // always "timed out"; it is a caller bug, so it is rejected loudly.
+  auto parse_timeout_ms = [](const std::vector<Value>& args,
+                             size_t index) -> StatusOr<int64_t> {
+    int64_t timeout_ms = 1000;
+    if (args.size() > index) {
+      auto t = ArgInt(args, index);
+      if (!t.ok()) {
+        return t.status();
+      }
+      if (*t <= 0) {
+        return InvalidArgumentError(
+            StrFormat("timeout_ms must be positive, got %lld",
+                      static_cast<long long>(*t)));
+      }
+      timeout_ms = *t;
+    }
+    if (timeout_ms > 60'000) {
+      timeout_ms = 60'000;  // never parks a thread for minutes
+    }
+    return timeout_ms;
+  };
+
   auto watch_node = kernel_->RegisterProcedure(
       JoinPath(options_.service_path, "watch"), system,
-      [this](CallContext& ctx) -> StatusOr<Value> {
+      [this, parse_timeout_ms](CallContext& ctx) -> StatusOr<Value> {
         auto since = ArgInt(ctx.args, 0);
         if (!since.ok()) {
           return since.status();
         }
-        int64_t timeout_ms = 1000;
-        if (ctx.args.size() > 1) {
-          auto t = ArgInt(ctx.args, 1);
-          if (!t.ok()) {
-            return t.status();
-          }
-          timeout_ms = *t;
+        if (*since < -1) {
+          return InvalidArgumentError(
+              StrFormat("since must be a version or -1, got %lld",
+                        static_cast<long long>(*since)));
         }
-        if (timeout_ms < 0) {
-          timeout_ms = 0;
-        }
-        if (timeout_ms > 60'000) {
-          timeout_ms = 60'000;  // a watch never parks a thread for minutes
+        auto timeout_ms = parse_timeout_ms(ctx.args, 1);
+        if (!timeout_ms.ok()) {
+          return timeout_ms.status();
         }
         // Admission before blocking: watching the snapshot is reading it.
         Decision decision =
@@ -197,11 +224,11 @@ Status StatsService::Install() {
           since_v = static_cast<uint64_t>(*since);
         }
         uint64_t deadline =
-            MonotonicNowNs() + static_cast<uint64_t>(timeout_ms) * 1'000'000;
+            MonotonicNowNs() + static_cast<uint64_t>(*timeout_ms) * 1'000'000;
         if (ctx.deadline_ns != 0 && ctx.deadline_ns < deadline) {
           deadline = ctx.deadline_ns;
         }
-        auto text = WaitForUpdate(since_v, deadline);
+        auto text = WaitForUpdate(since_v, deadline, &ctx);
         if (!text.ok()) {
           return text.status();
         }
@@ -209,6 +236,85 @@ Status StatsService::Install() {
       });
   if (!watch_node.ok()) {
     return watch_node.status();
+  }
+  auto subscribe_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "subscribe"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
+        int64_t since = -1;
+        if (!ctx.args.empty()) {
+          auto s = ArgInt(ctx.args, 0);
+          if (!s.ok()) {
+            return s.status();
+          }
+          since = *s;
+        }
+        SubscriberBackpressure backpressure = SubscriberBackpressure::kDropOldest;
+        if (ctx.args.size() > 1) {
+          auto policy = ArgString(ctx.args, 1);
+          if (!policy.ok()) {
+            return policy.status();
+          }
+          if (*policy == "block") {
+            backpressure = SubscriberBackpressure::kBlockPublisher;
+          } else if (*policy != "drop") {
+            return InvalidArgumentError(
+                StrFormat("backpressure policy must be 'drop' or 'block', got '%s'",
+                          std::string(*policy).c_str()));
+          }
+        }
+        auto id = Subscribe(*ctx.subject, since, backpressure);
+        if (!id.ok()) {
+          return id.status();
+        }
+        return Value{std::to_string(*id)};
+      });
+  if (!subscribe_node.ok()) {
+    return subscribe_node.status();
+  }
+  auto poll_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "poll"), system,
+      [this, parse_timeout_ms](CallContext& ctx) -> StatusOr<Value> {
+        auto id = ArgInt(ctx.args, 0);
+        if (!id.ok()) {
+          return id.status();
+        }
+        if (*id < 0) {
+          return InvalidArgumentError("subscription handle cannot be negative");
+        }
+        auto timeout_ms = parse_timeout_ms(ctx.args, 1);
+        if (!timeout_ms.ok()) {
+          return timeout_ms.status();
+        }
+        uint64_t deadline =
+            MonotonicNowNs() + static_cast<uint64_t>(*timeout_ms) * 1'000'000;
+        if (ctx.deadline_ns != 0 && ctx.deadline_ns < deadline) {
+          deadline = ctx.deadline_ns;
+        }
+        auto text =
+            PollSubscription(*ctx.subject, static_cast<uint64_t>(*id), deadline, &ctx);
+        if (!text.ok()) {
+          return text.status();
+        }
+        return Value{std::move(*text)};
+      });
+  if (!poll_node.ok()) {
+    return poll_node.status();
+  }
+  auto unsubscribe_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "unsubscribe"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
+        auto id = ArgInt(ctx.args, 0);
+        if (!id.ok()) {
+          return id.status();
+        }
+        if (*id < 0) {
+          return InvalidArgumentError("subscription handle cannot be negative");
+        }
+        XSEC_RETURN_IF_ERROR(Unsubscribe(*ctx.subject, static_cast<uint64_t>(*id)));
+        return Value{"unsubscribed"};
+      });
+  if (!unsubscribe_node.ok()) {
+    return unsubscribe_node.status();
   }
 
   Tick();  // version 1: the boot-time state
@@ -236,6 +342,7 @@ StatusOr<std::string> StatsService::ReadStat(Subject& subject, std::string_view 
         StrFormat("'%s' is outside the stats mount '%s'", std::string(path).c_str(),
                   options_.mount_path.c_str()));
   }
+  std::shared_lock<std::shared_mutex> lock(values_mu_);
   auto it = values_.find(std::string(path));
   if (it == values_.end()) {
     return NotFoundError(
@@ -250,6 +357,7 @@ StatusOr<std::string> StatsService::ReadStat(Subject& subject, std::string_view 
 
 StatusOr<std::string> StatsService::DumpTree(Subject& subject) {
   std::string out;
+  std::shared_lock<std::shared_mutex> lock(values_mu_);
   for (const auto& [path, leaf] : values_) {
     if (!leaf.in_dump) {
       continue;  // multi-line leaves (snapshot) don't fit the line format
@@ -264,6 +372,7 @@ StatusOr<std::string> StatsService::DumpTree(Subject& subject) {
 
 std::string StatsService::RenderAll() const {
   std::string out;
+  std::shared_lock<std::shared_mutex> lock(values_mu_);
   for (const auto& [path, leaf] : values_) {
     if (!leaf.in_dump) {
       continue;
@@ -286,36 +395,95 @@ uint64_t StatsService::Tick() {
   uint64_t audit_dropped = monitor.audit().dropped();
   uint64_t now = MonotonicNowNs();
 
-  std::lock_guard<std::mutex> lock(pub_mu_);
-  bool changed = version_ == 0 || !snap.SameCounters(published_) ||
-                 cache_hits != pub_cache_hits_ || cache_misses != pub_cache_misses_ ||
-                 cache_stale != pub_cache_stale_ || audit_retained != pub_audit_retained_ ||
-                 audit_dropped != pub_audit_dropped_;
-  if (changed) {
-    ++version_;
-    snap.version = version_;
-    published_ = snap;
-    pub_cache_hits_ = cache_hits;
-    pub_cache_misses_ = cache_misses;
-    pub_cache_stale_ = cache_stale;
-    pub_audit_retained_ = audit_retained;
-    pub_audit_dropped_ = audit_dropped;
+  uint64_t version;
+  std::shared_ptr<const std::string> rendered;
+  {
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    bool changed = version_ == 0 || !snap.SameCounters(published_) ||
+                   cache_hits != pub_cache_hits_ || cache_misses != pub_cache_misses_ ||
+                   cache_stale != pub_cache_stale_ || audit_retained != pub_audit_retained_ ||
+                   audit_dropped != pub_audit_dropped_;
+    if (changed) {
+      ++version_;
+      snap.version = version_;
+      published_ = snap;
+      pub_cache_hits_ = cache_hits;
+      pub_cache_misses_ = cache_misses;
+      pub_cache_stale_ = cache_stale;
+      pub_audit_retained_ = audit_retained;
+      pub_audit_dropped_ = audit_dropped;
+    }
+    // The rate ring tracks cumulative counters per publication epoch; a
+    // decrease means the stats were Reset, which invalidates every delta.
+    if (!rate_ring_.empty() && snap.checks_total < rate_ring_.back().checks) {
+      rate_ring_.clear();
+    }
+    rate_ring_.push_back(RateEpoch{now, snap.checks_total, snap.denied});
+    while (rate_ring_.size() > 2 &&
+           now - rate_ring_[1].t_ns >= options_.rate_window_ns) {
+      rate_ring_.pop_front();
+    }
+    last_tick_ns_ = now;
+    version = version_;
+    if (changed) {
+      pub_cv_.notify_all();
+      // Render once for all subscribers; fan-out happens after pub_mu_ is
+      // released so a kBlockPublisher wait never stalls watchers.
+      rendered = std::make_shared<const std::string>(RenderSnapshotLocked());
+    }
   }
-  // The rate ring tracks cumulative counters per publication epoch; a
-  // decrease means the stats were Reset, which invalidates every delta.
-  if (!rate_ring_.empty() && snap.checks_total < rate_ring_.back().checks) {
-    rate_ring_.clear();
+  if (rendered != nullptr) {
+    FanOut(version, std::move(rendered));
   }
-  rate_ring_.push_back(RateEpoch{now, snap.checks_total, snap.denied});
-  while (rate_ring_.size() > 2 &&
-         now - rate_ring_[1].t_ns >= options_.rate_window_ns) {
-    rate_ring_.pop_front();
+  return version;
+}
+
+void StatsService::FanOut(uint64_t version, std::shared_ptr<const std::string> rendered) {
+  // Snapshot the channel list first: a kBlockPublisher wait releases sub_mu_,
+  // and subscribe/unsubscribe may mutate the registry meanwhile.
+  std::vector<std::shared_ptr<SubscriberChannel>> channels;
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    channels.reserve(subscribers_.size());
+    for (const auto& [id, channel] : subscribers_) {
+      channels.push_back(channel);
+    }
   }
-  last_tick_ns_ = now;
-  if (changed) {
-    pub_cv_.notify_all();
+  for (const auto& channel : channels) {
+    std::unique_lock<std::mutex> lock(sub_mu_);
+    if (channel->closed || version <= channel->last_version) {
+      continue;  // gone, or a concurrent Tick already delivered this epoch
+    }
+    if (channel->queue.size() >= options_.subscriber_queue_capacity &&
+        channel->backpressure == SubscriberBackpressure::kBlockPublisher) {
+      // Wait for the subscriber to drain — capped, so a stuck subscriber
+      // costs the publisher at most publisher_block_cap_ns per epoch.
+      channel->cv.wait_for(
+          lock, std::chrono::nanoseconds(options_.publisher_block_cap_ns), [&] {
+            return channel->closed ||
+                   channel->queue.size() < options_.subscriber_queue_capacity;
+          });
+      if (channel->closed) {
+        continue;
+      }
+    }
+    channel->last_version = version;
+    if (channel->queue.size() >= options_.subscriber_queue_capacity) {
+      if (channel->backpressure == SubscriberBackpressure::kDropOldest) {
+        channel->queue.pop_front();  // evict: the subscriber sees a gap
+        channel->queue.push_back(rendered);
+      }
+      // kBlockPublisher past the cap: the new epoch is the one dropped.
+      ++channel->dropped;
+      subscriber_dropped_total_.fetch_add(1, std::memory_order_relaxed);
+      if (channel->backpressure == SubscriberBackpressure::kDropOldest) {
+        channel->cv.notify_all();
+      }
+      continue;
+    }
+    channel->queue.push_back(rendered);
+    channel->cv.notify_all();
   }
-  return version_;
 }
 
 uint64_t StatsService::version() const {
@@ -340,13 +508,21 @@ std::string StatsService::RenderSnapshot() {
   return RenderSnapshotLocked();
 }
 
-StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadline_ns) {
+StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadline_ns,
+                                                  const CallContext* call) {
   for (;;) {
     std::unique_lock<std::mutex> lock(pub_mu_);
-    if (version_ > since) {
+    // A `since` *ahead* of the published version is a handle from before a
+    // service restart (version counters restart at 1): the caller's era is
+    // gone, so the honest answer is the current state now, not a park that
+    // can only time out.
+    if (version_ != since) {
       return RenderSnapshotLocked();
     }
     uint64_t now = MonotonicNowNs();
+    if (call != nullptr) {
+      XSEC_RETURN_IF_ERROR(call->CheckDeadline());  // lock-free cancellation point
+    }
     if (deadline_ns != 0 && now >= deadline_ns) {
       return DeadlineExceededError(
           StrFormat("no stats update past version %llu within the deadline",
@@ -366,6 +542,178 @@ StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadl
       wake = deadline_ns;
     }
     pub_cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+  }
+}
+
+StatusOr<uint64_t> StatsService::Subscribe(Subject& subject, int64_t since,
+                                           SubscriberBackpressure backpressure) {
+  if (since < -1) {
+    return InvalidArgumentError(
+        StrFormat("since must be a version or -1, got %lld", static_cast<long long>(since)));
+  }
+  // The ONE admission check of the channel's lifetime: opening a stream of
+  // snapshots is reading the snapshot leaf. From here on the handle itself
+  // is the capability.
+  Decision decision = kernel_->monitor().Check(subject, snapshot_node_, AccessMode::kRead);
+  if (!decision.allowed) {
+    return decision.ToStatus();
+  }
+  // Baseline a fresh publication (folds in the admission check above), so
+  // the channel starts at a well-defined epoch.
+  uint64_t version = Tick();
+  std::shared_ptr<const std::string> catch_up;
+  if (since >= 0 && static_cast<uint64_t>(since) < version) {
+    // The subscriber is behind: seed the queue with one catch-up snapshot.
+    // Intermediate epochs are not retained — a subscription delivers current
+    // state plus every change from now on, not history.
+    std::lock_guard<std::mutex> lock(pub_mu_);
+    catch_up = std::make_shared<const std::string>(RenderSnapshotLocked());
+  }
+  auto channel = std::make_shared<SubscriberChannel>();
+  channel->owner = subject.principal;
+  channel->backpressure = backpressure;
+  channel->last_version = version;
+  if (catch_up != nullptr) {
+    channel->queue.push_back(std::move(catch_up));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    if (subscribers_.size() >= options_.max_subscribers) {
+      return ResourceExhaustedError(
+          StrFormat("subscriber limit (%zu) reached", options_.max_subscribers));
+    }
+    channel->id = next_subscriber_id_++;
+    subscribers_.emplace(channel->id, channel);
+  }
+  Status mounted = MountSubscriberLeaves(channel);
+  if (!mounted.ok()) {
+    (void)Unsubscribe(subject, channel->id);
+    return mounted;
+  }
+  return channel->id;
+}
+
+StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t id,
+                                                     uint64_t deadline_ns,
+                                                     const CallContext* call) {
+  std::shared_ptr<SubscriberChannel> channel;
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    auto it = subscribers_.find(id);
+    if (it == subscribers_.end()) {
+      return NotFoundError(StrFormat("no subscription with handle %llu",
+                                     static_cast<unsigned long long>(id)));
+    }
+    if (it->second->owner != subject.principal) {
+      // The handle is a capability bound to the principal it was issued to;
+      // a guessed or leaked handle number grants nothing.
+      return PermissionDeniedError("subscription handle belongs to another principal");
+    }
+    channel = it->second;
+  }
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(sub_mu_);
+      if (!channel->queue.empty()) {
+        std::shared_ptr<const std::string> epoch = std::move(channel->queue.front());
+        channel->queue.pop_front();
+        ++channel->delivered;
+        channel->cv.notify_all();  // a capped publisher may be waiting for space
+        return *epoch;
+      }
+      if (channel->closed) {
+        return FailedPreconditionError("subscription was closed");
+      }
+    }
+    if (call != nullptr) {
+      XSEC_RETURN_IF_ERROR(call->CheckDeadline());
+    }
+    uint64_t now = MonotonicNowNs();
+    if (deadline_ns != 0 && now >= deadline_ns) {
+      return DeadlineExceededError("no epoch published within the deadline");
+    }
+    // Self-clocking, like WaitForUpdate: with no background publisher the
+    // blocked poller captures an epoch itself once the interval elapses
+    // (Tick fans out to this very channel).
+    uint64_t next_capture;
+    {
+      std::lock_guard<std::mutex> lock(pub_mu_);
+      next_capture = last_tick_ns_ + options_.epoch_interval_ns;
+    }
+    if (now >= next_capture) {
+      Tick();
+      continue;
+    }
+    uint64_t wake = next_capture;
+    if (deadline_ns != 0 && deadline_ns < wake) {
+      wake = deadline_ns;
+    }
+    std::unique_lock<std::mutex> lock(sub_mu_);
+    if (channel->queue.empty() && !channel->closed) {
+      channel->cv.wait_for(lock, std::chrono::nanoseconds(wake - now));
+    }
+  }
+}
+
+Status StatsService::Unsubscribe(Subject& subject, uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    auto it = subscribers_.find(id);
+    if (it == subscribers_.end()) {
+      return NotFoundError(StrFormat("no subscription with handle %llu",
+                                     static_cast<unsigned long long>(id)));
+    }
+    if (it->second->owner != subject.principal) {
+      return PermissionDeniedError("subscription handle belongs to another principal");
+    }
+    it->second->closed = true;
+    it->second->cv.notify_all();  // release any blocked poller or publisher
+    subscribers_.erase(it);
+  }
+  UnmountSubscriberLeaves(id);
+  return OkStatus();
+}
+
+size_t StatsService::active_subscribers() const {
+  std::lock_guard<std::mutex> lock(sub_mu_);
+  return subscribers_.size();
+}
+
+Status StatsService::MountSubscriberLeaves(const std::shared_ptr<SubscriberChannel>& channel) {
+  // Renders hold the channel shared_ptr, so a leaf read races safely with
+  // Unsubscribe (it reports the channel's final counters until unmounted).
+  std::string base = StrFormat("subscribers/%llu", static_cast<unsigned long long>(channel->id));
+  XSEC_RETURN_IF_ERROR(MountLeaf(base + "/queued", [this, channel] {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    return std::to_string(channel->queue.size());
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(base + "/delivered", [this, channel] {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    return std::to_string(channel->delivered);
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(base + "/dropped", [this, channel] {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    return std::to_string(channel->dropped);
+  }));
+  return OkStatus();
+}
+
+void StatsService::UnmountSubscriberLeaves(uint64_t id) {
+  std::string prefix = JoinPath(
+      options_.mount_path,
+      StrFormat("subscribers/%llu", static_cast<unsigned long long>(id)));
+  std::unique_lock<std::shared_mutex> lock(values_mu_);
+  for (auto it = values_.lower_bound(prefix); it != values_.end();) {
+    if (!StartsWith(it->first, prefix + "/")) {
+      break;
+    }
+    (void)kernel_->name_space().Unbind(it->second.node);
+    it = values_.erase(it);
+  }
+  // The now-empty per-channel directory goes too.
+  auto dir = kernel_->name_space().Lookup(prefix);
+  if (dir.ok()) {
+    (void)kernel_->name_space().Unbind(*dir);
   }
 }
 

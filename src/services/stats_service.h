@@ -26,26 +26,45 @@
 //   /sys/monitor/denials/by-reason/<r>   one per DenyReason (not-found, ...)
 //   /sys/monitor/cache/hits|misses|stale|hit_rate
 //   /sys/monitor/latency/p50|p90|p99|samples   sampled check latency, ns
-//   /sys/monitor/audit/retained|dropped
+//   /sys/monitor/audit/retained|dropped|sink_dropped
 //   /sys/monitor/rate/checks_per_sec     windowed rate over published epochs
 //   /sys/monitor/rate/denials_per_sec
+//   /sys/monitor/subscribers/active      live subscription channels
+//   /sys/monitor/subscribers/dropped     epochs dropped across all channels ever
+//   /sys/monitor/subscribers/<id>/queued|delivered|dropped   per channel
 //
 // Consistency: the plain counter leaves render live values on read, so two
 // separate leaf reads are not mutually consistent. The `snapshot` leaf is
 // the sanctioned multi-counter view — one MonitorStats::TakeSnapshot pass
 // whose invariants hold even under concurrent checking — and `version`
 // identifies which published epoch a snapshot came from. /svc/stats watch
-// long-polls for the next version change (see docs/MODEL.md §11).
+// long-polls for the next version change; /svc/stats subscribe opens a
+// persistent channel that receives every published epoch (see docs/MODEL.md
+// §11).
+//
+// Subscription channels: Subscribe() performs ONE admission check (read on
+// the snapshot leaf) and returns a numeric capability handle backed by a
+// bounded per-subscriber queue of rendered epochs. Tick() fans each newly
+// published epoch out to every channel. A full queue applies the channel's
+// backpressure policy — kDropOldest evicts the oldest queued epoch (counted
+// in the channel's `dropped` leaf), kBlockPublisher makes the publisher wait
+// for space, but only up to publisher_block_cap_ns before dropping the new
+// epoch — so a subscriber that never drains can never wedge Tick. The handle
+// is owner-bound: poll/unsubscribe verify the calling principal, no further
+// monitor checks are made (admission-once-then-act, like an open file).
 
 #ifndef XSEC_SRC_SERVICES_STATS_SERVICE_H_
 #define XSEC_SRC_SERVICES_STATS_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 
@@ -53,6 +72,19 @@
 #include "src/monitor/monitor_stats.h"
 
 namespace xsec {
+
+// What Tick() does when a subscriber's queue is full.
+enum class SubscriberBackpressure : uint8_t {
+  // Evict the oldest queued epoch to make room (the subscriber sees a gap;
+  // the channel's `dropped` counter says how wide). The publisher never
+  // waits. This is the default.
+  kDropOldest = 0,
+  // The publisher waits for the subscriber to drain — but only up to
+  // StatsServiceOptions::publisher_block_cap_ns, after which the *new* epoch
+  // is dropped instead. Bounded losslessness: a briefly slow subscriber
+  // loses nothing, a stuck one costs Tick at most the cap.
+  kBlockPublisher,
+};
 
 struct StatsServiceOptions {
   std::string mount_path = "/sys/monitor";
@@ -67,6 +99,12 @@ struct StatsServiceOptions {
   // versions advance even with no readers. Off by default: tests and tools
   // get deterministic, single-threaded behavior unless they opt in.
   bool background_publisher = false;
+  // Bounded per-subscriber epoch queue depth.
+  size_t subscriber_queue_capacity = 8;
+  // Longest a kBlockPublisher channel may stall the publisher per epoch.
+  uint64_t publisher_block_cap_ns = 50'000'000;  // 50 ms
+  // Admission-time cap on live subscription channels.
+  size_t max_subscribers = 64;
 };
 
 class StatsService {
@@ -86,6 +124,16 @@ class StatsService {
   //                             exceeds `since` (pass -1 for "any change
   //                             after this call"), then returns the new
   //                             snapshot text; kDeadlineExceeded on timeout.
+  //                             A `since` beyond the published version is a
+  //                             stale handle from a reset era: the current
+  //                             snapshot is returned immediately.
+  //   subscribe [since] [policy] -> opens a channel ("drop" or "block"
+  //                             backpressure), returns its handle; a `since`
+  //                             below the current version seeds the queue
+  //                             with one catch-up snapshot.
+  //   poll <handle> [ms]     -> next queued epoch, blocking up to ms;
+  //                             kDeadlineExceeded if none arrives.
+  //   unsubscribe <handle>   -> closes the channel.
   Status Install();
 
   const std::string& mount_path() const { return options_.mount_path; }
@@ -122,19 +170,63 @@ class StatsService {
   // Trusted render of every single-line leaf, no mediation (tools, tests).
   std::string RenderAll() const;
 
-  // Blocks until the published version exceeds `since` or `deadline_ns`
+  // Blocks until the published version differs from `since` or `deadline_ns`
   // (absolute, MonotonicNowNs clock; 0 = unbounded) passes. Self-clocking:
   // a blocked caller re-captures the counters once per epoch interval, so
   // changes are observed within one epoch even with no background publisher.
-  // Returns the new snapshot text, or kDeadlineExceeded.
-  StatusOr<std::string> WaitForUpdate(uint64_t since, uint64_t deadline_ns);
+  // A `since` ahead of the published version (a handle from before a service
+  // restart) returns the current snapshot immediately instead of parking.
+  // `call`, when given, makes the wait a cancellation point: the caller's
+  // deadline/cancel flag is polled once per wakeup. Returns the new snapshot
+  // text, or kDeadlineExceeded / kCancelled.
+  StatusOr<std::string> WaitForUpdate(uint64_t since, uint64_t deadline_ns,
+                                      const CallContext* call = nullptr);
+
+  // -- Subscription channels --------------------------------------------------
+
+  // One admission check (read on the snapshot leaf), then a capability
+  // handle. `since` = -1 baselines now (the queue starts empty); a `since`
+  // below the current version seeds the queue with one catch-up snapshot.
+  // Mounts /sys/monitor/subscribers/<id>/... telemetry for the channel.
+  StatusOr<uint64_t> Subscribe(Subject& subject, int64_t since,
+                               SubscriberBackpressure backpressure =
+                                   SubscriberBackpressure::kDropOldest);
+
+  // Pops the next queued epoch, blocking until `deadline_ns` (absolute; 0 =
+  // unbounded) if the queue is empty. Self-clocking like WaitForUpdate, and
+  // a cancellation point when `call` is given. No monitor check: the handle
+  // was admitted at Subscribe; only the owning principal may poll.
+  StatusOr<std::string> PollSubscription(Subject& subject, uint64_t id,
+                                         uint64_t deadline_ns,
+                                         const CallContext* call = nullptr);
+
+  // Closes the channel and unmounts its telemetry. Owner-only.
+  Status Unsubscribe(Subject& subject, uint64_t id);
+
+  // Live channels / epochs dropped across all channels ever (both also
+  // mounted under /sys/monitor/subscribers/).
+  size_t active_subscribers() const;
+  uint64_t subscriber_dropped_total() const {
+    return subscriber_dropped_total_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct SubscriberChannel;
   // Binds one leaf (relative to the mount) backed by `render`. Leaves with
   // `in_dump` false (multi-line renderings) are skipped by DumpTree and
   // RenderAll.
   Status MountLeaf(const std::string& relative_path, std::function<std::string()> render,
                    bool in_dump = true);
+
+  // Mounts / unmounts the per-channel telemetry leaves
+  // (subscribers/<id>/queued|delivered|dropped).
+  Status MountSubscriberLeaves(const std::shared_ptr<SubscriberChannel>& channel);
+  void UnmountSubscriberLeaves(uint64_t id);
+
+  // Pushes a newly published epoch to every channel, applying each one's
+  // backpressure policy. Never called with pub_mu_ held (a kBlockPublisher
+  // wait must not stall watchers), and never holds sub_mu_ while waiting.
+  void FanOut(uint64_t version, std::shared_ptr<const std::string> rendered);
 
   // Re-publishes only if the published snapshot is older than one epoch.
   void MaybeTick();
@@ -158,12 +250,43 @@ class StatsService {
     uint64_t denials = 0;
   };
 
+  // A persistent subscription channel. All mutable state is guarded by the
+  // service-wide sub_mu_; the cv is per channel so a publisher waiting for
+  // space on one channel and a poller waiting for data on another never
+  // thunder each other. Held by shared_ptr: renders, pollers, and a blocked
+  // publisher keep the channel alive across a concurrent Unsubscribe.
+  struct SubscriberChannel {
+    uint64_t id = 0;
+    PrincipalId owner;
+    SubscriberBackpressure backpressure = SubscriberBackpressure::kDropOldest;
+    std::deque<std::shared_ptr<const std::string>> queue;
+    // Highest version ever pushed (or dropped at the cap): concurrent Ticks
+    // fan out unordered, and this keeps each channel's stream monotone.
+    uint64_t last_version = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    bool closed = false;
+    std::condition_variable cv;  // space (publisher) and data (poller)
+  };
+
   Kernel* kernel_;
   StatsServiceOptions options_;
   // Full path -> bound node + value renderer; ordered so dumps are
-  // deterministic.
+  // deterministic. Written at Install and on subscribe/unsubscribe, read by
+  // every dump — hence the shared_mutex. Lock order: renders run under a
+  // shared hold and may take pub_mu_ or sub_mu_, so code holding either of
+  // those must never take values_mu_.
+  mutable std::shared_mutex values_mu_;
   std::map<std::string, Leaf> values_;
   NodeId snapshot_node_;
+
+  // Subscription state. sub_mu_ guards the registry and every channel's
+  // mutable fields; the aggregate drop counter is atomic so it survives
+  // channel teardown and renders without the lock.
+  mutable std::mutex sub_mu_;
+  std::map<uint64_t, std::shared_ptr<SubscriberChannel>> subscribers_;
+  uint64_t next_subscriber_id_ = 1;
+  std::atomic<uint64_t> subscriber_dropped_total_{0};
 
   // Publication state. pub_mu_ orders publications and protects everything
   // below; pub_cv_ wakes watchers on a version change.

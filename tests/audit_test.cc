@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 namespace xsec {
 namespace {
@@ -125,6 +128,115 @@ TEST(AuditLogTest, ClearResetsEverything) {
   EXPECT_TRUE(log.records().empty());
   EXPECT_EQ(log.total_checks(), 0u);
   EXPECT_EQ(log.total_denials(), 0u);
+}
+
+TEST(AuditLogTest, ClearKeepsSequenceNumbersMonotone) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  log.Record(MakeRecord(true));
+  log.Record(MakeRecord(true));
+  uint64_t last_before = log.records().back().sequence;
+  log.Clear();
+  log.Record(MakeRecord(true));
+  // Sequences already exported (e.g. into a rotated NDJSON file) must never
+  // be reused: records after a Clear continue the numbering, so `seq` keeps
+  // identifying each decision uniquely across rotations.
+  EXPECT_GT(log.records().front().sequence, last_before);
+}
+
+TEST(AuditLogTest, SinkRunsOutsideTheRingLock) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  size_t retained_during_sink = 0;
+  // A sink that calls back into the log would self-deadlock if Record still
+  // invoked it under the ring mutex.
+  log.set_sink([&](const AuditRecord&) { retained_during_sink = log.retained(); });
+  log.Record(MakeRecord(true));
+  EXPECT_EQ(retained_during_sink, 1u);
+}
+
+TEST(AuditLogTest, DrainDeliversEveryRecordInSequenceOrder) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  std::vector<uint64_t> seen;
+  log.set_sink([&](const AuditRecord& r) { seen.push_back(r.sequence); });
+  log.StartDrain();
+  for (int i = 0; i < 100; ++i) {
+    log.Record(MakeRecord(i % 2 == 0));
+  }
+  log.StopDrain();  // flushes the queue before joining
+  ASSERT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), 0u);
+  EXPECT_EQ(seen.back(), 99u);
+  EXPECT_EQ(log.sink_dropped(), 0u);
+}
+
+TEST(AuditLogTest, FlushWaitsForTheQueueToDrain) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  std::atomic<int> delivered{0};
+  log.set_sink([&](const AuditRecord&) { delivered.fetch_add(1); });
+  log.StartDrain();
+  for (int i = 0; i < 50; ++i) {
+    log.Record(MakeRecord(true));
+  }
+  log.Flush();
+  EXPECT_EQ(delivered.load(), 50);
+  log.StopDrain();
+}
+
+TEST(AuditLogTest, FullDrainQueueDropsFromTheSinkNotTheRing) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  std::atomic<bool> release{false};
+  std::atomic<int> delivered{0};
+  log.set_sink([&](const AuditRecord&) {
+    while (!release.load()) {
+      std::this_thread::yield();  // wedge the drainer mid-record
+    }
+    delivered.fetch_add(1);
+  });
+  AuditDrainOptions options;
+  options.queue_capacity = 4;
+  log.StartDrain(options);
+  log.Record(MakeRecord(true));
+  // Whether the drainer is already stuck in the sink or has not woken yet,
+  // at most queue_capacity of these can be queued; the rest must shed.
+  for (int i = 0; i < 32; ++i) {
+    log.Record(MakeRecord(true));
+  }
+  release.store(true);
+  log.StopDrain();
+  // Every record is still in the ring; only sink delivery was shed.
+  EXPECT_EQ(log.retained(), 33u);
+  EXPECT_GT(log.sink_dropped(), 0u);
+  EXPECT_EQ(static_cast<uint64_t>(delivered.load()) + log.sink_dropped(), 33u);
+}
+
+TEST(AuditLogTest, ConcurrentRecordersUnderTheDrainKeepEveryCounter) {
+  AuditLog log;
+  log.set_policy(AuditPolicy::kAll);
+  std::atomic<int> delivered{0};
+  log.set_sink([&](const AuditRecord&) { delivered.fetch_add(1); });
+  log.StartDrain();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(MakeRecord(true));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  log.StopDrain();
+  EXPECT_EQ(log.total_checks(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(static_cast<uint64_t>(delivered.load()) + log.sink_dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread));
 }
 
 TEST(AuditRecordTest, ToStringContainsKeyFields) {

@@ -1,0 +1,223 @@
+// Cooperative cancellation end to end: CallOptions::deadline_ns and the
+// cancel flag thread through CallContext into long-running handlers —
+// /svc/sim/flow's op loop, the netstack filter chain, and the /svc/stats
+// watch/poll waits — each of which polls CheckDeadline() once per bounded
+// unit of work, so a slow call returns kDeadlineExceeded / kCancelled within
+// one poll interval of the signal instead of running to completion.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/baselines/xsec_model.h"
+#include "src/core/flow_sim.h"
+#include "src/core/secure_system.h"
+#include "src/services/stats_service.h"
+
+namespace xsec {
+namespace {
+
+constexpr int64_t kSlowOps = 50'000'000;  // several seconds of simulation
+
+std::vector<uint8_t> Bytes(std::string_view text) {
+  return std::vector<uint8_t>(text.begin(), text.end());
+}
+
+TEST(CancellationTest, CheckDeadlineReportsTheRightCode) {
+  CallContext quiet{nullptr, nullptr, {}, 0, nullptr};
+  EXPECT_TRUE(quiet.CheckDeadline().ok());
+  EXPECT_FALSE(quiet.Cancelled());
+
+  CallContext late{nullptr, nullptr, {}, MonotonicNowNs() - 1, nullptr};
+  EXPECT_TRUE(late.Cancelled());
+  EXPECT_EQ(late.CheckDeadline().code(), StatusCode::kDeadlineExceeded);
+
+  std::atomic<bool> flag{true};
+  // The flag wins over an expired deadline: the caller explicitly withdrew.
+  CallContext both{nullptr, nullptr, {}, MonotonicNowNs() - 1, &flag};
+  EXPECT_TRUE(both.Cancelled());
+  EXPECT_EQ(both.CheckDeadline().code(), StatusCode::kCancelled);
+}
+
+Subject LoginRunner(SecureSystem& sys) {
+  auto runner = sys.CreateUser("runner");
+  EXPECT_TRUE(runner.ok());
+  return sys.Login(*runner, sys.labels().Bottom());
+}
+
+TEST(CancellationTest, FlowSimDeadlineBoundsTheCall) {
+  SecureSystem sys;
+  Subject runner = LoginRunner(sys);
+  CallOptions options;
+  options.deadline_ns = MonotonicNowNs() + 30'000'000;  // 30ms
+  auto start = std::chrono::steady_clock::now();
+  auto result = sys.Invoke(runner, "/svc/sim/flow", {Value{kSlowOps}}, options);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Deadline + one poll interval (512 ops, microseconds), with CI slack: the
+  // full run would take seconds.
+  EXPECT_LT(elapsed_ms, 2000);
+}
+
+TEST(CancellationTest, FlowSimCancelFlagStopsMidRun) {
+  SecureSystem sys;
+  Subject runner = LoginRunner(sys);
+  std::atomic<bool> cancel{false};
+  CallOptions options;
+  options.cancel = &cancel;
+  StatusOr<Value> result = InvalidArgumentError("not run");
+  std::thread call([&] {
+    result = sys.Invoke(runner, "/svc/sim/flow", {Value{kSlowOps}}, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel.store(true);
+  call.join();
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, FlowSimWithoutASignalRunsToCompletion) {
+  SecureSystem sys;
+  Subject runner = LoginRunner(sys);
+  auto result = sys.Invoke(runner, "/svc/sim/flow", {Value{int64_t{5000}}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(std::get<std::string>(*result).find("ops=5000"), std::string::npos);
+}
+
+TEST(CancellationTest, FlowSimLoopHonorsThePollInterval) {
+  // Direct harness check, no service plumbing: an already-expired deadline
+  // stops the loop at the first poll, partial counters intact.
+  FlowSimConfig config;
+  config.num_ops = 1'000'000;
+  config.poll_every_ops = 256;
+  config.deadline_ns = MonotonicNowNs() - 1;
+  FlowSimResult result = RunFlowSimulation(XsecFullModel{}, config);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_EQ(result.ops, 0u);
+
+  std::atomic<bool> cancel{true};
+  config.deadline_ns = 0;
+  config.cancel = &cancel;
+  result = RunFlowSimulation(XsecFullModel{}, config);
+  EXPECT_TRUE(result.cancelled);
+}
+
+TEST(CancellationTest, NetstackFilterChainHonorsTheDeadline) {
+  SecureSystem sys;
+  auto dev = sys.CreateUser("filter-dev");
+  ASSERT_TRUE(dev.ok());
+  Subject dev_s = sys.Login(*dev, sys.labels().Bottom());
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, *dev, AccessMode::kExtend | AccessMode::kExecute});
+  ASSERT_TRUE(sys.name_space()
+                  .SetAclRef(sys.net().filter_interface(),
+                             sys.kernel().acls().Create(std::move(acl)))
+                  .ok());
+  // Three filters, 20ms each: a full chain costs ~60ms, but Inject polls the
+  // deadline before every filter, so a 30ms budget stops after at most two.
+  for (int i = 0; i < 3; ++i) {
+    ExtensionManifest manifest;
+    manifest.name = "slow-filter-" + std::to_string(i);
+    manifest.exports.push_back(
+        {"/svc/net/filter", [](CallContext&) -> StatusOr<Value> {
+           std::this_thread::sleep_for(std::chrono::milliseconds(20));
+           return Value{true};
+         }});
+    ASSERT_TRUE(sys.LoadExtension(manifest, dev_s).ok());
+  }
+  ASSERT_TRUE(sys.net().CreateDevice(dev_s, "eth0").ok());
+
+  CallOptions options;
+  options.deadline_ns = MonotonicNowNs() + 30'000'000;  // 30ms
+  auto start = std::chrono::steady_clock::now();
+  auto result = sys.Invoke(dev_s, "/svc/net/inject",
+                           {Value{std::string("eth0")}, Value{std::string("raw")},
+                            Value{Bytes("payload")}},
+                           options);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // One poll interval here is one filter (~20ms): the 60ms chain was cut.
+  EXPECT_LT(elapsed_ms, 2000);
+
+  // Without a deadline the same chain runs to completion: the call gets all
+  // the way past the filters to protocol dispatch, where the unregistered
+  // proto ("raw") is what fails — proof the cut above came from the
+  // deadline, not the chain.
+  auto unbounded = sys.Invoke(dev_s, "/svc/net/inject",
+                              {Value{std::string("eth0")}, Value{std::string("raw")},
+                               Value{Bytes("payload")}});
+  EXPECT_EQ(unbounded.status().code(), StatusCode::kNotFound);
+}
+
+Subject LoginAuditor(SecureSystem& sys) {
+  auto auditor = sys.CreateUser("auditor");
+  EXPECT_TRUE(auditor.ok());
+  NodeId mount = *sys.name_space().Lookup("/sys/monitor");
+  EXPECT_TRUE(sys.monitor()
+                  .AddAclEntry(sys.SystemSubject(), mount,
+                               {AclEntryType::kAllow, *auditor,
+                                AccessMode::kRead | AccessMode::kList})
+                  .ok());
+  return sys.Login(*auditor, sys.labels().Bottom());
+}
+
+TEST(CancellationTest, BlockedWatchIsCancelledWithinOneEpoch) {
+  SecureSystem sys;  // 20ms epoch interval
+  Subject watcher = LoginAuditor(sys);
+  std::atomic<bool> cancel{false};
+  CallOptions options;
+  options.cancel = &cancel;
+  StatusOr<Value> result = InvalidArgumentError("not run");
+  std::thread blocked([&] {
+    result = sys.Invoke(watcher, "/svc/stats/watch",
+                        {Value{int64_t{-1}}, Value{int64_t{10'000}}}, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto start = std::chrono::steady_clock::now();
+  cancel.store(true);
+  blocked.join();
+  auto reaction_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  // The waiter re-polls at least once per 20ms epoch; CI slack on top.
+  EXPECT_LT(reaction_ms, 2000);
+}
+
+TEST(CancellationTest, BlockedSubscriptionPollIsCancelledWithinOneEpoch) {
+  // Direct API on a quiescent kernel: an Invoke-driven poll would feed
+  // itself (its own mediation moves counters, so the self-clock publishes an
+  // epoch to it), masking the cancellation path this test is after.
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = 10'000'000;  // 10ms waiter wakeups
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  // Drain the epoch published by Subscribe's own admission check, if any.
+  (void)stats.PollSubscription(system, *id, MonotonicNowNs() + 50'000'000);
+
+  std::atomic<bool> cancel{false};
+  CallContext call{&kernel, &system, {}, 0, &cancel};
+  StatusOr<std::string> result = InvalidArgumentError("not run");
+  std::thread blocked([&] {
+    result = stats.PollSubscription(system, *id,
+                                    MonotonicNowNs() + uint64_t{10} * 1'000'000'000,
+                                    &call);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cancel.store(true);
+  blocked.join();
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace xsec

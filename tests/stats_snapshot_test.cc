@@ -217,10 +217,12 @@ TEST(StatsWatchTest, WatchUnblocksWithinOneEpochOfAChange) {
 TEST(StatsWatchTest, WatchTimesOutWhenNothingChanges) {
   SecureSystem sys;
   Subject watcher = LoginAuditor(sys);
-  uint64_t unreachable = uint64_t{1} << 40;  // a version that never arrives
+  // since = -1 baselines a fresh publication that folds in the watch's own
+  // admission check; with the system otherwise quiescent no further version
+  // can be published, so the watch rides out its full timeout.
   auto start = std::chrono::steady_clock::now();
   auto result = sys.Invoke(watcher, "/svc/stats/watch",
-                           {Value{static_cast<int64_t>(unreachable)}, Value{int64_t{50}}});
+                           {Value{int64_t{-1}}, Value{int64_t{50}}});
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 45);
@@ -230,16 +232,47 @@ TEST(StatsWatchTest, WatchTimesOutWhenNothingChanges) {
 TEST(StatsWatchTest, CallDeadlineCapsTheWatchTimeout) {
   SecureSystem sys;
   Subject watcher = LoginAuditor(sys);
-  uint64_t unreachable = uint64_t{1} << 40;
   CallOptions options;
   options.deadline_ns = MonotonicNowNs() + 50'000'000;  // 50ms, well under 10s
   auto start = std::chrono::steady_clock::now();
-  auto result =
-      sys.Invoke(watcher, "/svc/stats/watch",
-                 {Value{static_cast<int64_t>(unreachable)}, Value{int64_t{10'000}}}, options);
+  auto result = sys.Invoke(watcher, "/svc/stats/watch",
+                           {Value{int64_t{-1}}, Value{int64_t{10'000}}}, options);
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsWatchTest, StaleSinceReturnsTheCurrentSnapshotImmediately) {
+  SecureSystem sys;
+  Subject watcher = LoginAuditor(sys);
+  // A version far past anything published is a handle from a previous era
+  // (e.g. from before a service restart): the watch answers with the current
+  // snapshot at once instead of parking until the timeout.
+  uint64_t stale = uint64_t{1} << 40;
+  auto start = std::chrono::steady_clock::now();
+  auto result = sys.Invoke(watcher, "/svc/stats/watch",
+                           {Value{static_cast<int64_t>(stale)}, Value{int64_t{10'000}}});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_NE(std::get<std::string>(*result).find("version "), std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsWatchTest, NonPositiveTimeoutIsRejected) {
+  SecureSystem sys;
+  Subject watcher = LoginAuditor(sys);
+  auto zero = sys.Invoke(watcher, "/svc/stats/watch", {Value{int64_t{-1}}, Value{int64_t{0}}});
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  auto negative =
+      sys.Invoke(watcher, "/svc/stats/watch", {Value{int64_t{-1}}, Value{int64_t{-5}}});
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatsWatchTest, SinceBelowMinusOneIsRejected) {
+  SecureSystem sys;
+  Subject watcher = LoginAuditor(sys);
+  auto result = sys.Invoke(watcher, "/svc/stats/watch", {Value{int64_t{-2}}});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(StatsWatchTest, WatchIsDeniedForUnprivilegedSubjects) {

@@ -1,0 +1,395 @@
+// Tests for the persistent stats subscription channels: one admission check
+// at Subscribe, a bounded per-subscriber epoch queue fed by Tick, drop-oldest
+// vs block-publisher backpressure, owner-bound handles, and the
+// /sys/monitor/subscribers/... telemetry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/core/secure_system.h"
+#include "src/services/stats_service.h"
+
+namespace xsec {
+namespace {
+
+// Publishing requires a counter to actually move: bump one with a mediated
+// check, then Tick.
+uint64_t Publish(Kernel& kernel, StatsService& stats) {
+  Subject system = kernel.SystemSubject();
+  (void)kernel.monitor().Check(system, kernel.name_space().root(), AccessMode::kList);
+  return stats.Tick();
+}
+
+StatsServiceOptions ManualOptions() {
+  StatsServiceOptions options;
+  // No self-clocking during these tests: epochs are published only by an
+  // explicit Tick, so queue contents are deterministic.
+  options.epoch_interval_ns = uint64_t{3600} * 1'000'000'000;
+  return options;
+}
+
+TEST(SubscriptionTest, PollDeliversEachPublishedEpoch) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  uint64_t v1 = Publish(kernel, stats);
+  uint64_t v2 = Publish(kernel, stats);
+  ASSERT_GT(v2, v1);
+
+  auto first = stats.PollSubscription(system, *id, /*deadline_ns=*/0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = stats.PollSubscription(system, *id, /*deadline_ns=*/0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->find(StrFormat("version %llu", static_cast<unsigned long long>(v1))),
+            std::string::npos);
+  EXPECT_NE(second->find(StrFormat("version %llu", static_cast<unsigned long long>(v2))),
+            std::string::npos);
+}
+
+TEST(SubscriptionTest, EmptyQueueTimesOut) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  auto result =
+      stats.PollSubscription(system, *id, MonotonicNowNs() + 30'000'000);  // 30ms
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SubscriptionTest, StaleSinceSeedsOneCatchUpSnapshot) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  Publish(kernel, stats);
+  // The subscriber last saw version 0, i.e. it is behind: the channel opens
+  // with the current snapshot already queued, no blocking needed.
+  auto id = stats.Subscribe(system, 0);
+  ASSERT_TRUE(id.ok());
+  auto caught_up = stats.PollSubscription(system, *id, /*deadline_ns=*/0);
+  ASSERT_TRUE(caught_up.ok()) << caught_up.status().ToString();
+  EXPECT_NE(caught_up->find("version "), std::string::npos);
+}
+
+TEST(SubscriptionTest, AdmissionIsCheckedOnceAtSubscribe) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  auto intruder = kernel.principals().CreateUser("intruder");
+  ASSERT_TRUE(intruder.ok());
+  Subject intruder_s = kernel.CreateSubject(*intruder, kernel.labels().Bottom());
+  // The fail-closed mount ACL denies the read that Subscribe mediates.
+  auto denied = stats.Subscribe(intruder_s, -1);
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(SubscriptionTest, HandlesAreOwnerBound) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  auto other = kernel.principals().CreateUser("other");
+  ASSERT_TRUE(other.ok());
+  Subject other_s = kernel.CreateSubject(*other, kernel.labels().Bottom());
+  // A leaked or guessed handle number grants nothing to another principal.
+  EXPECT_EQ(stats.PollSubscription(other_s, *id, 0).status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(stats.Unsubscribe(other_s, *id).code(), StatusCode::kPermissionDenied);
+  // The owner still holds a live channel.
+  EXPECT_TRUE(stats.Unsubscribe(system, *id).ok());
+}
+
+TEST(SubscriptionTest, DropOldestShedsAndCountsWithoutBlockingTick) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.subscriber_queue_capacity = 2;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1, SubscriberBackpressure::kDropOldest);
+  ASSERT_TRUE(id.ok());
+
+  // A subscriber that never drains: 6 published epochs into a queue of 2.
+  auto start = std::chrono::steady_clock::now();
+  uint64_t last_version = 0;
+  for (int i = 0; i < 6; ++i) {
+    last_version = Publish(kernel, stats);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // Drop-oldest applies no backpressure at all: well under the 50ms
+  // publisher block cap even once per epoch.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+
+  // The drops are observable through the mediated telemetry tree.
+  std::string base = StrFormat("/sys/monitor/subscribers/%llu",
+                               static_cast<unsigned long long>(*id));
+  auto dropped = stats.ReadStat(system, base + "/dropped");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(*dropped, "4");
+  auto queued = stats.ReadStat(system, base + "/queued");
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(*queued, "2");
+  auto aggregate = stats.ReadStat(system, "/sys/monitor/subscribers/dropped");
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_EQ(*aggregate, "4");
+
+  // The queue holds the two NEWEST epochs: the gap is at the old end.
+  auto first = stats.PollSubscription(system, *id, 0);
+  ASSERT_TRUE(first.ok());
+  auto second = stats.PollSubscription(system, *id, 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->find(StrFormat("version %llu",
+                                   static_cast<unsigned long long>(last_version))),
+            std::string::npos);
+  auto delivered = stats.ReadStat(system, base + "/delivered");
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, "2");
+}
+
+TEST(SubscriptionTest, BlockPublisherWaitsOnlyUpToTheCap) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.subscriber_queue_capacity = 1;
+  options.publisher_block_cap_ns = 30'000'000;  // 30ms
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1, SubscriberBackpressure::kBlockPublisher);
+  ASSERT_TRUE(id.ok());
+
+  Publish(kernel, stats);  // fills the queue; no wait
+  auto start = std::chrono::steady_clock::now();
+  Publish(kernel, stats);  // queue full: waits out the cap, then drops
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_GE(elapsed_ms, 25);    // the publisher honored the cap...
+  EXPECT_LT(elapsed_ms, 5000);  // ...but was never wedged
+  std::string base = StrFormat("/sys/monitor/subscribers/%llu",
+                               static_cast<unsigned long long>(*id));
+  auto dropped = stats.ReadStat(system, base + "/dropped");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, "1");
+}
+
+TEST(SubscriptionTest, BlockPublisherUnblocksWhenTheSubscriberDrains) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.subscriber_queue_capacity = 1;
+  options.publisher_block_cap_ns = uint64_t{5} * 1'000'000'000;  // generous cap
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1, SubscriberBackpressure::kBlockPublisher);
+  ASSERT_TRUE(id.ok());
+  Publish(kernel, stats);  // queue now full
+
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    auto epoch = stats.PollSubscription(system, *id, 0);
+    EXPECT_TRUE(epoch.ok());
+  });
+  auto start = std::chrono::steady_clock::now();
+  Publish(kernel, stats);  // blocks until the drain frees a slot
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  drainer.join();
+  EXPECT_LT(elapsed_ms, 4500);  // released by the drain, not the 5s cap
+  auto dropped = stats.ReadStat(
+      system, StrFormat("/sys/monitor/subscribers/%llu/dropped",
+                        static_cast<unsigned long long>(*id)));
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, "0");
+}
+
+TEST(SubscriptionTest, UnsubscribeClosesTheChannelAndUnmountsTelemetry) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  std::string base = StrFormat("/sys/monitor/subscribers/%llu",
+                               static_cast<unsigned long long>(*id));
+  ASSERT_TRUE(stats.ReadStat(system, base + "/queued").ok());
+  auto active = stats.ReadStat(system, "/sys/monitor/subscribers/active");
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(*active, "1");
+
+  ASSERT_TRUE(stats.Unsubscribe(system, *id).ok());
+  EXPECT_EQ(stats.ReadStat(system, base + "/queued").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(stats.PollSubscription(system, *id, 0).status().code(),
+            StatusCode::kNotFound);
+  active = stats.ReadStat(system, "/sys/monitor/subscribers/active");
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(*active, "0");
+}
+
+TEST(SubscriptionTest, SubscriberLimitIsEnforced) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.max_subscribers = 2;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  ASSERT_TRUE(stats.Subscribe(system, -1).ok());
+  ASSERT_TRUE(stats.Subscribe(system, -1).ok());
+  EXPECT_EQ(stats.Subscribe(system, -1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(SubscriptionTest, UnblockedPollSeesAnEpochPublishedWhileBlocked) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  StatusOr<std::string> result = InvalidArgumentError("not run");
+  std::thread blocked([&] {
+    result = stats.PollSubscription(system, *id,
+                                    MonotonicNowNs() + uint64_t{10} * 1'000'000'000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Publish(kernel, stats);
+  blocked.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->find("version "), std::string::npos);
+}
+
+// The /svc/stats procedure surface over the same machinery.
+Subject LoginAuditor(SecureSystem& sys) {
+  auto auditor = sys.CreateUser("auditor");
+  EXPECT_TRUE(auditor.ok());
+  NodeId mount = *sys.name_space().Lookup("/sys/monitor");
+  EXPECT_TRUE(sys.monitor()
+                  .AddAclEntry(sys.SystemSubject(), mount,
+                               {AclEntryType::kAllow, *auditor,
+                                AccessMode::kRead | AccessMode::kList})
+                  .ok());
+  return sys.Login(*auditor, sys.labels().Bottom());
+}
+
+TEST(SubscriptionProcedureTest, SubscribePollUnsubscribeRoundTrip) {
+  SecureSystem sys;
+  Subject auditor = LoginAuditor(sys);
+  auto handle = sys.Invoke(auditor, "/svc/stats/subscribe", {});
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  uint64_t id = std::stoull(std::get<std::string>(*handle));
+
+  // Move a counter and publish, then poll the epoch out.
+  (void)sys.monitor().Check(auditor, sys.name_space().root(), AccessMode::kList);
+  sys.stats().Tick();
+  auto epoch = sys.Invoke(auditor, "/svc/stats/poll",
+                          {Value{static_cast<int64_t>(id)}, Value{int64_t{1000}}});
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_NE(std::get<std::string>(*epoch).find("version "), std::string::npos);
+
+  auto bye = sys.Invoke(auditor, "/svc/stats/unsubscribe",
+                        {Value{static_cast<int64_t>(id)}});
+  ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  auto gone = sys.Invoke(auditor, "/svc/stats/poll",
+                         {Value{static_cast<int64_t>(id)}, Value{int64_t{1000}}});
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SubscriptionProcedureTest, ArgumentsAreValidated) {
+  SecureSystem sys;
+  Subject auditor = LoginAuditor(sys);
+  EXPECT_EQ(sys.Invoke(auditor, "/svc/stats/subscribe",
+                       {Value{int64_t{-1}}, Value{std::string("flood")}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sys.Invoke(auditor, "/svc/stats/subscribe", {Value{int64_t{-7}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto handle = sys.Invoke(auditor, "/svc/stats/subscribe", {});
+  ASSERT_TRUE(handle.ok());
+  int64_t id = static_cast<int64_t>(std::stoull(std::get<std::string>(*handle)));
+  EXPECT_EQ(sys.Invoke(auditor, "/svc/stats/poll", {Value{id}, Value{int64_t{0}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sys.Invoke(auditor, "/svc/stats/poll", {Value{int64_t{-3}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sys.Invoke(auditor, "/svc/stats/unsubscribe", {Value{int64_t{99999}}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// The TSan target: subscribers come and go while a publisher storms and a
+// dump reader walks the (now mutable) leaf registry.
+TEST(SubscriptionConcurrencyTest, SubscribePublishPollCancelUnsubscribeRace) {
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = 1'000'000;  // 1ms: plenty of publications
+  options.subscriber_queue_capacity = 2;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    while (!stop.load()) {
+      Publish(kernel, stats);
+      std::this_thread::yield();
+    }
+  });
+  std::thread dumper([&] {
+    while (!stop.load()) {
+      (void)stats.RenderAll();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&, t] {
+      Subject mine = kernel.SystemSubject();
+      SubscriberBackpressure backpressure = t % 2 == 0
+                                                ? SubscriberBackpressure::kDropOldest
+                                                : SubscriberBackpressure::kBlockPublisher;
+      for (int round = 0; round < 20; ++round) {
+        auto id = stats.Subscribe(mine, -1, backpressure);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        for (int polls = 0; polls < 3; ++polls) {
+          (void)stats.PollSubscription(mine, *id, MonotonicNowNs() + 5'000'000);
+        }
+        ASSERT_TRUE(stats.Unsubscribe(mine, *id).ok());
+      }
+    });
+  }
+  for (auto& churner : churners) {
+    churner.join();
+  }
+  stop.store(true);
+  publisher.join();
+  dumper.join();
+  // Everyone unsubscribed; the aggregate gauge agrees.
+  auto active = stats.ReadStat(system, "/sys/monitor/subscribers/active");
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(*active, "0");
+}
+
+}  // namespace
+}  // namespace xsec

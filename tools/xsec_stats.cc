@@ -3,7 +3,7 @@
 // Usage:
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
 //              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
-//              [--snapshot]
+//              [--audit-drain] [--snapshot]
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
@@ -12,9 +12,12 @@
 // each audited decision is also streamed as one JSON object per line — '-'
 // for stdout. When the target is a real file, --ndjson-max-bytes /
 // --ndjson-max-age-ms / --ndjson-keep enable size/age rotation
-// (file -> file.1 -> ... -> file.K). The workload is seeded, so two runs
-// with the same arguments produce the same counters (latency quantiles and
-// rates aside).
+// (file -> file.1 -> ... -> file.K). --audit-drain moves the sink I/O (and
+// any rotation renames) onto the AuditLog's background drainer so the
+// checking loop never writes the file itself; the drain is flushed before
+// the stats print, so the output is identical either way. The workload is
+// seeded, so two runs with the same arguments produce the same counters
+// (latency quantiles and rates aside).
 //
 // Exit status: 0 on success, 1 on bad arguments or an unloadable policy.
 
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   xsec::NdjsonRotationPolicy rotation;
   bool snapshot = false;
+  bool audit_drain = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -71,6 +75,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--ndjson-keep needs a count");
       rotation.max_keep = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--audit-drain") {
+      audit_drain = true;
     } else if (arg == "--snapshot") {
       snapshot = true;
     } else if (arg == "--checks") {
@@ -85,7 +91,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: xsec_stats [--policy <file>] [--checks N] [--seed S] "
                    "[--ndjson <file|->] [--ndjson-max-bytes B] "
-                   "[--ndjson-max-age-ms M] [--ndjson-keep K] [--snapshot]\n");
+                   "[--ndjson-max-age-ms M] [--ndjson-keep K] [--audit-drain] "
+                   "[--snapshot]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -127,6 +134,9 @@ int main(int argc, char** argv) {
       sys.monitor().audit().set_sink(xsec::MakeNdjsonSink(out));
     }
   }
+  if (audit_drain) {
+    sys.monitor().audit().StartDrain();
+  }
 
   // A small world with deliberately mixed permissions: "reader" may read the
   // workload files, "outsider" may not, and nobody may touch /fs/secret.
@@ -163,6 +173,12 @@ int main(int argc, char** argv) {
     xsec::AccessMode mode = rng.NextBool(1, 4) ? xsec::AccessMode::kWrite
                                                : xsec::AccessMode::kRead;
     (void)sys.monitor().CheckPath(subject, path, mode);
+  }
+
+  if (audit_drain) {
+    // Land every queued record (and any rotation it triggers) before the
+    // gauges below are read, so drained and undrained runs print the same.
+    sys.monitor().audit().StopDrain();
   }
 
   sys.stats().Tick();  // fold the workload into the published snapshot
