@@ -1,0 +1,91 @@
+// Experiment F13 — disarmed-failpoint overhead (MODEL.md §12).
+//
+// Failpoints are compiled into production paths unconditionally; the design
+// only works if a disarmed site is effectively free, because the sites sit
+// on the audit hot path and inside the dispatcher. This figure measures:
+//
+//   disarmed_macro       one XSEC_FAILPOINT hit, never armed (the common case:
+//                        a function-local-static load + one relaxed atomic)
+//   disarmed_fired       the expression form, same disarmed cost shape
+//   armed_pass_through   armed but gated out by nth (the mutex slow path)
+//   registry_lookup      FailpointRegistry::GetOrCreate by name (what the
+//                        static initializer pays once per site)
+//   check_with_sites     a full mediated Check on a kernel whose audit path
+//                        contains the compiled-in sites, failpoints disarmed
+//                        — the end-to-end overhead the +10% F1 gate bounds
+//
+// Expected shape: disarmed_* in the ~1 ns range, orders below a mediated
+// check; armed_pass_through tens of ns (mutex); check_with_sites within
+// noise of the F1 cached-check figure.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/failpoint.h"
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+Status HitDisarmed() {
+  XSEC_FAILPOINT("bench.f13.disarmed");
+  return OkStatus();
+}
+
+void BM_DisarmedMacro(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HitDisarmed());
+  }
+}
+BENCHMARK(BM_DisarmedMacro);
+
+void BM_DisarmedFired(benchmark::State& state) {
+  for (auto _ : state) {
+    bool fired = XSEC_FAILPOINT_FIRED("bench.f13.fired");
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_DisarmedFired);
+
+Status HitGated() {
+  XSEC_FAILPOINT("bench.f13.gated");
+  return OkStatus();
+}
+
+void BM_ArmedPassThrough(benchmark::State& state) {
+  // nth far in the future: every hit takes the mutex slow path but passes.
+  (void)FailpointRegistry::Instance().Arm("bench.f13.gated",
+                                          "error,nth=1000000000000");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HitGated());
+  }
+  FailpointRegistry::Instance().DisarmAll();
+}
+BENCHMARK(BM_ArmedPassThrough);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FailpointRegistry::Instance().GetOrCreate("bench.f13.lookup"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_CheckWithSites(benchmark::State& state) {
+  SecureSystem sys;
+  PrincipalId user = *sys.CreateUser("bench-user");
+  Subject subject = sys.Login(user, sys.labels().Bottom());
+  NodeId node = *sys.name_space().BindPath("/fs/bench", NodeKind::kFile,
+                                           sys.system_principal());
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, user, AccessMode::kRead});
+  (void)sys.name_space().SetAclRef(node, sys.kernel().acls().Create(std::move(acl)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.monitor().Check(subject, node, AccessMode::kRead));
+  }
+}
+BENCHMARK(BM_CheckWithSites);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

@@ -2,13 +2,18 @@
 # Full verification sweep: a Release build plus two sanitized builds, the
 # test suite under each, and the F1/F11 mediation figures as JSON.
 #
-#   ci/run_checks.sh [--quick]
+#   ci/run_checks.sh [--quick | --faults]
 #
 # --quick restricts the sanitizer ctest runs to the monitor + concurrency
 # tests (the multithreaded surface, including the striped MonitorStats
-# counters, the mediated StatsService tree, the subscription channels, and
-# the cooperative-cancellation paths) plus the policy round-trip tests; the
-# default runs everything everywhere.
+# counters, the mediated StatsService tree, the subscription channels, the
+# cooperative-cancellation paths, and the fault-injection suites) plus the
+# policy round-trip tests; the default runs everything everywhere.
+#
+# --faults runs only the randomized fault-injection sweep: the fault suites
+# (Failpoint|FaultService|AuditResilience|PolicyCrash) under ASan+UBSan and
+# TSan with a randomized XSEC_FAULT_SEED. The seed is printed so a failing
+# sweep replays exactly: XSEC_FAULT_SEED=<seed> ci/run_checks.sh --faults.
 #
 # Outputs:
 #   build-release/   optimized build, full ctest
@@ -29,17 +34,42 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 QUICK=0
+FAULTS=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
+[[ "${1:-}" == "--faults" ]] && FAULTS=1
+
+FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash'
 
 run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R 'MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip')
+        -R "MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip|${FAULT_RE}")
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
 }
+
+if [[ "$FAULTS" == 1 ]]; then
+  # Randomized but replayable: the failpoint sweep test reads the seed from
+  # the environment and prints it in its own output as well.
+  : "${XSEC_FAULT_SEED:=$RANDOM$RANDOM}"
+  export XSEC_FAULT_SEED
+  echo "== Fault-injection sweep (XSEC_FAULT_SEED=$XSEC_FAULT_SEED) =="
+
+  echo "== AddressSanitizer + UBSan build =="
+  cmake -B build-asan -S . -DXSEC_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && ctest --output-on-failure -j "$JOBS" -R "$FAULT_RE")
+
+  echo "== ThreadSanitizer build =="
+  cmake -B build-tsan -S . -DXSEC_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS"
+  (cd build-tsan && ctest --output-on-failure -j "$JOBS" -R "$FAULT_RE")
+
+  echo "Fault sweep passed (seed $XSEC_FAULT_SEED)."
+  exit 0
+fi
 
 echo "== Release build =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release

@@ -1,0 +1,305 @@
+#include "src/base/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/base/strings.h"
+
+namespace xsec {
+
+namespace {
+
+struct CodeName {
+  std::string_view name;
+  StatusCode code;
+};
+
+constexpr CodeName kCodeNames[] = {
+    {"internal", StatusCode::kInternal},
+    {"invalid-argument", StatusCode::kInvalidArgument},
+    {"not-found", StatusCode::kNotFound},
+    {"already-exists", StatusCode::kAlreadyExists},
+    {"permission-denied", StatusCode::kPermissionDenied},
+    {"failed-precondition", StatusCode::kFailedPrecondition},
+    {"resource-exhausted", StatusCode::kResourceExhausted},
+    {"unimplemented", StatusCode::kUnimplemented},
+    {"deadline-exceeded", StatusCode::kDeadlineExceeded},
+    {"cancelled", StatusCode::kCancelled},
+};
+
+StatusOr<StatusCode> ParseCode(std::string_view text) {
+  for (const CodeName& entry : kCodeNames) {
+    if (text == entry.name) {
+      return entry.code;
+    }
+  }
+  return InvalidArgumentError(
+      StrFormat("unknown failpoint error code '%s'", std::string(text).c_str()));
+}
+
+std::string_view CodeToName(StatusCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (code == entry.code) {
+      return entry.name;
+    }
+  }
+  return "internal";
+}
+
+// Parses a nonnegative integer; rejects trailing junk.
+StatusOr<uint64_t> ParseU64(std::string_view text) {
+  if (text.empty()) {
+    return InvalidArgumentError("empty number in failpoint spec");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError(
+          StrFormat("bad number '%s' in failpoint spec", std::string(text).c_str()));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// Duration with an optional ns/us/ms/s suffix; bare numbers are ms.
+StatusOr<uint64_t> ParseDurationNs(std::string_view text) {
+  uint64_t scale = 1'000'000;  // default: milliseconds
+  if (EndsWith(text, "ns")) {
+    scale = 1;
+    text.remove_suffix(2);
+  } else if (EndsWith(text, "us")) {
+    scale = 1'000;
+    text.remove_suffix(2);
+  } else if (EndsWith(text, "ms")) {
+    scale = 1'000'000;
+    text.remove_suffix(2);
+  } else if (EndsWith(text, "s")) {
+    scale = 1'000'000'000;
+    text.remove_suffix(1);
+  }
+  auto value = ParseU64(text);
+  if (!value.ok()) {
+    return value.status();
+  }
+  return *value * scale;
+}
+
+}  // namespace
+
+StatusOr<FailpointSpec> FailpointSpec::Parse(std::string_view text) {
+  FailpointSpec spec;
+  for (const std::string& clause : StrSplit(text, ',', /*skip_empty=*/true)) {
+    std::string_view key = clause;
+    std::string_view value;
+    size_t eq = clause.find('=');
+    if (eq != std::string::npos) {
+      key = std::string_view(clause).substr(0, eq);
+      value = std::string_view(clause).substr(eq + 1);
+    }
+    if (key == "off") {
+      if (eq != std::string::npos) {
+        return InvalidArgumentError("'off' takes no value");
+      }
+      return FailpointSpec{};
+    } else if (key == "error") {
+      spec.inject_error = true;
+      if (eq != std::string::npos) {
+        auto code = ParseCode(value);
+        if (!code.ok()) {
+          return code.status();
+        }
+        spec.code = *code;
+      }
+    } else if (key == "sleep") {
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("'sleep' needs a duration, e.g. sleep=10ms");
+      }
+      auto ns = ParseDurationNs(value);
+      if (!ns.ok()) {
+        return ns.status();
+      }
+      spec.sleep_ns = *ns;
+    } else if (key == "nth") {
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("'nth' needs a hit number, e.g. nth=3");
+      }
+      auto n = ParseU64(value);
+      if (!n.ok()) {
+        return n.status();
+      }
+      if (*n == 0) {
+        return InvalidArgumentError("'nth' is 1-based; nth=0 is meaningless");
+      }
+      spec.skip = *n - 1;
+    } else if (key == "times") {
+      if (eq == std::string::npos) {
+        return InvalidArgumentError("'times' needs a count, e.g. times=2");
+      }
+      auto n = ParseU64(value);
+      if (!n.ok()) {
+        return n.status();
+      }
+      spec.times = static_cast<int64_t>(*n);
+    } else {
+      return InvalidArgumentError(
+          StrFormat("unknown failpoint clause '%s'", clause.c_str()));
+    }
+  }
+  if (!spec.active()) {
+    return InvalidArgumentError(
+        "failpoint spec has no effect: need 'error', 'sleep=...', or 'off'");
+  }
+  return spec;
+}
+
+std::string FailpointSpec::ToString() const {
+  if (!active()) {
+    return "off";
+  }
+  std::string out;
+  auto append = [&out](const std::string& clause) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += clause;
+  };
+  if (inject_error) {
+    append(StrFormat("error=%s", std::string(CodeToName(code)).c_str()));
+  }
+  if (sleep_ns != 0) {
+    append(StrFormat("sleep=%lluns", static_cast<unsigned long long>(sleep_ns)));
+  }
+  if (skip != 0) {
+    append(StrFormat("nth=%llu", static_cast<unsigned long long>(skip + 1)));
+  }
+  if (times >= 0) {
+    append(StrFormat("times=%lld", static_cast<long long>(times)));
+  }
+  return out;
+}
+
+Status Failpoint::Evaluate() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t sleep_ns = 0;
+  Status injected = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) {
+      return OkStatus();  // lost a race with Disarm; pass through
+    }
+    if (passed_ < spec_.skip) {
+      ++passed_;
+      return OkStatus();
+    }
+    if (spec_.times == 0) {
+      return OkStatus();  // budget exhausted, pass through
+    }
+    if (spec_.times > 0) {
+      --spec_.times;
+      if (spec_.times == 0 && spec_.sleep_ns == 0) {
+        // Nothing left to inject after this hit: drop back to the fast path.
+        armed_.store(false, std::memory_order_relaxed);
+      }
+    }
+    sleep_ns = spec_.sleep_ns;
+    if (spec_.inject_error) {
+      injected = Status(spec_.code,
+                        StrFormat("injected by failpoint '%s'", name_.c_str()));
+    }
+  }
+  if (sleep_ns != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+  }
+  if (!injected.ok()) {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return injected;
+}
+
+void Failpoint::Arm(FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  passed_ = 0;
+  armed_.store(spec.active(), std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = FailpointSpec{};
+  passed_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::string Failpoint::Describe() const {
+  std::string spec_text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec_text = armed_.load(std::memory_order_relaxed) ? spec_.ToString() : "off";
+  }
+  return StrFormat("%s hits=%llu fires=%llu", spec_text.c_str(),
+                   static_cast<unsigned long long>(hits()),
+                   static_cast<unsigned long long>(fires()));
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Failpoint* FailpointRegistry::GetOrCreate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(name), std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Failpoint* FailpointRegistry::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+Status FailpointRegistry::Arm(std::string_view name, std::string_view spec_text) {
+  auto spec = FailpointSpec::Parse(spec_text);
+  if (!spec.ok()) {
+    return spec.status();
+  }
+  Failpoint* point = GetOrCreate(name);
+  if (spec->active()) {
+    point->Arm(*spec);
+  } else {
+    point->Disarm();
+  }
+  return OkStatus();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::vector<Failpoint*> points;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points.reserve(points_.size());
+    for (auto& [name, point] : points_) {
+      points.push_back(point.get());
+    }
+  }
+  for (Failpoint* point : points) {
+    point->Disarm();
+  }
+}
+
+std::vector<std::string> FailpointRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace xsec

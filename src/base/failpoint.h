@@ -1,0 +1,180 @@
+// Fault-injection failpoints (MODEL.md §12).
+//
+// A failpoint is a named hook compiled into production code paths that can
+// be armed at runtime to inject a failure: an error return, a latency
+// spike, or both, optionally gated to fire only from the N-th hit onward
+// and for a bounded number of hits. Disarmed failpoints cost one relaxed
+// atomic load on the hot path (plus the function-local-static guard), which
+// experiment F13 measures at ~1 ns — cheap enough to leave in release
+// builds, which is the point: the exact binary that ships is the one whose
+// failure paths the fault sweep exercises.
+//
+// Usage in a Status-returning (or StatusOr-returning) function:
+//
+//   Status Sink::Write(const AuditRecord& record) {
+//     XSEC_FAILPOINT("audit.sink.write");   // may return an injected error
+//     ...
+//   }
+//
+// In a void or bool context, use the expression form:
+//
+//   if (XSEC_FAILPOINT_FIRED("audit.rotate.rename")) { /* simulate EIO */ }
+//
+// Arming is programmatic (`FailpointRegistry::Instance().Arm(name, spec)`)
+// or mediated through `FaultService` (`/svc/faults/arm`, `tools/xsec_stats
+// --fail name=spec`), where it is an audited `administrate` action on the
+// `/sys/faults/<name>` node.
+//
+// Spec grammar (comma-separated clauses, e.g. "error=internal,nth=3,times=2"):
+//   off            disarm
+//   error[=code]   return an error (default kInternal; code names:
+//                  internal, invalid-argument, not-found, already-exists,
+//                  permission-denied, failed-precondition,
+//                  resource-exhausted, unimplemented, deadline-exceeded,
+//                  cancelled)
+//   sleep=D        sleep for D before continuing (suffix ns/us/ms/s;
+//                  bare numbers are milliseconds); combines with error
+//   nth=N          pass through the first N-1 hits, start firing on hit N
+//   times=M        fire at most M times, then pass through (default: forever)
+//
+// Thread safety: `armed()` is a relaxed atomic load; everything else takes
+// the failpoint's mutex. Arm/disarm may race freely with evaluation — a
+// concurrent hit sees either the old or the new spec, never a torn one.
+
+#ifndef XSEC_SRC_BASE_FAILPOINT_H_
+#define XSEC_SRC_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace xsec {
+
+// Parsed form of a failpoint spec string (grammar above).
+struct FailpointSpec {
+  bool inject_error = false;
+  StatusCode code = StatusCode::kInternal;
+  uint64_t sleep_ns = 0;
+  uint64_t skip = 0;     // hits to pass through before the first fire (nth=N → N-1)
+  int64_t times = -1;    // fires remaining; -1 = unlimited
+
+  // Parses the grammar above. "off" parses to a spec with no effect
+  // (inject_error=false, sleep_ns=0); Arm treats it as disarm.
+  static StatusOr<FailpointSpec> Parse(std::string_view text);
+
+  bool active() const { return inject_error || sleep_ns != 0; }
+  std::string ToString() const;
+};
+
+// One named injection site. Created on first use by the registry and never
+// destroyed (the registry leaks its map at exit by design: failpoints are
+// referenced from function-local statics in arbitrary code).
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Hot-path guard: true when a spec is armed. Relaxed is sufficient — the
+  // spec itself is read under the mutex in Evaluate, and a hit that misses
+  // a just-armed spec is indistinguishable from one that ran slightly
+  // earlier.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Slow path, called only when armed(): applies nth/times gating, sleeps
+  // if the spec says so, and returns the injected error (or OK for a
+  // sleep-only spec / a gated-out hit). The sleep happens outside the
+  // mutex so a long injected latency does not block arm/disarm.
+  Status Evaluate();
+
+  void Arm(FailpointSpec spec);
+  void Disarm();
+
+  // Lifetime counters (survive re-arming). `hits` counts Evaluate calls,
+  // `fires` counts injected errors.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+  // Human-readable state: "off" or the spec plus hit/fire counters.
+  std::string Describe() const;
+
+ private:
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+  mutable std::mutex mu_;
+  FailpointSpec spec_;       // guarded by mu_
+  uint64_t passed_ = 0;      // hits since arming, for nth gating; guarded by mu_
+};
+
+// Process-wide name → failpoint map. GetOrCreate is what the XSEC_FAILPOINT
+// macro calls once per site (cached in a function-local static); Arm/Disarm
+// are the control plane.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  // Returns the failpoint named `name`, creating it (disarmed) on first
+  // use. The pointer is stable for the life of the process.
+  Failpoint* GetOrCreate(std::string_view name);
+
+  // Returns the failpoint or nullptr if no site nor Arm call has named it.
+  Failpoint* Find(std::string_view name) const;
+
+  // Parses `spec` and arms (or, for "off", disarms) the named failpoint,
+  // creating it if needed — arming may precede the first hit.
+  Status Arm(std::string_view name, std::string_view spec);
+
+  // Disarms every failpoint (test teardown; counters are preserved).
+  void DisarmAll();
+
+  // Names of all registered failpoints, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  FailpointRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+}  // namespace xsec
+
+// Statement form: returns the injected Status from the enclosing function
+// (works in StatusOr<T> functions via the implicit Status conversion).
+#define XSEC_FAILPOINT(name)                                                 \
+  do {                                                                       \
+    static ::xsec::Failpoint* _xsec_failpoint =                              \
+        ::xsec::FailpointRegistry::Instance().GetOrCreate(name);             \
+    if (__builtin_expect(_xsec_failpoint->armed(), 0)) {                     \
+      ::xsec::Status _xsec_failpoint_status = _xsec_failpoint->Evaluate();   \
+      if (!_xsec_failpoint_status.ok()) {                                    \
+        return _xsec_failpoint_status;                                       \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+// Expression form for contexts that cannot return a Status: true when the
+// failpoint injects an error on this hit (sleep-only specs still sleep but
+// yield false).
+#define XSEC_FAILPOINT_FIRED(name)                                           \
+  ([]() -> bool {                                                            \
+    static ::xsec::Failpoint* _xsec_failpoint =                              \
+        ::xsec::FailpointRegistry::Instance().GetOrCreate(name);             \
+    if (__builtin_expect(!_xsec_failpoint->armed(), 1)) {                    \
+      return false;                                                          \
+    }                                                                        \
+    return !_xsec_failpoint->Evaluate().ok();                                \
+  }())
+
+#endif  // XSEC_SRC_BASE_FAILPOINT_H_

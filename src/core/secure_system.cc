@@ -16,6 +16,7 @@ SecureSystem::SecureSystem(MonitorOptions options) : kernel_(options) {
   vfs_ = std::make_unique<VfsService>(&kernel_);
   net_ = std::make_unique<NetStack>(&kernel_);
   stats_ = std::make_unique<StatsService>(&kernel_);
+  faults_ = std::make_unique<FaultService>(&kernel_);
   Status status = InstallDefaults();
   assert(status.ok() && "SecureSystem boot failed");
   (void)status;
@@ -31,6 +32,7 @@ Status SecureSystem::InstallDefaults() {
   XSEC_RETURN_IF_ERROR(vfs_->Install());
   XSEC_RETURN_IF_ERROR(net_->Install());
   XSEC_RETURN_IF_ERROR(stats_->Install());
+  XSEC_RETURN_IF_ERROR(faults_->Install());
 
   // A long-running compute procedure: runs the T3 information-flow
   // simulation under the full xsec model. It exists as a service both as a

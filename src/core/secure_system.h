@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "src/extsys/kernel.h"
+#include "src/services/fault_service.h"
 #include "src/services/log.h"
 #include "src/services/mbuf.h"
 #include "src/services/memfs.h"
@@ -52,6 +53,7 @@ class SecureSystem {
   VfsService& vfs() { return *vfs_; }
   NetStack& net() { return *net_; }
   StatsService& stats() { return *stats_; }
+  FaultService& faults() { return *faults_; }
 
   PrincipalId everyone() const { return everyone_; }
   PrincipalId system_principal() const { return kernel_.system_principal(); }
@@ -100,6 +102,7 @@ class SecureSystem {
   std::unique_ptr<VfsService> vfs_;
   std::unique_ptr<NetStack> net_;
   std::unique_ptr<StatsService> stats_;
+  std::unique_ptr<FaultService> faults_;
   PrincipalId everyone_;
 };
 

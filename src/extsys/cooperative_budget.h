@@ -1,0 +1,66 @@
+// Cooperative-cancellation helper for handler and extension authors.
+//
+// Cancellation in xsec is cooperative (MODEL.md §11–§12): a caller's
+// deadline or cancel flag takes effect only where code polls
+// CallContext::CheckDeadline. The kernel polls at its own mediation points
+// (invoke entry, between broadcast handlers), but a handler that scans a
+// big directory or copies a large file between those points must poll
+// itself — and polling two atomics on every loop iteration is wasteful in
+// tight loops. CooperativeBudget amortizes the poll: Charge(units) accounts
+// work done and consults CheckDeadline only when the running total crosses
+// a poll_every boundary.
+//
+//   StatusOr<Value> Handler(CallContext& ctx) {
+//     CooperativeBudget budget(&ctx, /*poll_every=*/256);
+//     for (const auto& entry : huge_table) {
+//       XSEC_RETURN_IF_ERROR(budget.Charge());   // kCancelled mid-scan
+//       Process(entry);
+//     }
+//     ...
+//   }
+//
+// Pick units that match the work: one per directory entry, one per byte for
+// copies (with poll_every sized in KB), one per packet for filters. With a
+// null call (trusted internal use, no deadline to honor) Charge never fails
+// and costs one branch.
+
+#ifndef XSEC_SRC_EXTSYS_COOPERATIVE_BUDGET_H_
+#define XSEC_SRC_EXTSYS_COOPERATIVE_BUDGET_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/extsys/extension.h"
+
+namespace xsec {
+
+class CooperativeBudget {
+ public:
+  explicit CooperativeBudget(const CallContext* call, uint64_t poll_every = 256)
+      : call_(call), poll_every_(poll_every == 0 ? 1 : poll_every) {}
+
+  // Accounts `units` of work. Each time the running total advances
+  // poll_every past the last poll, returns the call's CheckDeadline verdict
+  // (kCancelled when the flag is set, kDeadlineExceeded past the deadline);
+  // otherwise OK.
+  Status Charge(uint64_t units = 1) {
+    consumed_ += units;
+    if (call_ != nullptr && consumed_ - polled_at_ >= poll_every_) {
+      polled_at_ = consumed_;
+      return call_->CheckDeadline();
+    }
+    return OkStatus();
+  }
+
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  const CallContext* call_;
+  uint64_t poll_every_;
+  uint64_t consumed_ = 0;
+  uint64_t polled_at_ = 0;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_EXTSYS_COOPERATIVE_BUDGET_H_

@@ -1,5 +1,6 @@
 #include "src/extsys/kernel.h"
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 #include "src/monitor/monitor_stats.h"
 
@@ -78,6 +79,11 @@ Status Kernel::SetProcedureHandler(NodeId node, HandlerFn handler) {
 
 StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
                                    const CallOptions& options) {
+  // Dispatch-layer injection point: fires after mediation (the caller has
+  // already passed its execute check) and before any handler runs, so fault
+  // sweeps can fail or delay every invocation path (Invoke, CallCapability,
+  // interface dispatch) at one choke point.
+  XSEC_FAILPOINT("kernel.invoke");
   if (options.deadline_ns != 0 && MonotonicNowNs() >= options.deadline_ns) {
     return DeadlineExceededError(
         StrFormat("deadline expired before invoking '%s'", name_space_.PathOf(node).c_str()));

@@ -1,8 +1,12 @@
 #include "src/monitor/audit.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <ostream>
+#include <thread>
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 #include "src/monitor/monitor_stats.h"
 
@@ -24,6 +28,8 @@ std::string_view DenyReasonName(DenyReason reason) {
       return "mac-flow";
     case DenyReason::kNotAuthorized:
       return "not-authorized";
+    case DenyReason::kAuditUnavailable:
+      return "audit-unavailable";
   }
   return "unknown";
 }
@@ -64,7 +70,9 @@ NdjsonFileRotator::~NdjsonFileRotator() {
 Status NdjsonFileRotator::Open() {
   if (out_ != nullptr) {
     std::fclose(out_);
+    out_ = nullptr;
   }
+  XSEC_FAILPOINT("audit.rotate.open");
   out_ = std::fopen(path_.c_str(), "w");
   if (out_ == nullptr) {
     return InternalError(StrFormat("cannot open '%s' for writing", path_.c_str()));
@@ -85,14 +93,20 @@ void NdjsonFileRotator::RotateIfNeeded(size_t next_line_bytes) {
   std::fclose(out_);
   out_ = nullptr;
   if (policy_.max_keep > 0) {
-    // Shift the history window: drop the oldest, slide the rest up, then
-    // move the just-closed file into the .1 position.
-    std::remove(StrFormat("%s.%zu", path_.c_str(), policy_.max_keep).c_str());
-    for (size_t k = policy_.max_keep; k > 1; --k) {
-      std::rename(StrFormat("%s.%zu", path_.c_str(), k - 1).c_str(),
-                  StrFormat("%s.%zu", path_.c_str(), k).c_str());
+    if (XSEC_FAILPOINT_FIRED("audit.rotate.rename")) {
+      // A failed history rename degrades to truncate-in-place: the window
+      // loses one file of history but writing never stops.
+      ++rename_failures_;
+    } else {
+      // Shift the history window: drop the oldest, slide the rest up, then
+      // move the just-closed file into the .1 position.
+      std::remove(StrFormat("%s.%zu", path_.c_str(), policy_.max_keep).c_str());
+      for (size_t k = policy_.max_keep; k > 1; --k) {
+        std::rename(StrFormat("%s.%zu", path_.c_str(), k - 1).c_str(),
+                    StrFormat("%s.%zu", path_.c_str(), k).c_str());
+      }
+      std::rename(path_.c_str(), StrFormat("%s.1", path_.c_str()).c_str());
     }
-    std::rename(path_.c_str(), StrFormat("%s.1", path_.c_str()).c_str());
   }
   ++rotations_;
   (void)Open();  // max_keep == 0 lands here too: truncate in place
@@ -116,6 +130,77 @@ void NdjsonFileRotator::Write(const AuditRecord& record) {
 std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
     std::shared_ptr<NdjsonFileRotator> rotator) {
   return [rotator](const AuditRecord& record) { rotator->Write(record); };
+}
+
+ResilientSink::ResilientSink(FallibleSink inner, ResilientSinkOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.rng_seed) {
+  if (options_.max_attempts < 1) {
+    options_.max_attempts = 1;
+  }
+  if (options_.trip_after < 1) {
+    options_.trip_after = 1;
+  }
+}
+
+std::string_view ResilientSink::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status ResilientSink::TryOnce(const AuditRecord& record) {
+  XSEC_FAILPOINT("audit.sink.write");
+  return inner_(record);
+}
+
+void ResilientSink::Write(const AuditRecord& record) {
+  State entered = state();
+  if (entered == State::kOpen) {
+    if (options_.reopen_after_ns == 0 ||
+        MonotonicNowNs() - opened_at_ns_ < options_.reopen_after_ns) {
+      // Circuit open: drop immediately, never touch the dead sink. The ring
+      // still retains the record; only export is lost.
+      gave_up_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    entered = State::kHalfOpen;
+    state_.store(entered, std::memory_order_relaxed);
+  }
+  // Half-open gets exactly one probe; closed gets the full retry budget.
+  const int attempts = entered == State::kHalfOpen ? 1 : options_.max_attempts;
+  uint64_t backoff_ns = options_.backoff_initial_ns;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t jitter = backoff_ns * options_.jitter_pct / 100;
+      uint64_t sleep_ns =
+          backoff_ns - jitter + (jitter != 0 ? rng_.NextBelow(2 * jitter + 1) : 0);
+      if (sleep_ns != 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(sleep_ns));
+      }
+      backoff_ns = std::min(backoff_ns * 2, options_.backoff_max_ns);
+    }
+    if (TryOnce(record).ok()) {
+      consecutive_failures_ = 0;
+      written_.fetch_add(1, std::memory_order_relaxed);
+      if (entered == State::kHalfOpen) {
+        state_.store(State::kClosed, std::memory_order_relaxed);
+      }
+      return;
+    }
+    ++consecutive_failures_;
+  }
+  gave_up_.fetch_add(1, std::memory_order_relaxed);
+  if (entered == State::kHalfOpen || consecutive_failures_ >= options_.trip_after) {
+    opened_at_ns_ = MonotonicNowNs();
+    state_.store(State::kOpen, std::memory_order_relaxed);
+  }
 }
 
 void AuditLog::RingInsertLocked(AuditRecord record) {
@@ -145,8 +230,12 @@ void AuditLog::Record(AuditRecord record) {
       if (drain_running_) {
         // Only enqueue under mu_; the drainer does the sink I/O. Enqueueing
         // in the same critical section that stamps the sequence is what
-        // keeps drained output exactly sequence-ordered.
-        if (drain_queue_.size() >= drain_options_.queue_capacity) {
+        // keeps drained output exactly sequence-ordered. The failpoint is
+        // evaluated first so an injected enqueue failure (or latency — it
+        // runs under mu_, deliberately stalling recorders like a contended
+        // queue would) is exercised even when the queue has room.
+        if (XSEC_FAILPOINT_FIRED("audit.drain.enqueue") ||
+            drain_queue_.size() >= drain_options_.queue_capacity) {
           sink_dropped_.fetch_add(1, std::memory_order_relaxed);
         } else {
           drain_queue_.push_back(record);
@@ -171,6 +260,36 @@ void AuditLog::Record(AuditRecord record) {
 void AuditLog::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sink_ = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+}
+
+void AuditLog::InstallResilientSink(std::shared_ptr<ResilientSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resilient_ = sink;
+  // Publish the health pointer before the sink can be invoked; release
+  // pairs with the acquire in SinkTripped.
+  resilient_raw_.store(sink.get(), std::memory_order_release);
+  sink_ = sink != nullptr
+              ? std::make_shared<const Sink>(
+                    [sink](const AuditRecord& record) { sink->Write(record); })
+              : nullptr;
+}
+
+std::string AuditLog::sink_state() const {
+  const ResilientSink* sink = resilient_raw_.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    return "none";
+  }
+  return std::string(ResilientSink::StateName(sink->state()));
+}
+
+uint64_t AuditLog::sink_retries() const {
+  const ResilientSink* sink = resilient_raw_.load(std::memory_order_acquire);
+  return sink == nullptr ? 0 : sink->retries();
+}
+
+uint64_t AuditLog::sink_gave_up() const {
+  const ResilientSink* sink = resilient_raw_.load(std::memory_order_acquire);
+  return sink == nullptr ? 0 : sink->gave_up();
 }
 
 void AuditLog::StartDrain(AuditDrainOptions options) {
@@ -229,6 +348,10 @@ void AuditLog::StopDrain() {
 }
 
 void AuditLog::Flush() {
+  // Latency-injection point for flush-path tests (arm with sleep=...; an
+  // error spec counts a fire but flush still proceeds — flush is not
+  // allowed to fail, only to be slow).
+  (void)XSEC_FAILPOINT_FIRED("audit.sink.flush");
   {
     std::unique_lock<std::mutex> lock(mu_);
     drain_idle_cv_.wait(lock, [this] { return drain_queue_.empty() && !drain_busy_; });

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/rng.h"
+#include "src/base/status.h"
 #include "src/dac/access_mode.h"
 #include "src/naming/namespace.h"
 #include "src/principal/principal.h"
@@ -56,10 +58,11 @@ enum class DenyReason : uint8_t {
   kDacNoGrant,        // no positive ACL entry covered the request
   kMacFlow,           // the lattice flow rules forbid the access
   kNotAuthorized,     // administrative operation without administrate rights
+  kAuditUnavailable,  // fail-closed: the required audit sink is down
 };
 
 // Number of DenyReason values, kNone included (per-reason counter arrays).
-inline constexpr size_t kDenyReasonCount = 7;
+inline constexpr size_t kDenyReasonCount = 8;
 
 std::string_view DenyReasonName(DenyReason reason);
 
@@ -117,6 +120,10 @@ class NdjsonFileRotator {
   void Write(const AuditRecord& record);
 
   uint64_t rotations() const { return rotations_; }
+  // Rotations whose history shift was skipped because the rename failed
+  // (real or injected via the `audit.rotate.rename` failpoint); the file is
+  // truncated in place instead, so writing always continues.
+  uint64_t rename_failures() const { return rename_failures_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -128,12 +135,80 @@ class NdjsonFileRotator {
   uint64_t bytes_ = 0;
   uint64_t opened_at_ns_ = 0;
   uint64_t rotations_ = 0;
+  uint64_t rename_failures_ = 0;
 };
 
 // Adapts a rotator into an AuditLog sink; the shared_ptr keeps it alive for
 // as long as the log holds the sink.
 std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
     std::shared_ptr<NdjsonFileRotator> rotator);
+
+// -- Self-healing sink --------------------------------------------------------
+
+// Tuning for ResilientSink (MODEL.md §12). Defaults: up to 4 attempts per
+// record with 1ms→50ms capped exponential backoff ±50% jitter; 8 consecutive
+// failed attempts trip the circuit open; after 200ms an open circuit lets one
+// half-open probe through.
+struct ResilientSinkOptions {
+  int max_attempts = 4;                     // per record, first try included
+  uint64_t backoff_initial_ns = 1'000'000;  // 1 ms before the first retry
+  uint64_t backoff_max_ns = 50'000'000;     // backoff doubles up to this cap
+  uint32_t jitter_pct = 50;                 // backoff is jittered ± this %
+  uint32_t trip_after = 8;                  // consecutive failed attempts → open
+  uint64_t reopen_after_ns = 200'000'000;   // open → half-open probe interval
+  uint64_t rng_seed = 0x5eed;               // jitter rng (deterministic)
+};
+
+// A circuit-breaking retry wrapper around a fallible sink. Closed: every
+// record is attempted up to max_attempts times with capped exponential
+// backoff + jitter. Open (tripped after trip_after consecutive failed
+// attempts): records are dropped immediately (counted in gave_up()) so a
+// dead sink cannot stall the audit pipeline; the ring still retains them.
+// Half-open: after reopen_after_ns one probe record is tried once — success
+// recloses the circuit, failure reopens it.
+//
+// Write() must be externally serialized, which AuditLog::InstallResilientSink
+// guarantees (sink invocations run under the log's sink mutex or on its
+// single drainer thread). The state/counter accessors are safe from any
+// thread — they back the /sys/monitor/audit/{sink_state,retries,gave_up}
+// leaves and the monitor's fail-closed check.
+class ResilientSink {
+ public:
+  enum class State : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+  // The wrapped sink reports failure via Status so retries are possible
+  // (the plain void AuditLog::Sink cannot).
+  using FallibleSink = std::function<Status(const AuditRecord&)>;
+
+  explicit ResilientSink(FallibleSink inner, ResilientSinkOptions options = {});
+
+  // Delivers one record per the policy above. The `audit.sink.write`
+  // failpoint is evaluated on every attempt, before the inner sink.
+  void Write(const AuditRecord& record);
+
+  State state() const { return state_.load(std::memory_order_relaxed); }
+  bool healthy() const { return state() != State::kOpen; }
+
+  uint64_t written() const { return written_.load(std::memory_order_relaxed); }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t gave_up() const { return gave_up_.load(std::memory_order_relaxed); }
+
+  static std::string_view StateName(State state);
+
+ private:
+  Status TryOnce(const AuditRecord& record);
+
+  FallibleSink inner_;
+  ResilientSinkOptions options_;
+  Rng rng_;
+  std::atomic<State> state_{State::kClosed};
+  std::atomic<uint64_t> written_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> gave_up_{0};
+  // Touched only inside Write (externally serialized).
+  uint32_t consecutive_failures_ = 0;
+  uint64_t opened_at_ns_ = 0;
+};
 
 // Configuration for the async audit drain (AuditLog::StartDrain). The drain
 // queue is bounded: when a slow sink lets it fill, newly retained records
@@ -179,6 +254,41 @@ class AuditLog {
   // (and blocks on its I/O), with one the drainer does. Install at setup
   // time, before concurrent checking starts.
   void set_sink(Sink sink);
+
+  // Installs `sink` (may be null to remove) as THE sink, wrapped so every
+  // retained record goes through its retry/circuit-breaker policy, and
+  // registers it as the log's health source: SinkTripped(), sink_state()
+  // and the retry counters reflect this sink from here on. Install at setup
+  // time, like set_sink.
+  void InstallResilientSink(std::shared_ptr<ResilientSink> sink);
+
+  // -- Fail-closed contract (MODEL.md §12) ------------------------------------
+
+  // When required is set and the resilient sink's circuit is open, the
+  // reference monitor turns would-be allows into kAuditUnavailable denials
+  // instead of letting actions proceed unaudited. Without required mode the
+  // monitor lets them pass and counts them in unaudited_allows().
+  void set_required(bool required) { required_.store(required, std::memory_order_relaxed); }
+  bool required() const { return required_.load(std::memory_order_relaxed); }
+
+  // True when a resilient sink is installed and its circuit is open. Hot
+  // path: one pointer load (the common no-resilient-sink case stops at the
+  // null check).
+  bool SinkTripped() const {
+    const ResilientSink* sink = resilient_raw_.load(std::memory_order_acquire);
+    return sink != nullptr && sink->state() == ResilientSink::State::kOpen;
+  }
+
+  void CountUnauditedAllow() { unaudited_allows_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t unaudited_allows() const {
+    return unaudited_allows_.load(std::memory_order_relaxed);
+  }
+
+  // Health of the installed resilient sink: "none" when there isn't one,
+  // else "closed" / "open" / "half-open". Backs /sys/monitor/audit/sink_state.
+  std::string sink_state() const;
+  uint64_t sink_retries() const;
+  uint64_t sink_gave_up() const;
 
   // -- Async drain ------------------------------------------------------------
 
@@ -251,6 +361,14 @@ class AuditLog {
   // while set_sink concurrently swaps in a new one.
   std::shared_ptr<const Sink> sink_;
   uint64_t next_sequence_ = 0;
+
+  // Resilient-sink health plumbing. resilient_ (guarded by mu_) owns the
+  // sink; resilient_raw_ mirrors it so the monitor's per-check SinkTripped
+  // probe is one lock-free load.
+  std::shared_ptr<ResilientSink> resilient_;
+  std::atomic<const ResilientSink*> resilient_raw_{nullptr};
+  std::atomic<bool> required_{false};
+  std::atomic<uint64_t> unaudited_allows_{0};
 
   // Serializes sink invocations (sync recorders and the drainer), so sinks
   // never need internal locking. Always acquired without mu_ held.

@@ -26,6 +26,7 @@ ReferenceMonitor::ReferenceMonitor(NameSpace* name_space, AclStore* acls,
       audit_(options.audit_capacity),
       cache_(options.cache_slots) {
   audit_.set_policy(options.audit_policy);
+  audit_.set_required(options.audit_required);
   // Every node must resolve to *some* label; the root carries ⊥ so an
   // unlabeled tree degenerates to "MAC imposes no constraint among ⊥
   // subjects" rather than to undefined behavior.
@@ -160,8 +161,21 @@ Decision ReferenceMonitor::Check(const Subject& subject, NodeId node, AccessMode
   return CheckUnsampled(subject, node, modes);
 }
 
+void ReferenceMonitor::ApplyAuditAvailability(Decision* decision) {
+  if (!decision->allowed || __builtin_expect(!audit_.SinkTripped(), 1)) {
+    return;
+  }
+  if (audit_.required()) {
+    *decision = Decision{false, DenyReason::kAuditUnavailable,
+                         "audit sink unavailable and audit is required"};
+  } else {
+    audit_.CountUnauditedAllow();
+  }
+}
+
 Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
                                           AccessModeSet modes) {
+  Decision decision;
   if (options_.cache_enabled) {
     // Stamps are read (acquire) BEFORE evaluating. If a store mutates
     // mid-evaluation its bump lands after our loads, so the entry we insert
@@ -170,17 +184,18 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
     CacheStamps stamps = CurrentStamps();
     DecisionCache::CachedDecision cached;
     if (cache_.Lookup(subject, node, modes, stamps, &cached)) {
-      Decision decision{cached.allowed, cached.reason, ""};
-      Audit(subject, node, "", modes, decision);
-      return decision;
+      decision = Decision{cached.allowed, cached.reason, ""};
+    } else {
+      decision = CheckUncached(subject, node, modes);
+      cache_.Insert(subject, node, modes, stamps,
+                    DecisionCache::CachedDecision{decision.allowed, decision.reason});
     }
-    Decision decision = CheckUncached(subject, node, modes);
-    cache_.Insert(subject, node, modes, stamps,
-                  DecisionCache::CachedDecision{decision.allowed, decision.reason});
-    Audit(subject, node, "", modes, decision);
-    return decision;
+  } else {
+    decision = CheckUncached(subject, node, modes);
   }
-  Decision decision = CheckUncached(subject, node, modes);
+  // After the cache on purpose: the cache keeps the underlying decision, the
+  // availability override applies only to this call.
+  ApplyAuditAvailability(&decision);
   Audit(subject, node, "", modes, decision);
   return decision;
 }

@@ -68,6 +68,11 @@ struct MonitorOptions {
   bool stats_enabled = true;
   FlowPolicyOptions flow;
   AuditPolicy audit_policy = AuditPolicy::kDenialsOnly;
+  // Fail-closed audit (MODEL.md §12): when set and the installed resilient
+  // sink's circuit is open, Check turns would-be allows into
+  // kAuditUnavailable denials instead of proceeding unaudited. Off by
+  // default (fail-open: unaudited allows proceed and are counted).
+  bool audit_required = false;
   size_t cache_slots = 8192;
   size_t audit_capacity = 4096;
 };
@@ -168,6 +173,11 @@ class ReferenceMonitor {
   CacheStamps CurrentStamps() const;
   void Audit(const Subject& subject, NodeId node, std::string path, AccessModeSet modes,
              const Decision& decision);
+  // Fail-closed override: flips an allow to a kAuditUnavailable denial (or
+  // counts it as unaudited, in fail-open mode) when the required audit sink
+  // is tripped. Runs AFTER the cache so the transient denial is never
+  // cached — allows resume the moment the sink recovers.
+  void ApplyAuditAvailability(Decision* decision);
 
   NameSpace* name_space_;
   AclStore* acls_;

@@ -1,7 +1,11 @@
 #include "src/policy/policy_io.h"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <set>
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -380,6 +384,124 @@ Status LoadPolicy(std::string_view text, Kernel* kernel) {
     return InvalidArgumentError("empty policy: missing 'xsec-policy v1' header");
   }
   return OkStatus();
+}
+
+namespace {
+
+constexpr std::string_view kChecksumPrefix = "# xsec-checksum ";
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string ChecksumTrailer(std::string_view body) {
+  return StrFormat("%s%016llx\n", std::string(kChecksumPrefix).c_str(),
+                   static_cast<unsigned long long>(Fnv1a64(body)));
+}
+
+// True iff `text` ends with a checksum trailer that matches the bytes before
+// it. A torn write loses the trailer (it is written last), so this is the
+// integrity test LoadPolicyFile uses to tell an intact file from wreckage.
+bool ChecksumValid(std::string_view text) {
+  size_t line_start = text.rfind('\n', text.size() >= 2 ? text.size() - 2 : 0);
+  line_start = line_start == std::string_view::npos ? 0 : line_start + 1;
+  std::string_view last_line = text.substr(line_start);
+  if (!StartsWith(last_line, kChecksumPrefix)) {
+    return false;
+  }
+  return std::string(last_line) == ChecksumTrailer(text.substr(0, line_start));
+}
+
+StatusOr<std::string> SlurpFile(const std::string& path) {
+  XSEC_FAILPOINT("policy.io.read");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+Status SavePolicyFile(Kernel& kernel, const std::string& path) {
+  auto text = SerializePolicy(kernel);
+  if (!text.ok()) {
+    return text.status();
+  }
+  std::string body = *text + ChecksumTrailer(*text);
+  const std::string tmp = path + ".tmp";
+  const std::string bak = path + ".bak";
+
+  XSEC_FAILPOINT("policy.io.open");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError(StrFormat("cannot open '%s' for writing", tmp.c_str()));
+  }
+  // The failpoint splits the write in two so an injected failure leaves a
+  // genuinely torn temp file (first half flushed, trailer missing) — the
+  // shape a real mid-write crash produces.
+  size_t half = body.size() / 2;
+  bool ok = std::fwrite(body.data(), 1, half, f) == half;
+  std::fflush(f);
+  if (XSEC_FAILPOINT_FIRED("policy.io.write")) {
+    std::fclose(f);
+    return InternalError(StrFormat("write of '%s' failed mid-stream", tmp.c_str()));
+  }
+  ok = ok && std::fwrite(body.data() + half, 1, body.size() - half, f) == body.size() - half;
+  std::fflush(f);
+  // fsync before the rename: the atomic-rename guarantee is only as good as
+  // the temp file's bytes being on disk first.
+  ok = ok && fsync(fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    return InternalError(StrFormat("write of '%s' failed", tmp.c_str()));
+  }
+  // Keep the previous version as the fallback the loader recovers from if
+  // we die between the two renames. Failure is fine on the first save.
+  (void)std::rename(path.c_str(), bak.c_str());
+  if (XSEC_FAILPOINT_FIRED("policy.io.commit")) {
+    return InternalError(
+        StrFormat("crashed before committing '%s' (previous policy at '%s')", path.c_str(),
+                  bak.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError(StrFormat("cannot rename '%s' into place", tmp.c_str()));
+  }
+  return OkStatus();
+}
+
+Status LoadPolicyFile(const std::string& path, Kernel* kernel, std::string* loaded_from) {
+  for (const std::string& candidate : {path, path + ".bak"}) {
+    auto text = SlurpFile(candidate);
+    if (!text.ok()) {
+      continue;  // missing/unreadable: try the fallback
+    }
+    if (!ChecksumValid(*text)) {
+      continue;  // torn or tampered: try the fallback
+    }
+    // The trailer is a '#' comment, so LoadPolicy parses the file as-is. A
+    // checksum-valid file that fails to load is a real error, not a reason
+    // to silently fall back to older policy.
+    XSEC_RETURN_IF_ERROR(LoadPolicy(*text, kernel));
+    if (loaded_from != nullptr) {
+      *loaded_from = candidate;
+    }
+    return OkStatus();
+  }
+  return NotFoundError(
+      StrFormat("no intact policy at '%s' or '%s.bak'", path.c_str(), path.c_str()));
 }
 
 }  // namespace xsec

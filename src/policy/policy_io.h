@@ -59,6 +59,32 @@ StatusOr<std::string> SerializePolicy(Kernel& kernel);
 // directives remain applied (load into a scratch kernel to validate first).
 Status LoadPolicy(std::string_view text, Kernel* kernel);
 
+// -- Crash-consistent policy files (MODEL.md §12) -----------------------------
+
+// Writes the serialized policy to `path` so that a crash (or injected fault)
+// at ANY point leaves a loadable policy behind:
+//
+//   1. serialize + append a `# xsec-checksum <fnv1a-64>` trailer line;
+//   2. write to `<path>.tmp` and fsync it (a torn temp file never has a
+//      valid trailer, so the loader rejects it);
+//   3. rename the previous `<path>` (if any) to `<path>.bak`;
+//   4. atomically rename the temp file into place.
+//
+// Failpoints: `policy.io.open` fails the temp-file open; `policy.io.write`
+// kills the write mid-stream, leaving a torn temp file and `path`
+// untouched; `policy.io.commit` simulates a crash between the two renames
+// (`path` missing, `.bak` intact).
+Status SavePolicyFile(Kernel& kernel, const std::string& path);
+
+// Loads the policy saved at `path` by SavePolicyFile, verifying the
+// checksum trailer; a missing or torn `path` falls back to `<path>.bak`.
+// `loaded_from`, when non-null, receives the file actually applied. Returns
+// NOT_FOUND when neither file holds an intact policy. (Hand-written policy
+// files without a trailer belong to LoadPolicy, not this loader: no
+// checksum, no crash-consistency claim.)
+Status LoadPolicyFile(const std::string& path, Kernel* kernel,
+                      std::string* loaded_from = nullptr);
+
 }  // namespace xsec
 
 #endif  // XSEC_SRC_POLICY_POLICY_IO_H_

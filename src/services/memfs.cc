@@ -1,8 +1,23 @@
 #include "src/services/memfs.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
+#include "src/extsys/cooperative_budget.h"
 
 namespace xsec {
+
+namespace {
+
+// Bulk content copies poll for cancellation once per this many bytes; a
+// caller abandoning a multi-megabyte read stops paying for it within one
+// chunk instead of at the end.
+constexpr size_t kCopyChunkBytes = 64 * 1024;
+
+// Directory scans poll once per this many entries.
+constexpr uint64_t kScanPollEntries = 64;
+
+}  // namespace
 
 MemFs::MemFs(Kernel* kernel, std::string mount_path, std::string service_path)
     : kernel_(kernel), mount_path_(std::move(mount_path)), service_path_(std::move(service_path)) {}
@@ -50,7 +65,7 @@ Status MemFs::Install() {
     if (!path.ok()) {
       return path.status();
     }
-    auto data = Read(*ctx.subject, *path);
+    auto data = Read(*ctx.subject, *path, &ctx);
     if (!data.ok()) {
       return data.status();
     }
@@ -65,7 +80,7 @@ Status MemFs::Install() {
     if (!data.ok()) {
       return data.status();
     }
-    XSEC_RETURN_IF_ERROR(Write(*ctx.subject, *path, std::move(*data)));
+    XSEC_RETURN_IF_ERROR(Write(*ctx.subject, *path, std::move(*data), &ctx));
     return Value{true};
   }));
   XSEC_RETURN_IF_ERROR(proc("append", [this](CallContext& ctx) -> StatusOr<Value> {
@@ -77,7 +92,7 @@ Status MemFs::Install() {
     if (!data.ok()) {
       return data.status();
     }
-    XSEC_RETURN_IF_ERROR(Append(*ctx.subject, *path, *data));
+    XSEC_RETURN_IF_ERROR(Append(*ctx.subject, *path, *data, &ctx));
     return Value{true};
   }));
   XSEC_RETURN_IF_ERROR(proc("remove", [this](CallContext& ctx) -> StatusOr<Value> {
@@ -93,7 +108,7 @@ Status MemFs::Install() {
     if (!path.ok()) {
       return path.status();
     }
-    auto names = ListDir(*ctx.subject, *path);
+    auto names = ListDir(*ctx.subject, *path, &ctx);
     if (!names.ok()) {
       return names.status();
     }
@@ -174,25 +189,43 @@ StatusOr<NodeId> MemFs::MkDir(Subject& subject, std::string_view path) {
                                     subject.principal);
 }
 
-StatusOr<std::vector<uint8_t>> MemFs::Read(Subject& subject, std::string_view path) {
+StatusOr<std::vector<uint8_t>> MemFs::Read(Subject& subject, std::string_view path,
+                                           const CallContext* call) {
   auto node = ResolveChecked(subject, path, AccessMode::kRead, NodeKind::kFile);
   if (!node.ok()) {
     return node.status();
   }
-  return contents_[node->value];
+  const std::vector<uint8_t>& src = contents_[node->value];
+  CooperativeBudget budget(call, kCopyChunkBytes);
+  std::vector<uint8_t> out;
+  out.reserve(src.size());
+  for (size_t off = 0; off < src.size(); off += kCopyChunkBytes) {
+    const size_t len = std::min(kCopyChunkBytes, src.size() - off);
+    XSEC_RETURN_IF_ERROR(budget.Charge(len));
+    out.insert(out.end(), src.begin() + static_cast<ptrdiff_t>(off),
+               src.begin() + static_cast<ptrdiff_t>(off + len));
+  }
+  return out;
 }
 
-Status MemFs::Write(Subject& subject, std::string_view path, std::vector<uint8_t> data) {
+Status MemFs::Write(Subject& subject, std::string_view path, std::vector<uint8_t> data,
+                    const CallContext* call) {
   auto node = ResolveChecked(subject, path, AccessMode::kWrite, NodeKind::kFile);
   if (!node.ok()) {
     return node.status();
+  }
+  // The overwrite itself is one O(1) move, so it is a single work unit: poll
+  // once before committing, and a cancelled caller leaves the old contents
+  // fully intact.
+  if (call != nullptr) {
+    XSEC_RETURN_IF_ERROR(call->CheckDeadline());
   }
   contents_[node->value] = std::move(data);
   return OkStatus();
 }
 
 Status MemFs::Append(Subject& subject, std::string_view path,
-                     const std::vector<uint8_t>& data) {
+                     const std::vector<uint8_t>& data, const CallContext* call) {
   // Either write-append or full write suffices; try the narrower mode first.
   auto node = ResolveChecked(subject, path, AccessMode::kWriteAppend, NodeKind::kFile);
   if (!node.ok()) {
@@ -202,7 +235,20 @@ Status MemFs::Append(Subject& subject, std::string_view path,
     return node.status();
   }
   std::vector<uint8_t>& dst = contents_[node->value];
-  dst.insert(dst.end(), data.begin(), data.end());
+  const size_t old_size = dst.size();
+  CooperativeBudget budget(call, kCopyChunkBytes);
+  for (size_t off = 0; off < data.size(); off += kCopyChunkBytes) {
+    const size_t len = std::min(kCopyChunkBytes, data.size() - off);
+    Status deadline = budget.Charge(len);
+    if (!deadline.ok()) {
+      // Roll back the partial append: a cancelled call must not leave a
+      // torn suffix behind.
+      dst.resize(old_size);
+      return deadline;
+    }
+    dst.insert(dst.end(), data.begin() + static_cast<ptrdiff_t>(off),
+               data.begin() + static_cast<ptrdiff_t>(off + len));
+  }
   return OkStatus();
 }
 
@@ -221,7 +267,8 @@ Status MemFs::Remove(Subject& subject, std::string_view path) {
   return OkStatus();
 }
 
-StatusOr<std::vector<std::string>> MemFs::ListDir(Subject& subject, std::string_view path) {
+StatusOr<std::vector<std::string>> MemFs::ListDir(Subject& subject, std::string_view path,
+                                                  const CallContext* call) {
   auto node = ResolveChecked(subject, path, AccessMode::kList, NodeKind::kDirectory);
   if (!node.ok()) {
     return node.status();
@@ -230,9 +277,11 @@ StatusOr<std::vector<std::string>> MemFs::ListDir(Subject& subject, std::string_
   if (!children.ok()) {
     return children.status();
   }
+  CooperativeBudget budget(call, kScanPollEntries);
   std::vector<std::string> names;
   names.reserve(children->size());
   for (NodeId child : *children) {
+    XSEC_RETURN_IF_ERROR(budget.Charge());
     names.push_back(kernel_->name_space().Get(child)->name);
   }
   return names;

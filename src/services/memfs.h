@@ -45,13 +45,22 @@ class MemFs {
   size_t file_count() const { return contents_.size(); }
 
   // -- Mediated operations (also exposed as procedures) ----------------------
+  // The bulk operations (read/write/append of file contents, directory
+  // scans) take an optional CallContext and poll its deadline/cancel flags
+  // per bounded work unit via CooperativeBudget, so a caller-side cancel
+  // interrupts a large copy instead of waiting it out. Null `call` (trusted
+  // internal use) skips the polling.
   StatusOr<NodeId> Create(Subject& subject, std::string_view path);
   StatusOr<NodeId> MkDir(Subject& subject, std::string_view path);
-  StatusOr<std::vector<uint8_t>> Read(Subject& subject, std::string_view path);
-  Status Write(Subject& subject, std::string_view path, std::vector<uint8_t> data);
-  Status Append(Subject& subject, std::string_view path, const std::vector<uint8_t>& data);
+  StatusOr<std::vector<uint8_t>> Read(Subject& subject, std::string_view path,
+                                      const CallContext* call = nullptr);
+  Status Write(Subject& subject, std::string_view path, std::vector<uint8_t> data,
+               const CallContext* call = nullptr);
+  Status Append(Subject& subject, std::string_view path, const std::vector<uint8_t>& data,
+                const CallContext* call = nullptr);
   Status Remove(Subject& subject, std::string_view path);
-  StatusOr<std::vector<std::string>> ListDir(Subject& subject, std::string_view path);
+  StatusOr<std::vector<std::string>> ListDir(Subject& subject, std::string_view path,
+                                             const CallContext* call = nullptr);
   StatusOr<int64_t> Stat(Subject& subject, std::string_view path);
 
  private:

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <utility>
+#include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 #include "src/naming/path.h"
 
@@ -117,10 +119,25 @@ Status StatsService::Install() {
       MountLeaf("audit/dropped", [audit, count] { return count(audit->dropped()); }));
   XSEC_RETURN_IF_ERROR(MountLeaf(
       "audit/sink_dropped", [audit, count] { return count(audit->sink_dropped()); }));
+  // Resilient-sink health (MODEL.md §12): circuit state plus the retry /
+  // give-up counters, and the allows that proceeded unaudited in fail-open
+  // mode while the sink was down.
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("audit/sink_state", [audit] { return audit->sink_state(); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("audit/retries", [audit, count] { return count(audit->sink_retries()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("audit/gave_up", [audit, count] { return count(audit->sink_gave_up()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("audit/unaudited_allows", [audit, count] {
+    return count(audit->unaudited_allows());
+  }));
   XSEC_RETURN_IF_ERROR(MountLeaf(
       "subscribers/active", [this] { return std::to_string(active_subscribers()); }));
   XSEC_RETURN_IF_ERROR(MountLeaf("subscribers/dropped", [this] {
     return std::to_string(subscriber_dropped_total());
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("subscribers/quota_denied", [this] {
+    return std::to_string(quota_denied_total());
   }));
   XSEC_RETURN_IF_ERROR(MountLeaf("rate/checks_per_sec", [this] {
     MaybeTick();
@@ -454,6 +471,15 @@ void StatsService::FanOut(uint64_t version, std::shared_ptr<const std::string> r
     if (channel->closed || version <= channel->last_version) {
       continue;  // gone, or a concurrent Tick already delivered this epoch
     }
+    if (XSEC_FAILPOINT_FIRED("stats.fanout.push")) {
+      // Injected delivery failure: the epoch is lost to this channel exactly
+      // like a backpressure drop (a sleep spec instead stalls fan-out under
+      // sub_mu_, the shape of a wedged delivery path).
+      channel->last_version = version;
+      ++channel->dropped;
+      subscriber_dropped_total_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (channel->queue.size() >= options_.subscriber_queue_capacity &&
         channel->backpressure == SubscriberBackpressure::kBlockPublisher) {
       // Wait for the subscriber to drain — capped, so a stuck subscriber
@@ -511,6 +537,11 @@ std::string StatsService::RenderSnapshot() {
 StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadline_ns,
                                                   const CallContext* call) {
   for (;;) {
+    // Wakeup-path injection point: a sleep spec delays each recheck cycle
+    // (simulating a tardy wakeup), an error spec just counts a fire — the
+    // wait itself must not fail, only the deadline/cancel checks below can
+    // end it.
+    (void)XSEC_FAILPOINT_FIRED("stats.poll.wakeup");
     std::unique_lock<std::mutex> lock(pub_mu_);
     // A `since` *ahead* of the published version is a handle from before a
     // service restart (version counters restart at 1): the caller's era is
@@ -541,7 +572,20 @@ StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadl
     if (deadline_ns != 0 && deadline_ns < wake) {
       wake = deadline_ns;
     }
+    if (call != nullptr && options_.cancel_poll_interval_ns != 0 &&
+        now + options_.cancel_poll_interval_ns < wake) {
+      // A cancellable waiter never parks a whole epoch blind: cap the slice
+      // so the loop re-polls CheckDeadline at cancel granularity. (Before
+      // this cap a cancelled watcher slept out the full slice — up to the
+      // epoch interval — before noticing.)
+      wake = now + options_.cancel_poll_interval_ns;
+    }
     pub_cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+    if (call != nullptr) {
+      // Recheck before re-arming: a spurious wakeup (or a notify for some
+      // other waiter) must not put a cancelled caller back to sleep.
+      XSEC_RETURN_IF_ERROR(call->CheckDeadline());
+    }
   }
 }
 
@@ -582,6 +626,21 @@ StatusOr<uint64_t> StatsService::Subscribe(Subject& subject, int64_t since,
       return ResourceExhaustedError(
           StrFormat("subscriber limit (%zu) reached", options_.max_subscribers));
     }
+    if (options_.max_channels_per_principal != 0) {
+      size_t owned = 0;
+      for (const auto& [id, existing] : subscribers_) {
+        if (existing->owner == subject.principal) {
+          ++owned;
+        }
+      }
+      if (owned >= options_.max_channels_per_principal) {
+        quota_denied_total_.fetch_add(1, std::memory_order_relaxed);
+        return ResourceExhaustedError(StrFormat(
+            "per-principal channel quota (%zu) reached; unsubscribe or raise "
+            "max_channels_per_principal",
+            options_.max_channels_per_principal));
+      }
+    }
     channel->id = next_subscriber_id_++;
     subscribers_.emplace(channel->id, channel);
   }
@@ -612,6 +671,7 @@ StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t 
     channel = it->second;
   }
   for (;;) {
+    (void)XSEC_FAILPOINT_FIRED("stats.poll.wakeup");
     {
       std::lock_guard<std::mutex> lock(sub_mu_);
       if (!channel->queue.empty()) {
@@ -648,9 +708,21 @@ StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t 
     if (deadline_ns != 0 && deadline_ns < wake) {
       wake = deadline_ns;
     }
-    std::unique_lock<std::mutex> lock(sub_mu_);
-    if (channel->queue.empty() && !channel->closed) {
-      channel->cv.wait_for(lock, std::chrono::nanoseconds(wake - now));
+    if (call != nullptr && options_.cancel_poll_interval_ns != 0 &&
+        now + options_.cancel_poll_interval_ns < wake) {
+      // Same cancel-granularity cap as WaitForUpdate: a cancelled poller
+      // must not sleep out a whole epoch slice before noticing.
+      wake = now + options_.cancel_poll_interval_ns;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sub_mu_);
+      if (channel->queue.empty() && !channel->closed) {
+        channel->cv.wait_for(lock, std::chrono::nanoseconds(wake - now));
+      }
+    }
+    if (call != nullptr) {
+      // Recheck before re-arming after a (possibly spurious) wakeup.
+      XSEC_RETURN_IF_ERROR(call->CheckDeadline());
     }
   }
 }
@@ -672,6 +744,29 @@ Status StatsService::Unsubscribe(Subject& subject, uint64_t id) {
   }
   UnmountSubscriberLeaves(id);
   return OkStatus();
+}
+
+size_t StatsService::GcChannelsFor(PrincipalId principal) {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    for (auto it = subscribers_.begin(); it != subscribers_.end();) {
+      if (it->second->owner == principal) {
+        ids.push_back(it->first);
+        it->second->closed = true;
+        it->second->cv.notify_all();  // release blocked pollers/publishers
+        it = subscribers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Leaves are unmounted outside sub_mu_ (lock order: values_mu_ is never
+  // taken while sub_mu_ is held).
+  for (uint64_t id : ids) {
+    UnmountSubscriberLeaves(id);
+  }
+  return ids.size();
 }
 
 size_t StatsService::active_subscribers() const {

@@ -105,6 +105,16 @@ struct StatsServiceOptions {
   uint64_t publisher_block_cap_ns = 50'000'000;  // 50 ms
   // Admission-time cap on live subscription channels.
   size_t max_subscribers = 64;
+  // Admission-time cap on live channels per owning principal (0 = no
+  // per-principal cap). Denials are counted at
+  // /sys/monitor/subscribers/quota_denied. Contains one misbehaving subject
+  // without starving everyone else of the global max_subscribers budget.
+  size_t max_channels_per_principal = 4;
+  // A watch/poll waiter carrying a cancel flag or deadline never parks
+  // longer than this per wait slice, so cancellation is honored at this
+  // granularity even when epoch_interval_ns is huge (0 = no cap: a
+  // cancelled waiter may sleep up to one full epoch).
+  uint64_t cancel_poll_interval_ns = 5'000'000;  // 5 ms
 };
 
 class StatsService {
@@ -203,11 +213,22 @@ class StatsService {
   // Closes the channel and unmounts its telemetry. Owner-only.
   Status Unsubscribe(Subject& subject, uint64_t id);
 
+  // Bulk-closes every channel owned by `principal` and unmounts their
+  // telemetry; returns how many were closed. The hook a hosting shell calls
+  // when a subject exits — trusted (no subject check), like the shell's own
+  // teardown of the principal.
+  size_t GcChannelsFor(PrincipalId principal);
+
   // Live channels / epochs dropped across all channels ever (both also
   // mounted under /sys/monitor/subscribers/).
   size_t active_subscribers() const;
   uint64_t subscriber_dropped_total() const {
     return subscriber_dropped_total_.load(std::memory_order_relaxed);
+  }
+  // Subscribe calls denied by the per-principal channel quota (also at
+  // /sys/monitor/subscribers/quota_denied).
+  uint64_t quota_denied_total() const {
+    return quota_denied_total_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -287,6 +308,7 @@ class StatsService {
   std::map<uint64_t, std::shared_ptr<SubscriberChannel>> subscribers_;
   uint64_t next_subscriber_id_ = 1;
   std::atomic<uint64_t> subscriber_dropped_total_{0};
+  std::atomic<uint64_t> quota_denied_total_{0};
 
   // Publication state. pub_mu_ orders publications and protects everything
   // below; pub_cv_ wakes watchers on a version change.

@@ -28,7 +28,11 @@ Status VfsService::Install() {
     return p.ok() ? OkStatus() : p.status();
   };
 
+  // Each forwarded operation is one bounded work unit: poll the caller's
+  // deadline/cancel flags at handler entry so a withdrawn call never starts
+  // the dispatch (RaiseEvent re-polls between broadcast handlers).
   XSEC_RETURN_IF_ERROR(proc("read", [this](CallContext& ctx) -> StatusOr<Value> {
+    XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
     auto type = ArgString(ctx.args, 0);
     auto path = ArgString(ctx.args, 1);
     if (!type.ok()) {
@@ -44,6 +48,7 @@ Status VfsService::Install() {
     return Value{std::move(*data)};
   }));
   XSEC_RETURN_IF_ERROR(proc("write", [this](CallContext& ctx) -> StatusOr<Value> {
+    XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
     auto type = ArgString(ctx.args, 0);
     auto path = ArgString(ctx.args, 1);
     auto data = ArgBytes(ctx.args, 2);
@@ -60,6 +65,7 @@ Status VfsService::Install() {
     return Value{true};
   }));
   XSEC_RETURN_IF_ERROR(proc("list", [this](CallContext& ctx) -> StatusOr<Value> {
+    XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
     auto type = ArgString(ctx.args, 0);
     auto path = ArgString(ctx.args, 1);
     if (!type.ok()) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 
+#include "src/base/strings.h"
 #include "src/baselines/xsec_model.h"
 #include "src/core/flow_sim.h"
 #include "src/core/secure_system.h"
@@ -217,6 +218,83 @@ TEST(CancellationTest, BlockedSubscriptionPollIsCancelledWithinOneEpoch) {
   cancel.store(true);
   blocked.join();
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// MemFs bulk operations charge a CooperativeBudget per 64 KiB copied (or 64
+// directory entries scanned), so a cancelled caller stops a large transfer
+// at the next chunk boundary instead of completing it.
+Subject LoginHomeOwner(SecureSystem& sys) {
+  auto owner = sys.CreateUser("owner");
+  EXPECT_TRUE(owner.ok());
+  NodeId home = *sys.name_space().BindPath("/fs/home", NodeKind::kDirectory, *owner);
+  Acl acl;
+  acl.AddEntry({AclEntryType::kAllow, *owner, AccessModeSet::All()});
+  (void)sys.name_space().SetAclRef(home, sys.kernel().acls().Create(std::move(acl)));
+  return sys.Login(*owner, sys.labels().Bottom());
+}
+
+TEST(CancellationTest, MemFsBulkReadHonorsTheCancelFlag) {
+  SecureSystem sys;
+  Subject owner = LoginHomeOwner(sys);
+  ASSERT_TRUE(sys.fs().Create(owner, "/fs/home/big").ok());
+  ASSERT_TRUE(
+      sys.fs().Write(owner, "/fs/home/big", std::vector<uint8_t>(256 * 1024, 0x5a)).ok());
+
+  std::atomic<bool> cancel{true};
+  CallContext call{&sys.kernel(), &owner, {}, 0, &cancel};
+  EXPECT_EQ(sys.fs().Read(owner, "/fs/home/big", &call).status().code(),
+            StatusCode::kCancelled);
+  // A trusted internal read (no call context) is never interrupted.
+  auto full = sys.fs().Read(owner, "/fs/home/big");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), size_t{256 * 1024});
+}
+
+TEST(CancellationTest, MemFsWriteChecksTheDeadlineBeforeCommitting) {
+  SecureSystem sys;
+  Subject owner = LoginHomeOwner(sys);
+  ASSERT_TRUE(sys.fs().Create(owner, "/fs/home/doc").ok());
+  ASSERT_TRUE(sys.fs().Write(owner, "/fs/home/doc", Bytes("before")).ok());
+
+  CallContext late{&sys.kernel(), &owner, {}, MonotonicNowNs() - 1, nullptr};
+  EXPECT_EQ(sys.fs().Write(owner, "/fs/home/doc", Bytes("after"), &late).code(),
+            StatusCode::kDeadlineExceeded);
+  auto contents = sys.fs().Read(owner, "/fs/home/doc");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, Bytes("before"));
+}
+
+TEST(CancellationTest, MemFsCancelledAppendLeavesNoTornSuffix) {
+  SecureSystem sys;
+  Subject owner = LoginHomeOwner(sys);
+  ASSERT_TRUE(sys.fs().Create(owner, "/fs/home/log").ok());
+  ASSERT_TRUE(sys.fs().Write(owner, "/fs/home/log", Bytes("prefix")).ok());
+
+  std::atomic<bool> cancel{true};
+  CallContext call{&sys.kernel(), &owner, {}, 0, &cancel};
+  EXPECT_EQ(sys.fs()
+                .Append(owner, "/fs/home/log", std::vector<uint8_t>(256 * 1024, 0x17), &call)
+                .code(),
+            StatusCode::kCancelled);
+  // The interrupted append rolled back: all of the suffix or none of it.
+  auto contents = sys.fs().Read(owner, "/fs/home/log");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, Bytes("prefix"));
+}
+
+TEST(CancellationTest, MemFsDirectoryScanHonorsTheDeadline) {
+  SecureSystem sys;
+  Subject owner = LoginHomeOwner(sys);
+  // More children than one 64-entry poll slice, so the scan must check.
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(sys.fs().Create(owner, StrFormat("/fs/home/f%d", i)).ok());
+  }
+  CallContext late{&sys.kernel(), &owner, {}, MonotonicNowNs() - 1, nullptr};
+  EXPECT_EQ(sys.fs().ListDir(owner, "/fs/home", &late).status().code(),
+            StatusCode::kDeadlineExceeded);
+  auto names = sys.fs().ListDir(owner, "/fs/home");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 80u);
 }
 
 }  // namespace

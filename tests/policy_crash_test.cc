@@ -1,0 +1,183 @@
+// Crash-consistent policy files (MODEL.md §12): SavePolicyFile's
+// tmp+fsync+rename protocol must leave a loadable policy behind no matter
+// where a crash (injected via the policy.io.* failpoints) lands, and
+// LoadPolicyFile must recover the last good file — byte for byte.
+
+#include "src/policy/policy_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/base/failpoint.h"
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+std::string TestPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void RemoveArtifacts(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+class PolicyCrashTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(PolicyCrashTest, SaveThenLoadRoundTrips) {
+  std::string path = TestPath("policy_roundtrip.policy");
+  RemoveArtifacts(path);
+
+  SecureSystem source;
+  ASSERT_TRUE(source.CreateUser("alice").ok());
+  ASSERT_TRUE(source.CreateUser("bob").ok());
+  ASSERT_TRUE(SavePolicyFile(source.kernel(), path).ok());
+
+  SecureSystem restored;
+  std::string loaded_from;
+  ASSERT_TRUE(LoadPolicyFile(path, &restored.kernel(), &loaded_from).ok());
+  EXPECT_EQ(loaded_from, path);
+  auto want = SerializePolicy(source.kernel());
+  auto got = SerializePolicy(restored.kernel());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *want);
+}
+
+TEST_F(PolicyCrashTest, MidStreamWriteCrashLeavesThePreviousFileByteForByte) {
+  std::string path = TestPath("policy_midstream.policy");
+  RemoveArtifacts(path);
+
+  SecureSystem sys;
+  ASSERT_TRUE(sys.CreateUser("alice").ok());
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());
+  std::string good_bytes = ReadBytes(path);
+  ASSERT_FALSE(good_bytes.empty());
+
+  // Grow the policy, then kill the next save mid-write: the temp file is
+  // torn (no checksum trailer — it is written last), the real file is not
+  // touched at all.
+  ASSERT_TRUE(sys.CreateUser("late-arrival").ok());
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("policy.io.write", "error").ok());
+  Status crashed = SavePolicyFile(sys.kernel(), path);
+  EXPECT_EQ(crashed.code(), StatusCode::kInternal);
+  EXPECT_EQ(ReadBytes(path), good_bytes);
+
+  // And the loader recovers the previous policy from the primary path.
+  FailpointRegistry::Instance().DisarmAll();
+  SecureSystem restored;
+  std::string loaded_from;
+  ASSERT_TRUE(LoadPolicyFile(path, &restored.kernel(), &loaded_from).ok());
+  EXPECT_EQ(loaded_from, path);
+  auto got = SerializePolicy(restored.kernel());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->find("late-arrival"), std::string::npos);
+}
+
+TEST_F(PolicyCrashTest, CommitCrashFallsBackToTheBackup) {
+  std::string path = TestPath("policy_commit.policy");
+  RemoveArtifacts(path);
+
+  SecureSystem sys;
+  ASSERT_TRUE(sys.CreateUser("alice").ok());
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());
+  std::string good_bytes = ReadBytes(path);
+
+  // Crash between the two renames: the primary is already moved to .bak and
+  // the temp file never lands, so the primary path is missing.
+  ASSERT_TRUE(sys.CreateUser("late-arrival").ok());
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("policy.io.commit", "error").ok());
+  EXPECT_FALSE(SavePolicyFile(sys.kernel(), path).ok());
+  EXPECT_TRUE(ReadBytes(path).empty());
+  EXPECT_EQ(ReadBytes(path + ".bak"), good_bytes);
+
+  FailpointRegistry::Instance().DisarmAll();
+  SecureSystem restored;
+  std::string loaded_from;
+  ASSERT_TRUE(LoadPolicyFile(path, &restored.kernel(), &loaded_from).ok());
+  EXPECT_EQ(loaded_from, path + ".bak");
+  auto got = SerializePolicy(restored.kernel());
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got->find("alice"), std::string::npos);
+  EXPECT_EQ(got->find("late-arrival"), std::string::npos);
+}
+
+TEST_F(PolicyCrashTest, OpenFailureLeavesEverythingIntact) {
+  std::string path = TestPath("policy_open.policy");
+  RemoveArtifacts(path);
+
+  SecureSystem sys;
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());
+  std::string good_bytes = ReadBytes(path);
+
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("policy.io.open", "error").ok());
+  EXPECT_FALSE(SavePolicyFile(sys.kernel(), path).ok());
+  EXPECT_EQ(ReadBytes(path), good_bytes);
+}
+
+TEST_F(PolicyCrashTest, TornPrimaryFallsBackToTheBackup) {
+  std::string path = TestPath("policy_torn.policy");
+  RemoveArtifacts(path);
+
+  SecureSystem sys;
+  ASSERT_TRUE(sys.CreateUser("alice").ok());
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());
+  ASSERT_TRUE(sys.CreateUser("bob").ok());
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());  // .bak now holds v1
+  std::string v1_bytes = ReadBytes(path + ".bak");
+  ASSERT_FALSE(v1_bytes.empty());
+
+  // Tear the primary in half — simulating a crash the rename protocol did
+  // not get to guard (disk corruption, partial copy). The checksum trailer
+  // no longer matches, so the loader must reject it and use the backup.
+  std::string torn = ReadBytes(path).substr(0, ReadBytes(path).size() / 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+  SecureSystem restored;
+  std::string loaded_from;
+  ASSERT_TRUE(LoadPolicyFile(path, &restored.kernel(), &loaded_from).ok());
+  EXPECT_EQ(loaded_from, path + ".bak");
+  auto got = SerializePolicy(restored.kernel());
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got->find("alice"), std::string::npos);
+  EXPECT_EQ(got->find("user bob"), std::string::npos);
+}
+
+TEST_F(PolicyCrashTest, NoIntactFileIsNotFound) {
+  std::string path = TestPath("policy_missing.policy");
+  RemoveArtifacts(path);
+  SecureSystem sys;
+  EXPECT_EQ(LoadPolicyFile(path, &sys.kernel()).code(), StatusCode::kNotFound);
+}
+
+TEST_F(PolicyCrashTest, InjectedReadFailureIsNotFound) {
+  std::string path = TestPath("policy_read.policy");
+  RemoveArtifacts(path);
+  SecureSystem sys;
+  ASSERT_TRUE(SavePolicyFile(sys.kernel(), path).ok());
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("policy.io.read", "error").ok());
+  // Both candidates fail to read; the loader reports no intact file rather
+  // than propagating the transient I/O error as a parse failure.
+  EXPECT_EQ(LoadPolicyFile(path, &sys.kernel()).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace xsec

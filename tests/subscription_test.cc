@@ -254,6 +254,116 @@ TEST(SubscriptionTest, SubscriberLimitIsEnforced) {
             StatusCode::kResourceExhausted);
 }
 
+// Grants `principal` the read that Subscribe mediates on the snapshot node.
+void GrantSubscribe(Kernel& kernel, PrincipalId principal) {
+  Subject system = kernel.SystemSubject();
+  NodeId snapshot = *kernel.name_space().Lookup("/sys/monitor/snapshot");
+  ASSERT_TRUE(kernel.monitor()
+                  .AddAclEntry(system, snapshot,
+                               {AclEntryType::kAllow, principal, AccessMode::kRead})
+                  .ok());
+}
+
+TEST(SubscriptionTest, ChannelQuotaIsPerPrincipal) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.max_channels_per_principal = 2;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  ASSERT_TRUE(stats.Subscribe(system, -1).ok());
+  ASSERT_TRUE(stats.Subscribe(system, -1).ok());
+  auto third = stats.Subscribe(system, -1);
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stats.quota_denied_total(), 1u);
+  auto leaf = stats.ReadStat(system, "/sys/monitor/subscribers/quota_denied");
+  ASSERT_TRUE(leaf.ok()) << leaf.status().ToString();
+  EXPECT_EQ(*leaf, "1");
+
+  // The quota bounds one misbehaving subject, not the service: a different
+  // principal still gets a channel.
+  auto other = kernel.principals().CreateUser("other");
+  ASSERT_TRUE(other.ok());
+  GrantSubscribe(kernel, *other);
+  Subject other_s = kernel.CreateSubject(*other, kernel.labels().Bottom());
+  EXPECT_TRUE(stats.Subscribe(other_s, -1).ok());
+  EXPECT_EQ(stats.quota_denied_total(), 1u);
+}
+
+TEST(SubscriptionTest, ChannelQuotaIsReleasedByUnsubscribe) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.max_channels_per_principal = 1;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(stats.Subscribe(system, -1).status().code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(stats.Unsubscribe(system, *id).ok());
+  EXPECT_TRUE(stats.Subscribe(system, -1).ok());
+}
+
+TEST(SubscriptionTest, GcClosesEveryChannelOwnedByThePrincipal) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto survivor = stats.Subscribe(system, -1);
+  ASSERT_TRUE(survivor.ok());
+
+  auto doomed = kernel.principals().CreateUser("doomed");
+  ASSERT_TRUE(doomed.ok());
+  GrantSubscribe(kernel, *doomed);
+  Subject doomed_s = kernel.CreateSubject(*doomed, kernel.labels().Bottom());
+  auto first = stats.Subscribe(doomed_s, -1);
+  auto second = stats.Subscribe(doomed_s, -1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(stats.active_subscribers(), 3u);
+
+  EXPECT_EQ(stats.GcChannelsFor(*doomed), 2u);
+  EXPECT_EQ(stats.active_subscribers(), 1u);
+  // The reaped handles are gone, and so is their telemetry subtree.
+  EXPECT_EQ(stats.PollSubscription(doomed_s, *first, 0).status().code(),
+            StatusCode::kNotFound);
+  std::string leaf = StrFormat("/sys/monitor/subscribers/%llu/queued",
+                               static_cast<unsigned long long>(*first));
+  EXPECT_EQ(stats.ReadStat(system, leaf).status().code(), StatusCode::kNotFound);
+  // Other principals' channels are untouched.
+  Publish(kernel, stats);
+  EXPECT_TRUE(stats.PollSubscription(system, *survivor, 0).ok());
+  // Reaping an already-clean principal collects nothing.
+  EXPECT_EQ(stats.GcChannelsFor(*doomed), 0u);
+}
+
+TEST(SubscriptionTest, GcWakesABlockedPollerWithFailedPrecondition) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+
+  StatusOr<std::string> result = InvalidArgumentError("not run");
+  std::thread blocked([&] {
+    result = stats.PollSubscription(system, *id,
+                                    MonotonicNowNs() + uint64_t{10} * 1'000'000'000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(stats.GcChannelsFor(kernel.system_principal()), 1u);
+  blocked.join();
+  auto reaction_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  // The poller holds the channel shared_ptr across the erase, so it observes
+  // the close rather than a dangling handle.
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_LT(reaction_ms, 2000);
+}
+
 TEST(SubscriptionTest, UnblockedPollSeesAnEpochPublishedWhileBlocked) {
   Kernel kernel;
   StatsService stats(&kernel, ManualOptions());

@@ -3,7 +3,8 @@
 // Usage:
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
 //              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
-//              [--audit-drain] [--snapshot]
+//              [--audit-drain] [--resilient] [--audit-required] [--snapshot]
+//              [--fail <name>=<spec>]...
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
@@ -19,12 +20,26 @@
 // seeded, so two runs with the same arguments produce the same counters
 // (latency quantiles and rates aside).
 //
+// --resilient wraps the NDJSON sink in a ResilientSink (retry + circuit
+// breaker; health in the audit/* leaves of the printed tree), and
+// --audit-required turns on fail-closed mode — together with
+// --fail audit.sink.write=error they drive the whole self-healing pipeline
+// from the command line.
+//
+// --fail arms a failpoint before the workload (repeatable; spec grammar is
+// src/base/failpoint.h, e.g. --fail audit.sink.write=error,nth=100). Arming
+// goes through the mediated FaultService as the system subject — an audited
+// administrate check on /sys/faults/<name>, not a registry backdoor — and
+// the tool prints each failpoint's final state after the workload, so a
+// fault sweep can see how many times each site actually fired.
+//
 // Exit status: 0 on success, 1 on bad arguments or an unloadable policy.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -49,9 +64,12 @@ int main(int argc, char** argv) {
   std::string ndjson_file;
   uint64_t checks = 10000;
   uint64_t seed = 1;
+  std::vector<std::string> fail_specs;
   xsec::NdjsonRotationPolicy rotation;
   bool snapshot = false;
   bool audit_drain = false;
+  bool resilient = false;
+  bool audit_required = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -75,8 +93,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--ndjson-keep needs a count");
       rotation.max_keep = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fail") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fail needs <name>=<spec>");
+      fail_specs.emplace_back(v);
     } else if (arg == "--audit-drain") {
       audit_drain = true;
+    } else if (arg == "--resilient") {
+      resilient = true;
+    } else if (arg == "--audit-required") {
+      audit_required = true;
     } else if (arg == "--snapshot") {
       snapshot = true;
     } else if (arg == "--checks") {
@@ -92,7 +118,8 @@ int main(int argc, char** argv) {
                    "usage: xsec_stats [--policy <file>] [--checks N] [--seed S] "
                    "[--ndjson <file|->] [--ndjson-max-bytes B] "
                    "[--ndjson-max-age-ms M] [--ndjson-keep K] [--audit-drain] "
-                   "[--snapshot]\n");
+                   "[--resilient] [--audit-required] [--snapshot] "
+                   "[--fail <name>=<spec>]...\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -114,6 +141,7 @@ int main(int argc, char** argv) {
   std::ofstream ndjson_out;
   std::shared_ptr<xsec::NdjsonFileRotator> rotator;
   bool rotation_requested = rotation.max_bytes != 0 || rotation.max_age_ns != 0;
+  std::function<void(const xsec::AuditRecord&)> sink;
   if (!ndjson_file.empty()) {
     if (ndjson_file != "-" && rotation_requested) {
       rotator = std::make_shared<xsec::NdjsonFileRotator>(ndjson_file, rotation);
@@ -122,7 +150,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "xsec_stats: %s\n", status.ToString().c_str());
         return 1;
       }
-      sys.monitor().audit().set_sink(xsec::MakeRotatingNdjsonSink(rotator));
+      sink = xsec::MakeRotatingNdjsonSink(rotator);
     } else {
       if (rotation_requested) return Fail("rotation needs a real --ndjson file, not '-'");
       std::ostream* out = &std::cout;
@@ -131,8 +159,28 @@ int main(int argc, char** argv) {
         if (!ndjson_out) return Fail("cannot open the ndjson file");
         out = &ndjson_out;
       }
-      sys.monitor().audit().set_sink(xsec::MakeNdjsonSink(out));
+      sink = xsec::MakeNdjsonSink(out);
     }
+  }
+  if (sink) {
+    if (resilient) {
+      // The stream sink itself does not fail; failures come from the
+      // audit.sink.write failpoint inside ResilientSink::TryOnce, which is
+      // the point of the flag: drive retry/circuit behavior from the CLI.
+      auto wrapped = std::make_shared<xsec::ResilientSink>(
+          [sink](const xsec::AuditRecord& record) -> xsec::Status {
+            sink(record);
+            return xsec::OkStatus();
+          });
+      sys.monitor().audit().InstallResilientSink(std::move(wrapped));
+    } else {
+      sys.monitor().audit().set_sink(std::move(sink));
+    }
+  } else if (resilient) {
+    return Fail("--resilient needs --ndjson");
+  }
+  if (audit_required) {
+    sys.monitor().audit().set_required(true);
   }
   if (audit_drain) {
     sys.monitor().audit().StartDrain();
@@ -164,6 +212,24 @@ int main(int argc, char** argv) {
   xsec::Subject reader_s = sys.Login(*reader, sys.labels().Bottom());
   xsec::Subject outsider_s = sys.Login(*outsider, sys.labels().Bottom());
 
+  // Arm requested failpoints through the mediated control plane (an audited
+  // administrate check on /sys/faults/<name>), not by poking the registry.
+  xsec::Subject system_s = sys.SystemSubject();
+  std::vector<std::string> fail_names;
+  for (const std::string& pair : fail_specs) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) return Fail("--fail needs <name>=<spec>");
+    std::string name = pair.substr(0, eq);
+    std::string spec = pair.substr(eq + 1);
+    auto armed = sys.faults().Arm(system_s, name, spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "xsec_stats: --fail %s: %s\n", pair.c_str(),
+                   armed.status().ToString().c_str());
+      return 1;
+    }
+    fail_names.push_back(std::move(name));
+  }
+
   sys.stats().Tick();  // publish the boot-time baseline before the workload
 
   xsec::Rng rng(seed);
@@ -191,6 +257,12 @@ int main(int argc, char** argv) {
   if (rotator != nullptr) {
     std::fprintf(stdout, "ndjson_rotations %llu\n",
                  static_cast<unsigned long long>(rotator->rotations()));
+  }
+  for (const std::string& name : fail_names) {
+    auto state = sys.faults().ReadFault(system_s, name);
+    if (state.ok()) {
+      std::fprintf(stdout, "fault %s %s\n", name.c_str(), state->c_str());
+    }
   }
   return 0;
 }
