@@ -1,0 +1,131 @@
+// Experiment F14 — compiled policy decisions vs the interpreted path
+// (DESIGN.md §5, MODEL.md §13).
+//
+// The decision cache only helps when the same (principal, node, modes)
+// tuple repeats; a cache *miss* pays the full ACL walk (membership closure
+// per entry) plus two lattice Dominates calls. The compiled tables flatten
+// that into two table lookups: a packed DAC cell indexed by
+// (node, principal) and a per-class-pair flow mask from the precomputed
+// dominance matrix.
+//
+//   check_miss_interpreted   cache off, compiled off — every Check walks
+//                            the ACL and evaluates the lattice
+//   check_miss_compiled      cache off, compiled on — every Check hits the
+//                            flattened tables (fixture verifies coverage)
+//   recompile                full table rebuild (the cost a mutation epoch
+//                            eventually pays, off the mutation path)
+//
+// Expected shape: compiled miss well below interpreted miss (the CI gate
+// ci/check_bench_f14.py requires the ratio < 0.9); recompile is orders of
+// magnitude above a single check, which is why it runs asynchronously.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+MonitorOptions Opts(bool compiled) {
+  MonitorOptions options;
+  options.dac_enabled = true;
+  options.mac_enabled = true;
+  options.cache_enabled = false;  // every Check is a miss
+  options.compiled_enabled = compiled;
+  options.stats_enabled = false;
+  options.audit_policy = AuditPolicy::kOff;
+  return options;
+}
+
+// A deliberately non-trivial policy: the subject's grant sits behind a
+// group membership in a multi-entry ACL, and the target carries a
+// multi-category label, so the interpreted miss pays a realistic walk.
+struct Fixture {
+  explicit Fixture(MonitorOptions options) : sys(options) {
+    user = *sys.CreateUser("bench-user");
+    PrincipalId staff = *sys.CreateGroup("bench-staff");
+    (void)sys.principals().AddMember(staff, user);
+    for (int i = 0; i < 6; ++i) {
+      bystanders[i] = *sys.CreateUser("bystander-" + std::to_string(i));
+    }
+    (void)sys.labels().DefineLevels({"public", "internal", "secret"});
+    (void)sys.labels().DefineCategory("alpha");
+    (void)sys.labels().DefineCategory("beta");
+    (void)sys.labels().DefineCategory("gamma");
+
+    node = *sys.name_space().BindPath("/data/proj/report", NodeKind::kFile,
+                                      bystanders[0]);
+    Acl acl;
+    // Several non-matching entries ahead of the group grant: the
+    // interpreted evaluator computes a membership closure per entry.
+    for (int i = 0; i < 6; ++i) {
+      acl.AddEntry({AclEntryType::kAllow, bystanders[i],
+                    AccessMode::kWrite | AccessMode::kDelete});
+    }
+    acl.AddEntry({AclEntryType::kAllow, staff,
+                  AccessMode::kRead | AccessMode::kList});
+    (void)sys.name_space().SetAclRef(node, sys.kernel().acls().Create(std::move(acl)));
+
+    SecurityClass secret = *sys.labels().MakeClass("secret", {"alpha", "beta"});
+    (void)sys.name_space().SetLabelRef(node, sys.labels().StoreLabel(secret));
+    SecurityClass clearance =
+        *sys.labels().MakeClass("secret", {"alpha", "beta", "gamma"});
+    subject = sys.Login(user, clearance);
+  }
+
+  SecureSystem sys;
+  PrincipalId user;
+  PrincipalId bystanders[6];
+  NodeId node;
+  Subject subject;
+};
+
+void CheckMiss(benchmark::State& state, bool compiled) {
+  Fixture f(Opts(compiled));
+  if (compiled) {
+    Status status = f.sys.monitor().RecompileNow();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    // The figure is only meaningful if the compiled tables actually cover
+    // the benchmarked tuple; a silent fallback would measure the
+    // interpreted path twice.
+    Decision probe;
+    if (!f.sys.monitor().TryCompiledCheck(f.subject, f.node,
+                                          AccessModeSet(AccessMode::kRead), &probe)) {
+      state.SkipWithError("compiled tables do not cover the benchmark tuple");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Decision d = f.sys.monitor().Check(f.subject, f.node, AccessMode::kRead);
+    benchmark::DoNotOptimize(d);
+  }
+}
+
+void BM_CheckMiss_Interpreted(benchmark::State& state) { CheckMiss(state, false); }
+void BM_CheckMiss_Compiled(benchmark::State& state) { CheckMiss(state, true); }
+BENCHMARK(BM_CheckMiss_Interpreted);
+BENCHMARK(BM_CheckMiss_Compiled);
+
+// Full rebuild of the flattened tables (DAC bitmap + dominance matrix +
+// node table) over the fixture world. Runs on the async recompile thread
+// in production; this pins its absolute cost.
+void BM_Recompile(benchmark::State& state) {
+  Fixture f(Opts(true));
+  for (auto _ : state) {
+    Status status = f.sys.monitor().RecompileNow();
+    benchmark::DoNotOptimize(status);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Recompile);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

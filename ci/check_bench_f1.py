@@ -37,8 +37,31 @@ COUNTER = "INSTRUCTIONS"
 
 
 def load(path):
-    with open(path) as f:
-        return json.load(f)
+    """Parses `path` and validates it actually carries benchmark data.
+
+    A missing, empty, or benchmark-less file means the figure run did not
+    happen (or crashed after truncating the output); the gate must fail
+    loudly rather than let a broken pipeline read as green.
+    """
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as err:
+        raise ValueError(f"{path}: cannot read fresh/baseline figures ({err}); "
+                         "did bench_f1_mediation run?") from err
+    if not text.strip():
+        raise ValueError(f"{path}: file is empty — the benchmark run produced "
+                         "no output; refusing to pass the gate")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: not valid JSON ({err}) — likely a benchmark "
+                         "crash mid-write; refusing to pass the gate") from err
+    if not isinstance(data, dict) or not data.get("benchmarks"):
+        raise ValueError(f"{path}: no 'benchmarks' entries — the benchmark "
+                         "binary ran but measured nothing; refusing to pass "
+                         "the gate")
+    return data
 
 
 def runs(data, name):

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate for the F14 compiled-decision figures.
+
+Reads a fresh BENCH_f14.json and requires that a cache-miss check served
+from the compiled tables is materially faster than the same miss on the
+interpreted path:
+
+    ratio = median cpu_time(BM_CheckMiss_Compiled)
+          / median cpu_time(BM_CheckMiss_Interpreted)   must be < --max-ratio
+
+Both measurements come from the same run on the same fixture, so machine
+speed cancels; the ratio is the compiled path's raison d'etre, and a ratio
+drifting toward 1.0 means the flattening stopped paying for itself (or the
+benchmark silently fell back to the interpreter — the benchmark itself
+errors out in that case rather than producing a bogus ratio).
+
+No committed baseline: unlike the F1 stats budget, this gate is an absolute
+claim about the mechanism, not a regression bound.
+
+Usage: check_bench_f14.py <fresh.json> [--max-ratio 0.9]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+INTERPRETED = "BM_CheckMiss_Interpreted"
+COMPILED = "BM_CheckMiss_Compiled"
+
+
+def median_cpu_time(data, path, name):
+    values = [
+        float(bench["cpu_time"])
+        for bench in data.get("benchmarks", [])
+        if bench.get("name") == name
+        and bench.get("run_type", "iteration") == "iteration"
+        and "cpu_time" in bench
+        and "error_occurred" not in bench
+    ]
+    if not values:
+        raise KeyError(f"{path}: no successful benchmark named {name}")
+    return statistics.median(values)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("--max-ratio", type=float, default=0.9,
+                        help="compiled/interpreted miss ratio ceiling (default 0.9)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            data = json.load(f)
+        if not data.get("benchmarks"):
+            raise ValueError(f"{args.fresh}: no benchmark entries — "
+                             "did bench_f14_compiled run?")
+        compiled = median_cpu_time(data, args.fresh, COMPILED)
+        interpreted = median_cpu_time(data, args.fresh, INTERPRETED)
+        if interpreted <= 0:
+            raise ValueError(f"{args.fresh}: non-positive cpu_time for {INTERPRETED}")
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as err:
+        print(f"check_bench_f14: {err}", file=sys.stderr)
+        return 1
+
+    ratio = compiled / interpreted
+    print(f"compiled/interpreted miss ratio [cpu_time]: {ratio:.4f} "
+          f"(compiled {compiled:.1f}ns, interpreted {interpreted:.1f}ns)")
+
+    if ratio >= args.max_ratio:
+        print(f"check_bench_f14: FAIL — compiled miss is not at least "
+              f"{(1.0 - args.max_ratio):.0%} faster than interpreted "
+              f"(ratio {ratio:.4f} >= {args.max_ratio})", file=sys.stderr)
+        return 1
+    print("check_bench_f14: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

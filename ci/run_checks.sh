@@ -7,13 +7,15 @@
 # --quick restricts the sanitizer ctest runs to the monitor + concurrency
 # tests (the multithreaded surface, including the striped MonitorStats
 # counters, the mediated StatsService tree, the subscription channels, the
-# cooperative-cancellation paths, and the fault-injection suites) plus the
-# policy round-trip tests; the default runs everything everywhere.
+# cooperative-cancellation paths, the fault-injection suites, and the
+# compiled-policy + differential-fuzz suites) plus the policy round-trip
+# tests; the default runs everything everywhere.
 #
 # --faults runs only the randomized fault-injection sweep: the fault suites
-# (Failpoint|FaultService|AuditResilience|PolicyCrash) under ASan+UBSan and
-# TSan with a randomized XSEC_FAULT_SEED. The seed is printed so a failing
-# sweep replays exactly: XSEC_FAULT_SEED=<seed> ci/run_checks.sh --faults.
+# (Failpoint|FaultService|AuditResilience|PolicyCrash) plus the DiffFuzz
+# differential oracle under ASan+UBSan and TSan with a randomized
+# XSEC_FAULT_SEED. The seed is printed so a failing sweep replays exactly:
+# XSEC_FAULT_SEED=<seed> ci/run_checks.sh --faults.
 #
 # Outputs:
 #   build-release/   optimized build, full ctest
@@ -28,6 +30,9 @@
 #                    prefers that metric and falls back to median cpu_time)
 #   BENCH_f11.json   bench_f11_parallel results from the release build
 #   BENCH_f12.json   bench_f12_subscription results (publish fan-out cost)
+#   BENCH_f14.json   bench_f14_compiled results (compiled vs interpreted
+#                    cache-miss decisions; ci/check_bench_f14.py requires
+#                    the compiled miss to be materially faster)
 
 set -euo pipefail
 
@@ -38,23 +43,29 @@ FAULTS=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 [[ "${1:-}" == "--faults" ]] && FAULTS=1
 
-FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash'
+# DiffFuzz (tests/diff_fuzz_test.cc) rides in the fault sweep: it arms the
+# same failpoints and must never observe a compiled/interpreted divergence.
+FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz'
+
+# Randomized but replayable in every mode: the differential fuzzer and the
+# failpoint sweeps read XSEC_FAULT_SEED from the environment and print it in
+# their own output (SCOPED_TRACE), so any failure replays exactly with
+# XSEC_FAULT_SEED=<seed> ci/run_checks.sh [mode].
+: "${XSEC_FAULT_SEED:=$RANDOM$RANDOM}"
+export XSEC_FAULT_SEED
+echo "== Randomized seed: XSEC_FAULT_SEED=$XSEC_FAULT_SEED =="
 
 run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R "MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip|${FAULT_RE}")
+        -R "MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip|CompiledPolicy|${FAULT_RE}")
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
 }
 
 if [[ "$FAULTS" == 1 ]]; then
-  # Randomized but replayable: the failpoint sweep test reads the seed from
-  # the environment and prints it in its own output as well.
-  : "${XSEC_FAULT_SEED:=$RANDOM$RANDOM}"
-  export XSEC_FAULT_SEED
   echo "== Fault-injection sweep (XSEC_FAULT_SEED=$XSEC_FAULT_SEED) =="
 
   echo "== AddressSanitizer + UBSan build =="
@@ -104,6 +115,14 @@ fi
 echo "== F1 regression gate (stats overhead ratio vs committed baseline) =="
 python3 ci/check_bench_f1.py BENCH_f1.json ci/bench_f1_baseline.json
 
+echo "== F14: compiled vs interpreted cache-miss decisions =="
+./build-release/bench/bench_f14_compiled \
+    --benchmark_out=BENCH_f14.json --benchmark_out_format=json \
+    --benchmark_min_time=0.25 --benchmark_repetitions=3
+
+echo "== F14 gate (compiled miss must beat interpreted miss) =="
+python3 ci/check_bench_f14.py BENCH_f14.json
+
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \
     --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
@@ -114,4 +133,4 @@ echo "== F12: subscription fan-out on the publish path =="
     --benchmark_out=BENCH_f12.json --benchmark_out_format=json \
     --benchmark_min_time=0.1
 
-echo "All checks passed. Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json."
+echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json."

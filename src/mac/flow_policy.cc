@@ -12,45 +12,49 @@ std::string FlowVerdict::ToString() const {
                    std::string(AccessModeName(*violating_mode)).c_str());
 }
 
+AccessModeSet FlowAllowedMask(bool subject_dominates_object, bool object_dominates_subject,
+                              const FlowPolicyOptions& options) {
+  AccessModeSet mask;
+  if (subject_dominates_object) {
+    // Simple security property: observation requires S ⊒ O.
+    mask |= AccessMode::kRead | AccessMode::kList | AccessMode::kExecute | AccessMode::kExtend;
+  }
+  if (object_dominates_subject) {
+    // ⋆-property: modification requires O ⊒ S.
+    mask |= AccessModeSet(AccessMode::kWriteAppend);
+    if (!options.write_up_requires_append || subject_dominates_object) {
+      // Destructive writes additionally require S ⊒ O (i.e. S = O) when the
+      // paper's "blind overwrite" restriction is on.
+      mask |= AccessMode::kWrite | AccessMode::kDelete;
+    }
+    if (subject_dominates_object) {
+      mask |= AccessModeSet(AccessMode::kAdministrate);  // S = O
+    }
+  }
+  return mask;
+}
+
 bool FlowPolicy::ModeAllowed(const SecurityClass& subject, const SecurityClass& object,
                              AccessMode mode) const {
-  switch (mode) {
-    case AccessMode::kRead:
-    case AccessMode::kList:
-    case AccessMode::kExecute:
-    case AccessMode::kExtend:
-      return subject.Dominates(object);
-    case AccessMode::kWriteAppend:
-      return object.Dominates(subject);
-    case AccessMode::kWrite:
-    case AccessMode::kDelete:
-      if (!object.Dominates(subject)) {
-        return false;
-      }
-      if (options_.write_up_requires_append) {
-        return subject.Dominates(object);  // together with the above: S = O
-      }
-      return true;
-    case AccessMode::kAdministrate:
-      return subject.Dominates(object) && object.Dominates(subject);
-  }
-  return false;
+  return FlowAllowedMask(subject.Dominates(object), object.Dominates(subject), options_)
+      .Contains(mode);
 }
 
 FlowVerdict FlowPolicy::Check(const SecurityClass& subject, const SecurityClass& object,
                               AccessModeSet requested) const {
-  // Hot path: iterate the bitmask directly rather than materializing a
-  // vector of modes.
-  uint32_t bits = requested.bits();
-  while (bits != 0) {
-    uint32_t bit = bits & (~bits + 1);  // lowest set bit
-    bits ^= bit;
-    AccessMode mode = static_cast<AccessMode>(bit);
-    if (!ModeAllowed(subject, object, mode)) {
-      return FlowVerdict{false, mode};
-    }
+  // Hot path: two dominance checks yield the complete allowed-mode mask; the
+  // violating set falls out of one AND. The reported mode is the lowest
+  // violating bit, matching a mode-by-mode scan in ascending bit order.
+  if (requested.empty()) {
+    return FlowVerdict{};
   }
-  return FlowVerdict{};
+  AccessModeSet allowed =
+      FlowAllowedMask(subject.Dominates(object), object.Dominates(subject), options_);
+  uint32_t violating = requested.bits() & ~allowed.bits();
+  if (violating == 0) {
+    return FlowVerdict{};
+  }
+  return FlowVerdict{false, static_cast<AccessMode>(violating & (~violating + 1))};
 }
 
 }  // namespace xsec

@@ -78,6 +78,19 @@ class FlowPolicy {
   FlowPolicyOptions options_;
 };
 
+// The complete flow rule as a truth table: every mode's verdict depends only
+// on the two dominance bits (S ⊒ O, O ⊒ S), so the whole per-pair decision
+// collapses to an 8-bit mode mask. This is the single source of truth both
+// the interpreted path (FlowPolicy::ModeAllowed) and the compiled path
+// (CompiledPolicy's per-class-pair masks) evaluate — they cannot disagree on
+// the S = O double-dominance cases (write/delete under
+// write_up_requires_append, administrate) because there is only one rule.
+// Note mutual dominance IS lattice equality (antisymmetry: l1>=l2 && l2>=l1
+// and C1⊆C2 && C2⊆C1), which SecurityClassProperty.MutualDominanceIsEquality
+// pins down for category sets of differing capacities.
+AccessModeSet FlowAllowedMask(bool subject_dominates_object, bool object_dominates_subject,
+                              const FlowPolicyOptions& options);
+
 }  // namespace xsec
 
 #endif  // XSEC_SRC_MAC_FLOW_POLICY_H_

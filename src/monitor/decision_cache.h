@@ -42,6 +42,13 @@ struct CacheStamps {
   uint64_t acl_generation = 0;
   uint64_t membership_epoch = 0;
   uint64_t label_epoch = 0;
+  // The monitor's policy-reload epoch (ReferenceMonitor::NotePolicyReload):
+  // bumped on every LoadPolicy/LoadPolicyFile swap, so decisions cached
+  // against the pre-reload policy can never survive a reload even when no
+  // individual store stamp moved (a reload whose only effect is a directive
+  // the four store generations do not cover, e.g. a security-officer change).
+  // The compiled-policy tables validate against the same stamp set.
+  uint64_t policy_epoch = 0;
 
   bool operator==(const CacheStamps&) const = default;
 };

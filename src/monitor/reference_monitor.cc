@@ -37,9 +37,21 @@ ReferenceMonitor::ReferenceMonitor(NameSpace* name_space, AclStore* acls,
   }
 }
 
+ReferenceMonitor::~ReferenceMonitor() {
+  {
+    std::lock_guard<std::mutex> lock(recompile_mu_);
+    recompile_shutdown_ = true;
+    recompile_cv_.notify_one();
+  }
+  if (recompile_thread_.joinable()) {
+    recompile_thread_.join();
+  }
+}
+
 CacheStamps ReferenceMonitor::CurrentStamps() const {
   return CacheStamps{name_space_->global_generation(), acls_->store_generation(),
-                     principals_->membership_epoch(), labels_->label_epoch()};
+                     principals_->membership_epoch(), labels_->label_epoch(),
+                     policy_epoch_.load(std::memory_order_acquire)};
 }
 
 const Acl* ReferenceMonitor::EffectiveAcl(NodeId node, AclStore::AclRef* ref_out) const {
@@ -186,11 +198,18 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
     if (cache_.Lookup(subject, node, modes, stamps, &cached)) {
       decision = Decision{cached.allowed, cached.reason, ""};
     } else {
-      decision = CheckUncached(subject, node, modes);
+      // Miss path: compiled tables first (two lookups), interpreted walk
+      // only when they are stale or don't cover the input. A compiled
+      // decision validated against stamps at least as fresh as ours, so
+      // inserting under our (possibly older) stamps is at worst spuriously
+      // stale, never wrongly fresh.
+      if (!TryCompiledCheck(subject, node, modes, &decision)) {
+        decision = CheckUncached(subject, node, modes);
+      }
       cache_.Insert(subject, node, modes, stamps,
                     DecisionCache::CachedDecision{decision.allowed, decision.reason});
     }
-  } else {
+  } else if (!TryCompiledCheck(subject, node, modes, &decision)) {
     decision = CheckUncached(subject, node, modes);
   }
   // After the cache on purpose: the cache keeps the underlying decision, the
@@ -198,6 +217,156 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
   ApplyAuditAvailability(&decision);
   Audit(subject, node, "", modes, decision);
   return decision;
+}
+
+bool ReferenceMonitor::TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
+                                        Decision* out) {
+  if (!options_.compiled_enabled) {
+    return false;
+  }
+  std::shared_ptr<const CompiledPolicy> tables;
+  {
+    std::shared_lock<std::shared_mutex> lock(compiled_mu_);
+    tables = compiled_;
+  }
+  // Validate AFTER copying the pointer: the stamps are read fresh, so a
+  // match proves the tables describe the stores as of this instant (any
+  // later mutation will bump a stamp and divert the next probe).
+  if (tables == nullptr || !(tables->stamps() == CurrentStamps())) {
+    compiled_stale_.fetch_add(1, std::memory_order_relaxed);
+    RequestRecompile();
+    return false;
+  }
+  if (tables->Evaluate(subject, node, modes, *labels_, out)) {
+    compiled_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  compiled_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.mac_enabled && tables->dominance() != nullptr &&
+      tables->dominance()->IdOf(subject.security_class) < 0) {
+    // This subject's class missed the matrix; intern it next compile so the
+    // fallback is one-shot per class, not per check.
+    NoteUncoveredClass(subject.security_class);
+  }
+  RequestRecompile();
+  return false;
+}
+
+void ReferenceMonitor::NoteUncoveredClass(const SecurityClass& cls) {
+  std::lock_guard<std::mutex> lock(uncovered_mu_);
+  if (uncovered_classes_.size() >= kMaxUncoveredClasses) {
+    return;
+  }
+  for (const SecurityClass& existing : uncovered_classes_) {
+    if (existing == cls) {
+      return;
+    }
+  }
+  uncovered_classes_.push_back(cls);
+}
+
+StatusOr<std::shared_ptr<const CompiledPolicy>> ReferenceMonitor::BuildCompiled(
+    const CacheStamps& stamps) {
+  CompiledPolicyConfig config;
+  config.dac_enabled = options_.dac_enabled;
+  config.mac_enabled = options_.mac_enabled;
+  config.flow = options_.flow;
+  config.max_classes = options_.compiled_max_classes;
+  config.max_dac_cells = options_.compiled_max_dac_cells;
+  std::vector<SecurityClass> extra;
+  {
+    std::lock_guard<std::mutex> lock(uncovered_mu_);
+    extra = uncovered_classes_;
+  }
+  return CompiledPolicy::Build(*name_space_, *acls_, *principals_, *labels_, config, stamps,
+                               extra);
+}
+
+Status ReferenceMonitor::RecompileOnce() {
+  CacheStamps before = CurrentStamps();
+  auto built = BuildCompiled(before);
+  if (!built.ok()) {
+    failed_recompiles_.fetch_add(1, std::memory_order_relaxed);
+    return built.status();
+  }
+  // Install only if no mutation committed during the build: every mutator
+  // bumps its stamp inside the store's exclusive lock, so equal before/after
+  // stamps prove the per-store reads composed into a consistent snapshot.
+  if (!(CurrentStamps() == before)) {
+    failed_recompiles_.fetch_add(1, std::memory_order_relaxed);
+    return FailedPreconditionError("policy mutated during compilation");
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(compiled_mu_);
+    compiled_ = std::move(*built);
+  }
+  {
+    // Whatever was queued is now interned (or over cap and re-noted on the
+    // next fallback).
+    std::lock_guard<std::mutex> lock(uncovered_mu_);
+    uncovered_classes_.clear();
+  }
+  recompiles_.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Status ReferenceMonitor::RecompileNow() {
+  Status last = OkStatus();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    last = RecompileOnce();
+    if (last.ok() || last.code() != StatusCode::kFailedPrecondition) {
+      return last;
+    }
+  }
+  return last;
+}
+
+void ReferenceMonitor::RequestRecompile() {
+  std::lock_guard<std::mutex> lock(recompile_mu_);
+  if (recompile_shutdown_) {
+    return;
+  }
+  if (!recompile_thread_.joinable()) {
+    recompile_thread_ = std::thread([this] { RecompileLoop(); });
+  }
+  recompile_pending_ = true;
+  recompile_cv_.notify_one();
+}
+
+void ReferenceMonitor::RecompileLoop() {
+  std::unique_lock<std::mutex> lock(recompile_mu_);
+  for (;;) {
+    recompile_cv_.wait(lock, [this] { return recompile_pending_ || recompile_shutdown_; });
+    if (recompile_shutdown_) {
+      return;
+    }
+    recompile_pending_ = false;
+    lock.unlock();
+    // Failures (caps, injected faults, racing mutations) leave the previous
+    // tables in place; the next miss re-requests. Never blocks a mutator.
+    (void)RecompileOnce();
+    lock.lock();
+  }
+}
+
+void ReferenceMonitor::NotePolicyReload() {
+  policy_epoch_.fetch_add(1, std::memory_order_release);
+  RequestRecompile();
+}
+
+ReferenceMonitor::CompiledCounters ReferenceMonitor::compiled_counters() const {
+  CompiledCounters counters;
+  counters.hits = compiled_hits_.load(std::memory_order_relaxed);
+  counters.fallbacks = compiled_fallbacks_.load(std::memory_order_relaxed);
+  counters.stale = compiled_stale_.load(std::memory_order_relaxed);
+  counters.recompiles = recompiles_.load(std::memory_order_relaxed);
+  counters.failed_recompiles = failed_recompiles_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::shared_ptr<const CompiledPolicy> ReferenceMonitor::compiled_snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(compiled_mu_);
+  return compiled_;
 }
 
 Decision ReferenceMonitor::CheckFloating(Subject* subject, NodeId node, AccessModeSet modes) {

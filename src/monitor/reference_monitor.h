@@ -32,14 +32,22 @@
 #ifndef XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
 #define XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "src/dac/acl.h"
 #include "src/mac/flow_policy.h"
 #include "src/mac/label_authority.h"
 #include "src/monitor/audit.h"
+#include "src/monitor/compiled_policy.h"
 #include "src/monitor/decision_cache.h"
 #include "src/monitor/monitor_stats.h"
 #include "src/monitor/subject.h"
@@ -73,6 +81,14 @@ struct MonitorOptions {
   // kAuditUnavailable denials instead of proceeding unaudited. Off by
   // default (fail-open: unaudited allows proceed and are counted).
   bool audit_required = false;
+  // Consult compiled decision tables (src/monitor/compiled_policy.h) on
+  // cache misses when their stamp vector matches the stores. Tables are
+  // built lazily by a background thread (RequestRecompile) or synchronously
+  // (RecompileNow); until one is installed every miss takes the interpreted
+  // path, so this flag never changes semantics, only the miss cost.
+  bool compiled_enabled = true;
+  size_t compiled_max_classes = 192;
+  size_t compiled_max_dac_cells = size_t{1} << 22;
   size_t cache_slots = 8192;
   size_t audit_capacity = 4096;
 };
@@ -82,6 +98,10 @@ class ReferenceMonitor {
   // The monitor borrows all four stores; they must outlive it.
   ReferenceMonitor(NameSpace* name_space, AclStore* acls, PrincipalRegistry* principals,
                    LabelAuthority* labels, MonitorOptions options = {});
+
+  // Joins the background recompile thread. The stores must still be alive
+  // (they outlive the monitor by the constructor's contract).
+  ~ReferenceMonitor();
 
   // -- Access checks ---------------------------------------------------------
 
@@ -143,6 +163,57 @@ class ReferenceMonitor {
   // True iff the subject holds administrate on the node (ACL grant or owner).
   bool HasAdministrate(const Subject& subject, NodeId node) const;
 
+  // -- Compiled decision tables ----------------------------------------------
+  // See src/monitor/compiled_policy.h and docs/MODEL.md §13. The compiled
+  // path is epoch-driven: tables carry the stamp vector they were built
+  // against and are consulted only while it matches the stores; any policy
+  // mutation silently diverts misses back to the interpreted path and a
+  // background recompile catches the tables up. Nothing on a mutation path
+  // ever blocks on compilation.
+
+  // Builds and installs tables synchronously. Retries a few times if policy
+  // mutations race the build; fails (and leaves any previous tables in
+  // place) when a size cap is exceeded, the "monitor.recompile" failpoint
+  // fires, or the stores never quiesce.
+  Status RecompileNow();
+
+  // Requests an asynchronous recompile; coalesces with pending requests and
+  // returns immediately. Spawns the recompile thread on first use.
+  void RequestRecompile();
+
+  // Called by policy deserialization after swapping in a loaded policy:
+  // bumps the policy epoch, which by construction invalidates every cached
+  // decision and any compiled tables (the epoch is part of CacheStamps), and
+  // queues a recompile. This closes the reload-staleness hole even for
+  // reload effects no store stamp covers (e.g. a security-officer change).
+  void NotePolicyReload();
+  uint64_t policy_epoch() const { return policy_epoch_.load(std::memory_order_acquire); }
+
+  // Attempts a compiled-table decision: false when disabled, no tables are
+  // installed, their stamps are stale, or the tables do not cover the input
+  // (then the caller must take the interpreted path). Public for the
+  // differential fuzzer, which holds this against CheckInterpreted.
+  bool TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
+                        Decision* out);
+
+  // The pure interpreted decision procedure — no cache, no compiled tables,
+  // no audit, no stats. This is the differential-fuzz oracle.
+  Decision CheckInterpreted(const Subject& subject, NodeId node, AccessModeSet modes) const {
+    return CheckUncached(subject, node, modes);
+  }
+
+  struct CompiledCounters {
+    uint64_t hits = 0;         // misses decided by the compiled tables
+    uint64_t fallbacks = 0;    // tables fresh but input not covered
+    uint64_t stale = 0;        // tables absent or stamp-stale at probe time
+    uint64_t recompiles = 0;   // successful builds installed
+    uint64_t failed_recompiles = 0;
+  };
+  CompiledCounters compiled_counters() const;
+
+  // The currently installed tables (null if none); for tests and stats.
+  std::shared_ptr<const CompiledPolicy> compiled_snapshot() const;
+
   // -- Introspection ---------------------------------------------------------
 
   // A human-readable, multi-line diagnosis of why `subject` can or cannot
@@ -179,6 +250,15 @@ class ReferenceMonitor {
   // cached — allows resume the moment the sink recovers.
   void ApplyAuditAvailability(Decision* decision);
 
+  // One build attempt against `stamps` (plus queued fallback classes).
+  StatusOr<std::shared_ptr<const CompiledPolicy>> BuildCompiled(const CacheStamps& stamps);
+  // Build-validate-install; kAborted when mutations keep racing the build.
+  Status RecompileOnce();
+  void RecompileLoop();
+  // Queues a subject class that missed the dominance matrix so the next
+  // compile interns it (bounded; duplicates dropped).
+  void NoteUncoveredClass(const SecurityClass& cls);
+
   NameSpace* name_space_;
   AclStore* acls_;
   PrincipalRegistry* principals_;
@@ -189,6 +269,37 @@ class ReferenceMonitor {
   MonitorStats stats_;
   DecisionCache cache_;
   PrincipalId security_officer_;
+
+  // Monitor-owned stamp: policy reloads bump it (NotePolicyReload), making
+  // it impossible for decisions cached against the pre-reload policy — or
+  // compiled tables built against it — to be consulted afterwards.
+  std::atomic<uint64_t> policy_epoch_{0};
+
+  // The installed tables. Readers copy the shared_ptr under the shared lock
+  // and evaluate lock-free; the installer swaps under the exclusive lock.
+  mutable std::shared_mutex compiled_mu_;
+  std::shared_ptr<const CompiledPolicy> compiled_;
+
+  // Subject classes that missed the dominance matrix, fed into the next
+  // build as extra interned classes. Small and bounded; guarded by its own
+  // mutex (touched only on the fallback path).
+  std::mutex uncovered_mu_;
+  std::vector<SecurityClass> uncovered_classes_;
+  static constexpr size_t kMaxUncoveredClasses = 32;
+
+  std::atomic<uint64_t> compiled_hits_{0};
+  std::atomic<uint64_t> compiled_fallbacks_{0};
+  std::atomic<uint64_t> compiled_stale_{0};
+  std::atomic<uint64_t> recompiles_{0};
+  std::atomic<uint64_t> failed_recompiles_{0};
+
+  // Lazy background recompiler: RequestRecompile sets `pending` and wakes
+  // it; the loop coalesces bursts into one build. Guarded by recompile_mu_.
+  std::mutex recompile_mu_;
+  std::condition_variable recompile_cv_;
+  std::thread recompile_thread_;
+  bool recompile_pending_ = false;
+  bool recompile_shutdown_ = false;
 };
 
 }  // namespace xsec

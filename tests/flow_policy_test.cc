@@ -137,5 +137,47 @@ TEST_P(FlowSoundnessTest, AllDecisionsRespectLattice) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowSoundnessTest, ::testing::Range(0, 10));
 
+// FlowAllowedMask is the truth table both the interpreted FlowPolicy and the
+// compiled per-class-pair masks evaluate; pin all four dominance-bit
+// combinations for both option settings, with special attention to the
+// S = O double-dominance column (administrate, strict write/delete).
+TEST(FlowAllowedMaskTest, TruthTableIsExhaustive) {
+  for (bool strict : {true, false}) {
+    FlowPolicyOptions options;
+    options.write_up_requires_append = strict;
+    const AccessModeSet observe =
+        AccessMode::kRead | AccessMode::kList | AccessMode::kExecute | AccessMode::kExtend;
+
+    // Incomparable: nothing flows.
+    EXPECT_EQ(FlowAllowedMask(false, false, options).bits(), 0u);
+    // S strictly above O: observation only.
+    EXPECT_EQ(FlowAllowedMask(true, false, options), observe);
+    // O strictly above S: write-up; destructive writes only when permissive.
+    AccessModeSet up(AccessMode::kWriteAppend);
+    if (!strict) {
+      up |= AccessMode::kWrite | AccessMode::kDelete;
+    }
+    EXPECT_EQ(FlowAllowedMask(false, true, options), up);
+    // S = O: everything, in both settings.
+    EXPECT_EQ(FlowAllowedMask(true, true, options), AccessModeSet::All());
+  }
+}
+
+TEST(FlowAllowedMaskTest, EqualClassesGetTheFullMask) {
+  // The historical hazard: S = O reaches Check as two separate Dominates
+  // calls; equal classes (including empty-category and capacity-skewed
+  // pairs) must land in the S = O column, never the incomparable one.
+  FlowPolicy flow{FlowPolicyOptions{true}};
+  CategorySet a(2), b(40);
+  a.Set(1);
+  b.Set(1);
+  SecurityClass s(1, std::move(a)), o(1, std::move(b));
+  ASSERT_EQ(s, o);
+  for (size_t bit = 0; bit < kAccessModeCount; ++bit) {
+    EXPECT_TRUE(flow.ModeAllowed(s, o, static_cast<AccessMode>(uint32_t{1} << bit)));
+  }
+  EXPECT_TRUE(flow.Check(s, o, AccessModeSet::All()).allowed);
+}
+
 }  // namespace
 }  // namespace xsec

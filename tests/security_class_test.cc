@@ -145,5 +145,49 @@ TEST_P(LatticePropertyTest, JoinMeetAlgebra) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LatticePropertyTest, ::testing::Range(0, 10));
 
+// Antisymmetry, pinned explicitly because two consumers key decisions off
+// the S = O case (FlowAllowedMask's administrate/strict-write rules and the
+// compiled DominanceMatrix's dedup): mutual dominance must coincide with
+// operator== — including for equal classes whose category bitsets differ
+// only in capacity, and for empty-category classes.
+TEST(SecurityClassProperty, MutualDominanceIsEquality) {
+  Rng rng(0xeec5);
+  for (int i = 0; i < 400; ++i) {
+    CategorySet ca(3 + rng.NextBelow(5)), cb(3 + rng.NextBelow(5));
+    for (size_t c = 0; c < 3; ++c) {
+      if (rng.NextBool(1, 2)) {
+        ca.Set(c);
+      }
+      if (rng.NextBool(1, 2)) {
+        cb.Set(c);
+      }
+    }
+    SecurityClass a(static_cast<TrustLevel>(rng.NextBelow(3)), std::move(ca));
+    SecurityClass b(static_cast<TrustLevel>(rng.NextBelow(3)), std::move(cb));
+    EXPECT_EQ(a.Dominates(b) && b.Dominates(a), a == b);
+    // The derived predicates must agree with the same partition: exactly one
+    // of {equal, a strict, b strict, incomparable} holds.
+    int buckets = (a == b ? 1 : 0) + (a.StrictlyDominates(b) ? 1 : 0) +
+                  (b.StrictlyDominates(a) ? 1 : 0) + (a.IncomparableWith(b) ? 1 : 0);
+    EXPECT_EQ(buckets, 1) << "partition violated at trial " << i;
+  }
+}
+
+TEST(SecurityClassProperty, CapacityNeverAffectsEqualityOrDominance) {
+  CategorySet narrow(1), wide(64);
+  narrow.Set(0);
+  wide.Set(0);
+  SecurityClass a(2, std::move(narrow));
+  SecurityClass b(2, std::move(wide));
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.Dominates(b) && b.Dominates(a));
+  EXPECT_FALSE(a.StrictlyDominates(b));
+  EXPECT_FALSE(a.IncomparableWith(b));
+  // Empty category sets of any capacity are one lattice point per level.
+  SecurityClass e0(1, CategorySet(0)), e1(1, CategorySet(17));
+  EXPECT_EQ(e0, e1);
+  EXPECT_TRUE(e0.Dominates(e1) && e1.Dominates(e0));
+}
+
 }  // namespace
 }  // namespace xsec
