@@ -1,0 +1,133 @@
+// Experiment F15 — shared-ring batched mediation vs per-call checks
+// (DESIGN.md "Mediation transport", MODEL.md §14).
+//
+// The transport's claim is amortization: a batch of N decisions pays ONE
+// cache-stamp read, ONE striped stats flush, and ONE audit stamping section
+// where N per-call checks pay N of each (plus per-call latency sampling).
+//
+//   check_per_call         ReferenceMonitor::Check in a loop — the baseline
+//                          every mediated operation pays today
+//   check_batched/N        one CheckBatch of N requests per iteration; the
+//                          gate (ci/check_bench_f15.py) divides cpu_time by
+//                          N and requires per-item <= per-call at N >= 8
+//   ring_round_trip        submit + wait through the full transport: the
+//                          cv handoff dominates on one core, so this is
+//                          informational (latency, not throughput)
+//   ring_stuck_shard       2 shards, shard 0's worker wedged via its stall
+//                          failpoint: the gate requires rejected > 0 (the
+//                          stall back-pressures as kResourceExhausted, it
+//                          never blocks) and healthy_completed > 0 (the
+//                          other shard keeps serving).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/base/failpoint.h"
+#include "src/core/secure_system.h"
+#include "src/monitor/mediation_ring.h"
+
+namespace xsec {
+namespace {
+
+// Default monitor configuration on purpose: stats, cache, audit policy all
+// as shipped — the figure is the transport's effect on the real check path.
+struct Fixture {
+  Fixture() {
+    user = *sys.CreateUser("ring-user");
+    node = *sys.name_space().BindPath("/data/ring/target", NodeKind::kFile, user);
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, user, AccessMode::kRead | AccessMode::kWrite});
+    (void)sys.name_space().SetAclRef(node, sys.kernel().acls().Create(std::move(acl)));
+    subject = sys.Login(user, sys.labels().Bottom());
+  }
+
+  SecureSystem sys;
+  PrincipalId user;
+  NodeId node;
+  Subject subject;
+};
+
+void BM_CheckPerCall(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    Decision d = f.sys.monitor().Check(f.subject, f.node, AccessMode::kRead);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckPerCall);
+
+void BM_CheckBatched(benchmark::State& state) {
+  Fixture f;
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<ReferenceMonitor::BatchCheckRequest> requests(
+      n, ReferenceMonitor::BatchCheckRequest{f.subject, f.node,
+                                             AccessModeSet(AccessMode::kRead)});
+  std::vector<Decision> out(n);
+  for (auto _ : state) {
+    f.sys.monitor().CheckBatch(requests.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CheckBatched)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RingRoundTrip(benchmark::State& state) {
+  Fixture f;
+  MediationRing ring(&f.sys.monitor());
+  auto client = ring.NewClient();
+  for (auto _ : state) {
+    auto ticket = ring.SubmitCheck(*client, f.subject, f.node, AccessMode::kRead);
+    if (!ticket.ok()) {
+      state.SkipWithError("submission rejected");
+      return;
+    }
+    auto completion = ring.Wait(*client, *ticket);
+    benchmark::DoNotOptimize(completion);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingRoundTrip);
+
+void BM_RingStuckShardIsolation(benchmark::State& state) {
+  Fixture f;
+  MediationRingOptions options;
+  options.shards = 2;
+  options.ring_capacity = 8;
+  options.completion_capacity = 16;
+  // Wedge shard 0's worker: every batch sleeps with its credits held, the
+  // realistic shape of a consumer stuck mid-batch.
+  if (!FailpointRegistry::Instance().Arm("ring.worker.0.batch", "sleep=2").ok()) {
+    state.SkipWithError("failed to arm the shard-0 stall failpoint");
+    return;
+  }
+  {
+    MediationRing ring(&f.sys.monitor(), options);
+    auto stuck = ring.NewClient();    // shard 0 (round-robin from 0)
+    auto healthy = ring.NewClient();  // shard 1
+    uint64_t rejected = 0;
+    uint64_t healthy_completed = 0;
+    for (auto _ : state) {
+      // Submissions to the wedged shard must fail fast, never block; the
+      // stuck client never drains, so its completion credits run out too.
+      if (!ring.SubmitCheck(*stuck, f.subject, f.node, AccessMode::kRead).ok()) {
+        ++rejected;
+      }
+      auto ticket = ring.SubmitCheck(*healthy, f.subject, f.node, AccessMode::kRead);
+      if (ticket.ok() && ring.Wait(*healthy, *ticket).ok()) {
+        ++healthy_completed;
+      }
+    }
+    // Unwedge before teardown so the client/ring destructors drain fast.
+    FailpointRegistry::Instance().DisarmAll();
+    state.counters["rejected"] = static_cast<double>(rejected);
+    state.counters["healthy_completed"] = static_cast<double>(healthy_completed);
+  }
+}
+BENCHMARK(BM_RingStuckShardIsolation)->Iterations(1000);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

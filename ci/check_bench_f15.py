@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Gate for the F15 shared-ring batched-mediation figures.
+
+Reads a fresh BENCH_f15.json and enforces the transport's two claims:
+
+1. Amortization: for every BM_CheckBatched/N entry (N >= 8), the per-item
+   cost (median cpu_time / N) must not exceed the per-call baseline:
+
+       (median cpu_time(BM_CheckBatched/N) / N)
+     / median cpu_time(BM_CheckPerCall)            must be < --max-ratio
+
+   Both sides come from the same run on the same fixture, so machine speed
+   cancels. The comparison is the inline CheckBatch path against Check —
+   NOT the end-to-end ring round trip, whose cv handoff dominates on the
+   single-core CI machine and measures scheduling, not mediation.
+
+2. Isolation: BM_RingStuckShardIsolation must report counters proving that
+   a wedged shard back-pressures (rejected > 0: submissions failed fast
+   with kResourceExhausted, nothing blocked) while the other shard kept
+   serving (healthy_completed > 0).
+
+No committed baseline: like F14, this is an absolute claim about the
+mechanism, not a regression bound.
+
+Usage: check_bench_f15.py <fresh.json> [--max-ratio 1.0]
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+PER_CALL = "BM_CheckPerCall"
+BATCHED_RE = re.compile(r"^BM_CheckBatched/(\d+)$")
+STUCK = "BM_RingStuckShardIsolation"
+
+
+def iteration_entries(data, name_pred):
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if (name_pred(name)
+                and bench.get("run_type", "iteration") == "iteration"
+                and "error_occurred" not in bench):
+            yield name, bench
+
+
+def median_cpu_time(data, path, name):
+    values = [
+        float(bench["cpu_time"])
+        for _, bench in iteration_entries(data, lambda n: n == name)
+        if "cpu_time" in bench
+    ]
+    if not values:
+        raise KeyError(f"{path}: no successful benchmark named {name}")
+    return statistics.median(values)
+
+
+def batched_medians(data, path):
+    by_n = {}
+    for name, bench in iteration_entries(data, lambda n: BATCHED_RE.match(n)):
+        if "cpu_time" not in bench:
+            continue
+        n = int(BATCHED_RE.match(name).group(1))
+        by_n.setdefault(n, []).append(float(bench["cpu_time"]))
+    if not by_n:
+        raise KeyError(f"{path}: no successful BM_CheckBatched/N entries")
+    return {n: statistics.median(values) for n, values in by_n.items()}
+
+
+def stuck_counters(data, path):
+    for name, bench in iteration_entries(data, lambda n: n.startswith(STUCK)):
+        if "rejected" in bench and "healthy_completed" in bench:
+            return float(bench["rejected"]), float(bench["healthy_completed"])
+    raise KeyError(f"{path}: no {STUCK} entry carrying "
+                   "rejected/healthy_completed counters")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("--max-ratio", type=float, default=1.0,
+                        help="batched-per-item / per-call ceiling (default 1.0: "
+                             "batching must not be slower than calling)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.fresh) as f:
+            data = json.load(f)
+        if not data.get("benchmarks"):
+            raise ValueError(f"{args.fresh}: no benchmark entries — "
+                             "did bench_f15_ring run?")
+        per_call = median_cpu_time(data, args.fresh, PER_CALL)
+        if per_call <= 0:
+            raise ValueError(f"{args.fresh}: non-positive cpu_time for {PER_CALL}")
+        batched = batched_medians(data, args.fresh)
+        rejected, healthy = stuck_counters(data, args.fresh)
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as err:
+        print(f"check_bench_f15: {err}", file=sys.stderr)
+        return 1
+
+    failed = False
+    for n in sorted(batched):
+        per_item = batched[n] / n
+        ratio = per_item / per_call
+        print(f"batched/{n}: {per_item:.1f}ns per item vs per-call "
+              f"{per_call:.1f}ns (ratio {ratio:.4f})")
+        if n >= 8 and ratio >= args.max_ratio:
+            print(f"check_bench_f15: FAIL — batch of {n} is not at least as "
+                  f"fast per item as per-call checks "
+                  f"(ratio {ratio:.4f} >= {args.max_ratio})", file=sys.stderr)
+            failed = True
+
+    print(f"stuck-shard isolation: rejected={rejected:.0f} "
+          f"healthy_completed={healthy:.0f}")
+    if rejected <= 0:
+        print("check_bench_f15: FAIL — the wedged shard produced no "
+              "kResourceExhausted back-pressure (did the stall failpoint arm?)",
+              file=sys.stderr)
+        failed = True
+    if healthy <= 0:
+        print("check_bench_f15: FAIL — the healthy shard made no progress "
+              "while the other was wedged", file=sys.stderr)
+        failed = True
+
+    if failed:
+        return 1
+    print("check_bench_f15: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

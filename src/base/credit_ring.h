@@ -1,0 +1,143 @@
+// A fixed-capacity multi-producer ring with credit-based admission and one
+// batching consumer — the submission side of the mediation ring transport
+// (src/monitor/mediation_ring.h, MODEL.md §14), modeled on the exception-less
+// shared-ring syscall designs (XSC/FlexSC): producers spend a credit to
+// enqueue, the consumer drains in batches and returns the credits only after
+// the batch is fully processed, so the credit pool bounds work *in flight*,
+// not merely work queued.
+//
+// The admission decision is a lock-free compare-exchange on the credit
+// counter and FAILS FAST: a ring whose consumer has stalled rejects new work
+// (TryPush returns false, counted in rejected()) instead of blocking the
+// producer — back-pressure is an error the caller can see and retry, never a
+// wedge. Only the slot copy itself takes the ring mutex, briefly.
+//
+// Thread safety: TryPush from any number of threads; DrainBatch and
+// ReleaseCredits from the single consumer; Stop/telemetry from anywhere.
+
+#ifndef XSEC_SRC_BASE_CREDIT_RING_H_
+#define XSEC_SRC_BASE_CREDIT_RING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace xsec {
+
+template <typename T>
+class CreditRing {
+ public:
+  explicit CreditRing(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        credits_(static_cast<int64_t>(capacity_)) {
+    slots_.resize(capacity_);
+  }
+
+  CreditRing(const CreditRing&) = delete;
+  CreditRing& operator=(const CreditRing&) = delete;
+
+  // Producer side. False when no credit is available (consumer backlogged:
+  // capacity_ items are queued or still being processed) or the ring is
+  // stopped; the item is not consumed in that case. Never blocks beyond the
+  // brief slot-copy critical section.
+  bool TryPush(T item) {
+    if (!TryAcquireCredit()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) {
+        credits_.fetch_add(1, std::memory_order_relaxed);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      slots_[(head_ + size_) % capacity_] = std::move(item);
+      ++size_;
+    }
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_one();
+    return true;
+  }
+
+  // Consumer side: blocks until at least one item is queued or Stop() was
+  // called, then appends up to `max` items to *out. Returns the number
+  // drained; 0 means stopped with nothing left (the consumer should exit).
+  // A Stop with items still queued drains them first — stop is drain-then-
+  // exit, never drop.
+  size_t DrainBatch(std::vector<T>* out, size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return stopped_ || size_ != 0; });
+    size_t n = max < size_ ? max : size_;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(slots_[head_]));
+      head_ = (head_ + 1) % capacity_;
+    }
+    size_ -= n;
+    return n;
+  }
+
+  // Returns `n` credits to the admission pool. The consumer calls this after
+  // a drained batch has been fully processed (results posted), which is what
+  // makes the credit pool a bound on in-flight work: a consumer stuck
+  // mid-batch starves producers of credits rather than letting the queue
+  // churn behind its back.
+  void ReleaseCredits(size_t n) {
+    credits_.fetch_add(static_cast<int64_t>(n), std::memory_order_release);
+  }
+
+  // Wakes the consumer for a final drain-then-exit pass and makes every
+  // further TryPush fail. Idempotent.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Items currently queued (not yet drained). Telemetry; racy by nature.
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  // Admissions refused for lack of a credit (or after Stop). This is the
+  // ring's back-pressure signal made visible.
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  bool TryAcquireCredit() {
+    int64_t credit = credits_.load(std::memory_order_relaxed);
+    while (credit > 0) {
+      if (credits_.compare_exchange_weak(credit, credit - 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const size_t capacity_;
+  std::atomic<int64_t> credits_;
+  std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> slots_;
+  size_t head_ = 0;  // oldest queued item
+  size_t size_ = 0;  // queued items
+  bool stopped_ = false;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASE_CREDIT_RING_H_

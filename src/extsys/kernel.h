@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/call_options.h"
 #include "src/dac/acl.h"
 #include "src/extsys/dispatcher.h"
 #include "src/extsys/extension.h"
@@ -32,20 +33,9 @@
 
 namespace xsec {
 
-// Per-call options for mediated invocation. `deadline_ns` is an absolute
-// timestamp on the MonotonicNowNs clock; 0 means no deadline. A call whose
-// deadline has already passed is rejected with kDeadlineExceeded before the
-// handler runs; otherwise the deadline is forwarded to the handler via
-// CallContext so blocking procedures can bound their wait.
-//
-// `cancel` is an optional caller-owned flag: setting it to true withdraws
-// the request, and cooperative handlers (anything that polls
-// CallContext::CheckDeadline) return kCancelled at their next cancellation
-// point. The flag must outlive the call.
-struct CallOptions {
-  uint64_t deadline_ns = 0;
-  const std::atomic<bool>* cancel = nullptr;
-};
+// CallOptions (deadline + cancellation flag) now lives in
+// src/base/call_options.h so the monitor's mediation ring can accept the
+// same per-call options the kernel plumbs into handlers via CallContext.
 
 class Kernel {
  public:

@@ -1,5 +1,7 @@
 #include "src/monitor/audit.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -122,7 +124,23 @@ void NdjsonFileRotator::Write(const AuditRecord& record) {
   if (out_ == nullptr) {
     return;  // reopen after rotation failed
   }
-  std::fwrite(line.data(), 1, line.size(), out_);
+  // Disk-full simulation point: an armed `audit.ndjson.write` takes zero
+  // bytes, like a device with no space left; a real short fwrite lands in
+  // the same recovery path below.
+  size_t wrote = XSEC_FAILPOINT_FIRED("audit.ndjson.write")
+                     ? 0
+                     : std::fwrite(line.data(), 1, line.size(), out_);
+  if (wrote != line.size()) {
+    // Short write: truncate the torn suffix back off so the file ends on
+    // the last complete line (bytes_ is the pre-write size, which is by
+    // construction a whole-line boundary), then drop this record from
+    // export. The in-memory ring still retains it.
+    ++write_failures_;
+    std::fflush(out_);
+    (void)ftruncate(fileno(out_), static_cast<off_t>(bytes_));
+    std::fseek(out_, static_cast<long>(bytes_), SEEK_SET);
+    return;
+  }
   std::fflush(out_);
   bytes_ += line.size();
 }
@@ -130,6 +148,20 @@ void NdjsonFileRotator::Write(const AuditRecord& record) {
 std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
     std::shared_ptr<NdjsonFileRotator> rotator) {
   return [rotator](const AuditRecord& record) { rotator->Write(record); };
+}
+
+std::function<Status(const AuditRecord&)> MakeRotatingNdjsonFallibleSink(
+    std::shared_ptr<NdjsonFileRotator> rotator) {
+  // Sink invocations are externally serialized (AuditLog's contract), so the
+  // before/after failure-counter delta unambiguously belongs to this write.
+  return [rotator](const AuditRecord& record) -> Status {
+    uint64_t failures_before = rotator->write_failures();
+    rotator->Write(record);
+    if (rotator->write_failures() != failures_before) {
+      return ResourceExhaustedError("ndjson write failed (disk full?)");
+    }
+    return OkStatus();
+  };
 }
 
 ResilientSink::ResilientSink(FallibleSink inner, ResilientSinkOptions options)
@@ -221,6 +253,15 @@ void AuditLog::Record(AuditRecord record) {
   if (!WouldRetain(record.allowed)) {
     return;
   }
+  // Sequence-order fix: when the sink runs synchronously (no drain), acquire
+  // sink_mu_ BEFORE stamping, so the stamp and the sink call form one
+  // critical section and two racing recorders cannot stamp in one order and
+  // emit in the other. The drained path gets the same guarantee from
+  // enqueueing inside the stamping critical section below.
+  std::unique_lock<std::mutex> serialize(sink_mu_, std::defer_lock);
+  if (sync_sink_active_.load(std::memory_order_acquire)) {
+    serialize.lock();
+  }
   std::shared_ptr<const Sink> sink;
   AuditRecord for_sink;
   {
@@ -250,16 +291,88 @@ void AuditLog::Record(AuditRecord record) {
   }
   if (sink != nullptr) {
     // Recorders are never blocked on file I/O while holding the ring mutex;
-    // they may still wait here on each other (sink_mu_), which is what the
-    // async drain removes entirely.
-    std::lock_guard<std::mutex> serialize(sink_mu_);
+    // they may still wait on each other (sink_mu_), which is what the async
+    // drain removes entirely. A sink installed between the pre-check above
+    // and here is serialized late (that one racing record may emit out of
+    // order; sinks are setup-time by contract).
+    if (!serialize.owns_lock()) {
+      serialize.lock();
+    }
     (*sink)(for_sink);
+  }
+}
+
+void AuditLog::RecordBatch(std::vector<AuditRecord> records) {
+  if (records.empty()) {
+    return;
+  }
+  uint64_t denials = 0;
+  for (const AuditRecord& record : records) {
+    if (!record.allowed) {
+      ++denials;
+    }
+  }
+  CountBatch(records.size(), denials);
+  // One policy read for the whole batch: a racing set_policy applies to the
+  // next batch, never to half of this one.
+  AuditPolicy p = policy();
+  if (p == AuditPolicy::kOff) {
+    return;
+  }
+  if (p == AuditPolicy::kDenialsOnly) {
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [](const AuditRecord& r) { return r.allowed; }),
+                  records.end());
+    if (records.empty()) {
+      return;
+    }
+  }
+  // Same sync-mode ordering discipline as Record: sink_mu_ before the stamp.
+  std::unique_lock<std::mutex> serialize(sink_mu_, std::defer_lock);
+  if (sync_sink_active_.load(std::memory_order_acquire)) {
+    serialize.lock();
+  }
+  std::shared_ptr<const Sink> sink;
+  std::vector<AuditRecord> for_sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (AuditRecord& record : records) {
+      record.sequence = next_sequence_++;
+    }
+    if (sink_ != nullptr) {
+      if (drain_running_) {
+        for (const AuditRecord& record : records) {
+          if (XSEC_FAILPOINT_FIRED("audit.drain.enqueue") ||
+              drain_queue_.size() >= drain_options_.queue_capacity) {
+            sink_dropped_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            drain_queue_.push_back(record);
+          }
+        }
+        drain_cv_.notify_one();
+      } else {
+        sink = sink_;
+        for_sink = records;
+      }
+    }
+    for (AuditRecord& record : records) {
+      RingInsertLocked(std::move(record));
+    }
+  }
+  if (sink != nullptr) {
+    if (!serialize.owns_lock()) {
+      serialize.lock();
+    }
+    for (const AuditRecord& record : for_sink) {
+      (*sink)(record);
+    }
   }
 }
 
 void AuditLog::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sink_ = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+  UpdateSyncModeLocked();
 }
 
 void AuditLog::InstallResilientSink(std::shared_ptr<ResilientSink> sink) {
@@ -272,6 +385,7 @@ void AuditLog::InstallResilientSink(std::shared_ptr<ResilientSink> sink) {
               ? std::make_shared<const Sink>(
                     [sink](const AuditRecord& record) { sink->Write(record); })
               : nullptr;
+  UpdateSyncModeLocked();
 }
 
 std::string AuditLog::sink_state() const {
@@ -303,6 +417,7 @@ void AuditLog::StartDrain(AuditDrainOptions options) {
   drain_options_ = options;
   drain_stop_ = false;
   drain_running_ = true;
+  UpdateSyncModeLocked();
   drainer_ = std::thread([this] { DrainLoop(); });
 }
 
@@ -345,6 +460,7 @@ void AuditLog::StopDrain() {
   std::lock_guard<std::mutex> lock(mu_);
   drain_running_ = false;
   drain_stop_ = false;
+  UpdateSyncModeLocked();
 }
 
 void AuditLog::Flush() {

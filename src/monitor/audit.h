@@ -12,13 +12,15 @@
 //
 // Sink I/O never runs under the ring mutex. Without a drain, the recording
 // thread invokes the sink on a copy of the record after releasing the ring
-// lock (serialized by a dedicated sink mutex, so sinks need no internal
-// locking — but two recorders' sink calls may then land out of sequence
-// order). With StartDrain(), Record only enqueues into a bounded drain queue
-// and a background drainer invokes the sink — file writes and NDJSON
-// rotation renames happen on the drainer, never on a mediated check, and
-// sink output is in exact sequence order. See docs/MODEL.md §11 for the
-// ordering/durability caveats.
+// lock; the sink mutex is acquired BEFORE the sequence is stamped, so the
+// stamp and the sink call form one serialized critical section and sync-mode
+// output is in exact sequence order (sinks still need no internal locking).
+// With StartDrain(), Record only enqueues into a bounded drain queue and a
+// background drainer invokes the sink — file writes and NDJSON rotation
+// renames happen on the drainer, never on a mediated check, and enqueueing
+// inside the stamping critical section keeps drained output exactly
+// sequence-ordered too. See docs/MODEL.md §11 for the ordering/durability
+// semantics.
 
 #ifndef XSEC_SRC_MONITOR_AUDIT_H_
 #define XSEC_SRC_MONITOR_AUDIT_H_
@@ -124,6 +126,11 @@ class NdjsonFileRotator {
   // (real or injected via the `audit.rotate.rename` failpoint); the file is
   // truncated in place instead, so writing always continues.
   uint64_t rename_failures() const { return rename_failures_; }
+  // Lines that did not land in full — a short fwrite (disk full, I/O error,
+  // or the `audit.ndjson.write` failpoint). The partial line is truncated
+  // back off the file so the NDJSON whole-line invariant holds; the record
+  // is dropped from export (the in-memory ring still retains it).
+  uint64_t write_failures() const { return write_failures_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -136,11 +143,19 @@ class NdjsonFileRotator {
   uint64_t opened_at_ns_ = 0;
   uint64_t rotations_ = 0;
   uint64_t rename_failures_ = 0;
+  uint64_t write_failures_ = 0;
 };
 
 // Adapts a rotator into an AuditLog sink; the shared_ptr keeps it alive for
 // as long as the log holds the sink.
 std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
+    std::shared_ptr<NdjsonFileRotator> rotator);
+
+// Fallible adapter for wrapping a rotator in a ResilientSink: a write the
+// rotator had to drop (disk full — see write_failures()) reports
+// kResourceExhausted, so the circuit breaker retries it and ultimately
+// trips, which is what lets `audit_required` fail closed on a full disk.
+std::function<Status(const AuditRecord&)> MakeRotatingNdjsonFallibleSink(
     std::shared_ptr<NdjsonFileRotator> rotator);
 
 // -- Self-healing sink --------------------------------------------------------
@@ -240,6 +255,14 @@ class AuditLog {
     return p == AuditPolicy::kAll || (p == AuditPolicy::kDenialsOnly && !allowed);
   }
 
+  // Records a whole batch of decisions in one stamping critical section
+  // (the mediation-ring worker path): every record is counted, then those
+  // the current policy retains are sequence-stamped contiguously, handed to
+  // the sink/drain, and ring-inserted under ONE acquisition of the ring
+  // mutex. Ordering semantics are identical to N Record() calls performed
+  // back-to-back by one thread. Consumes `records`.
+  void RecordBatch(std::vector<AuditRecord> records);
+
   // Maintains counters without retaining a record. Lock-free.
   void Count(bool allowed) {
     total_checks_.fetch_add(1, std::memory_order_relaxed);
@@ -248,11 +271,23 @@ class AuditLog {
     }
   }
 
+  // Batched Count: `checks` decisions of which `denials` denied, in two
+  // fetch_adds total. For batch paths whose records the policy discards.
+  void CountBatch(uint64_t checks, uint64_t denials) {
+    if (checks != 0) {
+      total_checks_.fetch_add(checks, std::memory_order_relaxed);
+    }
+    if (denials != 0) {
+      total_denials_.fetch_add(denials, std::memory_order_relaxed);
+    }
+  }
+
   // Optional sink invoked for every retained record (e.g. a test collector
-  // or an NDJSON writer). Invocations are serialized and never run under the
-  // ring mutex; without a drain the recording thread calls the sink itself
-  // (and blocks on its I/O), with one the drainer does. Install at setup
-  // time, before concurrent checking starts.
+  // or an NDJSON writer). Invocations are serialized, in exact sequence
+  // order, and never run under the ring mutex; without a drain the
+  // recording thread calls the sink itself (and blocks on its I/O), with
+  // one the drainer does. Install at setup time, before concurrent checking
+  // starts.
   void set_sink(Sink sink);
 
   // Installs `sink` (may be null to remove) as THE sink, wrapped so every
@@ -332,6 +367,12 @@ class AuditLog {
   void Clear();
 
  private:
+  // Recomputes sync_sink_active_ from sink_/drain_running_. Caller holds mu_.
+  void UpdateSyncModeLocked() {
+    sync_sink_active_.store(sink_ != nullptr && !drain_running_,
+                            std::memory_order_release);
+  }
+
   // Appends `visit(record)` for each retained record, oldest first, with
   // mu_ held.
   template <typename Visit>
@@ -371,8 +412,20 @@ class AuditLog {
   std::atomic<uint64_t> unaudited_allows_{0};
 
   // Serializes sink invocations (sync recorders and the drainer), so sinks
-  // never need internal locking. Always acquired without mu_ held.
+  // never need internal locking. Lock order: sync-mode recorders acquire
+  // sink_mu_ BEFORE mu_ (stamping and sink emission become one critical
+  // section, which is what makes sync-mode output exactly sequence-ordered);
+  // no path ever acquires sink_mu_ while holding mu_.
   std::mutex sink_mu_;
+
+  // True iff a sink is installed and no drain is running, i.e. recorders
+  // will invoke the sink themselves. Maintained under mu_
+  // (UpdateSyncModeLocked); read lock-free by recorders to decide whether
+  // to pre-acquire sink_mu_. Sinks are installed at setup time, so the
+  // pre-check and the under-mu_ state only diverge in tests that hot-swap
+  // sinks — and then the recorder falls back to acquiring sink_mu_ late
+  // (serialized, possibly unordered for that one racing record).
+  std::atomic<bool> sync_sink_active_{false};
 
   // Async drain state, guarded by mu_ (the queue is touched only on actual
   // retention, never on the counting fast path).

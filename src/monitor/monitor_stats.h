@@ -113,6 +113,48 @@ class MonitorStats {
     BumpRelease(slot, slot.by_reason[static_cast<size_t>(reason)]);
   }
 
+  // Thread-local accumulator for batched recording (the mediation-ring
+  // worker path): the worker tallies a whole batch of decisions here, then
+  // flushes once with RecordBatch — one slot-cache probe and one release
+  // store per batch instead of one per decision.
+  struct BatchCounts {
+    uint32_t by_mode[kAccessModeCount] = {};
+    uint32_t by_reason[kDenyReasonCount] = {};
+    uint32_t total = 0;
+
+    void Add(AccessModeSet modes, DenyReason reason) {
+      uint32_t bits = modes.bits();
+      while (bits != 0) {
+        ++by_mode[static_cast<unsigned>(__builtin_ctz(bits))];
+        bits &= bits - 1;
+      }
+      ++by_reason[static_cast<size_t>(reason)];
+      ++total;
+    }
+  };
+
+  // Flushes a batch accumulator in one pass. Ordering mirrors
+  // RecordDecision extended to counts > 1: all mode adds land relaxed
+  // first, then the reason adds with release, so a snapshot reader that
+  // observes the batch's reasons (acquire) also observes its modes and the
+  // sum(by_mode) >= checks_total invariant survives mid-batch reads.
+  void RecordBatch(const BatchCounts& counts) {
+    if (counts.total == 0) {
+      return;
+    }
+    Slot& slot = *LocalEntry().slot;
+    for (size_t m = 0; m < kAccessModeCount; ++m) {
+      if (counts.by_mode[m] != 0) {
+        BumpN(slot, slot.by_mode[m], counts.by_mode[m]);
+      }
+    }
+    for (size_t r = 0; r < kDenyReasonCount; ++r) {
+      if (counts.by_reason[r] != 0) {
+        BumpReleaseN(slot, slot.by_reason[r], counts.by_reason[r]);
+      }
+    }
+  }
+
   // True once per kSampleEvery calls on this thread *for this instance*; the
   // caller then times the check and reports it via RecordLatencyNs. The
   // clock lives in the per-thread slot-cache entry, keyed by instance_id_:
@@ -207,6 +249,25 @@ class MonitorStats {
       counter.fetch_add(1, std::memory_order_release);
     } else {
       counter.store(counter.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+    }
+  }
+
+  // N-at-a-time flavors for RecordBatch; same single-writer/overflow split.
+  static void BumpN(Slot& slot, std::atomic<uint64_t>& counter, uint64_t n) {
+    if (slot.shared) {
+      counter.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      counter.store(counter.load(std::memory_order_relaxed) + n,
+                    std::memory_order_relaxed);
+    }
+  }
+
+  static void BumpReleaseN(Slot& slot, std::atomic<uint64_t>& counter, uint64_t n) {
+    if (slot.shared) {
+      counter.fetch_add(n, std::memory_order_release);
+    } else {
+      counter.store(counter.load(std::memory_order_relaxed) + n,
                     std::memory_order_release);
     }
   }

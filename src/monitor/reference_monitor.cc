@@ -1,5 +1,7 @@
 #include "src/monitor/reference_monitor.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -219,6 +221,77 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
   return decision;
 }
 
+void ReferenceMonitor::CheckBatch(const BatchCheckRequest* requests, size_t n, Decision* out) {
+  if (n == 0) {
+    return;
+  }
+  // One stamp read per batch. Sound for the same reason as the per-call
+  // read-stamps-then-evaluate order: a store mutating after this read bumps
+  // its stamp, so entries inserted below carry stamps that are already
+  // stale — a redundant future re-evaluation, never a wrong cached decision.
+  CacheStamps stamps = options_.cache_enabled ? CurrentStamps() : CacheStamps{};
+  MonitorStats::BatchCounts counts;
+  std::vector<AuditRecord> pending;   // retained records awaiting one RecordBatch
+  uint64_t counted_checks = 0;        // decisions the policy discards
+  uint64_t counted_denials = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Flush earlier items' retained records BEFORE this item's fail-closed
+    // probe: a sink trip their emission causes must be visible to this
+    // item. This is what makes audit_required per-request, not per-batch;
+    // under the default denials-only policy an all-allow batch never
+    // flushes here and keeps full amortization.
+    if (!pending.empty()) {
+      audit_.RecordBatch(std::move(pending));
+      pending.clear();
+    }
+    const BatchCheckRequest& req = requests[i];
+    Decision& decision = out[i];
+    if (options_.cache_enabled) {
+      DecisionCache::CachedDecision cached;
+      if (cache_.Lookup(req.subject, req.node, req.modes, stamps, &cached)) {
+        decision = Decision{cached.allowed, cached.reason, ""};
+      } else {
+        if (!TryCompiledCheck(req.subject, req.node, req.modes, &decision)) {
+          decision = CheckUncached(req.subject, req.node, req.modes);
+        }
+        cache_.Insert(req.subject, req.node, req.modes, stamps,
+                      DecisionCache::CachedDecision{decision.allowed, decision.reason});
+      }
+    } else if (!TryCompiledCheck(req.subject, req.node, req.modes, &decision)) {
+      decision = CheckUncached(req.subject, req.node, req.modes);
+    }
+    // After the cache, per request, like CheckUnsampled.
+    ApplyAuditAvailability(&decision);
+    if (options_.stats_enabled) {
+      counts.Add(req.modes, decision.allowed ? DenyReason::kNone : decision.reason);
+    }
+    if (audit_.WouldRetain(decision.allowed)) {
+      AuditRecord record;
+      record.principal = req.subject.principal;
+      record.thread_id = req.subject.thread_id;
+      record.node = req.node;
+      record.path = name_space_->PathOf(req.node);
+      record.modes = req.modes;
+      record.allowed = decision.allowed;
+      record.reason = decision.reason;
+      record.detail = decision.detail;
+      pending.push_back(std::move(record));
+    } else {
+      ++counted_checks;
+      if (!decision.allowed) {
+        ++counted_denials;
+      }
+    }
+  }
+  if (!pending.empty()) {
+    audit_.RecordBatch(std::move(pending));
+  }
+  audit_.CountBatch(counted_checks, counted_denials);
+  if (options_.stats_enabled) {
+    stats_.RecordBatch(counts);
+  }
+}
+
 bool ReferenceMonitor::TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
                                         Decision* out) {
   if (!options_.compiled_enabled) {
@@ -266,25 +339,41 @@ void ReferenceMonitor::NoteUncoveredClass(const SecurityClass& cls) {
 }
 
 StatusOr<std::shared_ptr<const CompiledPolicy>> ReferenceMonitor::BuildCompiled(
-    const CacheStamps& stamps) {
+    const CacheStamps& stamps, const std::vector<SecurityClass>& extra) {
   CompiledPolicyConfig config;
   config.dac_enabled = options_.dac_enabled;
   config.mac_enabled = options_.mac_enabled;
   config.flow = options_.flow;
   config.max_classes = options_.compiled_max_classes;
   config.max_dac_cells = options_.compiled_max_dac_cells;
-  std::vector<SecurityClass> extra;
-  {
-    std::lock_guard<std::mutex> lock(uncovered_mu_);
-    extra = uncovered_classes_;
-  }
   return CompiledPolicy::Build(*name_space_, *acls_, *principals_, *labels_, config, stamps,
                                extra);
 }
 
 Status ReferenceMonitor::RecompileOnce() {
+  // Serialized: two interleaved builds could otherwise install in either
+  // order, and the one that snapshotted the uncovered-class queue earlier
+  // would drop classes the other had already interned.
+  std::lock_guard<std::mutex> exec_lock(recompile_exec_mu_);
+  // Every build carries the previously interned extras forward and adds the
+  // newly queued ones, so a class stays interned once noted.
+  std::vector<SecurityClass> extra = interned_extra_;
+  {
+    std::lock_guard<std::mutex> lock(uncovered_mu_);
+    for (const SecurityClass& cls : uncovered_classes_) {
+      if (std::find(extra.begin(), extra.end(), cls) == extra.end()) {
+        extra.push_back(cls);
+      }
+    }
+  }
+  // Same bound as the queue itself: when churn exceeds it, the oldest
+  // carried classes fall back to one-shot re-noting instead of growing the
+  // tables without limit.
+  if (extra.size() > kMaxUncoveredClasses) {
+    extra.erase(extra.begin(), extra.end() - kMaxUncoveredClasses);
+  }
   CacheStamps before = CurrentStamps();
-  auto built = BuildCompiled(before);
+  auto built = BuildCompiled(before, extra);
   if (!built.ok()) {
     failed_recompiles_.fetch_add(1, std::memory_order_relaxed);
     return built.status();
@@ -300,11 +389,17 @@ Status ReferenceMonitor::RecompileOnce() {
     std::unique_lock<std::shared_mutex> lock(compiled_mu_);
     compiled_ = std::move(*built);
   }
+  interned_extra_ = extra;
   {
-    // Whatever was queued is now interned (or over cap and re-noted on the
-    // next fallback).
+    // Drain exactly what this build interned; classes noted mid-build stay
+    // queued for the next one.
     std::lock_guard<std::mutex> lock(uncovered_mu_);
-    uncovered_classes_.clear();
+    uncovered_classes_.erase(
+        std::remove_if(uncovered_classes_.begin(), uncovered_classes_.end(),
+                       [&](const SecurityClass& cls) {
+                         return std::find(extra.begin(), extra.end(), cls) != extra.end();
+                       }),
+        uncovered_classes_.end());
   }
   recompiles_.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();

@@ -108,6 +108,32 @@ class ReferenceMonitor {
   // Checks `modes` on an already-resolved node (no traversal checks).
   Decision Check(const Subject& subject, NodeId node, AccessModeSet modes);
 
+  // -- Batched checks (the mediation-ring worker path, MODEL.md §14) ---------
+
+  struct BatchCheckRequest {
+    Subject subject;
+    NodeId node;
+    AccessModeSet modes;
+  };
+
+  // Decides `n` requests in one pass, writing out[i] for requests[i]. Each
+  // decision is semantically identical to Check() on the same request; what
+  // the batch amortizes is the bookkeeping around the decisions:
+  //   - the cache stamp vector is read once per batch (a policy mutation
+  //     mid-batch makes later inserts spuriously stale, never wrongly
+  //     fresh — the same one-sided race Check() already tolerates);
+  //   - MonitorStats lands as one striped-counter flush per batch
+  //     (RecordBatch); batched checks are not latency-sampled;
+  //   - retained audit records are sequence-stamped in one ring-mutex
+  //     critical section per run of consecutive retained records
+  //     (AuditLog::RecordBatch), and discarded ones in two fetch_adds.
+  // The `audit_required` fail-closed probe runs PER REQUEST, after that
+  // request's cache step, and pending audit records are flushed before each
+  // probe — so a sink trip caused by an earlier record in this very batch
+  // denies every subsequent would-be allow, and the transient denial is
+  // never cached (satellite regression: RingFaultTest.MidBatchSinkTrip...).
+  void CheckBatch(const BatchCheckRequest* requests, size_t n, Decision* out);
+
   // Resolves `path` and checks; on success *resolved (if non-null) is set.
   Decision CheckPath(const Subject& subject, std::string_view path, AccessModeSet modes,
                      NodeId* resolved = nullptr);
@@ -250,8 +276,9 @@ class ReferenceMonitor {
   // cached — allows resume the moment the sink recovers.
   void ApplyAuditAvailability(Decision* decision);
 
-  // One build attempt against `stamps` (plus queued fallback classes).
-  StatusOr<std::shared_ptr<const CompiledPolicy>> BuildCompiled(const CacheStamps& stamps);
+  // One build attempt against `stamps` with `extra` interned classes.
+  StatusOr<std::shared_ptr<const CompiledPolicy>> BuildCompiled(
+      const CacheStamps& stamps, const std::vector<SecurityClass>& extra);
   // Build-validate-install; kAborted when mutations keep racing the build.
   Status RecompileOnce();
   void RecompileLoop();
@@ -286,6 +313,16 @@ class ReferenceMonitor {
   std::mutex uncovered_mu_;
   std::vector<SecurityClass> uncovered_classes_;
   static constexpr size_t kMaxUncoveredClasses = 32;
+
+  // Serializes RecompileOnce bodies: concurrent builds (the background
+  // RecompileLoop racing a synchronous RecompileNow) must not interleave,
+  // or a build that snapshotted the queue before a class was noted can
+  // install last and silently drop that class from the tables.
+  // `interned_extra_` (guarded by this mutex) carries the installed tables'
+  // extra classes into every rebuild so interning is monotonic until the
+  // class lands in a label or clearance.
+  std::mutex recompile_exec_mu_;
+  std::vector<SecurityClass> interned_extra_;
 
   std::atomic<uint64_t> compiled_hits_{0};
   std::atomic<uint64_t> compiled_fallbacks_{0};

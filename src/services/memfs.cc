@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 #include "src/extsys/cooperative_budget.h"
 
@@ -195,6 +196,8 @@ StatusOr<std::vector<uint8_t>> MemFs::Read(Subject& subject, std::string_view pa
   if (!node.ok()) {
     return node.status();
   }
+  // Post-mediation I/O fault site: the check allowed, the device failed.
+  XSEC_FAILPOINT("memfs.read");
   const std::vector<uint8_t>& src = contents_[node->value];
   CooperativeBudget budget(call, kCopyChunkBytes);
   std::vector<uint8_t> out;
@@ -214,6 +217,9 @@ Status MemFs::Write(Subject& subject, std::string_view path, std::vector<uint8_t
   if (!node.ok()) {
     return node.status();
   }
+  // Fires before any mutation, so an injected failure leaves the old
+  // contents fully intact.
+  XSEC_FAILPOINT("memfs.write");
   // The overwrite itself is one O(1) move, so it is a single work unit: poll
   // once before committing, and a cancelled caller leaves the old contents
   // fully intact.
@@ -234,6 +240,9 @@ Status MemFs::Append(Subject& subject, std::string_view path,
   if (!node.ok()) {
     return node.status();
   }
+  // Same contract as the cancellation rollback below: an injected failure
+  // here (or mid-copy) must never leave a torn suffix behind.
+  XSEC_FAILPOINT("memfs.append");
   std::vector<uint8_t>& dst = contents_[node->value];
   const size_t old_size = dst.size();
   CooperativeBudget budget(call, kCopyChunkBytes);
@@ -273,6 +282,7 @@ StatusOr<std::vector<std::string>> MemFs::ListDir(Subject& subject, std::string_
   if (!node.ok()) {
     return node.status();
   }
+  XSEC_FAILPOINT("memfs.list");
   auto children = kernel_->name_space().List(*node);
   if (!children.ok()) {
     return children.status();

@@ -6,6 +6,7 @@
 
 #include "src/base/failpoint.h"
 #include "src/base/strings.h"
+#include "src/monitor/mediation_ring.h"
 #include "src/naming/path.h"
 
 namespace xsec {
@@ -28,6 +29,21 @@ StatsService::~StatsService() {
   if (publisher_.joinable()) {
     publisher_.join();
   }
+}
+
+Status StatsService::MountRing(MediationRing* ring) {
+  auto count = [](uint64_t v) { return std::to_string(v); };
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/shards", [ring, count] { return count(ring->shard_count()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/depth", [ring, count] { return count(ring->depth()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/batches", [ring, count] { return count(ring->batches()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/submitted", [ring, count] { return count(ring->submitted()); }));
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/completed", [ring, count] { return count(ring->completed()); }));
+  return MountLeaf("ring/stalls", [ring, count] { return count(ring->stalls()); });
 }
 
 Status StatsService::MountLeaf(const std::string& relative_path,

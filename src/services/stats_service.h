@@ -27,6 +27,8 @@
 //   /sys/monitor/cache/hits|misses|stale|hit_rate
 //   /sys/monitor/latency/p50|p90|p99|samples   sampled check latency, ns
 //   /sys/monitor/audit/retained|dropped|sink_dropped
+//   /sys/monitor/ring/shards|depth|batches|submitted|completed|stalls
+//                                        mediation-ring transport (MountRing)
 //   /sys/monitor/rate/checks_per_sec     windowed rate over published epochs
 //   /sys/monitor/rate/denials_per_sec
 //   /sys/monitor/subscribers/active      live subscription channels
@@ -72,6 +74,8 @@
 #include "src/monitor/monitor_stats.h"
 
 namespace xsec {
+
+class MediationRing;
 
 // What Tick() does when a subscriber's queue is full.
 enum class SubscriberBackpressure : uint8_t {
@@ -145,6 +149,12 @@ class StatsService {
   //                             kDeadlineExceeded if none arrives.
   //   unsubscribe <handle>   -> closes the channel.
   Status Install();
+
+  // Mounts the mediation-ring telemetry leaves
+  // (ring/shards|depth|batches|submitted|completed|stalls) for a transport
+  // the embedder created. Call after Install; the ring must outlive this
+  // service.
+  Status MountRing(MediationRing* ring);
 
   const std::string& mount_path() const { return options_.mount_path; }
   const std::string& service_path() const { return options_.service_path; }

@@ -1,5 +1,6 @@
 #include "src/services/vfs.h"
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -88,6 +89,9 @@ StatusOr<NodeId> VfsService::CreateFsType(std::string_view type_name, PrincipalI
 }
 
 StatusOr<Value> VfsService::Forward(Subject& subject, std::string_view type, Args args) {
+  // Fault site for the whole forwarding layer: every Read/Write/ListDir
+  // convenience wrapper funnels through here.
+  XSEC_FAILPOINT("vfs.forward");
   // The general interface forwards to the type's extension point; the
   // dispatcher picks the right extension for this caller's class.
   return kernel_->RaiseEvent(subject, TypeInterfacePath(type), std::move(args),

@@ -1,0 +1,449 @@
+// The shared-ring batched mediation transport (MODEL.md §14): submission/
+// completion semantics, deadline and cancellation on the completion wait,
+// credit-based back-pressure at both gates, and the TSan-targeted stress
+// scenarios (N producers against a stalled consumer, deadline/cancel races).
+
+#include "src/monitor/mediation_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/base/credit_ring.h"
+#include "src/base/failpoint.h"
+#include "src/base/strings.h"
+
+namespace xsec {
+namespace {
+
+class MediationRingTest : public ::testing::Test {
+ protected:
+  MediationRingTest() {
+    alice_ = *principals_.CreateUser("alice");
+    bob_ = *principals_.CreateUser("bob");
+    (void)labels_.DefineLevels({"low", "high"});
+    dir_ = *ns_.BindPath("/d", NodeKind::kDirectory, alice_);
+    obj_ = *ns_.BindPath("/d/obj", NodeKind::kFile, alice_);
+    proc_ = *ns_.BindPath("/d/proc", NodeKind::kProcedure, alice_);
+    Acl acl;
+    acl.AddEntry({AclEntryType::kAllow, alice_,
+                  AccessMode::kRead | AccessMode::kWrite | AccessMode::kExecute});
+    (void)ns_.SetAclRef(dir_, acls_.Create(std::move(acl)));
+    monitor_ = std::make_unique<ReferenceMonitor>(&ns_, &acls_, &principals_, &labels_);
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  Subject AliceAtBottom() { return Subject{alice_, SecurityClass(), 1}; }
+  Subject BobAtBottom() { return Subject{bob_, SecurityClass(), 2}; }
+
+  static uint64_t DeadlineIn(uint64_t ns) { return MonotonicNowNs() + ns; }
+
+  // Arms the per-shard worker stall site with a sleep, wedging that shard's
+  // worker for `ms` per batch.
+  static void StallShard(size_t shard, int ms, int times = -1) {
+    std::string spec = StrFormat("sleep=%d", ms);
+    if (times > 0) {
+      spec += StrFormat(",times=%d", times);
+    }
+    ASSERT_TRUE(FailpointRegistry::Instance()
+                    .Arm(StrFormat("ring.worker.%zu.batch", shard), spec)
+                    .ok());
+  }
+
+  NameSpace ns_;
+  AclStore acls_;
+  PrincipalRegistry principals_;
+  LabelAuthority labels_;
+  std::unique_ptr<ReferenceMonitor> monitor_;
+  PrincipalId alice_, bob_;
+  NodeId dir_, obj_, proc_;
+};
+
+TEST_F(MediationRingTest, CreditRingPushDrainRoundTrip) {
+  CreditRing<int> ring(4);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  std::vector<int> out;
+  EXPECT_EQ(ring.DrainBatch(&out, 8), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  // Credits bound in-flight work: the drained items' credits are still out.
+  EXPECT_TRUE(ring.TryPush(3));
+  EXPECT_TRUE(ring.TryPush(4));
+  EXPECT_FALSE(ring.TryPush(5));
+  EXPECT_EQ(ring.rejected(), 1u);
+  ring.ReleaseCredits(2);
+  EXPECT_TRUE(ring.TryPush(5));
+  ring.Stop();
+  EXPECT_FALSE(ring.TryPush(6));
+  out.clear();
+  EXPECT_EQ(ring.DrainBatch(&out, 8), 3u);  // stop drains what is queued
+  EXPECT_EQ(out, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(ring.DrainBatch(&out, 8), 0u);  // then signals exit
+}
+
+TEST_F(MediationRingTest, CheckRoundTripMatchesPerCallDecisions) {
+  MediationRing ring(monitor_.get());
+  auto client = ring.NewClient();
+  Subject alice = AliceAtBottom();
+  Subject bob = BobAtBottom();
+
+  auto allowed_ticket = ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead);
+  auto denied_ticket = ring.SubmitCheck(*client, bob, obj_, AccessMode::kRead);
+  ASSERT_TRUE(allowed_ticket.ok());
+  ASSERT_TRUE(denied_ticket.ok());
+
+  auto allowed = ring.Wait(*client, *allowed_ticket);
+  auto denied = ring.Wait(*client, *denied_ticket);
+  ASSERT_TRUE(allowed.ok());
+  ASSERT_TRUE(denied.ok());
+  EXPECT_TRUE(allowed->decision.allowed);
+  EXPECT_FALSE(denied->decision.allowed);
+  EXPECT_EQ(denied->decision.reason, DenyReason::kDacNoGrant);
+
+  // Same outcomes as the per-call path, and both were counted/audited.
+  EXPECT_TRUE(monitor_->Check(alice, obj_, AccessMode::kRead).allowed);
+  EXPECT_FALSE(monitor_->Check(bob, obj_, AccessMode::kRead).allowed);
+  EXPECT_EQ(monitor_->audit().total_checks(), 4u);
+  EXPECT_EQ(monitor_->audit().total_denials(), 2u);
+  EXPECT_EQ(ring.submitted(), 2u);
+  EXPECT_EQ(ring.completed(), 2u);
+}
+
+TEST_F(MediationRingTest, BatchSemanticsMatchPerCallAcrossOutcomes) {
+  // Drive CheckBatch directly with a mix of allow / DAC-deny / MAC-deny /
+  // not-found and hold it against Check on a twin monitor.
+  ReferenceMonitor twin(&ns_, &acls_, &principals_, &labels_);
+  SecurityClass high(1, CategorySet(0));
+  Subject alice_low = AliceAtBottom();
+  Subject bob_low = BobAtBottom();
+  Subject alice_high = Subject{alice_, high, 3};
+  std::vector<ReferenceMonitor::BatchCheckRequest> requests = {
+      {alice_low, obj_, AccessModeSet(AccessMode::kRead)},
+      {bob_low, obj_, AccessModeSet(AccessMode::kRead)},
+      {alice_high, obj_, AccessModeSet(AccessMode::kWrite)},  // write-down: MAC denies
+      {alice_low, NodeId{999999}, AccessModeSet(AccessMode::kRead)},
+      {alice_low, obj_, AccessModeSet(AccessMode::kRead)},  // cached by now
+  };
+  std::vector<Decision> batched(requests.size());
+  monitor_->CheckBatch(requests.data(), requests.size(), batched.data());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Decision per_call = twin.Check(requests[i].subject, requests[i].node, requests[i].modes);
+    EXPECT_EQ(batched[i].allowed, per_call.allowed) << "request " << i;
+    EXPECT_EQ(batched[i].reason, per_call.reason) << "request " << i;
+  }
+  // The batch recorded exactly one decision per request in stats and audit.
+  EXPECT_EQ(monitor_->stats().checks_total(), requests.size());
+  EXPECT_EQ(monitor_->audit().total_checks(), requests.size());
+  EXPECT_EQ(monitor_->audit().total_denials(), 3u);
+}
+
+TEST_F(MediationRingTest, InvokeRunsContinuationOnlyWhenAllowed) {
+  MediationRing ring(monitor_.get());
+  auto client = ring.NewClient();
+  Subject alice = AliceAtBottom();
+  Subject bob = BobAtBottom();
+
+  int runs = 0;
+  auto ok_ticket = ring.SubmitInvoke(*client, alice, proc_, [&runs] {
+    ++runs;
+    return OkStatus();
+  });
+  auto denied_ticket = ring.SubmitInvoke(*client, bob, proc_, [&runs] {
+    ++runs;
+    return OkStatus();
+  });
+  auto failing_ticket = ring.SubmitInvoke(
+      *client, alice, proc_, [] { return InternalError("handler failed"); });
+  ASSERT_TRUE(ok_ticket.ok());
+  ASSERT_TRUE(denied_ticket.ok());
+  ASSERT_TRUE(failing_ticket.ok());
+
+  auto ok = ring.Wait(*client, *ok_ticket);
+  auto denied = ring.Wait(*client, *denied_ticket);
+  auto failing = ring.Wait(*client, *failing_ticket);
+  ASSERT_TRUE(ok.ok() && denied.ok() && failing.ok());
+  EXPECT_TRUE(ok->decision.allowed);
+  EXPECT_TRUE(ok->invoke_status.ok());
+  EXPECT_FALSE(denied->decision.allowed);
+  EXPECT_EQ(denied->invoke_status.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(failing->invoke_status.code(), StatusCode::kInternal);
+  EXPECT_EQ(runs, 1) << "a denied invoke must never run its continuation";
+}
+
+TEST_F(MediationRingTest, WaitHonorsDeadlineThenDelivers) {
+  MediationRingOptions options;
+  options.cancel_poll_interval_ns = 200'000;  // tight slices keep the test fast
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  StallShard(client->shard(), 50, /*times=*/1);
+
+  Subject alice = AliceAtBottom();
+  auto ticket = ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead);
+  ASSERT_TRUE(ticket.ok());
+
+  CallOptions wait_options;
+  wait_options.deadline_ns = DeadlineIn(2'000'000);  // 2 ms < the 50 ms stall
+  auto timed_out = ring.Wait(*client, *ticket, wait_options);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The completion still arrives; a later unbounded wait consumes it.
+  auto completion = ring.Wait(*client, *ticket);
+  ASSERT_TRUE(completion.ok());
+  EXPECT_TRUE(completion->decision.allowed);
+}
+
+TEST_F(MediationRingTest, CancellationWinsOverExpiredDeadline) {
+  MediationRing ring(monitor_.get());
+  auto client = ring.NewClient();
+  std::atomic<bool> cancel{true};
+  CallOptions options;
+  options.cancel = &cancel;
+  options.deadline_ns = 1;  // long past
+  // Ticket 42 was never submitted; only cancel/deadline can end this wait,
+  // and cancellation must win when both hold.
+  auto result = ring.Wait(*client, 42, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(MediationRingTest, CancelFlagFlippedMidWaitUnblocks) {
+  MediationRingOptions options;
+  options.cancel_poll_interval_ns = 200'000;
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  std::atomic<bool> cancel{false};
+  CallOptions wait_options;
+  wait_options.cancel = &cancel;
+  std::thread flipper([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cancel.store(true);
+  });
+  auto result = ring.Wait(*client, 7, wait_options);
+  flipper.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(MediationRingTest, StalledWorkerBackpressuresWithResourceExhausted) {
+  MediationRingOptions options;
+  options.ring_capacity = 4;
+  options.completion_capacity = 64;
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  StallShard(client->shard(), 40);
+
+  Subject alice = AliceAtBottom();
+  size_t admitted = 0;
+  size_t rejected = 0;
+  // Far more submissions than capacity: once the stalled shard's credits
+  // are gone every further submit fails fast instead of blocking.
+  for (int i = 0; i < 64; ++i) {
+    auto ticket = ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead);
+    if (ticket.ok()) {
+      ++admitted;
+    } else {
+      ASSERT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_LE(admitted, options.ring_capacity + 2 * options.batch_max);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GE(ring.stalls(), rejected);
+
+  // Disarm; everything admitted still completes (nothing was lost).
+  FailpointRegistry::Instance().DisarmAll();
+  uint64_t seen = 0;
+  for (uint64_t ticket = 1; ticket <= admitted; ++ticket) {
+    CallOptions wait_options;
+    wait_options.deadline_ns = DeadlineIn(2'000'000'000);
+    auto completion = ring.Wait(*client, ticket, wait_options);
+    ASSERT_TRUE(completion.ok()) << "ticket " << ticket;
+    ++seen;
+  }
+  EXPECT_EQ(seen, admitted);
+}
+
+TEST_F(MediationRingTest, StalledConsumerExhaustsOnlyItsOwnCompletionCredits) {
+  MediationRingOptions options;
+  options.shards = 2;
+  options.completion_capacity = 4;
+  MediationRing ring(monitor_.get(), options);
+  auto stuck = ring.NewClient();    // shard 0
+  auto healthy = ring.NewClient();  // shard 1
+  ASSERT_NE(stuck->shard(), healthy->shard());
+
+  Subject alice = AliceAtBottom();
+  // The stuck client never Waits: its 4 completion credits run out.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.SubmitCheck(*stuck, alice, obj_, AccessMode::kRead).ok());
+  }
+  auto rejected = ring.SubmitCheck(*stuck, alice, obj_, AccessMode::kRead);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stuck->credit_rejections(), 1u);
+
+  // The healthy client on the other shard is untouched by that stall.
+  for (int i = 0; i < 16; ++i) {
+    auto ticket = ring.SubmitCheck(*healthy, alice, obj_, AccessMode::kRead);
+    ASSERT_TRUE(ticket.ok());
+    auto completion = ring.Wait(*healthy, *ticket);
+    ASSERT_TRUE(completion.ok());
+    EXPECT_TRUE(completion->decision.allowed);
+  }
+
+  // Draining one completion returns one credit.
+  ASSERT_TRUE(ring.Wait(*stuck, 1).ok());
+  EXPECT_TRUE(ring.SubmitCheck(*stuck, alice, obj_, AccessMode::kRead).ok());
+}
+
+TEST_F(MediationRingTest, ClientDestructorWaitsOutInFlightWork) {
+  MediationRing ring(monitor_.get());
+  Subject alice = AliceAtBottom();
+  {
+    auto client = ring.NewClient();
+    StallShard(client->shard(), 10, /*times=*/1);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead).ok());
+    }
+    // Destroyed with work in flight: the destructor must block until the
+    // worker has posted everything, then tear down safely (ASan-verified).
+  }
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(ring.completed(), 8u);
+}
+
+TEST_F(MediationRingTest, TelemetryCountersTrackTraffic) {
+  MediationRingOptions options;
+  options.shards = 2;
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  Subject alice = AliceAtBottom();
+  for (int i = 0; i < 12; ++i) {
+    auto ticket = ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead);
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE(ring.Wait(*client, *ticket).ok());
+  }
+  EXPECT_EQ(ring.shard_count(), 2u);
+  EXPECT_EQ(ring.submitted(), 12u);
+  EXPECT_EQ(ring.completed(), 12u);
+  EXPECT_GE(ring.batches(), 1u);
+  EXPECT_EQ(ring.depth(), 0u);
+  EXPECT_EQ(ring.stalls(), 0u);
+}
+
+// -- Stress suites (the --quick/--faults sanitizer sweeps target these) -------
+
+class MediationRingStressTest : public MediationRingTest {};
+
+TEST_F(MediationRingStressTest, ProducersAgainstStalledConsumerNeverWedge) {
+  MediationRingOptions options;
+  options.ring_capacity = 16;
+  options.completion_capacity = 32;
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  StallShard(client->shard(), 5);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> exhausted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Subject subject{alice_, SecurityClass(), static_cast<uint64_t>(100 + p)};
+      for (int i = 0; i < kPerProducer; ++i) {
+        auto ticket = ring.SubmitCheck(*client, subject, obj_, AccessMode::kRead);
+        if (ticket.ok()) {
+          admitted.fetch_add(1);
+        } else {
+          // The only back-pressure signal is kResourceExhausted; a producer
+          // is never blocked and never sees another error.
+          ASSERT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+          exhausted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+  EXPECT_GT(exhausted.load(), 0u) << "the stall must produce visible back-pressure";
+
+  // Prove the worker survived: disarm, drain every admitted completion.
+  FailpointRegistry::Instance().DisarmAll();
+  uint64_t drained = 0;
+  for (uint64_t ticket = 1; drained < admitted.load(); ++ticket) {
+    CallOptions wait_options;
+    wait_options.deadline_ns = DeadlineIn(5'000'000'000);
+    auto completion = ring.Wait(*client, ticket, wait_options);
+    if (completion.ok()) {
+      ++drained;
+    }
+    ASSERT_LT(ticket, uint64_t{kProducers * kPerProducer + 1});
+  }
+  EXPECT_EQ(ring.completed(), admitted.load());
+}
+
+TEST_F(MediationRingStressTest, DeadlineAndCancelRacesOnTheCompletionWait) {
+  MediationRingOptions options;
+  options.cancel_poll_interval_ns = 100'000;
+  MediationRing ring(monitor_.get(), options);
+  auto client = ring.NewClient();
+  StallShard(client->shard(), 2);
+
+  Subject alice = AliceAtBottom();
+  constexpr int kRounds = 100;
+  std::atomic<bool> cancel{false};
+  std::atomic<int> delivered{0}, timed_out{0}, cancelled{0};
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < kRounds; ++i) {
+    auto ticket = ring.SubmitCheck(*client, alice, obj_, AccessMode::kRead);
+    if (ticket.ok()) {
+      tickets.push_back(*ticket);
+    }
+  }
+  std::thread flipper([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cancel.store(true);
+  });
+  std::vector<std::thread> waiters;
+  std::atomic<size_t> next{0};
+  for (int w = 0; w < 3; ++w) {
+    waiters.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= tickets.size()) {
+          return;
+        }
+        CallOptions wait_options;
+        wait_options.deadline_ns = DeadlineIn(1'000'000 * (i % 7 + 1));
+        wait_options.cancel = &cancel;
+        auto result = ring.Wait(*client, tickets[i], wait_options);
+        if (result.ok()) {
+          delivered.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+          timed_out.fetch_add(1);
+        } else {
+          ASSERT_EQ(result.status().code(), StatusCode::kCancelled);
+          cancelled.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : waiters) {
+    t.join();
+  }
+  flipper.join();
+  // Every wait ended in exactly one of the three outcomes; nothing hung.
+  EXPECT_EQ(delivered + timed_out + cancelled, static_cast<int>(tickets.size()));
+}
+
+}  // namespace
+}  // namespace xsec

@@ -4,7 +4,7 @@
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
 //              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
 //              [--audit-drain] [--resilient] [--audit-required] [--snapshot]
-//              [--fail <name>=<spec>]...
+//              [--ring <shards>] [--fail <name>=<spec>]...
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
@@ -25,6 +25,13 @@
 // --audit-required turns on fail-closed mode — together with
 // --fail audit.sink.write=error they drive the whole self-healing pipeline
 // from the command line.
+//
+// --ring <shards> routes the workload's leaf checks through a MediationRing
+// (the shared-ring batched transport) instead of direct CheckPath calls, and
+// mounts its telemetry so the printed tree gains the
+// /sys/monitor/ring/{shards,depth,batches,submitted,completed,stalls}
+// leaves. Ring mode checks the pre-resolved leaf node (no per-call
+// traversal), so the checks/total arithmetic differs from direct mode.
 //
 // --fail arms a failpoint before the workload (repeatable; spec grammar is
 // src/base/failpoint.h, e.g. --fail audit.sink.write=error,nth=100). Arming
@@ -48,6 +55,7 @@
 
 #include "src/base/rng.h"
 #include "src/core/secure_system.h"
+#include "src/monitor/mediation_ring.h"
 #include "src/policy/policy_io.h"
 
 namespace {
@@ -67,6 +75,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> fail_specs;
   xsec::NdjsonRotationPolicy rotation;
   bool snapshot = false;
+  uint64_t ring_shards = 0;  // 0 = direct CheckPath calls, no ring
   bool audit_drain = false;
   bool resilient = false;
   bool audit_required = false;
@@ -105,6 +114,11 @@ int main(int argc, char** argv) {
       audit_required = true;
     } else if (arg == "--snapshot") {
       snapshot = true;
+    } else if (arg == "--ring") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--ring needs a shard count");
+      ring_shards = std::strtoull(v, nullptr, 10);
+      if (ring_shards == 0) return Fail("--ring needs at least one shard");
     } else if (arg == "--checks") {
       const char* v = next();
       if (v == nullptr) return Fail("--checks needs a count");
@@ -119,7 +133,7 @@ int main(int argc, char** argv) {
                    "[--ndjson <file|->] [--ndjson-max-bytes B] "
                    "[--ndjson-max-age-ms M] [--ndjson-keep K] [--audit-drain] "
                    "[--resilient] [--audit-required] [--snapshot] "
-                   "[--fail <name>=<spec>]...\n");
+                   "[--ring <shards>] [--fail <name>=<spec>]...\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -192,6 +206,7 @@ int main(int argc, char** argv) {
   auto outsider = sys.CreateUser("outsider");
   if (!reader.ok() || !outsider.ok()) return Fail("boot world setup failed");
   std::vector<std::string> paths;
+  std::vector<xsec::NodeId> nodes;
   for (int i = 0; i < 8; ++i) {
     std::string path = "/fs/w" + std::to_string(i);
     auto node = sys.name_space().BindPath(path, xsec::NodeKind::kFile,
@@ -202,12 +217,14 @@ int main(int argc, char** argv) {
                   xsec::AccessMode::kRead | xsec::AccessMode::kWrite});
     (void)sys.name_space().SetAclRef(*node, sys.kernel().acls().Create(std::move(acl)));
     paths.push_back(std::move(path));
+    nodes.push_back(*node);
   }
   auto secret = sys.name_space().BindPath("/fs/secret", xsec::NodeKind::kFile,
                                           sys.system_principal());
   if (!secret.ok()) return Fail("boot world setup failed");
   (void)sys.name_space().SetAclRef(*secret, sys.kernel().acls().Create(xsec::Acl()));
   paths.push_back("/fs/secret");
+  nodes.push_back(*secret);
 
   xsec::Subject reader_s = sys.Login(*reader, sys.labels().Bottom());
   xsec::Subject outsider_s = sys.Login(*outsider, sys.labels().Bottom());
@@ -232,13 +249,38 @@ int main(int argc, char** argv) {
 
   sys.stats().Tick();  // publish the boot-time baseline before the workload
 
+  // In ring mode the same seeded workload submits through the shared-ring
+  // transport (waiting each completion — the point here is to light up the
+  // transport and its telemetry, not to saturate it) against pre-resolved
+  // leaf nodes; direct mode path-checks as before.
+  std::unique_ptr<xsec::MediationRing> ring;
+  std::unique_ptr<xsec::MediationRing::Client> ring_client;
+  if (ring_shards > 0) {
+    xsec::MediationRingOptions ring_options;
+    ring_options.shards = ring_shards;
+    ring = std::make_unique<xsec::MediationRing>(&sys.monitor(), ring_options);
+    xsec::Status mounted = sys.stats().MountRing(ring.get());
+    if (!mounted.ok()) {
+      std::fprintf(stderr, "xsec_stats: %s\n", mounted.ToString().c_str());
+      return 1;
+    }
+    ring_client = ring->NewClient();
+  }
+
   xsec::Rng rng(seed);
   for (uint64_t i = 0; i < checks; ++i) {
     xsec::Subject& subject = rng.NextBool(1, 2) ? reader_s : outsider_s;
-    const std::string& path = paths[rng.NextBelow(paths.size())];
+    size_t target = rng.NextBelow(paths.size());
     xsec::AccessMode mode = rng.NextBool(1, 4) ? xsec::AccessMode::kWrite
                                                : xsec::AccessMode::kRead;
-    (void)sys.monitor().CheckPath(subject, path, mode);
+    if (ring != nullptr) {
+      auto ticket = ring->SubmitCheck(*ring_client, subject, nodes[target], mode);
+      if (ticket.ok()) {
+        (void)ring->Wait(*ring_client, *ticket);
+      }
+    } else {
+      (void)sys.monitor().CheckPath(subject, paths[target], mode);
+    }
   }
 
   if (audit_drain) {
