@@ -51,8 +51,9 @@ void BM_LookupWithAncestors(benchmark::State& state) {
   NameSpace ns;
   std::string path = DeepPath(static_cast<int>(state.range(0)));
   (void)ns.BindPath(path, NodeKind::kFile, PrincipalId{0});
+  AncestorBuffer ancestors;
   for (auto _ : state) {
-    std::vector<NodeId> ancestors;
+    ancestors.clear();
     benchmark::DoNotOptimize(ns.LookupWithAncestors(path, &ancestors));
   }
 }

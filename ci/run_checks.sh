@@ -37,6 +37,10 @@
 #   BENCH_f15.json   bench_f15_ring results (shared-ring batched mediation;
 #                    ci/check_bench_f15.py requires batched per-item cost
 #                    <= per-call at batch >= 8 and stuck-shard isolation)
+#   BENCH_f16.json   bench_f16_shard results (sharded stamp domains;
+#                    ci/check_bench_f16.py requires zero cross-shard stale
+#                    evictions, a live same-shard control, the 1M-principal
+#                    intern load within budget, and effective ACL interning)
 
 set -euo pipefail
 
@@ -49,7 +53,7 @@ FAULTS=0
 
 # DiffFuzz (tests/diff_fuzz_test.cc) rides in the fault sweep: it arms the
 # same failpoints and must never observe a compiled/interpreted divergence.
-FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault'
+FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault|ShardClearRace'
 
 # Randomized but replayable in every mode: the differential fuzzer and the
 # failpoint sweeps read XSEC_FAULT_SEED from the environment and print it in
@@ -63,7 +67,7 @@ run_ctest() {
   local dir="$1"
   if [[ "$QUICK" == 1 ]]; then
     (cd "$dir" && ctest --output-on-failure -j "$JOBS" \
-        -R "MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip|CompiledPolicy|MediationRing|${FAULT_RE}")
+        -R "MonitorConcurrency|DecisionCache|ReferenceMonitor|AuditLog|NdjsonRotation|MonitorStats|StatsService|StatsSnapshot|StatsWatch|Subscription|Cancellation|PolicyIo|PolicyRoundTrip|CompiledPolicy|MediationRing|Shard|${FAULT_RE}")
   else
     (cd "$dir" && ctest --output-on-failure -j "$JOBS")
   fi
@@ -135,6 +139,14 @@ echo "== F15: shared-ring batched mediation =="
 echo "== F15 gate (batched per-item <= per-call; stuck shard isolates) =="
 python3 ci/check_bench_f15.py BENCH_f15.json
 
+echo "== F16: sharded stamp domains =="
+./build-release/bench/bench_f16_shard \
+    --benchmark_out=BENCH_f16.json --benchmark_out_format=json \
+    --benchmark_min_time=0.25
+
+echo "== F16 gate (cross-shard isolation; 1M-principal intern budget) =="
+python3 ci/check_bench_f16.py BENCH_f16.json
+
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \
     --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
@@ -145,4 +157,4 @@ echo "== F12: subscription fan-out on the publish path =="
     --benchmark_out=BENCH_f12.json --benchmark_out_format=json \
     --benchmark_min_time=0.1
 
-echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json, BENCH_f15.json."
+echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json, BENCH_f15.json, BENCH_f16.json."

@@ -1,0 +1,64 @@
+// A tiny vector with inline storage for the first N elements.
+//
+// NameSpace::LookupWithAncestors runs on every mediated check; paths are
+// almost always shallower than the inline capacity, so the ancestor walk
+// should not touch the heap at all. This is deliberately minimal — trivially
+// copyable element types only, no erase/insert — because the hot paths that
+// use it only push_back and iterate.
+
+#ifndef XSEC_SRC_BASE_INLINE_VECTOR_H_
+#define XSEC_SRC_BASE_INLINE_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace xsec {
+
+template <typename T, size_t N>
+class InlineVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVector is restricted to trivially copyable elements");
+
+ public:
+  InlineVector() = default;
+  InlineVector(const InlineVector&) = delete;
+  InlineVector& operator=(const InlineVector&) = delete;
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_++] = v;
+      return;
+    }
+    overflow_.push_back(v);
+    ++size_;
+  }
+
+  void clear() {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    return i < N ? inline_[i] : overflow_[i - N];
+  }
+  T& operator[](size_t i) { return i < N ? inline_[i] : overflow_[i - N]; }
+
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  // True if any push_back spilled to the heap (telemetry for the F1 gate).
+  bool spilled() const { return !overflow_.empty(); }
+
+ private:
+  T inline_[N];
+  size_t size_ = 0;
+  std::vector<T> overflow_;
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_BASE_INLINE_VECTOR_H_

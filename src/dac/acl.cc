@@ -7,23 +7,52 @@
 
 namespace xsec {
 
+Acl::EntryList* Acl::MutableEntries() {
+  if (entries_ == nullptr) {
+    auto fresh = std::make_shared<EntryList>();
+    EntryList* raw = fresh.get();
+    entries_ = std::move(fresh);
+    return raw;
+  }
+  // Clone only when the list is aliased (interned or copied); a uniquely
+  // owned list is edited in place.
+  if (entries_.use_count() > 1) {
+    auto clone = std::make_shared<EntryList>(*entries_);
+    EntryList* raw = clone.get();
+    entries_ = std::move(clone);
+    return raw;
+  }
+  return const_cast<EntryList*>(entries_.get());
+}
+
 void Acl::AddEntry(const AclEntry& entry) {
-  for (AclEntry& existing : entries_) {
+  EntryList* entries = MutableEntries();
+  for (AclEntry& existing : *entries) {
     if (existing.type == entry.type && existing.who == entry.who) {
       existing.modes |= entry.modes;
       return;
     }
   }
-  entries_.push_back(entry);
+  entries->push_back(entry);
 }
 
 size_t Acl::RemoveEntriesFor(PrincipalId who) {
-  size_t before = entries_.size();
-  entries_.erase(
-      std::remove_if(entries_.begin(), entries_.end(),
-                     [who](const AclEntry& e) { return e.who == who; }),
-      entries_.end());
-  return before - entries_.size();
+  if (entries_ == nullptr) {
+    return 0;
+  }
+  bool any = false;
+  for (const AclEntry& e : *entries_) {
+    any |= e.who == who;
+  }
+  if (!any) {
+    return 0;  // no clone when nothing would change
+  }
+  EntryList* entries = MutableEntries();
+  size_t before = entries->size();
+  entries->erase(std::remove_if(entries->begin(), entries->end(),
+                                [who](const AclEntry& e) { return e.who == who; }),
+                 entries->end());
+  return before - entries->size();
 }
 
 AclVerdict Acl::Evaluate(const DynamicBitset& closure, AccessModeSet requested) const {
@@ -31,7 +60,7 @@ AclVerdict Acl::Evaluate(const DynamicBitset& closure, AccessModeSet requested) 
     return AclVerdict::kGranted;
   }
   AccessModeSet allowed;
-  for (const AclEntry& entry : entries_) {
+  for (const AclEntry& entry : entries()) {
     if (!closure.Test(entry.who.value)) {
       continue;
     }
@@ -49,7 +78,7 @@ AclVerdict Acl::Evaluate(const DynamicBitset& closure, AccessModeSet requested) 
 AccessModeSet Acl::EffectiveModes(const DynamicBitset& closure) const {
   AccessModeSet allowed;
   AccessModeSet denied;
-  for (const AclEntry& entry : entries_) {
+  for (const AclEntry& entry : entries()) {
     if (!closure.Test(entry.who.value)) {
       continue;
     }
@@ -64,7 +93,7 @@ AccessModeSet Acl::EffectiveModes(const DynamicBitset& closure) const {
 
 std::string Acl::ToString() const {
   std::string out;
-  for (const AclEntry& entry : entries_) {
+  for (const AclEntry& entry : entries()) {
     if (!out.empty()) {
       out += "; ";
     }
@@ -74,14 +103,99 @@ std::string Acl::ToString() const {
   return out.empty() ? "(empty)" : out;
 }
 
-AclStore::AclRef AclStore::Create(Acl acl) {
+namespace {
+
+uint64_t HashEntries(const Acl::EntryList& entries) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const AclEntry& e : entries) {
+    mix(static_cast<uint64_t>(e.type));
+    mix(e.who.value);
+    mix(e.modes.bits());
+  }
+  return h;
+}
+
+}  // namespace
+
+AclStore::AclRef AclStore::Create(Acl acl) { return Create(std::move(acl), kUnknownShard); }
+
+AclStore::AclRef AclStore::Create(Acl acl, ShardId shard) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Intern the entry list into the shard-local pool: identical ACLs (the
+  // overwhelmingly common case in a generated million-node policy) collapse
+  // to one immutable vector shared by every slot that carries them.
+  if (!acl.empty()) {
+    auto& pool = intern_pools_[IsConcreteShard(shard) ? shard : kMonitorShardCount];
+    uint64_t hash = HashEntries(acl.entries());
+    auto [it, end] = pool.equal_range(hash);
+    bool hit = false;
+    for (; it != end; ++it) {
+      if (*it->second == acl.entries()) {
+        acl = Acl(it->second);
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      intern_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::shared_ptr<const Acl::EntryList> canon = acl.shared_entries();
+      pool.emplace(hash, std::move(canon));
+      intern_unique_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   AclRef ref = static_cast<AclRef>(acls_.size());
-  acls_.push_back(Slot{std::move(acl), 0});
+  acls_.push_back(Slot{std::move(acl), 0, shard});
   // Mutate, then publish: readers that observe the new generation also see
-  // the new ACL (the lock orders the data; release orders the stamp).
+  // the new ACL (the lock orders the data; release orders the stamp). A
+  // create bumps no *per-shard* generation: the fresh ref is not yet
+  // reachable from any node, so no cached decision can depend on it.
   acls_.back().generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
   return ref;
+}
+
+void AclStore::AttachShard(AclRef ref, ShardId shard) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (ref >= acls_.size()) {
+    return;
+  }
+  Slot& slot = acls_[ref];
+  if (slot.shard == shard) {
+    return;
+  }
+  if (slot.shard == kUnknownShard) {
+    // First attachment narrows the tag (or records kAllShards for the root).
+    slot.shard = IsConcreteShard(shard) ? shard : kAllShards;
+  } else {
+    // Referenced from two different domains: mutations must invalidate both,
+    // so escalate permanently to the conservative tag.
+    slot.shard = kAllShards;
+  }
+}
+
+ShardId AclStore::ShardOf(AclRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (ref >= acls_.size()) {
+    return kUnknownShard;
+  }
+  return acls_[ref].shard;
+}
+
+void AclStore::BumpLocked(Slot& slot) {
+  if (IsConcreteShard(slot.shard)) {
+    shard_generation_[slot.shard].fetch_add(1, std::memory_order_release);
+  } else {
+    // Unknown or multi-shard slots: every shard's decisions may read this
+    // ACL, so all of them go stale ("spuriously stale, never wrongly fresh").
+    for (auto& g : shard_generation_) {
+      g.fetch_add(1, std::memory_order_release);
+    }
+  }
+  slot.generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
 }
 
 const Acl* AclStore::Get(AclRef ref) const {
@@ -116,7 +230,7 @@ Status AclStore::Replace(AclRef ref, Acl acl) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl = std::move(acl);
-  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
+  BumpLocked(acls_[ref]);
   return OkStatus();
 }
 
@@ -126,7 +240,7 @@ Status AclStore::AddEntry(AclRef ref, const AclEntry& entry) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl.AddEntry(entry);
-  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
+  BumpLocked(acls_[ref]);
   return OkStatus();
 }
 
@@ -136,7 +250,7 @@ Status AclStore::RemoveEntriesFor(AclRef ref, PrincipalId who) {
     return NotFoundError("no such ACL");
   }
   acls_[ref].acl.RemoveEntriesFor(who);
-  acls_[ref].generation = store_generation_.fetch_add(1, std::memory_order_release) + 1;
+  BumpLocked(acls_[ref]);
   return OkStatus();
 }
 

@@ -18,14 +18,18 @@
 #ifndef XSEC_SRC_DAC_ACL_H_
 #define XSEC_SRC_DAC_ACL_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/bitset.h"
+#include "src/base/shard.h"
 #include "src/base/status.h"
 #include "src/dac/access_mode.h"
 #include "src/principal/principal.h"
@@ -55,9 +59,16 @@ enum class AclVerdict : uint8_t {
   kNoMatchingGrant,  // no allow entry covered some requested mode
 };
 
+// Entry storage is copy-on-write: an Acl holds a shared immutable entry
+// list, so copying an Acl — and interning identical ACLs across a
+// million-node policy (AclStore) — costs one refcount, not a vector clone.
+// Mutators clone the list first if it is shared.
 class Acl {
  public:
+  using EntryList = std::vector<AclEntry>;
+
   Acl() = default;
+  explicit Acl(std::shared_ptr<const EntryList> entries) : entries_(std::move(entries)) {}
 
   // Appends an entry. Duplicate (type, who) pairs are merged by OR-ing modes.
   void AddEntry(const AclEntry& entry);
@@ -66,8 +77,15 @@ class Acl {
   // entries were removed.
   size_t RemoveEntriesFor(PrincipalId who);
 
-  const std::vector<AclEntry>& entries() const { return entries_; }
-  bool empty() const { return entries_.empty(); }
+  const EntryList& entries() const {
+    static const EntryList kEmpty;
+    return entries_ != nullptr ? *entries_ : kEmpty;
+  }
+  bool empty() const { return entries_ == nullptr || entries_->empty(); }
+
+  // The shared immutable entry list (null when empty); AclStore's intern
+  // pool aliases it across identical ACLs.
+  const std::shared_ptr<const EntryList>& shared_entries() const { return entries_; }
 
   // Core evaluation. `closure` is the subject's membership closure (bitset
   // over principal ids; see PrincipalRegistry::MembershipClosure).
@@ -80,7 +98,10 @@ class Acl {
   std::string ToString() const;
 
  private:
-  std::vector<AclEntry> entries_;
+  // Clone-if-shared; afterwards entries_ is non-null and uniquely owned.
+  EntryList* MutableEntries();
+
+  std::shared_ptr<const EntryList> entries_;
 };
 
 // Storage for ACLs referenced from name-space nodes. Each stored ACL carries
@@ -93,12 +114,26 @@ class Acl {
 // lock release. Get() returns a pointer with a stable address (deque
 // storage), but the Acl it points at may be concurrently replaced or edited;
 // it is intended for single-threaded setup, tests, and serialization.
+// Sharding (docs/MODEL.md §15): each slot carries a monitor-shard tag. A
+// slot starts kUnknownShard; the reference monitor calls AttachShard when it
+// binds the ref to a node, narrowing the tag to that node's shard. Mutating
+// a concretely tagged slot bumps only that shard's generation; unknown-,
+// all-shards-, or multiply-attached slots conservatively bump every shard.
+// Creating a slot bumps no per-shard generation at all — an unreferenced ref
+// cannot be behind any cached decision. The store generation (aggregate
+// domain) is still bumped by every create/mutate.
 class AclStore {
  public:
   using AclRef = uint32_t;
 
-  // Creates a new ACL, returning its reference.
+  // Creates a new ACL, returning its reference. Identical entry lists are
+  // interned per shard: the new slot aliases the existing immutable list.
   AclRef Create(Acl acl);
+  AclRef Create(Acl acl, ShardId shard);
+
+  // Narrows (or escalates) the slot's shard tag; see class comment.
+  void AttachShard(AclRef ref, ShardId shard);
+  ShardId ShardOf(AclRef ref) const;
 
   const Acl* Get(AclRef ref) const;
 
@@ -121,17 +156,40 @@ class AclStore {
   uint64_t GenerationOf(AclRef ref) const;
   // Published with release ordering after the mutation it stamps.
   uint64_t store_generation() const { return store_generation_.load(std::memory_order_acquire); }
+  // Per-shard ACL generation; bumped only by mutations tagged to the shard
+  // (or by conservatively tagged mutations, which bump all of them).
+  uint64_t shard_generation(ShardId shard) const {
+    return shard_generation_[shard % kMonitorShardCount].load(std::memory_order_acquire);
+  }
   size_t size() const;
+
+  // Intern-pool telemetry: how many Creates aliased an existing entry list
+  // vs. admitted a new one (bench_f16_shard gates the 1M-principal load on
+  // the hit rate staying real).
+  uint64_t intern_hits() const { return intern_hits_.load(std::memory_order_relaxed); }
+  uint64_t intern_unique() const { return intern_unique_.load(std::memory_order_relaxed); }
 
  private:
   struct Slot {
     Acl acl;
     uint64_t generation = 0;
+    ShardId shard = kUnknownShard;
   };
+
+  void BumpLocked(Slot& slot);
 
   mutable std::shared_mutex mu_;
   std::deque<Slot> acls_;
   std::atomic<uint64_t> store_generation_{0};
+  std::array<std::atomic<uint64_t>, kMonitorShardCount> shard_generation_{};
+
+  // Shard-local intern pools: content-hash → shared immutable entry lists.
+  // Pool index kMonitorShardCount serves unknown/aggregate-tagged creates.
+  std::array<std::unordered_multimap<uint64_t, std::shared_ptr<const Acl::EntryList>>,
+             kMonitorShardCount + 1>
+      intern_pools_;
+  std::atomic<uint64_t> intern_hits_{0};
+  std::atomic<uint64_t> intern_unique_{0};
 };
 
 }  // namespace xsec

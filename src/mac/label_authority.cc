@@ -82,6 +82,7 @@ Status LabelAuthority::DefineLevels(const std::vector<std::string>& ascending_na
   }
   level_names_ = ascending_names;
   level_by_name_ = std::move(by_name);
+  BumpShardEpoch(kAllShards);
   label_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }
@@ -98,6 +99,7 @@ StatusOr<size_t> LabelAuthority::DefineCategory(std::string_view name) {
   size_t id = category_names_.size();
   category_names_.push_back(key);
   category_by_name_.emplace(std::move(key), id);
+  BumpShardEpoch(kAllShards);
   label_epoch_.fetch_add(1, std::memory_order_release);
   return id;
 }
@@ -188,14 +190,44 @@ std::string LabelAuthority::ClassToString(const SecurityClass& cls) const {
   return StrFormat("%s:{%s}", level.c_str(), cats.c_str());
 }
 
+void LabelAuthority::BumpShardEpoch(ShardId shard) {
+  if (IsConcreteShard(shard)) {
+    shard_epoch_[shard].fetch_add(1, std::memory_order_release);
+    return;
+  }
+  for (auto& e : shard_epoch_) {
+    e.fetch_add(1, std::memory_order_release);
+  }
+}
+
 LabelAuthority::LabelRef LabelAuthority::StoreLabel(const SecurityClass& cls) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   LabelRef ref = static_cast<LabelRef>(labels_.size());
   labels_.push_back(std::make_shared<const SecurityClass>(cls));
+  label_shards_.push_back(kUnknownShard);
   // Mutate, then publish (release): readers that observe the new epoch see
-  // the new label.
+  // the new label. Per-shard epochs stay put: an unreferenced ref cannot be
+  // behind any cached decision.
   label_epoch_.fetch_add(1, std::memory_order_release);
   return ref;
+}
+
+void LabelAuthority::AttachShard(LabelRef ref, ShardId shard) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (ref >= label_shards_.size() || label_shards_[ref] == shard) {
+    return;
+  }
+  if (label_shards_[ref] == kUnknownShard) {
+    label_shards_[ref] = IsConcreteShard(shard) ? shard : kAllShards;
+  } else {
+    // Referenced from a second domain: escalate permanently.
+    label_shards_[ref] = kAllShards;
+  }
+}
+
+ShardId LabelAuthority::ShardOf(LabelRef ref) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ref < label_shards_.size() ? label_shards_[ref] : kUnknownShard;
 }
 
 const SecurityClass* LabelAuthority::GetLabel(LabelRef ref) const {
@@ -218,12 +250,14 @@ std::shared_ptr<const SecurityClass> LabelAuthority::LabelHandle(LabelRef ref) c
 void LabelAuthority::SetClearance(uint32_t principal_id, SecurityClass clearance) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   clearances_[principal_id] = std::move(clearance);
+  BumpShardEpoch(kAllShards);
   label_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void LabelAuthority::ClearClearance(uint32_t principal_id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   clearances_.erase(principal_id);
+  BumpShardEpoch(kAllShards);
   label_epoch_.fetch_add(1, std::memory_order_release);
 }
 
@@ -289,6 +323,7 @@ Status LabelAuthority::ReplaceLabel(LabelRef ref, const SecurityClass& cls) {
   // Swap in a fresh immutable object; handles issued before this call keep
   // the old label alive for their in-flight evaluations.
   labels_[ref] = std::make_shared<const SecurityClass>(cls);
+  BumpShardEpoch(label_shards_[ref]);
   label_epoch_.fetch_add(1, std::memory_order_release);
   return OkStatus();
 }

@@ -16,6 +16,7 @@
 #ifndef XSEC_SRC_MAC_LABEL_AUTHORITY_H_
 #define XSEC_SRC_MAC_LABEL_AUTHORITY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -26,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/shard.h"
 #include "src/base/status.h"
 #include "src/mac/security_class.h"
 
@@ -111,9 +113,23 @@ class LabelAuthority {
   std::shared_ptr<const SecurityClass> LabelHandle(LabelRef ref) const;
   Status ReplaceLabel(LabelRef ref, const SecurityClass& cls);
 
+  // Shard tagging mirrors AclStore (docs/MODEL.md §15): a stored label
+  // starts kUnknownShard; the monitor narrows it to the referencing node's
+  // shard, and attachment from a second shard escalates to kAllShards.
+  // ReplaceLabel on a concretely tagged slot bumps only that shard's epoch.
+  // Level/category definitions and clearances are system-wide MAC state, so
+  // they bump every shard.
+  void AttachShard(LabelRef ref, ShardId shard);
+  ShardId ShardOf(LabelRef ref) const;
+
   // Bumped on every label mutation; decision-cache validity. Published with
   // release ordering after the mutation it stamps.
   uint64_t label_epoch() const { return label_epoch_.load(std::memory_order_acquire); }
+
+  // Per-shard label epoch (see AttachShard).
+  uint64_t shard_epoch(ShardId shard) const {
+    return shard_epoch_[shard % kMonitorShardCount].load(std::memory_order_acquire);
+  }
 
   // Compiles lattice dominance over every class this authority knows about —
   // all stored labels, all clearances, ⊥ and ⊤ — plus `extra_classes`, closed
@@ -146,6 +162,7 @@ class LabelAuthority {
   // Unlocked internals; callers hold mu_.
   StatusOr<TrustLevel> LevelByNameLocked(std::string_view name) const;
   StatusOr<size_t> CategoryByNameLocked(std::string_view name) const;
+  void BumpShardEpoch(ShardId shard);
 
   mutable std::shared_mutex mu_;
   std::vector<std::string> level_names_;
@@ -155,8 +172,10 @@ class LabelAuthority {
   // Deque of immutable labels: addresses of the shared_ptr slots are stable
   // and the pointed-to classes are never mutated in place.
   std::deque<std::shared_ptr<const SecurityClass>> labels_;
+  std::deque<ShardId> label_shards_;  // parallel to labels_; under mu_
   std::unordered_map<uint32_t, SecurityClass> clearances_;
   std::atomic<uint64_t> label_epoch_{0};
+  std::array<std::atomic<uint64_t>, kMonitorShardCount> shard_epoch_{};
 };
 
 }  // namespace xsec

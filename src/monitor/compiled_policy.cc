@@ -9,7 +9,7 @@ namespace xsec {
 StatusOr<std::shared_ptr<const CompiledPolicy>> CompiledPolicy::Build(
     const NameSpace& name_space, const AclStore& acls, const PrincipalRegistry& principals,
     const LabelAuthority& labels, const CompiledPolicyConfig& config,
-    const CacheStamps& stamps, const std::vector<SecurityClass>& extra_classes) {
+    const ShardStampSet& stamps, const std::vector<SecurityClass>& extra_classes) {
   // Fault-injection hook for the recompile path: an injected failure here
   // must degrade to "stay interpreted", never to a wrong decision — the
   // differential fuzzer arms this under its fault sweep.

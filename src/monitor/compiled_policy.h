@@ -16,10 +16,12 @@
 //     byte matrix of allowed-mode masks — the S ⊒ O / O ⊒ S pair collapses
 //     to one byte load.
 //
-// Soundness contract: Evaluate() may be consulted ONLY while the stamp
-// vector it was built against still equals the stores' current stamps (the
-// monitor checks this; any ACL/label/clearance/membership/namespace/policy
-// mutation bumps a stamp). Within a valid stamp vector the tables are
+// Soundness contract: Evaluate() for a node may be consulted ONLY while the
+// stamp vector of that node's *validity domain* (its monitor shard, or the
+// aggregate domain for unknown ids) still equals the stores' current stamps
+// for that domain (the monitor checks this; any policy-relevant mutation
+// bumps the affected shard's stamps, and conservatively tagged mutations
+// bump all of them). Within a valid stamp vector the tables are
 // exhaustive over everything that existed at build time; anything that can
 // appear WITHOUT a stamp bump — a principal id beyond the compiled width
 // (CreateUser bumps no stamp) or a subject class that is not interned —
@@ -85,7 +87,7 @@ class CompiledPolicy {
   static StatusOr<std::shared_ptr<const CompiledPolicy>> Build(
       const NameSpace& name_space, const AclStore& acls, const PrincipalRegistry& principals,
       const LabelAuthority& labels, const CompiledPolicyConfig& config,
-      const CacheStamps& stamps, const std::vector<SecurityClass>& extra_classes = {});
+      const ShardStampSet& stamps, const std::vector<SecurityClass>& extra_classes = {});
 
   // Decides `modes` for `subject` on `node` from the tables alone. Returns
   // true and fills *out when the tables cover the inputs; returns false
@@ -96,7 +98,10 @@ class CompiledPolicy {
   bool Evaluate(const Subject& subject, NodeId node, AccessModeSet modes,
                 const LabelAuthority& labels, Decision* out) const;
 
-  const CacheStamps& stamps() const { return stamps_; }
+  // The full per-shard stamp family the tables were built against. A probe
+  // validates only the target node's shard entry (plus the aggregate entry
+  // for unknown node ids) — see ReferenceMonitor::TryCompiledCheck.
+  const ShardStampSet& stamps() const { return stamps_; }
   const CompiledPolicyConfig& config() const { return config_; }
   size_t node_count() const { return nodes_.size(); }
   size_t principal_count() const { return principal_count_; }
@@ -133,7 +138,7 @@ class CompiledPolicy {
   // mask from FlowAllowedMask (the single source of truth shared with the
   // interpreted FlowPolicy).
   std::vector<uint8_t> mac_mask_;
-  CacheStamps stamps_;
+  ShardStampSet stamps_;
   CompiledPolicyConfig config_;
 };
 

@@ -77,6 +77,23 @@ StatusOr<uint64_t> MediationRing::SubmitInvoke(Client& client, const Subject& su
 StatusOr<uint64_t> MediationRing::Submit(Client& client, const Subject& subject, NodeId node,
                                          AccessModeSet modes, InvokeFn fn) {
   XSEC_FAILPOINT("ring.submit");
+  // Shard-affinity and the cross-shard gate both key on the target node's
+  // monitor shard, resolved once here (a lock-free array read).
+  ShardId node_shard = monitor_->DomainOf(node);
+  if (options_.grants != nullptr && IsConcreteShard(node_shard) &&
+      ShardOfPrincipal(subject.principal.value) != node_shard) {
+    // Cross-shard invocation: the subject's home shard differs from the
+    // node's, so the submission needs an explicit grant (or transfer) in
+    // the target shard. Rejection is pre-batch and consumes no credits.
+    if (!options_.grants->Admit(subject.principal, node, node_shard)) {
+      grant_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return PermissionDeniedError("cross-shard submission without a grant");
+    }
+  }
+  size_t target_shard = client.shard_;
+  if (options_.route_by_monitor_shard && IsConcreteShard(node_shard)) {
+    target_shard = node_shard % shards_.size();
+  }
   // Completion-credit gate first: reserving at submit time is what lets the
   // worker always post without blocking — a caller that stops draining
   // starves only itself.
@@ -104,7 +121,7 @@ StatusOr<uint64_t> MediationRing::Submit(Client& client, const Subject& subject,
   // submitted_ goes up BEFORE the push so posted_ can never overtake it
   // (the destructor's wait condition); a rejected push undoes it.
   client.submitted_.fetch_add(1, std::memory_order_relaxed);
-  if (!shards_[client.shard_]->ring.TryPush(std::move(request))) {
+  if (!shards_[target_shard]->ring.TryPush(std::move(request))) {
     client.submitted_.fetch_sub(1, std::memory_order_relaxed);
     client.credits_.fetch_add(1, std::memory_order_relaxed);
     return ResourceExhaustedError("mediation ring full (worker backlogged)");

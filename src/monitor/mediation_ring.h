@@ -58,6 +58,7 @@
 #include "src/base/credit_ring.h"
 #include "src/base/status.h"
 #include "src/monitor/reference_monitor.h"
+#include "src/monitor/shard_grant.h"
 
 namespace xsec {
 
@@ -78,6 +79,19 @@ struct MediationRingOptions {
   // A completion waiter carrying a cancel flag re-examines it at least this
   // often (the CallContext cancellation-granularity contract).
   uint64_t cancel_poll_interval_ns = 5'000'000;  // 5 ms
+  // Route each submission onto the ring shard of the target node's monitor
+  // shard (node shard mod `shards`) instead of the client's home shard, so a
+  // worker's CheckBatch sees requests from one validity domain and reads one
+  // shard-local stamp set per batch (docs/MODEL.md §15). Off by default:
+  // routing by node trades MODEL.md §14's per-client submission-order
+  // guarantee for the stamp-locality win, so callers opt in.
+  bool route_by_monitor_shard = false;
+  // When set, cross-shard submissions — subject homed (ShardOfPrincipal) in
+  // a different monitor shard than the target node — must hold a grant in
+  // the node's shard or they fail at submit with kPermissionDenied, before
+  // any batch work. Admission-only: admitted requests still run the full
+  // DAC/MAC check. Must outlive the ring.
+  ShardGrantTable* grants = nullptr;
 };
 
 class MediationRing {
@@ -146,11 +160,12 @@ class MediationRing {
   // A new endpoint, assigned to the next shard round-robin.
   std::unique_ptr<Client> NewClient();
 
-  // Enqueues one Check. Returns the completion ticket to Wait on, or
+  // Enqueues one Check. Returns the completion ticket to Wait on,
   // kResourceExhausted when the client is out of completion credits (it
   // stopped draining) or the shard ring is out of submission credits (the
-  // worker is backlogged/stalled). Never blocks. The `ring.submit`
-  // failpoint can inject an admission error for fault sweeps.
+  // worker is backlogged/stalled), or kPermissionDenied when a configured
+  // grant table rejects a cross-shard submission. Never blocks. The
+  // `ring.submit` failpoint can inject an admission error for fault sweeps.
   StatusOr<uint64_t> SubmitCheck(Client& client, const Subject& subject, NodeId node,
                                  AccessModeSet modes);
 
@@ -176,6 +191,10 @@ class MediationRing {
   uint64_t batches() const;
   uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
   uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  // Cross-shard submissions rejected by the grant table at the submit gate.
+  uint64_t grant_rejections() const {
+    return grant_rejections_.load(std::memory_order_relaxed);
+  }
   // Admissions rejected for want of a credit, both gates combined: the
   // transport's visible back-pressure events.
   uint64_t stalls() const;
@@ -213,6 +232,7 @@ class MediationRing {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> completion_stalls_{0};
+  std::atomic<uint64_t> grant_rejections_{0};
 };
 
 }  // namespace xsec

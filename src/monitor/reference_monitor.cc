@@ -56,6 +56,31 @@ CacheStamps ReferenceMonitor::CurrentStamps() const {
                      policy_epoch_.load(std::memory_order_acquire)};
 }
 
+CacheStamps ReferenceMonitor::CurrentStampsFor(ShardId shard) const {
+  if (!IsConcreteShard(shard)) {
+    return CurrentStamps();
+  }
+  // Shard-local name-space / ACL generations and label epoch, plus the two
+  // domain-wide counters: membership and policy-reload events affect every
+  // decision regardless of subtree, so each shard's stamp carries them.
+  return CacheStamps{name_space_->shard_generation(shard), acls_->shard_generation(shard),
+                     principals_->membership_epoch(), labels_->shard_epoch(shard),
+                     policy_epoch_.load(std::memory_order_acquire), shard};
+}
+
+ShardId ReferenceMonitor::DomainOf(NodeId node) const {
+  return options_.shard_stamps ? name_space_->ShardOf(node) : kAggregateShard;
+}
+
+ShardStampSet ReferenceMonitor::CurrentStampSet() const {
+  ShardStampSet set;
+  set.aggregate = CurrentStamps();
+  for (ShardId s = 0; s < kMonitorShardCount; ++s) {
+    set.shard[s] = CurrentStampsFor(s);
+  }
+  return set;
+}
+
 const Acl* ReferenceMonitor::EffectiveAcl(NodeId node, AclStore::AclRef* ref_out) const {
   const Node* n = name_space_->Get(node);
   while (n != nullptr) {
@@ -190,12 +215,19 @@ void ReferenceMonitor::ApplyAuditAvailability(Decision* decision) {
 Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
                                           AccessModeSet modes) {
   Decision decision;
+  ShardId domain = DomainOf(node);
+  shard_checks_[IsConcreteShard(domain) ? domain : kMonitorShardCount].fetch_add(
+      1, std::memory_order_relaxed);
   if (options_.cache_enabled) {
-    // Stamps are read (acquire) BEFORE evaluating. If a store mutates
-    // mid-evaluation its bump lands after our loads, so the entry we insert
-    // carries stamps that are already stale — a future probe re-evaluates.
-    // The race costs a redundant evaluation, never a wrong cached decision.
-    CacheStamps stamps = CurrentStamps();
+    // The cache clear epoch and the stamps are read (acquire) BEFORE
+    // evaluating. If a store mutates mid-evaluation its bump lands after our
+    // loads, so the entry we insert carries stamps that are already stale —
+    // a future probe re-evaluates. The race costs a redundant evaluation,
+    // never a wrong cached decision. The clear epoch makes the same argument
+    // against Clear(): an insert that raced a clear either lands before the
+    // wipe or refuses (see DecisionCache::Insert).
+    uint64_t clear_epoch = cache_.clear_epoch();
+    CacheStamps stamps = CurrentStampsFor(domain);
     DecisionCache::CachedDecision cached;
     if (cache_.Lookup(subject, node, modes, stamps, &cached)) {
       decision = Decision{cached.allowed, cached.reason, ""};
@@ -205,13 +237,14 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
       // decision validated against stamps at least as fresh as ours, so
       // inserting under our (possibly older) stamps is at worst spuriously
       // stale, never wrongly fresh.
-      if (!TryCompiledCheck(subject, node, modes, &decision)) {
+      if (!TryCompiledCheck(subject, node, modes, domain, &decision)) {
         decision = CheckUncached(subject, node, modes);
       }
       cache_.Insert(subject, node, modes, stamps,
-                    DecisionCache::CachedDecision{decision.allowed, decision.reason});
+                    DecisionCache::CachedDecision{decision.allowed, decision.reason},
+                    clear_epoch);
     }
-  } else if (!TryCompiledCheck(subject, node, modes, &decision)) {
+  } else if (!TryCompiledCheck(subject, node, modes, domain, &decision)) {
     decision = CheckUncached(subject, node, modes);
   }
   // After the cache on purpose: the cache keeps the underlying decision, the
@@ -225,11 +258,16 @@ void ReferenceMonitor::CheckBatch(const BatchCheckRequest* requests, size_t n, D
   if (n == 0) {
     return;
   }
-  // One stamp read per batch. Sound for the same reason as the per-call
+  // One clear-epoch read and at most one stamp read *per validity domain*
+  // per batch (a batch routed onto one monitor shard reads exactly one
+  // shard-local stamp set — the MediationRing's shard-affine routing exists
+  // to make that the common case). Sound for the same reason as the per-call
   // read-stamps-then-evaluate order: a store mutating after this read bumps
   // its stamp, so entries inserted below carry stamps that are already
   // stale — a redundant future re-evaluation, never a wrong cached decision.
-  CacheStamps stamps = options_.cache_enabled ? CurrentStamps() : CacheStamps{};
+  uint64_t clear_epoch = options_.cache_enabled ? cache_.clear_epoch() : 0;
+  std::array<CacheStamps, kMonitorShardCount + 1> domain_stamps;
+  std::array<bool, kMonitorShardCount + 1> have_stamps{};
   MonitorStats::BatchCounts counts;
   std::vector<AuditRecord> pending;   // retained records awaiting one RecordBatch
   uint64_t counted_checks = 0;        // decisions the policy discards
@@ -246,18 +284,27 @@ void ReferenceMonitor::CheckBatch(const BatchCheckRequest* requests, size_t n, D
     }
     const BatchCheckRequest& req = requests[i];
     Decision& decision = out[i];
+    ShardId domain = DomainOf(req.node);
+    size_t di = IsConcreteShard(domain) ? domain : kMonitorShardCount;
+    shard_checks_[di].fetch_add(1, std::memory_order_relaxed);
     if (options_.cache_enabled) {
+      if (!have_stamps[di]) {
+        domain_stamps[di] = CurrentStampsFor(domain);
+        have_stamps[di] = true;
+      }
+      const CacheStamps& stamps = domain_stamps[di];
       DecisionCache::CachedDecision cached;
       if (cache_.Lookup(req.subject, req.node, req.modes, stamps, &cached)) {
         decision = Decision{cached.allowed, cached.reason, ""};
       } else {
-        if (!TryCompiledCheck(req.subject, req.node, req.modes, &decision)) {
+        if (!TryCompiledCheck(req.subject, req.node, req.modes, domain, &decision)) {
           decision = CheckUncached(req.subject, req.node, req.modes);
         }
         cache_.Insert(req.subject, req.node, req.modes, stamps,
-                      DecisionCache::CachedDecision{decision.allowed, decision.reason});
+                      DecisionCache::CachedDecision{decision.allowed, decision.reason},
+                      clear_epoch);
       }
-    } else if (!TryCompiledCheck(req.subject, req.node, req.modes, &decision)) {
+    } else if (!TryCompiledCheck(req.subject, req.node, req.modes, domain, &decision)) {
       decision = CheckUncached(req.subject, req.node, req.modes);
     }
     // After the cache, per request, like CheckUnsampled.
@@ -293,7 +340,7 @@ void ReferenceMonitor::CheckBatch(const BatchCheckRequest* requests, size_t n, D
 }
 
 bool ReferenceMonitor::TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
-                                        Decision* out) {
+                                        ShardId domain, Decision* out) {
   if (!options_.compiled_enabled) {
     return false;
   }
@@ -304,8 +351,12 @@ bool ReferenceMonitor::TryCompiledCheck(const Subject& subject, NodeId node, Acc
   }
   // Validate AFTER copying the pointer: the stamps are read fresh, so a
   // match proves the tables describe the stores as of this instant (any
-  // later mutation will bump a stamp and divert the next probe).
-  if (tables == nullptr || !(tables->stamps() == CurrentStamps())) {
+  // later mutation will bump a stamp and divert the next probe). Only the
+  // target node's domain entry is compared — a mutation confined to another
+  // shard bumps only that shard's stamps, so it neither diverts this probe
+  // nor forces a recompile (the F16 invalidation-storm fix).
+  if (tables == nullptr ||
+      !(tables->stamps().ForDomain(domain) == CurrentStampsFor(domain))) {
     compiled_stale_.fetch_add(1, std::memory_order_relaxed);
     RequestRecompile();
     return false;
@@ -339,7 +390,7 @@ void ReferenceMonitor::NoteUncoveredClass(const SecurityClass& cls) {
 }
 
 StatusOr<std::shared_ptr<const CompiledPolicy>> ReferenceMonitor::BuildCompiled(
-    const CacheStamps& stamps, const std::vector<SecurityClass>& extra) {
+    const ShardStampSet& stamps, const std::vector<SecurityClass>& extra) {
   CompiledPolicyConfig config;
   config.dac_enabled = options_.dac_enabled;
   config.mac_enabled = options_.mac_enabled;
@@ -372,7 +423,7 @@ Status ReferenceMonitor::RecompileOnce() {
   if (extra.size() > kMaxUncoveredClasses) {
     extra.erase(extra.begin(), extra.end() - kMaxUncoveredClasses);
   }
-  CacheStamps before = CurrentStamps();
+  ShardStampSet before = CurrentStampSet();
   auto built = BuildCompiled(before, extra);
   if (!built.ok()) {
     failed_recompiles_.fetch_add(1, std::memory_order_relaxed);
@@ -381,7 +432,7 @@ Status ReferenceMonitor::RecompileOnce() {
   // Install only if no mutation committed during the build: every mutator
   // bumps its stamp inside the store's exclusive lock, so equal before/after
   // stamps prove the per-store reads composed into a consistent snapshot.
-  if (!(CurrentStamps() == before)) {
+  if (!(CurrentStampSet() == before)) {
     failed_recompiles_.fetch_add(1, std::memory_order_relaxed);
     return FailedPreconditionError("policy mutated during compilation");
   }
@@ -616,7 +667,9 @@ Status ReferenceMonitor::SetNodeAcl(const Subject& subject, NodeId node, Acl acl
         StrFormat("no administrate access on '%s'", name_space_->PathOf(node).c_str()));
   }
   if (snap.own_acl_ref == kNoRef) {
-    AclStore::AclRef ref = acls_->Create(std::move(acl));
+    // Tag (and intern) the fresh ACL under the node's shard, so later edits
+    // to it bump only that shard's stamp domain.
+    AclStore::AclRef ref = acls_->Create(std::move(acl), snap.shard);
     return name_space_->SetAclRef(node, ref);
   }
   return acls_->Replace(snap.own_acl_ref, std::move(acl));
@@ -641,7 +694,7 @@ Status ReferenceMonitor::AddAclEntry(const Subject& subject, NodeId node, const 
       (void)acls_->CopyAcl(snap.effective_acl_ref, &base);
     }
     base.AddEntry(entry);
-    AclStore::AclRef ref = acls_->Create(std::move(base));
+    AclStore::AclRef ref = acls_->Create(std::move(base), snap.shard);
     return name_space_->SetAclRef(node, ref);
   }
   return acls_->AddEntry(snap.own_acl_ref, entry);
@@ -692,6 +745,7 @@ Status ReferenceMonitor::SetNodeLabel(const Subject& subject, NodeId node,
   }
   if (snap.own_label_ref == kNoRef) {
     LabelAuthority::LabelRef ref = labels_->StoreLabel(label);
+    labels_->AttachShard(ref, snap.shard);
     return name_space_->SetLabelRef(node, ref);
   }
   return labels_->ReplaceLabel(snap.own_label_ref, label);

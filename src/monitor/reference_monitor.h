@@ -32,6 +32,7 @@
 #ifndef XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
 #define XSEC_SRC_MONITOR_REFERENCE_MONITOR_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -87,6 +88,14 @@ struct MonitorOptions {
   // (RecompileNow); until one is installed every miss takes the interpreted
   // path, so this flag never changes semantics, only the miss cost.
   bool compiled_enabled = true;
+  // Read the *target node's shard-local* stamp set (docs/MODEL.md §15)
+  // instead of the legacy aggregate stamps when validating cached and
+  // compiled decisions, so a mutation confined to one subtree invalidates
+  // only that shard. Disabling reverts to the aggregate domain everywhere —
+  // semantics are identical either way (the differential fuzzer runs the
+  // two configurations as an equivalence check), only invalidation breadth
+  // changes.
+  bool shard_stamps = true;
   size_t compiled_max_classes = 192;
   size_t compiled_max_dac_cells = size_t{1} << 22;
   size_t cache_slots = 8192;
@@ -216,11 +225,28 @@ class ReferenceMonitor {
   uint64_t policy_epoch() const { return policy_epoch_.load(std::memory_order_acquire); }
 
   // Attempts a compiled-table decision: false when disabled, no tables are
+  // The validity domain used to stamp decisions about `node`: its monitor
+  // shard, or kAggregateShard with shard_stamps off / for non-concrete
+  // shards (unknown node ids, the root). Lock-free. The mediation transport
+  // routes by this and the grant table gates on it.
+  ShardId DomainOf(NodeId node) const;
+
+  // The stamp vector of one validity domain: the shard's own generations
+  // when `shard` is concrete, else the legacy aggregate stamps.
+  CacheStamps CurrentStampsFor(ShardId shard) const;
+
   // installed, their stamps are stale, or the tables do not cover the input
   // (then the caller must take the interpreted path). Public for the
   // differential fuzzer, which holds this against CheckInterpreted.
+  // `domain` is the node's validity domain (DomainOf(node)); the check
+  // validates only that domain's entry in the tables' stamp set, so a
+  // mutation confined to another shard never diverts this probe.
   bool TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
-                        Decision* out);
+                        ShardId domain, Decision* out);
+  bool TryCompiledCheck(const Subject& subject, NodeId node, AccessModeSet modes,
+                        Decision* out) {
+    return TryCompiledCheck(subject, node, modes, DomainOf(node), out);
+  }
 
   // The pure interpreted decision procedure — no cache, no compiled tables,
   // no audit, no stats. This is the differential-fuzz oracle.
@@ -236,6 +262,14 @@ class ReferenceMonitor {
     uint64_t failed_recompiles = 0;
   };
   CompiledCounters compiled_counters() const;
+
+  // Checks decided per monitor shard (index kMonitorShardCount = aggregate
+  // domain: unknown nodes, the root, or all checks with shard_stamps off).
+  // Feeds the /sys/monitor/shard/<i>/checks telemetry leaves.
+  uint64_t shard_checks(ShardId shard) const {
+    size_t i = IsConcreteShard(shard) ? shard : kMonitorShardCount;
+    return shard_checks_[i].load(std::memory_order_relaxed);
+  }
 
   // The currently installed tables (null if none); for tests and stats.
   std::shared_ptr<const CompiledPolicy> compiled_snapshot() const;
@@ -268,6 +302,8 @@ class ReferenceMonitor {
   Decision CheckPathUnsampled(const Subject& subject, std::string_view path,
                               AccessModeSet modes, NodeId* resolved);
   CacheStamps CurrentStamps() const;
+  // All domains' stamps at one instant (compiled-table validation set).
+  ShardStampSet CurrentStampSet() const;
   void Audit(const Subject& subject, NodeId node, std::string path, AccessModeSet modes,
              const Decision& decision);
   // Fail-closed override: flips an allow to a kAuditUnavailable denial (or
@@ -278,7 +314,7 @@ class ReferenceMonitor {
 
   // One build attempt against `stamps` with `extra` interned classes.
   StatusOr<std::shared_ptr<const CompiledPolicy>> BuildCompiled(
-      const CacheStamps& stamps, const std::vector<SecurityClass>& extra);
+      const ShardStampSet& stamps, const std::vector<SecurityClass>& extra);
   // Build-validate-install; kAborted when mutations keep racing the build.
   Status RecompileOnce();
   void RecompileLoop();
@@ -323,6 +359,8 @@ class ReferenceMonitor {
   // class lands in a label or clearance.
   std::mutex recompile_exec_mu_;
   std::vector<SecurityClass> interned_extra_;
+
+  std::array<std::atomic<uint64_t>, kMonitorShardCount + 1> shard_checks_{};
 
   std::atomic<uint64_t> compiled_hits_{0};
   std::atomic<uint64_t> compiled_fallbacks_{0};

@@ -1,0 +1,77 @@
+#include "src/monitor/shard_grant.h"
+
+namespace xsec {
+
+void ShardGrantTable::Grant(PrincipalId grantee, std::string_view grantee_name, NodeId node,
+                            ShardId shard, bool one_shot) {
+  if (!IsConcreteShard(shard)) {
+    return;
+  }
+  Slice& slice = slices_[shard];
+  std::lock_guard<std::mutex> lock(slice.mu);
+  slice.names.Intern(grantee_name);
+  slice.grants[Key(grantee, node)] = one_shot ? kOneShot : 0;
+}
+
+void ShardGrantTable::Revoke(PrincipalId grantee, NodeId node, ShardId shard) {
+  if (!IsConcreteShard(shard)) {
+    return;
+  }
+  Slice& slice = slices_[shard];
+  std::lock_guard<std::mutex> lock(slice.mu);
+  slice.grants.erase(Key(grantee, node));
+}
+
+bool ShardGrantTable::Admit(PrincipalId grantee, NodeId node, ShardId shard) {
+  if (!IsConcreteShard(shard)) {
+    return true;
+  }
+  Slice& slice = slices_[shard];
+  bool consumed_transfer = false;
+  {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto it = slice.grants.find(Key(grantee, node));
+    if (it == slice.grants.end()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if ((it->second & kOneShot) != 0) {
+      slice.grants.erase(it);
+      consumed_transfer = true;
+    }
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (consumed_transfer) {
+    transfers_consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+size_t ShardGrantTable::grant_count() const {
+  size_t total = 0;
+  for (const Slice& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    total += slice.grants.size();
+  }
+  return total;
+}
+
+size_t ShardGrantTable::interned_names() const {
+  size_t total = 0;
+  for (const Slice& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    total += slice.names.size();
+  }
+  return total;
+}
+
+size_t ShardGrantTable::interned_bytes() const {
+  size_t total = 0;
+  for (const Slice& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    total += slice.names.bytes_used();
+  }
+  return total;
+}
+
+}  // namespace xsec

@@ -1,0 +1,95 @@
+// Cross-shard invocation grants (docs/MODEL.md §15).
+//
+// With sharded stamps, a monitor shard is also an isolation boundary for the
+// mediation transport: a batch routed onto one shard reads exactly one
+// shard-local stamp set. A subject whose home shard (ShardOfPrincipal) is A
+// invoking an object in shard B is the cross-shard case; this table makes
+// that step explicit, the way capability transfer is explicit in the paper's
+// protected extensible systems — the grant is an *admission* ticket for the
+// transport, recorded per target shard, optionally one-shot (a transfer:
+// consumed by the first admitted invocation).
+//
+// Admission-only: an admitted request still runs the full DAC/MAC check; a
+// grant can never widen what policy allows, only let the request reach the
+// target shard's worker. Revocation is immediate (the table is consulted at
+// every submit), and a missing grant fails fast at submit, before any batch
+// work is spent on the request.
+//
+// Each shard's slice owns its own lock and interns grantee names into a
+// shard-local PrincipalInternPool, so grant churn in one shard never touches
+// another shard's lines and a million-subject table stores each name once
+// per shard in flat arena storage.
+
+#ifndef XSEC_SRC_MONITOR_SHARD_GRANT_H_
+#define XSEC_SRC_MONITOR_SHARD_GRANT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/base/shard.h"
+#include "src/naming/namespace.h"
+#include "src/principal/intern_pool.h"
+#include "src/principal/principal.h"
+
+namespace xsec {
+
+class ShardGrantTable {
+ public:
+  // Records that `grantee` may submit cross-shard requests against `node`
+  // in target shard `shard`. `grantee_name` is interned shard-locally (for
+  // telemetry; pass the registry name). A one-shot grant is a transfer:
+  // consumed by the first admitted submission. Granting again overwrites
+  // (e.g. upgrades one-shot to persistent). Non-concrete shards need no
+  // grant and the call is a no-op.
+  void Grant(PrincipalId grantee, std::string_view grantee_name, NodeId node, ShardId shard,
+             bool one_shot = false);
+
+  // Drops the grant if present. Takes effect at the next Admit.
+  void Revoke(PrincipalId grantee, NodeId node, ShardId shard);
+
+  // Consulted by the transport at submit time for cross-shard requests:
+  // true admits (consuming a one-shot grant), false rejects. Requests whose
+  // target shard is not concrete are always admitted — the aggregate domain
+  // has no cross-shard boundary.
+  bool Admit(PrincipalId grantee, NodeId node, ShardId shard);
+
+  // -- Telemetry --------------------------------------------------------------
+
+  uint64_t admitted() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  // One-shot grants consumed (each also counts as admitted).
+  uint64_t transfers_consumed() const {
+    return transfers_consumed_.load(std::memory_order_relaxed);
+  }
+  // Live grants across all shards.
+  size_t grant_count() const;
+  // Distinct grantee names interned / arena bytes across all shards.
+  size_t interned_names() const;
+  size_t interned_bytes() const;
+
+ private:
+  struct Slice {
+    mutable std::mutex mu;
+    PrincipalInternPool names;                        // shard-local, under mu
+    std::unordered_map<uint64_t, uint8_t> grants;     // key → flags, under mu
+  };
+
+  static constexpr uint8_t kOneShot = 1;
+
+  static uint64_t Key(PrincipalId grantee, NodeId node) {
+    return (uint64_t{grantee.value} << 32) | node.value;
+  }
+
+  std::array<Slice, kMonitorShardCount> slices_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> transfers_consumed_{0};
+};
+
+}  // namespace xsec
+
+#endif  // XSEC_SRC_MONITOR_SHARD_GRANT_H_

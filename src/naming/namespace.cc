@@ -34,7 +34,11 @@ NameSpace::NameSpace() {
   root.parent = NodeId{0};
   root.kind = NodeKind::kDirectory;
   root.name = "";
+  // Every node can inherit the root's ACL/label, so root metadata mutations
+  // must invalidate every shard.
+  root.shard = kAllShards;
   nodes_.push_back(std::move(root));
+  PublishShardLocked(0, kAllShards);
 }
 
 Node* NameSpace::GetMutableLocked(NodeId id) {
@@ -56,11 +60,59 @@ const Node* NameSpace::Get(NodeId id) const {
   return GetLocked(id);
 }
 
+void NameSpace::BumpShard(ShardId shard) {
+  if (IsConcreteShard(shard)) {
+    shard_generation_[shard].fetch_add(1, std::memory_order_release);
+    return;
+  }
+  // kAllShards (root) / kAggregateShard: the effect is not confined to one
+  // subtree, so every shard's cached decisions must go stale.
+  for (auto& g : shard_generation_) {
+    g.fetch_add(1, std::memory_order_release);
+  }
+}
+
 void NameSpace::Touch(Node& node) {
   ++node.generation;
+  BumpShard(node.shard);
   // Release: the mutation this stamp publishes happened-before any reader
-  // that observes the new generation value.
+  // that observes the new generation value. The aggregate stamp is bumped by
+  // *every* mutation — it is the validity domain for unknown node ids and
+  // for monitors running with sharding disabled.
   global_generation_.fetch_add(1, std::memory_order_release);
+}
+
+void NameSpace::PublishShardLocked(uint32_t index, ShardId shard) {
+  size_t chunk = index >> kShardChunkBits;
+  if (chunk >= kShardMaxChunks) {
+    return;  // beyond capacity: ShardOf reports kAggregateShard, still sound
+  }
+  ShardChunk* c = shard_chunks_[chunk].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    auto owned = std::make_unique<ShardChunk>();
+    c = owned.get();
+    shard_chunk_owner_.push_back(std::move(owned));
+    shard_chunks_[chunk].store(c, std::memory_order_release);
+  }
+  c->shard[index & (kShardChunkSize - 1)].store(shard, std::memory_order_relaxed);
+  // The element store above happens-before any reader that observes the new
+  // published count.
+  shard_ids_published_.store(index + 1, std::memory_order_release);
+}
+
+ShardId NameSpace::ShardOf(NodeId id) const {
+  if (!id.valid() || id.value >= shard_ids_published_.load(std::memory_order_acquire)) {
+    return kAggregateShard;
+  }
+  size_t chunk = id.value >> kShardChunkBits;
+  if (chunk >= kShardMaxChunks) {
+    return kAggregateShard;
+  }
+  const ShardChunk* c = shard_chunks_[chunk].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    return kAggregateShard;
+  }
+  return c->shard[id.value & (kShardChunkSize - 1)].load(std::memory_order_relaxed);
 }
 
 StatusOr<NodeId> NameSpace::BindLocked(NodeId parent, std::string_view name, NodeKind kind,
@@ -89,9 +141,27 @@ StatusOr<NodeId> NameSpace::BindLocked(NodeId parent, std::string_view name, Nod
   child.kind = kind;
   child.name = std::string(name);
   child.owner = owner;
+  // Shard assignment (immutable from here on): top-level containers start a
+  // subtree of their own, keyed by name; top-level leaves have no subtree,
+  // so they follow their owner (the flat-namespace fallback); deeper nodes
+  // inherit the subtree's shard.
+  if (parent == root()) {
+    child.shard = KindAllowsChildren(kind) ? ShardOfName(name) : ShardOfPrincipal(owner.value);
+  } else {
+    child.shard = p->shard;
+  }
+  ShardId child_shard = child.shard;
   nodes_.push_back(std::move(child));
+  PublishShardLocked(id.value, child_shard);
   p->children.emplace(std::string(name), id);
-  Touch(*p);
+  // The structural change is confined to the child's validity domain: no
+  // cached decision about the *parent* depends on its children map, but a
+  // cached NotFound (aggregate domain) or a compiled table covering the
+  // child's shard must go stale. The parent keeps its node-local generation
+  // bump for observers of Node::generation.
+  ++p->generation;
+  BumpShard(child_shard);
+  global_generation_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
@@ -117,7 +187,11 @@ StatusOr<NodeId> NameSpace::BindPath(std::string_view path, NodeKind kind, Princ
       cur = *child;
       continue;
     }
-    auto made = BindLocked(cur, (*components)[i], NodeKind::kDirectory, owner);
+    // Auto-created intermediates take the *enclosing* directory's owner, not
+    // the caller's. Giving them the final node's owner would silently grant
+    // the caller the owner-administrate fallback on every path prefix it
+    // named — a privilege the caller never held on those directories.
+    auto made = BindLocked(cur, (*components)[i], NodeKind::kDirectory, nodes_[cur.value].owner);
     if (!made.ok()) {
       return made.status();
     }
@@ -142,7 +216,11 @@ Status NameSpace::Unbind(NodeId node) {
   Node& parent = nodes_[n->parent.value];
   parent.children.erase(n->name);
   n->alive = false;
-  Touch(parent);
+  // As in BindLocked: the structural edit only affects decisions in the
+  // removed node's validity domain (and the aggregate domain, via Touch's
+  // global bump). Bumping the parent's shard here would re-create the
+  // invalidation storm for top-level unbinds, whose parent is the root.
+  ++parent.generation;
   Touch(*n);
   return OkStatus();
 }
@@ -170,7 +248,7 @@ StatusOr<NodeId> NameSpace::Lookup(std::string_view path) const {
 }
 
 StatusOr<NodeId> NameSpace::LookupWithAncestors(std::string_view path,
-                                                std::vector<NodeId>* ancestors) const {
+                                                AncestorBuffer* ancestors) const {
   auto components = ParsePath(path);
   if (!components.ok()) {
     return components.status();
@@ -213,6 +291,7 @@ bool NameSpace::SnapshotSecurity(NodeId id, SecuritySnapshot* out) const {
   out->owner = n->owner;
   out->own_acl_ref = n->acl_ref;
   out->own_label_ref = n->label_ref;
+  out->shard = n->shard;
   out->effective_acl_ref = kNoRef;
   out->effective_label_ref = kNoRef;
   // Ancestors of a live node are always alive (only leaves can be unbound),

@@ -25,15 +25,19 @@
 #ifndef XSEC_SRC_NAMING_NAMESPACE_H_
 #define XSEC_SRC_NAMING_NAMESPACE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/base/inline_vector.h"
+#include "src/base/shard.h"
 #include "src/base/status.h"
 #include "src/naming/path.h"
 #include "src/principal/principal.h"
@@ -79,6 +83,13 @@ struct Node {
   bool alive = true;         // false once unbound (ids are never reused)
   uint64_t generation = 0;   // bumped on any structural or metadata change
 
+  // Monitor shard (validity domain). Assigned at Bind and immutable after:
+  // top-level containers hash by name, top-level leaves by owner (flat-
+  // namespace fallback), deeper nodes inherit their parent's. The root is
+  // kAllShards: mutating its metadata invalidates every shard, since every
+  // node can inherit its ACL/label.
+  ShardId shard = kAggregateShard;
+
   PrincipalId owner;         // creating principal; administrate fallback
   uint32_t acl_ref = kNoRef;
   uint32_t label_ref = kNoRef;
@@ -86,6 +97,12 @@ struct Node {
   // Children sorted by name for deterministic listing.
   std::map<std::string, NodeId, std::less<>> children;
 };
+
+// Ancestor chains deeper than this spill to the heap; 12 levels covers every
+// path the services and benches create, so mediated lookups stay
+// allocation-free (the F1 cached-check budget counts on it).
+inline constexpr size_t kAncestorInlineDepth = 12;
+using AncestorBuffer = InlineVector<NodeId, kAncestorInlineDepth>;
 
 class NameSpace {
  public:
@@ -109,9 +126,11 @@ class NameSpace {
   StatusOr<NodeId> Lookup(std::string_view path) const;
 
   // Resolution that also reports the ancestor chain (root first, excluding
-  // the target). The monitor checks traversal rights on each ancestor.
+  // the target). The monitor checks traversal rights on each ancestor. The
+  // buffer is inline up to kAncestorInlineDepth, so typical lookups do not
+  // allocate.
   StatusOr<NodeId> LookupWithAncestors(std::string_view path,
-                                       std::vector<NodeId>* ancestors) const;
+                                       AncestorBuffer* ancestors) const;
 
   // Single-step child lookup.
   StatusOr<NodeId> Child(NodeId parent, std::string_view name) const;
@@ -132,6 +151,9 @@ class NameSpace {
     uint32_t own_label_ref = kNoRef;
     uint32_t effective_acl_ref = kNoRef;
     uint32_t effective_label_ref = kNoRef;
+    // Validity domain of any decision derived from this snapshot. Concrete
+    // for ordinary nodes; kAllShards for the root.
+    ShardId shard = kAggregateShard;
   };
   // False iff the node does not exist (or is dead).
   bool SnapshotSecurity(NodeId id, SecuritySnapshot* out) const;
@@ -152,6 +174,21 @@ class NameSpace {
   // least that mutation (see docs/MODEL.md, "Concurrency model").
   uint64_t global_generation() const { return global_generation_.load(std::memory_order_acquire); }
 
+  // Per-shard generation: bumped only by mutations whose validity domain is
+  // (or includes) that shard. Same release discipline as global_generation.
+  // A root-metadata mutation bumps every shard; a Bind/Unbind or metadata
+  // change elsewhere bumps only the affected node's shard. The global
+  // generation is still bumped by *every* mutation (aggregate domain).
+  uint64_t shard_generation(ShardId shard) const {
+    return shard_generation_[shard % kMonitorShardCount].load(std::memory_order_acquire);
+  }
+
+  // Monitor shard of a node id, readable without taking the tree lock (the
+  // assignment is immutable once the id is published). Unknown / not-yet-
+  // published ids — including NotFound targets — report kAggregateShard, the
+  // domain whose stamps every mutation bumps. The root reports kAllShards.
+  ShardId ShardOf(NodeId id) const;
+
  private:
   // Unlocked internals; callers hold mu_ (shared for const, exclusive for
   // mutation).
@@ -162,12 +199,30 @@ class NameSpace {
                               PrincipalId owner);
   std::string PathOfLocked(NodeId id) const;
   void Touch(Node& node);
+  void BumpShard(ShardId shard);
+  void PublishShardLocked(uint32_t index, ShardId shard);
 
   mutable std::shared_mutex mu_;
   // Deque, not vector: node addresses stay stable across Bind, so Get()'s
   // returned pointers never dangle.
   std::deque<Node> nodes_;
   std::atomic<uint64_t> global_generation_{0};
+  std::array<std::atomic<uint64_t>, kMonitorShardCount> shard_generation_{};
+
+  // Lock-free id→shard map for the cached-check hot path: fixed-size chunks
+  // published with release stores. Writers append under mu_; readers never
+  // take a lock. Ids beyond the published count (or beyond capacity, ~16M
+  // nodes) fall back to the aggregate domain, which stays sound because the
+  // aggregate stamps are bumped by every mutation.
+  static constexpr size_t kShardChunkBits = 12;
+  static constexpr size_t kShardChunkSize = size_t{1} << kShardChunkBits;
+  static constexpr size_t kShardMaxChunks = 4096;
+  struct ShardChunk {
+    std::array<std::atomic<uint32_t>, kShardChunkSize> shard;
+  };
+  std::array<std::atomic<ShardChunk*>, kShardMaxChunks> shard_chunks_{};
+  std::atomic<size_t> shard_ids_published_{0};
+  std::vector<std::unique_ptr<ShardChunk>> shard_chunk_owner_;  // under mu_
 };
 
 }  // namespace xsec

@@ -1,0 +1,47 @@
+#include "src/principal/intern_pool.h"
+
+#include <cstring>
+
+namespace xsec {
+
+std::string_view NameArena::Store(std::string_view s) {
+  if (s.empty()) {
+    return std::string_view();
+  }
+  if (s.size() > cur_cap_ - cur_used_) {
+    // Open a fresh chunk; an oversized name gets one sized to fit.
+    size_t cap = s.size() > kChunkSize ? s.size() : kChunkSize;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    cur_ = chunks_.back().get();
+    cur_used_ = 0;
+    cur_cap_ = cap;
+  }
+  char* dst = cur_ + cur_used_;
+  std::memcpy(dst, s.data(), s.size());
+  cur_used_ += s.size();
+  bytes_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+uint32_t PrincipalInternPool::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  std::string_view stored = arena_.Store(name);
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+std::string_view PrincipalInternPool::NameOf(uint32_t local_id) const {
+  return local_id < names_.size() ? names_[local_id] : std::string_view();
+}
+
+uint32_t PrincipalInternPool::Find(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it != ids_.end() ? it->second : UINT32_MAX;
+}
+
+}  // namespace xsec

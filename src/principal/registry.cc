@@ -21,16 +21,17 @@ StatusOr<PrincipalId> PrincipalRegistry::Create(std::string_view name, Principal
           "principal name must not contain whitespace, controls, or '#'");
     }
   }
-  std::string key(name);
   std::unique_lock<std::shared_mutex> lock(mu_);
-  if (by_name_.count(key) != 0) {
-    return AlreadyExistsError(StrFormat("principal '%s' already exists", key.c_str()));
+  if (by_name_.count(name) != 0) {
+    return AlreadyExistsError(StrFormat("principal '%s' already exists", std::string(name).c_str()));
   }
   PrincipalId id{static_cast<uint32_t>(principals_.size())};
   Record rec;
-  rec.principal = Principal{id, kind, key};
+  rec.principal = Principal{id, kind, std::string(name)};
   principals_.push_back(std::move(rec));
-  by_name_.emplace(std::move(key), id.value);
+  // Key the index by a view into the record's own name: the record address
+  // is deque-stable and the name is never mutated after creation.
+  by_name_.emplace(std::string_view(principals_.back().principal.name), id.value);
   return id;
 }
 
@@ -118,7 +119,7 @@ Status PrincipalRegistry::RemoveMember(PrincipalId group, PrincipalId member) {
 
 StatusOr<PrincipalId> PrincipalRegistry::FindByName(std::string_view name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = by_name_.find(std::string(name));
+  auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return NotFoundError(StrFormat("no principal named '%s'", std::string(name).c_str()));
   }
@@ -211,7 +212,7 @@ Status PrincipalRegistry::SetCredential(PrincipalId user, std::string_view crede
 StatusOr<PrincipalId> PrincipalRegistry::Authenticate(std::string_view name,
                                                       std::string_view credential) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = by_name_.find(std::string(name));
+  auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return NotFoundError(StrFormat("no principal named '%s'", std::string(name).c_str()));
   }

@@ -93,7 +93,10 @@ class PrincipalRegistry {
   // Deque, not vector: record addresses stay stable across Create, so Get()'s
   // returned pointers never dangle.
   std::deque<Record> principals_;
-  std::unordered_map<std::string, uint32_t> by_name_;
+  // Keys are views into the records' own (deque-stable, never-renamed) name
+  // strings: at a million principals the index carries no second copy of
+  // every name, and lookups by string_view never allocate.
+  std::unordered_map<std::string_view, uint32_t> by_name_;
   std::atomic<uint64_t> membership_epoch_{0};
 
   // Closure cache, rebuilt lazily after membership changes. Guarded by its

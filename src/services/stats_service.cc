@@ -43,7 +43,50 @@ Status StatsService::MountRing(MediationRing* ring) {
       MountLeaf("ring/submitted", [ring, count] { return count(ring->submitted()); }));
   XSEC_RETURN_IF_ERROR(
       MountLeaf("ring/completed", [ring, count] { return count(ring->completed()); }));
-  return MountLeaf("ring/stalls", [ring, count] { return count(ring->stalls()); });
+  XSEC_RETURN_IF_ERROR(
+      MountLeaf("ring/stalls", [ring, count] { return count(ring->stalls()); }));
+  return MountLeaf("ring/grant_rejections",
+                   [ring, count] { return count(ring->grant_rejections()); });
+}
+
+Status StatsService::MountShards(ReferenceMonitor* monitor) {
+  auto count = [](uint64_t v) { return std::to_string(v); };
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "shard/count", [count] { return count(kMonitorShardCount); }));
+  for (ShardId i = 0; i < kMonitorShardCount; ++i) {
+    std::string prefix = "shard/" + std::to_string(i) + "/";
+    XSEC_RETURN_IF_ERROR(MountLeaf(prefix + "checks", [monitor, i, count] {
+      return count(monitor->shard_checks(i));
+    }));
+    XSEC_RETURN_IF_ERROR(MountLeaf(prefix + "ns_gen", [monitor, i, count] {
+      return count(monitor->CurrentStampsFor(i).namespace_generation);
+    }));
+    XSEC_RETURN_IF_ERROR(MountLeaf(prefix + "acl_gen", [monitor, i, count] {
+      return count(monitor->CurrentStampsFor(i).acl_generation);
+    }));
+    XSEC_RETURN_IF_ERROR(MountLeaf(prefix + "label_epoch", [monitor, i, count] {
+      return count(monitor->CurrentStampsFor(i).label_epoch);
+    }));
+  }
+  return MountLeaf("shard/aggregate/checks", [monitor, count] {
+    return count(monitor->shard_checks(kAggregateShard));
+  });
+}
+
+Status StatsService::MountGrants(ShardGrantTable* grants) {
+  auto count = [](uint64_t v) { return std::to_string(v); };
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "shard/grants/count", [grants, count] { return count(grants->grant_count()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "shard/grants/admitted", [grants, count] { return count(grants->admitted()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "shard/grants/rejected", [grants, count] { return count(grants->rejected()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("shard/grants/transfers_consumed", [grants, count] {
+    return count(grants->transfers_consumed());
+  }));
+  return MountLeaf("shard/grants/interned_names", [grants, count] {
+    return count(grants->interned_names());
+  });
 }
 
 Status StatsService::MountLeaf(const std::string& relative_path,

@@ -76,6 +76,7 @@
 namespace xsec {
 
 class MediationRing;
+class ShardGrantTable;
 
 // What Tick() does when a subscriber's queue is full.
 enum class SubscriberBackpressure : uint8_t {
@@ -155,6 +156,18 @@ class StatsService {
   // the embedder created. Call after Install; the ring must outlive this
   // service.
   Status MountRing(MediationRing* ring);
+
+  // Mounts the per-monitor-shard telemetry leaves
+  // (shard/count and shard/<i>/checks|ns_gen|acl_gen|label_epoch for each
+  // concrete shard, plus shard/aggregate/checks for the aggregate domain),
+  // reading the monitor's shard-local stamps and check counters. Call after
+  // Install; the monitor must outlive this service.
+  Status MountShards(ReferenceMonitor* monitor);
+
+  // Mounts the cross-shard grant-table leaves
+  // (shard/grants/count|admitted|rejected|transfers_consumed|interned_names).
+  // Call after Install; the table must outlive this service.
+  Status MountGrants(ShardGrantTable* grants);
 
   const std::string& mount_path() const { return options_.mount_path; }
   const std::string& service_path() const { return options_.service_path; }

@@ -233,6 +233,14 @@ class RandomWorld {
   ReferenceMonitor& monitor() { return *monitor_; }
   Rng& rng() { return rng_; }
 
+  // A second monitor over the SAME stores, for configuration-equivalence
+  // sweeps (e.g. sharded vs. aggregate stamp domains): both monitors see
+  // every mutation; only their caching/validity machinery differs.
+  ReferenceMonitor& ShadowMonitor(MonitorOptions options) {
+    shadow_ = std::make_unique<ReferenceMonitor>(&ns_, &acls_, &principals_, &labels_, options);
+    return *shadow_;
+  }
+
  private:
   Rng& rng_;
   size_t level_count_;
@@ -242,6 +250,7 @@ class RandomWorld {
   PrincipalRegistry principals_;
   LabelAuthority labels_;
   std::unique_ptr<ReferenceMonitor> monitor_;
+  std::unique_ptr<ReferenceMonitor> shadow_;
   std::vector<PrincipalId> principals_pool_;
   std::vector<NodeId> nodes_;
   std::vector<NodeId> containers_;
@@ -256,6 +265,9 @@ MonitorOptions RandomOptions(Rng& rng) {
   options.cache_enabled = rng.NextBool(1, 2);
   options.stats_enabled = rng.NextBool(1, 2);
   options.flow.write_up_requires_append = rng.NextBool(1, 2);
+  // Sweep both validity-domain configurations (per-shard stamps vs. the
+  // legacy aggregate domain) so every fuzz run cross-checks the sharding.
+  options.shard_stamps = rng.NextBool(1, 2);
   return options;
 }
 
@@ -328,6 +340,67 @@ TEST(DiffFuzz, CompiledNeverDivergesFromInterpreted) {
   EXPECT_GT(tally.covered, tally.checks / 10)
       << "compiled tables covered too few checks to be a meaningful oracle";
   EXPECT_GT(compiled_hits, 0u);
+}
+
+TEST(DiffFuzz, ShardedAndUnshardedMonitorsAgree) {
+  // Equivalence oracle for the sharded validity domains (docs/MODEL.md §15):
+  // two monitors over the SAME stores — one with per-shard stamps, one on
+  // the legacy aggregate domain — must render identical decisions through
+  // their full pipelines (cache + compiled + interpreted) after every
+  // mutation. Sharding changes only *when* cached state is invalidated; any
+  // allowed/reason divergence means a shard kept a decision it should have
+  // dropped (or dropped one it could have kept AND re-derived it wrong).
+  const uint64_t seed = SeedFromEnv(0x5a4dedu);
+  SCOPED_TRACE("XSEC_FAULT_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  FuzzTally tally;
+
+  const size_t worlds = 3;
+  const size_t rounds = 12;
+  for (size_t w = 0; w < worlds; ++w) {
+    MonitorOptions sharded = RandomOptions(rng);
+    sharded.shard_stamps = true;
+    sharded.cache_enabled = true;  // the cache is where stale state would hide
+    RandomWorld world(rng, sharded);
+
+    MonitorOptions aggregate = sharded;
+    aggregate.shard_stamps = false;
+    ReferenceMonitor& shadow = world.ShadowMonitor(aggregate);
+
+    for (size_t round = 0; round < rounds; ++round) {
+      const size_t mutations = rng.NextBelow(4);
+      for (size_t m = 0; m < mutations; ++m) {
+        world.Mutate();
+      }
+      if (rng.NextBool(1, 2)) {
+        (void)world.monitor().RecompileNow();
+      }
+      if (rng.NextBool(1, 2)) {
+        (void)shadow.RecompileNow();
+      }
+      for (size_t i = 0; i < 256; ++i) {
+        Subject subject = world.RandomSubject();
+        NodeId node = world.RandomNode();
+        AccessModeSet modes = world.RandomModes();
+        Decision oracle = world.monitor().CheckInterpreted(subject, node, modes);
+        Decision with_shards = world.monitor().Check(subject, node, modes);
+        Decision without = shadow.Check(subject, node, modes);
+        ASSERT_EQ(with_shards.allowed, without.allowed)
+            << "sharded/aggregate divergence: node=" << node.value
+            << " principal=" << subject.principal.value << " modes=" << modes.ToString();
+        ASSERT_EQ(with_shards.reason, without.reason)
+            << "sharded/aggregate reason divergence: node=" << node.value
+            << " modes=" << modes.ToString();
+        ASSERT_EQ(with_shards.allowed, oracle.allowed) << "sharded monitor diverged from oracle";
+        ASSERT_EQ(with_shards.reason, oracle.reason);
+        ++tally.checks;
+      }
+    }
+    // The sharded monitor must actually have reused cached decisions —
+    // otherwise the equivalence says nothing about shard-stamp validity.
+    EXPECT_GT(world.monitor().cache().hits(), 0u);
+  }
+  EXPECT_GE(tally.checks, 9000u);
 }
 
 TEST(DiffFuzz, MutationWithoutRecompileIsNeverServedStale) {

@@ -124,8 +124,9 @@ TEST(NameSpaceTest, LookupWithAncestorsReportsChain) {
   NameSpace ns;
   auto leaf = ns.BindPath("/a/b/c", NodeKind::kFile, Owner());
   ASSERT_TRUE(leaf.ok());
-  std::vector<NodeId> ancestors;
+  AncestorBuffer ancestors;
   auto node = ns.LookupWithAncestors("/a/b/c", &ancestors);
+  EXPECT_FALSE(ancestors.spilled());
   ASSERT_TRUE(node.ok());
   ASSERT_EQ(ancestors.size(), 3u);
   EXPECT_EQ(ancestors[0], ns.root());

@@ -13,6 +13,7 @@
 
 #include "src/base/strings.h"
 #include "src/core/secure_system.h"
+#include "src/monitor/monitor_stats.h"
 #include "src/services/stats_service.h"
 
 namespace xsec {
@@ -288,6 +289,63 @@ TEST(StatsWatchTest, WatchIsDeniedForUnprivilegedSubjects) {
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST(StatsSnapshotTest, ResetLateIncrementSlackIsBoundedAndEqualityExact) {
+  // docs/MODEL.md §11 caveat: Reset() is a seqlock against *readers*, not
+  // writers — a writer mid-RecordDecision when a reset lands may split its
+  // mode bump and reason bump across the zeroing. That slackens only the
+  // `>=` inequalities, by at most one in-flight decision per writer per
+  // reset; the derived equality allowed + denied == checks_total can never
+  // break (checks_total IS the reason-bucket sum). This pins both halves:
+  // the equality under a reset storm, and the quiescent slack bound.
+  constexpr int kWriters = 4;
+  constexpr int kDecisionsPerWriter = 50'000;
+  constexpr int kResets = 64;
+
+  MonitorStats stats;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kDecisionsPerWriter; ++i) {
+        stats.RecordDecision(AccessModeSet(AccessMode::kRead),
+                             (i + w) % 3 == 0 ? DenyReason::kDacNoGrant : DenyReason::kNone);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (int r = 0; r < kResets; ++r) {
+    stats.Reset();
+    // Mid-storm snapshots: the equality must hold on every one.
+    MonitorStats::Snapshot snap = stats.TakeSnapshot();
+    ASSERT_EQ(snap.allowed + snap.denied, snap.checks_total);
+    uint64_t reason_sum = 0;
+    for (size_t i = 0; i < kDenyReasonCount; ++i) {
+      reason_sum += snap.by_reason[i];
+    }
+    ASSERT_EQ(reason_sum, snap.checks_total);
+    std::this_thread::yield();
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+
+  // Quiescent: totals are exact up to the documented slack. Each reset can
+  // strand at most one straddling decision per writer (single-mode here),
+  // in either direction depending on which half of the bump the zeroing
+  // caught, so the mode/check divergence is bounded by resets * writers.
+  MonitorStats::Snapshot snap = stats.TakeSnapshot();
+  EXPECT_EQ(snap.reset_epoch, static_cast<uint64_t>(kResets));
+  EXPECT_EQ(snap.allowed + snap.denied, snap.checks_total);
+  int64_t slack = static_cast<int64_t>(snap.ModeTotal()) - static_cast<int64_t>(snap.checks_total);
+  EXPECT_LE(slack < 0 ? -slack : slack, int64_t{kResets} * kWriters)
+      << "ModeTotal=" << snap.ModeTotal() << " checks_total=" << snap.checks_total;
+  // Writers recorded kWriters * kDecisionsPerWriter decisions total; the
+  // final epoch holds whatever survived the last reset, never more.
+  EXPECT_LE(snap.checks_total, uint64_t{kWriters} * kDecisionsPerWriter);
 }
 
 TEST(StatsWatchTest, BackgroundPublisherAdvancesVersionsUnaided) {

@@ -247,6 +247,14 @@ int main(int argc, char** argv) {
     fail_names.push_back(std::move(name));
   }
 
+  // Per-shard stamp-domain telemetry (/sys/monitor/shard/<i>/*) is always
+  // live — the shard counters exist whether or not the ring is in play.
+  xsec::Status shards_mounted = sys.stats().MountShards(&sys.monitor());
+  if (!shards_mounted.ok()) {
+    std::fprintf(stderr, "xsec_stats: %s\n", shards_mounted.ToString().c_str());
+    return 1;
+  }
+
   sys.stats().Tick();  // publish the boot-time baseline before the workload
 
   // In ring mode the same seeded workload submits through the shared-ring
@@ -255,11 +263,26 @@ int main(int argc, char** argv) {
   // leaf nodes; direct mode path-checks as before.
   std::unique_ptr<xsec::MediationRing> ring;
   std::unique_ptr<xsec::MediationRing::Client> ring_client;
+  xsec::ShardGrantTable grants;
   if (ring_shards > 0) {
+    // Ring mode drives the full sharded transport: submissions route onto
+    // the target's monitor shard and cross-shard subjects need admission
+    // grants, so pre-grant both workload users for every leaf (MODEL.md
+    // §15) — rejections would otherwise show up as submit failures here.
+    for (xsec::NodeId node : nodes) {
+      xsec::ShardId shard = sys.name_space().ShardOf(node);
+      grants.Grant(*reader, "reader", node, shard);
+      grants.Grant(*outsider, "outsider", node, shard);
+    }
     xsec::MediationRingOptions ring_options;
     ring_options.shards = ring_shards;
+    ring_options.route_by_monitor_shard = true;
+    ring_options.grants = &grants;
     ring = std::make_unique<xsec::MediationRing>(&sys.monitor(), ring_options);
     xsec::Status mounted = sys.stats().MountRing(ring.get());
+    if (mounted.ok()) {
+      mounted = sys.stats().MountGrants(&grants);
+    }
     if (!mounted.ok()) {
       std::fprintf(stderr, "xsec_stats: %s\n", mounted.ToString().c_str());
       return 1;
