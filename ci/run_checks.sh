@@ -13,8 +13,8 @@
 # everywhere.
 #
 # --faults runs only the randomized fault-injection sweep: the fault suites
-# (Failpoint|FaultService|AuditResilience|PolicyCrash|RingFault) plus the
-# DiffFuzz differential oracle under ASan+UBSan and TSan with a randomized
+# (Failpoint|FaultService|AuditResilience|PolicyCrash|RingFault|AuditFanOut)
+# plus the DiffFuzz differential oracle under ASan+UBSan and TSan with a randomized
 # XSEC_FAULT_SEED. The seed is printed so a failing sweep replays exactly:
 # XSEC_FAULT_SEED=<seed> ci/run_checks.sh --faults.
 #
@@ -30,7 +30,10 @@
 #                    the benchmark library + kernel support them; the gate
 #                    prefers that metric and falls back to median cpu_time)
 #   BENCH_f11.json   bench_f11_parallel results from the release build
-#   BENCH_f12.json   bench_f12_subscription results (publish fan-out cost)
+#   BENCH_f12.json   bench_f12_subscription results (publish fan-out cost +
+#                    multi-sink audit drain; ci/check_bench_f12.py requires
+#                    the publisher ~flat 1->64 subscribers, a 2-sink drain
+#                    >= 1.5x one sink, and zero stitch violations)
 #   BENCH_f14.json   bench_f14_compiled results (compiled vs interpreted
 #                    cache-miss decisions; ci/check_bench_f14.py requires
 #                    the compiled miss to be materially faster)
@@ -53,7 +56,7 @@ FAULTS=0
 
 # DiffFuzz (tests/diff_fuzz_test.cc) rides in the fault sweep: it arms the
 # same failpoints and must never observe a compiled/interpreted divergence.
-FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault|ShardClearRace'
+FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault|ShardClearRace|AuditFanOut'
 
 # Randomized but replayable in every mode: the differential fuzzer and the
 # failpoint sweeps read XSEC_FAULT_SEED from the environment and print it in
@@ -155,6 +158,9 @@ echo "== F11: parallel mediation throughput =="
 echo "== F12: subscription fan-out on the publish path =="
 ./build-release/bench/bench_f12_subscription \
     --benchmark_out=BENCH_f12.json --benchmark_out_format=json \
-    --benchmark_min_time=0.1
+    --benchmark_min_time=0.1 --benchmark_repetitions=3
+
+echo "== F12 gate (publisher ~flat 1->64 subs; 2-sink drain >= 1.5x; stitch == 0) =="
+python3 ci/check_bench_f12.py BENCH_f12.json
 
 echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json, BENCH_f15.json, BENCH_f16.json."

@@ -235,6 +235,290 @@ void ResilientSink::Write(const AuditRecord& record) {
   }
 }
 
+// One fan-out lane: a registered sink, its sharded queues, and the drainer
+// that stitches the shards back into global sequence order. `mu` guards the
+// queue state; the counters are atomics so gauge reads never touch a lane
+// lock; last_emitted_seq/emitted_any are drainer-thread-only. Lock order is
+// always AuditLog::mu_ → lane->mu; no path holds a lane lock while taking
+// another lane's (lanes are independent by design).
+struct AuditLog::SinkLane {
+  uint64_t id = 0;
+  std::string name;
+  Sink sink;
+
+  std::mutex mu;
+  std::condition_variable cv;       // wakes the lane drainer
+  std::condition_variable idle_cv;  // wakes Flush waiters
+  // Records are shared immutable copies: one allocation per record serves
+  // every lane, and a pop is a pointer move.
+  std::vector<std::deque<std::shared_ptr<const AuditRecord>>> shards;
+  size_t shard_capacity = 0;
+  size_t queued = 0;  // records across all shards
+  bool stop = false;
+  bool running = false;
+  bool busy = false;  // the drainer is mid-sink-call outside mu
+  std::thread drainer;
+
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> dropped{0};
+  // Emissions whose sequence did not strictly increase. The stitched order
+  // is proven, not assumed: this stays 0 in a correct run and tests/CI pin
+  // it there.
+  std::atomic<uint64_t> stitch_violations{0};
+  uint64_t last_emitted_seq = 0;
+  bool emitted_any = false;
+};
+
+void AuditLog::EnqueueFanOutLocked(const AuditRecord& record) {
+  if (!fanout_running_ || lanes_.empty()) {
+    return;
+  }
+  std::shared_ptr<const AuditRecord> shared;  // built lazily, shared by lanes
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    if (!lane->running || lane->stop) {
+      continue;
+    }
+    std::deque<std::shared_ptr<const AuditRecord>>& shard =
+        lane->shards[record.sequence % lane->shards.size()];
+    // Failpoint first, so an injected enqueue failure is exercised even when
+    // the shard has room (mirrors audit.drain.enqueue). A drop leaves a gap
+    // in THIS lane's stream, never a reordering.
+    if (XSEC_FAILPOINT_FIRED("audit.fanout.enqueue") ||
+        shard.size() >= lane->shard_capacity) {
+      lane->dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (shared == nullptr) {
+      shared = std::make_shared<const AuditRecord>(record);
+    }
+    shard.push_back(shared);
+    ++lane->queued;
+    lane->cv.notify_one();
+  }
+}
+
+void AuditLog::LaneLoop(SinkLane* lane) {
+  std::unique_lock<std::mutex> lock(lane->mu);
+  for (;;) {
+    lane->cv.wait(lock, [lane] { return lane->stop || lane->queued > 0; });
+    if (lane->queued == 0) {
+      return;  // stop requested and every shard drained
+    }
+    // The stitcher: pop the minimum-sequence shard head. Enqueues happen
+    // inside the log's stamping critical section, so pushes arrive in
+    // strictly increasing global sequence order across shards — the minimum
+    // head IS the globally next queued record, and an empty shard can only
+    // ever receive a larger sequence later. Drops create gaps, which the
+    // minimum still steps over in order.
+    std::deque<std::shared_ptr<const AuditRecord>>* best = nullptr;
+    for (auto& shard : lane->shards) {
+      if (shard.empty()) {
+        continue;
+      }
+      if (best == nullptr ||
+          shard.front()->sequence < best->front()->sequence) {
+        best = &shard;
+      }
+    }
+    std::shared_ptr<const AuditRecord> record = std::move(best->front());
+    best->pop_front();
+    --lane->queued;
+    lane->busy = true;
+    lock.unlock();
+    if (lane->emitted_any && record->sequence <= lane->last_emitted_seq) {
+      lane->stitch_violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    lane->last_emitted_seq = record->sequence;
+    lane->emitted_any = true;
+    lane->sink(*record);  // outside mu: a slow sink throttles only this lane
+    lane->delivered.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    lane->busy = false;
+    if (lane->queued == 0) {
+      lane->idle_cv.notify_all();
+    }
+  }
+}
+
+void AuditLog::StartLaneLocked(const std::shared_ptr<SinkLane>& lane) {
+  {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->shards.assign(fanout_options_.shards, {});
+    lane->shard_capacity = fanout_options_.shard_queue_capacity;
+    lane->queued = 0;
+    lane->stop = false;
+    lane->running = true;
+    lane->emitted_any = false;
+  }
+  // Raw pointer is safe: the joining side (StopFanOut/RemoveSink) holds a
+  // shared_ptr across the join, so the lane outlives its drainer.
+  lane->drainer = std::thread([this, raw = lane.get()] { LaneLoop(raw); });
+}
+
+uint64_t AuditLog::AddSink(std::string name, Sink sink) {
+  auto lane = std::make_shared<SinkLane>();
+  lane->name = std::move(name);
+  lane->sink = std::move(sink);
+  std::lock_guard<std::mutex> lock(mu_);
+  lane->id = next_lane_id_++;
+  lanes_.push_back(lane);
+  if (fanout_running_) {
+    StartLaneLocked(lane);
+  }
+  return lane->id;
+}
+
+bool AuditLog::RemoveSink(uint64_t id) {
+  std::shared_ptr<SinkLane> lane;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+      if ((*it)->id == id) {
+        lane = *it;
+        lanes_.erase(it);
+        break;
+      }
+    }
+  }
+  if (lane == nullptr) {
+    return false;
+  }
+  // Unregistered (no new enqueues can reach it) — flush and join.
+  {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->stop = true;
+  }
+  lane->cv.notify_all();
+  if (lane->drainer.joinable()) {
+    lane->drainer.join();
+  }
+  return true;
+}
+
+void AuditLog::StartFanOut(AuditFanOutOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fanout_running_) {
+    return;
+  }
+  if (options.shards == 0) {
+    options.shards = 1;
+  }
+  if (options.shard_queue_capacity == 0) {
+    options.shard_queue_capacity = 1;
+  }
+  fanout_options_ = options;
+  fanout_running_ = true;
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    StartLaneLocked(lane);
+  }
+}
+
+void AuditLog::StopFanOut() {
+  std::vector<std::shared_ptr<SinkLane>> lanes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fanout_running_) {
+      return;
+    }
+    fanout_running_ = false;
+    lanes = lanes_;  // lanes stay registered; only the drainers stop
+  }
+  for (const std::shared_ptr<SinkLane>& lane : lanes) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+    if (lane->drainer.joinable()) {
+      lane->drainer.join();  // the drainer flushes its shards before exiting
+    }
+    std::lock_guard<std::mutex> lock(lane->mu);
+    lane->running = false;
+  }
+}
+
+size_t AuditLog::fanout_sinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+uint64_t AuditLog::fanout_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    total += lane->delivered.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t AuditLog::fanout_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    total += lane->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t AuditLog::fanout_stitch_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    total += lane->stitch_violations.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<AuditSinkLaneStats> AuditLog::FanOutStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditSinkLaneStats> out;
+  out.reserve(lanes_.size());
+  for (const std::shared_ptr<SinkLane>& lane : lanes_) {
+    AuditSinkLaneStats stats;
+    stats.id = lane->id;
+    stats.name = lane->name;
+    stats.delivered = lane->delivered.load(std::memory_order_relaxed);
+    stats.dropped = lane->dropped.load(std::memory_order_relaxed);
+    stats.stitch_violations =
+        lane->stitch_violations.load(std::memory_order_relaxed);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+AuditMemoryRing::AuditMemoryRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void AuditMemoryRing::Write(const AuditRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+  }
+  ring_.push_back(record);
+  ++total_;
+}
+
+std::vector<AuditRecord> AuditMemoryRing::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<AuditRecord>(ring_.begin(), ring_.end());
+}
+
+uint64_t AuditMemoryRing::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t AuditMemoryRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::function<void(const AuditRecord&)> MakeMemoryRingSink(
+    std::shared_ptr<AuditMemoryRing> ring) {
+  return [ring](const AuditRecord& record) { ring->Write(record); };
+}
+
 void AuditLog::RingInsertLocked(AuditRecord record) {
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -267,6 +551,10 @@ void AuditLog::Record(AuditRecord record) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     record.sequence = next_sequence_++;
+    // Fan-out enqueue shares the stamping critical section, so every lane's
+    // shard queues see pushes in strictly increasing global sequence order —
+    // the invariant the lane stitcher relies on.
+    EnqueueFanOutLocked(record);
     if (sink_ != nullptr) {
       if (drain_running_) {
         // Only enqueue under mu_; the drainer does the sink I/O. Enqueueing
@@ -338,6 +626,7 @@ void AuditLog::RecordBatch(std::vector<AuditRecord> records) {
     std::lock_guard<std::mutex> lock(mu_);
     for (AuditRecord& record : records) {
       record.sequence = next_sequence_++;
+      EnqueueFanOutLocked(record);  // same ordering discipline as Record
     }
     if (sink_ != nullptr) {
       if (drain_running_) {
@@ -468,9 +757,18 @@ void AuditLog::Flush() {
   // error spec counts a fire but flush still proceeds — flush is not
   // allowed to fail, only to be slow).
   (void)XSEC_FAILPOINT_FIRED("audit.sink.flush");
+  std::vector<std::shared_ptr<SinkLane>> lanes;
   {
     std::unique_lock<std::mutex> lock(mu_);
     drain_idle_cv_.wait(lock, [this] { return drain_queue_.empty() && !drain_busy_; });
+    lanes = lanes_;
+  }
+  // Wait out every fan-out lane too: a lane drainer empties its shards before
+  // exiting, so "queued == 0 and not mid-sink-call" means fully flushed.
+  for (const std::shared_ptr<SinkLane>& lane : lanes) {
+    std::unique_lock<std::mutex> lock(lane->mu);
+    lane->idle_cv.wait(lock,
+                       [&lane] { return lane->queued == 0 && !lane->busy; });
   }
   // Wait out any sink call currently in flight (sync recorder or drainer).
   std::lock_guard<std::mutex> serialize(sink_mu_);

@@ -158,6 +158,34 @@ std::function<void(const AuditRecord&)> MakeRotatingNdjsonSink(
 std::function<Status(const AuditRecord&)> MakeRotatingNdjsonFallibleSink(
     std::shared_ptr<NdjsonFileRotator> rotator);
 
+// A bounded in-memory audit sink: retains the most recent `capacity` records
+// handed to it (a recent-window retention ring of its own, independent of
+// the log's). Register one as a fan-out lane (MakeMemoryRingSink) to keep a
+// cheap queryable tail per export plane. Accessors are thread-safe.
+class AuditMemoryRing {
+ public:
+  explicit AuditMemoryRing(size_t capacity = 1024);
+
+  void Write(const AuditRecord& record);
+
+  // Retained records, oldest first.
+  std::vector<AuditRecord> records() const;
+  // Records ever written (retained or since evicted).
+  uint64_t total() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<AuditRecord> ring_;
+  uint64_t total_ = 0;
+};
+
+// Adapts a memory ring into an audit sink; the shared_ptr keeps it alive for
+// as long as the log holds the sink.
+std::function<void(const AuditRecord&)> MakeMemoryRingSink(
+    std::shared_ptr<AuditMemoryRing> ring);
+
 // -- Self-healing sink --------------------------------------------------------
 
 // Tuning for ResilientSink (MODEL.md §12). Defaults: up to 4 attempts per
@@ -233,12 +261,34 @@ struct AuditDrainOptions {
   size_t queue_capacity = 4096;
 };
 
+// Configuration for the sharded multi-sink fan-out (AuditLog::StartFanOut).
+struct AuditFanOutOptions {
+  // Shard queues per lane; a record lands in shard (sequence % shards).
+  size_t shards = 4;
+  // Per-shard queue bound. A full shard drops the record for THAT lane only
+  // (counted in the lane's dropped gauge); other lanes and the retained
+  // ring are unaffected, so one wedged sink cannot starve the rest.
+  size_t shard_queue_capacity = 1024;
+};
+
+// Per-lane telemetry snapshot (AuditLog::FanOutStats).
+struct AuditSinkLaneStats {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t stitch_violations = 0;
+};
+
 class AuditLog {
  public:
   using Sink = std::function<void(const AuditRecord&)>;
 
   explicit AuditLog(size_t capacity = 4096) : capacity_(capacity) {}
-  ~AuditLog() { StopDrain(); }
+  ~AuditLog() {
+    StopDrain();
+    StopFanOut();
+  }
 
   void set_policy(AuditPolicy policy) { policy_.store(policy, std::memory_order_relaxed); }
   AuditPolicy policy() const { return policy_.load(std::memory_order_relaxed); }
@@ -346,6 +396,48 @@ class AuditLog {
   // Retained records that skipped the sink because the drain queue was full.
   uint64_t sink_dropped() const { return sink_dropped_.load(std::memory_order_relaxed); }
 
+  // -- Multi-sink sharded fan-out ---------------------------------------------
+  //
+  // A second export plane, independent of the single set_sink pipeline:
+  // AddSink registers any number of named sinks (an NDJSON file, an
+  // in-memory ring, a future network exporter — the registry IS the hook
+  // for new sink kinds), each backed by its own *lane* of `shards`
+  // sequence-keyed queues and its own drainer thread. Lanes drain in
+  // parallel, so a slow sink throttles only itself. Every retained record
+  // is enqueued to every running lane inside the stamping critical section
+  // — pushes therefore arrive in strictly increasing global sequence order
+  // across all of a lane's shards — and each lane's stitcher (a
+  // min-sequence merge over its shard heads) provably hands records to the
+  // sink boundary in exact global sequence order. The proof is monitored,
+  // not assumed: any out-of-order emission bumps the lane's
+  // stitch_violations counter (0 in a correct run; tests and the F12 CI
+  // gate pin it there). Backpressure drops leave gaps, never reorderings.
+
+  // Registers a sink as a new lane; returns its id. Callable before or
+  // after StartFanOut (a lane added while running starts draining at once).
+  // The sink is invoked only from that lane's drainer thread.
+  uint64_t AddSink(std::string name, Sink sink);
+
+  // Stops the lane's drainer (flushing queued records first) and removes it.
+  bool RemoveSink(uint64_t id);
+
+  // Starts the fan-out: sizes every lane's shard queues and spawns one
+  // drainer per lane. Records retained before this call are not fanned out.
+  // Idempotent while running.
+  void StartFanOut(AuditFanOutOptions options = {});
+
+  // Flush-then-join of every lane drainer; lanes stay registered, so a
+  // later StartFanOut resumes them. No-op when not running.
+  void StopFanOut();
+
+  // Aggregate fan-out gauges (backing /sys/monitor/audit/fanout/*).
+  size_t fanout_sinks() const;
+  uint64_t fanout_delivered() const;
+  uint64_t fanout_dropped() const;
+  uint64_t fanout_stitch_violations() const;
+  // Per-lane breakdown for tools and tests.
+  std::vector<AuditSinkLaneStats> FanOutStats() const;
+
   // Snapshot of the retained records, oldest first.
   std::vector<AuditRecord> records() const;
 
@@ -377,6 +469,22 @@ class AuditLog {
   // mu_ held.
   template <typename Visit>
   void ForEachLocked(Visit visit) const;
+
+  // One registered fan-out sink: N sharded queues plus a drainer that
+  // stitches them back into global sequence order. Defined in audit.cc.
+  struct SinkLane;
+
+  // Pushes `record` onto every running lane's shard queue. Caller holds mu_
+  // (the stamping critical section), which is what makes cross-shard pushes
+  // globally sequence-ordered.
+  void EnqueueFanOutLocked(const AuditRecord& record);
+
+  // Sizes a lane's shards per fanout_options_ and spawns its drainer.
+  // Caller holds mu_ and fanout_running_ is true.
+  void StartLaneLocked(const std::shared_ptr<SinkLane>& lane);
+
+  // A lane drainer's main loop (min-sequence stitcher).
+  void LaneLoop(SinkLane* lane);
 
   // Inserts into the bounded ring. Caller holds mu_.
   void RingInsertLocked(AuditRecord record);
@@ -437,6 +545,14 @@ class AuditLog {
   std::condition_variable drain_cv_;       // wakes the drainer
   std::condition_variable drain_idle_cv_;  // wakes Flush waiters
   std::thread drainer_;
+
+  // Fan-out lane registry, guarded by mu_. Lanes are shared_ptrs so
+  // StopFanOut/RemoveSink can join a drainer after dropping mu_ while a
+  // racing accessor still holds a reference.
+  std::vector<std::shared_ptr<SinkLane>> lanes_;
+  AuditFanOutOptions fanout_options_;
+  bool fanout_running_ = false;
+  uint64_t next_lane_id_ = 1;
 };
 
 }  // namespace xsec

@@ -1,5 +1,6 @@
 #include "src/services/netstack.h"
 
+#include "src/base/failpoint.h"
 #include "src/base/strings.h"
 
 namespace xsec {
@@ -147,6 +148,10 @@ StatusOr<bool> NetStack::Inject(Subject& subject, std::string_view device,
   if (!dev.ok()) {
     return dev.status();
   }
+  // Receive-side I/O failpoint: after mediation admitted the injector but
+  // before any filter or protocol handler runs — where a NIC ring overrun
+  // or DMA fault would surface in a real stack.
+  XSEC_FAILPOINT("netstack.recv");
   // Run every eligible filter; any `false` drops the packet. Filters are
   // selected by the injecting subject's class, so a low injector cannot make
   // its traffic bypass a low filter by pretending to be high.
@@ -199,6 +204,9 @@ Status NetStack::Send(Subject& subject, std::string_view device,
   if (!dev.ok()) {
     return dev.status();
   }
+  // Transmit-side I/O failpoint: mediation passed, queueing is next — the
+  // injected error models a full tx ring / carrier loss.
+  XSEC_FAILPOINT("netstack.send");
   (*dev)->tx.push_back(std::move(payload));
   return OkStatus();
 }

@@ -1,6 +1,9 @@
 #include "src/services/stats_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -22,10 +25,10 @@ StatsService::StatsService(Kernel* kernel, std::string mount_path, std::string s
 
 StatsService::~StatsService() {
   {
-    std::lock_guard<std::mutex> lock(pub_mu_);
+    std::lock_guard<std::mutex> lock(wait_mu_);
     stop_ = true;
   }
-  pub_cv_.notify_all();
+  wait_cv_.notify_all();
   if (publisher_.joinable()) {
     publisher_.join();
   }
@@ -127,6 +130,8 @@ Status StatsService::Install() {
   // leaf is multi-line, so it is excluded from dumps; `version` does *not*
   // refresh the publication on read — it answers "has anything been
   // published since I last looked", which a self-refreshing value could not.
+  // Both leaves read the same atomically swapped epoch pointer, so the
+  // version can never lag a snapshot a reader already rendered.
   XSEC_RETURN_IF_ERROR(
       MountLeaf("snapshot", [this] { return RenderSnapshot(); }, /*in_dump=*/false));
   XSEC_RETURN_IF_ERROR(MountLeaf("version", [this] { return std::to_string(version()); }));
@@ -190,6 +195,20 @@ Status StatsService::Install() {
   XSEC_RETURN_IF_ERROR(MountLeaf("audit/unaudited_allows", [audit, count] {
     return count(audit->unaudited_allows());
   }));
+  // Multi-sink fan-out plane (MODEL.md §11): registered sinks, aggregate
+  // deliveries/drops across lanes, and the stitcher's order-violation
+  // counter (always 0 unless the sequence-stitch invariant broke).
+  XSEC_RETURN_IF_ERROR(MountLeaf(
+      "audit/fanout/sinks", [audit, count] { return count(audit->fanout_sinks()); }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("audit/fanout/delivered", [audit, count] {
+    return count(audit->fanout_delivered());
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("audit/fanout/dropped", [audit, count] {
+    return count(audit->fanout_dropped());
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("audit/fanout/stitch_violations", [audit, count] {
+    return count(audit->fanout_stitch_violations());
+  }));
   XSEC_RETURN_IF_ERROR(MountLeaf(
       "subscribers/active", [this] { return std::to_string(active_subscribers()); }));
   XSEC_RETURN_IF_ERROR(MountLeaf("subscribers/dropped", [this] {
@@ -200,13 +219,13 @@ Status StatsService::Install() {
   }));
   XSEC_RETURN_IF_ERROR(MountLeaf("rate/checks_per_sec", [this] {
     MaybeTick();
-    std::lock_guard<std::mutex> lock(pub_mu_);
-    return FormatFixed(ChecksPerSecLocked(), 2);
+    PublishedPtr cur = published_.load();
+    return FormatFixed(cur == nullptr ? 0.0 : cur->checks_per_sec, 2);
   }));
   XSEC_RETURN_IF_ERROR(MountLeaf("rate/denials_per_sec", [this] {
     MaybeTick();
-    std::lock_guard<std::mutex> lock(pub_mu_);
-    return FormatFixed(DenialsPerSecLocked(), 2);
+    PublishedPtr cur = published_.load();
+    return FormatFixed(cur == nullptr ? 0.0 : cur->denials_per_sec, 2);
   }));
 
   snapshot_node_ = values_.at(JoinPath(options_.mount_path, "snapshot")).node;
@@ -392,14 +411,49 @@ Status StatsService::Install() {
   if (!unsubscribe_node.ok()) {
     return unsubscribe_node.status();
   }
+  auto export_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "export"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
+        auto id = ArgInt(ctx.args, 0);
+        if (!id.ok()) {
+          return id.status();
+        }
+        if (*id < 0) {
+          return InvalidArgumentError("subscription handle cannot be negative");
+        }
+        auto token = ExportSubscription(*ctx.subject, static_cast<uint64_t>(*id));
+        if (!token.ok()) {
+          return token.status();
+        }
+        return Value{std::move(*token)};
+      });
+  if (!export_node.ok()) {
+    return export_node.status();
+  }
+  auto resume_node = kernel_->RegisterProcedure(
+      JoinPath(options_.service_path, "resume"), system,
+      [this](CallContext& ctx) -> StatusOr<Value> {
+        auto token = ArgString(ctx.args, 0);
+        if (!token.ok()) {
+          return token.status();
+        }
+        auto id = ResumeSubscription(*ctx.subject, std::string(*token));
+        if (!id.ok()) {
+          return id.status();
+        }
+        return Value{std::to_string(*id)};
+      });
+  if (!resume_node.ok()) {
+    return resume_node.status();
+  }
 
   Tick();  // version 1: the boot-time state
 
   if (options_.background_publisher) {
     publisher_ = std::thread([this] {
-      std::unique_lock<std::mutex> lock(pub_mu_);
+      std::unique_lock<std::mutex> lock(wait_mu_);
       while (!stop_) {
-        pub_cv_.wait_for(lock, std::chrono::nanoseconds(options_.epoch_interval_ns));
+        wait_cv_.wait_for(lock, std::chrono::nanoseconds(options_.epoch_interval_ns));
         if (stop_) {
           break;
         }
@@ -462,7 +516,7 @@ uint64_t StatsService::Tick() {
   ReferenceMonitor& monitor = kernel_->monitor();
   // Capture everything before taking pub_mu_: TakeSnapshot can spin briefly
   // around a concurrent Reset and must not do so while holding the
-  // publication lock watchers block on.
+  // publication lock concurrent Ticks serialize on.
   MonitorStats::Snapshot snap = monitor.stats().TakeSnapshot();
   uint64_t cache_hits = monitor.cache().hits();
   uint64_t cache_misses = monitor.cache().misses();
@@ -471,76 +525,124 @@ uint64_t StatsService::Tick() {
   uint64_t audit_dropped = monitor.audit().dropped();
   uint64_t now = MonotonicNowNs();
 
-  uint64_t version;
-  std::shared_ptr<const std::string> rendered;
+  PublishedPtr next;
+  bool changed;
   {
     std::lock_guard<std::mutex> lock(pub_mu_);
-    bool changed = version_ == 0 || !snap.SameCounters(published_) ||
-                   cache_hits != pub_cache_hits_ || cache_misses != pub_cache_misses_ ||
-                   cache_stale != pub_cache_stale_ || audit_retained != pub_audit_retained_ ||
-                   audit_dropped != pub_audit_dropped_;
+    // Only this writer section swaps the pointer, so a relaxed load under
+    // pub_mu_ sees the latest epoch.
+    PublishedPtr cur = published_.load();
+    changed = cur == nullptr || !snap.SameCounters(cur->snap) ||
+              cache_hits != cur->cache_hits || cache_misses != cur->cache_misses ||
+              cache_stale != cur->cache_stale || audit_retained != cur->audit_retained ||
+              audit_dropped != cur->audit_dropped;
     if (changed) {
       ++version_;
-      snap.version = version_;
-      published_ = snap;
-      pub_cache_hits_ = cache_hits;
-      pub_cache_misses_ = cache_misses;
-      pub_cache_stale_ = cache_stale;
-      pub_audit_retained_ = audit_retained;
-      pub_audit_dropped_ = audit_dropped;
     }
-    // The rate ring tracks cumulative counters per publication epoch; a
-    // decrease means the stats were Reset, which invalidates every delta.
+    // The rate ring tracks cumulative counters per publication epoch, each
+    // stamped with the MonitorStats reset era it was captured in. Entries
+    // from an older era are dropped — a cross-era delta is garbage even when
+    // the newer cumulative value has already grown past the older one (the
+    // counters restarted in between). Eras only move forward, so stale
+    // entries are always a prefix.
+    while (!rate_ring_.empty() && rate_ring_.front().reset_epoch != snap.reset_epoch) {
+      rate_ring_.pop_front();
+    }
+    // Same-era decrease should be impossible; clear defensively if seen.
     if (!rate_ring_.empty() && snap.checks_total < rate_ring_.back().checks) {
       rate_ring_.clear();
     }
-    rate_ring_.push_back(RateEpoch{now, snap.checks_total, snap.denied});
+    rate_ring_.push_back(RateEpoch{now, snap.checks_total, snap.denied, snap.reset_epoch});
     while (rate_ring_.size() > 2 &&
            now - rate_ring_[1].t_ns >= options_.rate_window_ns) {
       rate_ring_.pop_front();
     }
-    last_tick_ns_ = now;
-    version = version_;
-    if (changed) {
-      pub_cv_.notify_all();
-      // Render once for all subscribers; fan-out happens after pub_mu_ is
-      // released so a kBlockPublisher wait never stalls watchers.
-      rendered = std::make_shared<const std::string>(RenderSnapshotLocked());
+    // Build the immutable epoch and swap it in. Even an unchanged tick
+    // republishes (same version): the windowed rates and tick time moved,
+    // and readers must see them without ever taking this lock.
+    auto epoch = std::make_shared<PublishedEpoch>();
+    epoch->version = version_;
+    snap.version = version_;
+    epoch->snap = snap;
+    epoch->cache_hits = cache_hits;
+    epoch->cache_misses = cache_misses;
+    epoch->cache_stale = cache_stale;
+    epoch->audit_retained = audit_retained;
+    epoch->audit_dropped = audit_dropped;
+    epoch->tick_ns = now;
+    epoch->checks_per_sec = ChecksPerSecLocked();
+    epoch->denials_per_sec = DenialsPerSecLocked();
+    epoch->rendered = RenderEpoch(*epoch, nullptr);
+    next = std::move(epoch);
+    published_.store(next);
+    last_tick_ns_.store(now, std::memory_order_relaxed);
+  }
+  if (changed) {
+    {
+      // Empty critical section: a waiter that checked the pointer before the
+      // swap is either already parked (the notify below wakes it) or still
+      // holds wait_mu_ (this lock waits for it to park first).
+      std::lock_guard<std::mutex> lock(wait_mu_);
     }
+    wait_cv_.notify_all();
+    FanOut(next->version, next);
   }
-  if (rendered != nullptr) {
-    FanOut(version, std::move(rendered));
-  }
-  return version;
+  return next->version;
 }
 
-void StatsService::FanOut(uint64_t version, std::shared_ptr<const std::string> rendered) {
-  // Snapshot the channel list first: a kBlockPublisher wait releases sub_mu_,
-  // and subscribe/unsubscribe may mutate the registry meanwhile.
-  std::vector<std::shared_ptr<SubscriberChannel>> channels;
+void StatsService::FanOut(uint64_t version, const PublishedPtr& epoch) {
+  // Fast path: one sub_mu_ hold pushes the epoch pointer to every channel
+  // with room (or evicts per kDropOldest). The only slow case — a *full*
+  // kBlockPublisher queue — is deferred, because its capped wait must not
+  // hold sub_mu_ against every other channel.
+  std::vector<std::shared_ptr<SubscriberChannel>> deferred;
+  uint64_t shed = 0;  // batched into subscriber_dropped_total_ once, below
   {
     std::lock_guard<std::mutex> lock(sub_mu_);
-    channels.reserve(subscribers_.size());
-    for (const auto& [id, channel] : subscribers_) {
-      channels.push_back(channel);
+    for (const auto& channel : fanout_order_) {
+      if (channel->closed || version <= channel->last_version) {
+        continue;  // gone, or a concurrent Tick already delivered this epoch
+      }
+      if (XSEC_FAILPOINT_FIRED("stats.fanout.push")) {
+        // Injected delivery failure: the epoch is lost to this channel
+        // exactly like a backpressure drop (a sleep spec instead stalls
+        // fan-out under sub_mu_, the shape of a wedged delivery path).
+        channel->last_version = version;
+        ++channel->dropped;
+        ++shed;
+        continue;
+      }
+      if (channel->queue.size() >= options_.subscriber_queue_capacity) {
+        if (channel->backpressure == SubscriberBackpressure::kBlockPublisher) {
+          deferred.push_back(channel);  // last_version set when handled below
+          continue;
+        }
+        channel->last_version = version;
+        channel->queue.pop_front();  // evict: the subscriber sees a gap
+        channel->queue.push_back(epoch);
+        ++channel->dropped;
+        ++shed;
+        if (channel->waiters != 0) {
+          channel->cv.notify_all();
+        }
+        continue;
+      }
+      channel->last_version = version;
+      channel->queue.push_back(epoch);
+      if (channel->waiters != 0) {
+        channel->cv.notify_all();
+      }
     }
   }
-  for (const auto& channel : channels) {
+  if (shed != 0) {
+    subscriber_dropped_total_.fetch_add(shed, std::memory_order_relaxed);
+  }
+  for (const auto& channel : deferred) {
     std::unique_lock<std::mutex> lock(sub_mu_);
     if (channel->closed || version <= channel->last_version) {
-      continue;  // gone, or a concurrent Tick already delivered this epoch
-    }
-    if (XSEC_FAILPOINT_FIRED("stats.fanout.push")) {
-      // Injected delivery failure: the epoch is lost to this channel exactly
-      // like a backpressure drop (a sleep spec instead stalls fan-out under
-      // sub_mu_, the shape of a wedged delivery path).
-      channel->last_version = version;
-      ++channel->dropped;
-      subscriber_dropped_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    if (channel->queue.size() >= options_.subscriber_queue_capacity &&
-        channel->backpressure == SubscriberBackpressure::kBlockPublisher) {
+    if (channel->queue.size() >= options_.subscriber_queue_capacity) {
       // Wait for the subscriber to drain — capped, so a stuck subscriber
       // costs the publisher at most publisher_block_cap_ns per epoch.
       channel->cv.wait_for(
@@ -554,43 +656,33 @@ void StatsService::FanOut(uint64_t version, std::shared_ptr<const std::string> r
     }
     channel->last_version = version;
     if (channel->queue.size() >= options_.subscriber_queue_capacity) {
-      if (channel->backpressure == SubscriberBackpressure::kDropOldest) {
-        channel->queue.pop_front();  // evict: the subscriber sees a gap
-        channel->queue.push_back(rendered);
-      }
-      // kBlockPublisher past the cap: the new epoch is the one dropped.
+      // Past the cap: the new epoch is the one dropped.
       ++channel->dropped;
       subscriber_dropped_total_.fetch_add(1, std::memory_order_relaxed);
-      if (channel->backpressure == SubscriberBackpressure::kDropOldest) {
-        channel->cv.notify_all();
-      }
       continue;
     }
-    channel->queue.push_back(rendered);
+    channel->queue.push_back(epoch);
     channel->cv.notify_all();
   }
 }
 
 uint64_t StatsService::version() const {
-  std::lock_guard<std::mutex> lock(pub_mu_);
-  return version_;
+  PublishedPtr cur = published_.load();
+  return cur == nullptr ? 0 : cur->version;
 }
 
 void StatsService::MaybeTick() {
-  {
-    std::lock_guard<std::mutex> lock(pub_mu_);
-    if (last_tick_ns_ != 0 &&
-        MonotonicNowNs() - last_tick_ns_ < options_.epoch_interval_ns) {
-      return;
-    }
+  uint64_t last = last_tick_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && MonotonicNowNs() - last < options_.epoch_interval_ns) {
+    return;
   }
   Tick();
 }
 
 std::string StatsService::RenderSnapshot() {
   MaybeTick();
-  std::lock_guard<std::mutex> lock(pub_mu_);
-  return RenderSnapshotLocked();
+  PublishedPtr cur = published_.load();
+  return cur == nullptr ? std::string() : cur->rendered;
 }
 
 StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadline_ns,
@@ -601,13 +693,14 @@ StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadl
     // wait itself must not fail, only the deadline/cancel checks below can
     // end it.
     (void)XSEC_FAILPOINT_FIRED("stats.poll.wakeup");
-    std::unique_lock<std::mutex> lock(pub_mu_);
-    // A `since` *ahead* of the published version is a handle from before a
+    // Lock-free fast path: the reader never touches the writer's lock. A
+    // `since` *ahead* of the published version is a handle from before a
     // service restart (version counters restart at 1): the caller's era is
     // gone, so the honest answer is the current state now, not a park that
     // can only time out.
-    if (version_ != since) {
-      return RenderSnapshotLocked();
+    PublishedPtr cur = published_.load();
+    if ((cur == nullptr ? 0 : cur->version) != since) {
+      return cur == nullptr ? std::string() : cur->rendered;
     }
     uint64_t now = MonotonicNowNs();
     if (call != nullptr) {
@@ -619,11 +712,11 @@ StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadl
                     static_cast<unsigned long long>(since)));
     }
     // Self-clocking: when the current epoch has elapsed, this watcher takes
-    // its own fresh capture (outside the lock) instead of waiting for a
-    // publisher thread that may not exist.
-    uint64_t next_capture = last_tick_ns_ + options_.epoch_interval_ns;
+    // its own fresh capture instead of waiting for a publisher thread that
+    // may not exist.
+    uint64_t next_capture =
+        last_tick_ns_.load(std::memory_order_relaxed) + options_.epoch_interval_ns;
     if (now >= next_capture) {
-      lock.unlock();
       Tick();
       continue;
     }
@@ -639,7 +732,16 @@ StatusOr<std::string> StatsService::WaitForUpdate(uint64_t since, uint64_t deadl
       // epoch interval — before noticing.)
       wake = now + options_.cancel_poll_interval_ns;
     }
-    pub_cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+    {
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      // Re-check under wait_mu_ before parking: Tick swaps the pointer and
+      // then passes through this mutex before notifying, so a version that
+      // landed after the fast-path check cannot be slept through.
+      PublishedPtr again = published_.load();
+      if ((again == nullptr ? 0 : again->version) == since) {
+        wait_cv_.wait_for(lock, std::chrono::nanoseconds(wake - now));
+      }
+    }
     if (call != nullptr) {
       // Recheck before re-arming: a spurious wakeup (or a notify for some
       // other waiter) must not put a cancelled caller back to sleep.
@@ -664,20 +766,21 @@ StatusOr<uint64_t> StatsService::Subscribe(Subject& subject, int64_t since,
   // Baseline a fresh publication (folds in the admission check above), so
   // the channel starts at a well-defined epoch.
   uint64_t version = Tick();
-  std::shared_ptr<const std::string> catch_up;
-  if (since >= 0 && static_cast<uint64_t>(since) < version) {
-    // The subscriber is behind: seed the queue with one catch-up snapshot.
-    // Intermediate epochs are not retained — a subscription delivers current
-    // state plus every change from now on, not history.
-    std::lock_guard<std::mutex> lock(pub_mu_);
-    catch_up = std::make_shared<const std::string>(RenderSnapshotLocked());
-  }
+  PublishedPtr current = published_.load();
   auto channel = std::make_shared<SubscriberChannel>();
   channel->owner = subject.principal;
   channel->backpressure = backpressure;
   channel->last_version = version;
-  if (catch_up != nullptr) {
-    channel->queue.push_back(std::move(catch_up));
+  if (since >= 0 && static_cast<uint64_t>(since) != version) {
+    // The subscriber is behind — or ahead, holding a version from a previous
+    // service incarnation whose era is gone. Either way: seed the queue with
+    // one catch-up snapshot. Intermediate epochs are not retained — a
+    // subscription delivers current state plus every change from now on,
+    // not history. last_delivered stays null so the catch-up renders full.
+    channel->queue.push_back(current);
+  } else {
+    // Baselined now: the next delivery is a delta against this epoch.
+    channel->last_delivered = current;
   }
   {
     std::lock_guard<std::mutex> lock(sub_mu_);
@@ -702,13 +805,27 @@ StatusOr<uint64_t> StatsService::Subscribe(Subject& subject, int64_t since,
     }
     channel->id = next_subscriber_id_++;
     subscribers_.emplace(channel->id, channel);
+    fanout_order_.push_back(channel);
   }
   Status mounted = MountSubscriberLeaves(channel);
   if (!mounted.ok()) {
     (void)Unsubscribe(subject, channel->id);
     return mounted;
   }
-  return channel->id;
+  {
+    // The leaves were mounted outside sub_mu_ (lock order), so a concurrent
+    // Unsubscribe or GcChannelsFor may have reaped the channel in between —
+    // and its unmount pass can have run before the mount finished. Re-check
+    // under the lock: if the channel is closed, the leaves just mounted are
+    // orphans that would resurrect telemetry for a dead channel. Tear them
+    // down and report the reap instead of handing out a dead capability.
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    if (!channel->closed) {
+      return channel->id;
+    }
+  }
+  UnmountSubscriberLeaves(channel->id);
+  return FailedPreconditionError("subscription was reaped during subscribe");
 }
 
 StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t id,
@@ -731,18 +848,29 @@ StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t 
   }
   for (;;) {
     (void)XSEC_FAILPOINT_FIRED("stats.poll.wakeup");
+    PublishedPtr epoch;
+    PublishedPtr prev;
     {
       std::lock_guard<std::mutex> lock(sub_mu_);
       if (!channel->queue.empty()) {
-        std::shared_ptr<const std::string> epoch = std::move(channel->queue.front());
+        epoch = std::move(channel->queue.front());
         channel->queue.pop_front();
         ++channel->delivered;
+        prev = channel->last_delivered;
+        channel->last_delivered = epoch;
         channel->cv.notify_all();  // a capped publisher may be waiting for space
-        return *epoch;
-      }
-      if (channel->closed) {
+      } else if (channel->closed) {
         return FailedPreconditionError("subscription was closed");
       }
+    }
+    if (epoch != nullptr) {
+      // Render outside sub_mu_: a delta against the channel's previous
+      // delivery (cumulative counters, so epochs dropped in between are
+      // folded in exactly), or the full text on a first/catch-up delivery.
+      if (prev == nullptr) {
+        return epoch->rendered;
+      }
+      return RenderEpoch(*epoch, prev.get());
     }
     if (call != nullptr) {
       XSEC_RETURN_IF_ERROR(call->CheckDeadline());
@@ -754,11 +882,8 @@ StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t 
     // Self-clocking, like WaitForUpdate: with no background publisher the
     // blocked poller captures an epoch itself once the interval elapses
     // (Tick fans out to this very channel).
-    uint64_t next_capture;
-    {
-      std::lock_guard<std::mutex> lock(pub_mu_);
-      next_capture = last_tick_ns_ + options_.epoch_interval_ns;
-    }
+    uint64_t next_capture =
+        last_tick_ns_.load(std::memory_order_relaxed) + options_.epoch_interval_ns;
     if (now >= next_capture) {
       Tick();
       continue;
@@ -776,7 +901,12 @@ StatusOr<std::string> StatsService::PollSubscription(Subject& subject, uint64_t 
     {
       std::unique_lock<std::mutex> lock(sub_mu_);
       if (channel->queue.empty() && !channel->closed) {
+        // Registered under sub_mu_ before the wait releases it, so the
+        // fan-out loop either sees waiters != 0 and notifies, or this
+        // thread saw its push in the queue check above. No lost wakeup.
+        ++channel->waiters;
         channel->cv.wait_for(lock, std::chrono::nanoseconds(wake - now));
+        --channel->waiters;
       }
     }
     if (call != nullptr) {
@@ -800,9 +930,104 @@ Status StatsService::Unsubscribe(Subject& subject, uint64_t id) {
     it->second->closed = true;
     it->second->cv.notify_all();  // release any blocked poller or publisher
     subscribers_.erase(it);
+    fanout_order_.erase(
+        std::remove_if(fanout_order_.begin(), fanout_order_.end(),
+                       [id](const auto& c) { return c->id == id; }),
+        fanout_order_.end());
   }
   UnmountSubscriberLeaves(id);
   return OkStatus();
+}
+
+StatusOr<std::string> StatsService::ExportSubscription(Subject& subject, uint64_t id) {
+  std::lock_guard<std::mutex> lock(sub_mu_);
+  auto it = subscribers_.find(id);
+  if (it == subscribers_.end()) {
+    return NotFoundError(StrFormat("no subscription with handle %llu",
+                                   static_cast<unsigned long long>(id)));
+  }
+  const SubscriberChannel& channel = *it->second;
+  if (channel.owner != subject.principal) {
+    return PermissionDeniedError("subscription handle belongs to another principal");
+  }
+  // The durable identity is deliberately tiny: who, how far they have read,
+  // and how they want backpressure handled. No capability material — resume
+  // re-runs admission, so the token is a bookmark, not a bearer credential.
+  return StrFormat(
+      "xsec-sub-v1 principal=%lu since=%llu policy=%s",
+      static_cast<unsigned long>(channel.owner.value),
+      static_cast<unsigned long long>(channel.last_version),
+      channel.backpressure == SubscriberBackpressure::kBlockPublisher ? "block" : "drop");
+}
+
+StatusOr<uint64_t> StatsService::ResumeSubscription(Subject& subject,
+                                                    const std::string& token) {
+  std::vector<std::string> parts = StrSplit(token, ' ', /*skip_empty=*/true);
+  if (parts.size() != 4 || parts[0] != "xsec-sub-v1") {
+    return InvalidArgumentError("unrecognized subscription token");
+  }
+  uint64_t principal = 0;
+  uint64_t since = 0;
+  SubscriberBackpressure backpressure = SubscriberBackpressure::kDropOldest;
+  bool have_principal = false;
+  bool have_since = false;
+  bool have_policy = false;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgumentError("malformed subscription token field");
+    }
+    std::string key = parts[i].substr(0, eq);
+    std::string val = parts[i].substr(eq + 1);
+    if (key == "principal" || key == "since") {
+      uint64_t parsed = 0;
+      if (val.empty()) {
+        return InvalidArgumentError("malformed subscription token field");
+      }
+      for (char c : val) {
+        if (c < '0' || c > '9') {
+          return InvalidArgumentError("malformed subscription token field");
+        }
+        if (parsed > (std::numeric_limits<uint64_t>::max() - (c - '0')) / 10) {
+          return InvalidArgumentError("subscription token field overflows");
+        }
+        parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (key == "principal") {
+        principal = parsed;
+        have_principal = true;
+      } else {
+        since = parsed;
+        have_since = true;
+      }
+    } else if (key == "policy") {
+      if (val == "block") {
+        backpressure = SubscriberBackpressure::kBlockPublisher;
+      } else if (val != "drop") {
+        return InvalidArgumentError("subscription token policy must be drop or block");
+      }
+      have_policy = true;
+    } else {
+      return InvalidArgumentError("unrecognized subscription token field");
+    }
+  }
+  if (!have_principal || !have_since || !have_policy) {
+    return InvalidArgumentError("incomplete subscription token");
+  }
+  if (principal != subject.principal.value) {
+    // A token names its owner; presenting someone else's bookmark is denied
+    // before any admission work happens.
+    return PermissionDeniedError("subscription token belongs to another principal");
+  }
+  if (since > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    return InvalidArgumentError("subscription token version out of range");
+  }
+  // Subscribe re-runs the monitor admission Check: a principal whose read
+  // right was revoked since the export is denied here, token or no token.
+  // A `since` from the previous incarnation that differs from the current
+  // version seeds one catch-up snapshot, so the resumed channel starts from
+  // observable state instead of a silent gap.
+  return Subscribe(subject, static_cast<int64_t>(since), backpressure);
 }
 
 size_t StatsService::GcChannelsFor(PrincipalId principal) {
@@ -819,9 +1044,17 @@ size_t StatsService::GcChannelsFor(PrincipalId principal) {
         ++it;
       }
     }
+    if (!ids.empty()) {
+      fanout_order_.erase(
+          std::remove_if(fanout_order_.begin(), fanout_order_.end(),
+                         [](const auto& c) { return c->closed; }),
+          fanout_order_.end());
+    }
   }
   // Leaves are unmounted outside sub_mu_ (lock order: values_mu_ is never
-  // taken while sub_mu_ is held).
+  // taken while sub_mu_ is held). A Subscribe racing this reap re-checks
+  // `closed` after its own mount and tears the leaves down itself, so the
+  // channel cannot come back as orphaned telemetry.
   for (uint64_t id : ids) {
     UnmountSubscriberLeaves(id);
   }
@@ -897,48 +1130,71 @@ double StatsService::DenialsPerSecLocked() const {
          static_cast<double>(newest.t_ns - oldest.t_ns);
 }
 
-std::string StatsService::RenderSnapshotLocked() const {
+std::string StatsService::RenderEpoch(const PublishedEpoch& cur,
+                                      const PublishedEpoch* prev) const {
   const std::string& m = options_.mount_path;
-  const MonitorStats::Snapshot& s = published_;
+  const MonitorStats::Snapshot& s = cur.snap;
   std::string out;
-  out += StrFormat("version %llu\n", static_cast<unsigned long long>(s.version));
+  out += StrFormat("version %llu\n", static_cast<unsigned long long>(cur.version));
   out += StrFormat("reset_epoch %llu\n", static_cast<unsigned long long>(s.reset_epoch));
-  auto line = [&out, &m](const char* rel, uint64_t v) {
+  if (prev != nullptr) {
+    // Delta framing: every counter below is cumulative, so a delta against
+    // any older epoch is exact — including across epochs the channel
+    // dropped. Unchanged leaves are omitted.
+    out += StrFormat("delta_from %llu\n", static_cast<unsigned long long>(prev->version));
+  }
+  auto line = [&out, &m, prev](const char* rel, uint64_t v, uint64_t prev_v) {
+    if (prev != nullptr && v == prev_v) {
+      return;
+    }
     out += StrFormat("%s/%s %llu\n", m.c_str(), rel, static_cast<unsigned long long>(v));
   };
-  line("checks/total", s.checks_total);
-  line("checks/allowed", s.allowed);
-  line("checks/denied", s.denied);
+  auto text_line = [&out, &m, prev](const char* rel, const std::string& v,
+                                    const std::string& prev_v) {
+    if (prev != nullptr && v == prev_v) {
+      return;
+    }
+    out += StrFormat("%s/%s %s\n", m.c_str(), rel, v.c_str());
+  };
+  const MonitorStats::Snapshot* p = prev == nullptr ? nullptr : &prev->snap;
+  line("checks/total", s.checks_total, p == nullptr ? 0 : p->checks_total);
+  line("checks/allowed", s.allowed, p == nullptr ? 0 : p->allowed);
+  line("checks/denied", s.denied, p == nullptr ? 0 : p->denied);
   for (int i = 0; i < kAccessModeCount; ++i) {
     AccessMode mode = static_cast<AccessMode>(1u << i);
     line(StrFormat("checks/by-mode/%s", std::string(AccessModeName(mode)).c_str()).c_str(),
-         s.by_mode[i]);
+         s.by_mode[i], p == nullptr ? 0 : p->by_mode[i]);
   }
   for (size_t r = 1; r < kDenyReasonCount; ++r) {
     DenyReason reason = static_cast<DenyReason>(r);
     line(StrFormat("denials/by-reason/%s", std::string(DenyReasonName(reason)).c_str()).c_str(),
-         s.by_reason[r]);
+         s.by_reason[r], p == nullptr ? 0 : p->by_reason[r]);
   }
-  line("cache/hits", pub_cache_hits_);
-  line("cache/misses", pub_cache_misses_);
-  line("cache/stale", pub_cache_stale_);
-  uint64_t probes = pub_cache_hits_ + pub_cache_misses_;
-  out += StrFormat("%s/cache/hit_rate %s\n", m.c_str(),
-                   FormatFixed(probes == 0 ? 0.0
-                                           : static_cast<double>(pub_cache_hits_) /
-                                                 static_cast<double>(probes),
-                               4)
-                       .c_str());
-  line("latency/p50", s.LatencyQuantileNs(0.50));
-  line("latency/p90", s.LatencyQuantileNs(0.90));
-  line("latency/p99", s.LatencyQuantileNs(0.99));
-  line("latency/samples", s.latency_samples);
-  line("audit/retained", pub_audit_retained_);
-  line("audit/dropped", pub_audit_dropped_);
-  out += StrFormat("%s/rate/checks_per_sec %s\n", m.c_str(),
-                   FormatFixed(ChecksPerSecLocked(), 2).c_str());
-  out += StrFormat("%s/rate/denials_per_sec %s\n", m.c_str(),
-                   FormatFixed(DenialsPerSecLocked(), 2).c_str());
+  line("cache/hits", cur.cache_hits, prev == nullptr ? 0 : prev->cache_hits);
+  line("cache/misses", cur.cache_misses, prev == nullptr ? 0 : prev->cache_misses);
+  line("cache/stale", cur.cache_stale, prev == nullptr ? 0 : prev->cache_stale);
+  auto hit_rate = [](const PublishedEpoch& e) {
+    uint64_t probes = e.cache_hits + e.cache_misses;
+    return FormatFixed(probes == 0 ? 0.0
+                                   : static_cast<double>(e.cache_hits) /
+                                         static_cast<double>(probes),
+                       4);
+  };
+  text_line("cache/hit_rate", hit_rate(cur),
+            prev == nullptr ? std::string() : hit_rate(*prev));
+  line("latency/p50", s.LatencyQuantileNs(0.50),
+       p == nullptr ? 0 : p->LatencyQuantileNs(0.50));
+  line("latency/p90", s.LatencyQuantileNs(0.90),
+       p == nullptr ? 0 : p->LatencyQuantileNs(0.90));
+  line("latency/p99", s.LatencyQuantileNs(0.99),
+       p == nullptr ? 0 : p->LatencyQuantileNs(0.99));
+  line("latency/samples", s.latency_samples, p == nullptr ? 0 : p->latency_samples);
+  line("audit/retained", cur.audit_retained, prev == nullptr ? 0 : prev->audit_retained);
+  line("audit/dropped", cur.audit_dropped, prev == nullptr ? 0 : prev->audit_dropped);
+  text_line("rate/checks_per_sec", FormatFixed(cur.checks_per_sec, 2),
+            prev == nullptr ? std::string() : FormatFixed(prev->checks_per_sec, 2));
+  text_line("rate/denials_per_sec", FormatFixed(cur.denials_per_sec, 2),
+            prev == nullptr ? std::string() : FormatFixed(prev->denials_per_sec, 2));
   return out;
 }
 

@@ -27,6 +27,8 @@
 //   /sys/monitor/cache/hits|misses|stale|hit_rate
 //   /sys/monitor/latency/p50|p90|p99|samples   sampled check latency, ns
 //   /sys/monitor/audit/retained|dropped|sink_dropped
+//   /sys/monitor/audit/fanout/sinks|delivered|dropped|stitch_violations
+//                                        multi-sink fan-out plane (AuditLog)
 //   /sys/monitor/ring/shards|depth|batches|submitted|completed|stalls
 //                                        mediation-ring transport (MountRing)
 //   /sys/monitor/rate/checks_per_sec     windowed rate over published epochs
@@ -35,25 +37,35 @@
 //   /sys/monitor/subscribers/dropped     epochs dropped across all channels ever
 //   /sys/monitor/subscribers/<id>/queued|delivered|dropped   per channel
 //
-// Consistency: the plain counter leaves render live values on read, so two
-// separate leaf reads are not mutually consistent. The `snapshot` leaf is
-// the sanctioned multi-counter view — one MonitorStats::TakeSnapshot pass
-// whose invariants hold even under concurrent checking — and `version`
-// identifies which published epoch a snapshot came from. /svc/stats watch
-// long-polls for the next version change; /svc/stats subscribe opens a
-// persistent channel that receives every published epoch (see docs/MODEL.md
-// §11).
+// Publication (RCU rule, MODEL.md §11): every Tick builds one immutable
+// PublishedEpoch — snapshot, gauges, windowed rates, and the full rendered
+// text — and swaps it into an atomic shared_ptr. Readers (the snapshot /
+// version / rate leaves, watch fast paths, version()) load that pointer
+// lock-free and never contend with the publisher; pub_mu_ is writer-side
+// only (it serializes concurrent Ticks). The version leaf and the snapshot
+// leaf read the *same* pointer, so a reader can never observe a version
+// older than a snapshot it already rendered.
 //
 // Subscription channels: Subscribe() performs ONE admission check (read on
 // the snapshot leaf) and returns a numeric capability handle backed by a
-// bounded per-subscriber queue of rendered epochs. Tick() fans each newly
-// published epoch out to every channel. A full queue applies the channel's
-// backpressure policy — kDropOldest evicts the oldest queued epoch (counted
-// in the channel's `dropped` leaf), kBlockPublisher makes the publisher wait
-// for space, but only up to publisher_block_cap_ns before dropping the new
-// epoch — so a subscriber that never drains can never wedge Tick. The handle
-// is owner-bound: poll/unsubscribe verify the calling principal, no further
+// bounded per-subscriber queue of published-epoch pointers. Tick() fans each
+// newly published epoch out to every channel as a shared_ptr — a queue slot
+// costs one pointer, not one rendered snapshot, so bounded queues hold deep
+// history. Poll renders a *delta* against the last epoch that channel
+// delivered (only the counters that changed, cumulative so drops in between
+// are harmless); the first delivery after a catch-up seed renders the full
+// snapshot. A full queue applies the channel's backpressure policy —
+// kDropOldest evicts the oldest queued epoch (counted in the channel's
+// `dropped` leaf), kBlockPublisher makes the publisher wait for space, but
+// only up to publisher_block_cap_ns before dropping the new epoch — so a
+// subscriber that never drains can never wedge Tick. The handle is
+// owner-bound: poll/unsubscribe verify the calling principal, no further
 // monitor checks are made (admission-once-then-act, like an open file).
+//
+// Durable subscriptions: ExportSubscription serializes a channel's identity
+// (principal, last delivered version, backpressure policy) into a one-line
+// token; ResumeSubscription re-admits it — the monitor Check runs again, so
+// a revoked principal cannot smuggle a stale capability across a restart.
 
 #ifndef XSEC_SRC_SERVICES_STATS_SERVICE_H_
 #define XSEC_SRC_SERVICES_STATS_SERVICE_H_
@@ -149,6 +161,8 @@ class StatsService {
   //   poll <handle> [ms]     -> next queued epoch, blocking up to ms;
   //                             kDeadlineExceeded if none arrives.
   //   unsubscribe <handle>   -> closes the channel.
+  //   export <handle>        -> one-line durable token for the channel.
+  //   resume <token>         -> re-admits the token; returns a new handle.
   Status Install();
 
   // Mounts the mediation-ring telemetry leaves
@@ -190,10 +204,11 @@ class StatsService {
   // Captures the counters now and publishes them as a new version if they
   // changed since the last publication (gauges included). Returns the
   // current version either way. Thread-safe; wakes blocked watchers on a
-  // version change.
+  // version change. Even when nothing changed the immutable epoch is
+  // re-swapped (same version, fresher rates), so rate leaves keep decaying.
   uint64_t Tick();
 
-  // Current published version (0 until the first Tick).
+  // Current published version (0 until the first Tick). Lock-free.
   uint64_t version() const;
 
   // Trusted render of the published snapshot (refreshing it first if it is
@@ -218,9 +233,11 @@ class StatsService {
   // -- Subscription channels --------------------------------------------------
 
   // One admission check (read on the snapshot leaf), then a capability
-  // handle. `since` = -1 baselines now (the queue starts empty); a `since`
-  // below the current version seeds the queue with one catch-up snapshot.
-  // Mounts /sys/monitor/subscribers/<id>/... telemetry for the channel.
+  // handle. `since` = -1 baselines now (the queue starts empty); any other
+  // `since` that differs from the current version seeds the queue with one
+  // catch-up full snapshot (a `since` *ahead* of the version is a handle
+  // from a previous service incarnation — its era is gone, so it catches up
+  // too). Mounts /sys/monitor/subscribers/<id>/... telemetry.
   StatusOr<uint64_t> Subscribe(Subject& subject, int64_t since,
                                SubscriberBackpressure backpressure =
                                    SubscriberBackpressure::kDropOldest);
@@ -228,13 +245,32 @@ class StatsService {
   // Pops the next queued epoch, blocking until `deadline_ns` (absolute; 0 =
   // unbounded) if the queue is empty. Self-clocking like WaitForUpdate, and
   // a cancellation point when `call` is given. No monitor check: the handle
-  // was admitted at Subscribe; only the owning principal may poll.
+  // was admitted at Subscribe; only the owning principal may poll. The
+  // rendered text is a delta against the channel's previous delivery
+  // (header lines `version`, `reset_epoch`, `delta_from`, then only the
+  // leaves whose values changed); full snapshot on first/catch-up delivery.
   StatusOr<std::string> PollSubscription(Subject& subject, uint64_t id,
                                          uint64_t deadline_ns,
                                          const CallContext* call = nullptr);
 
   // Closes the channel and unmounts its telemetry. Owner-only.
   Status Unsubscribe(Subject& subject, uint64_t id);
+
+  // -- Durable subscriptions --------------------------------------------------
+
+  // Serializes the channel's durable identity (owner principal, last
+  // delivered version, backpressure policy) into a one-line token the owner
+  // can present to a future incarnation of this service. Owner-only.
+  StatusOr<std::string> ExportSubscription(Subject& subject, uint64_t id);
+
+  // Re-establishes a channel from an exported token. The token must belong
+  // to the calling principal, and admission is checked AGAIN (the same
+  // monitor Check as Subscribe) — a principal whose read right was revoked
+  // between export and resume is denied, token or no token. Returns the new
+  // handle; the queue is seeded with one catch-up snapshot whenever the
+  // token's version differs from the current one.
+  StatusOr<uint64_t> ResumeSubscription(Subject& subject,
+                                        const std::string& token);
 
   // Bulk-closes every channel owned by `principal` and unmounts their
   // telemetry; returns how many were closed. The hook a hosting shell calls
@@ -256,6 +292,25 @@ class StatsService {
 
  private:
   struct SubscriberChannel;
+
+  // One published epoch, immutable after the atomic swap: the consistent
+  // snapshot, the gauges captured alongside it, the precomputed windowed
+  // rates, and the full rendered text. Readers share it by pointer.
+  struct PublishedEpoch {
+    uint64_t version = 0;
+    MonitorStats::Snapshot snap;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_stale = 0;
+    uint64_t audit_retained = 0;
+    uint64_t audit_dropped = 0;
+    uint64_t tick_ns = 0;
+    double checks_per_sec = 0.0;
+    double denials_per_sec = 0.0;
+    std::string rendered;  // full snapshot text
+  };
+  using PublishedPtr = std::shared_ptr<const PublishedEpoch>;
+
   // Binds one leaf (relative to the mount) backed by `render`. Leaves with
   // `in_dump` false (multi-line renderings) are skipped by DumpTree and
   // RenderAll.
@@ -270,14 +325,19 @@ class StatsService {
   // Pushes a newly published epoch to every channel, applying each one's
   // backpressure policy. Never called with pub_mu_ held (a kBlockPublisher
   // wait must not stall watchers), and never holds sub_mu_ while waiting.
-  void FanOut(uint64_t version, std::shared_ptr<const std::string> rendered);
+  void FanOut(uint64_t version, const PublishedPtr& epoch);
 
   // Re-publishes only if the published snapshot is older than one epoch.
   void MaybeTick();
 
-  // Renders the published snapshot + gauges. Caller holds pub_mu_.
-  std::string RenderSnapshotLocked() const;
-  // Windowed rates from the published epoch ring. Caller holds pub_mu_.
+  // Renders `cur` as snapshot text. With `prev` == nullptr every leaf is
+  // emitted (the full snapshot); otherwise only the leaves whose values
+  // changed since `prev`, after a `delta_from <prev version>` header —
+  // counters are cumulative, so a delta spanning dropped epochs is exact.
+  std::string RenderEpoch(const PublishedEpoch& cur,
+                          const PublishedEpoch* prev) const;
+
+  // Windowed rates over the epoch ring. Caller holds pub_mu_.
   double ChecksPerSecLocked() const;
   double DenialsPerSecLocked() const;
 
@@ -287,11 +347,15 @@ class StatsService {
     bool in_dump = true;
   };
 
-  // One published epoch's cumulative counters; rate = windowed delta.
+  // One published epoch's cumulative counters; rate = windowed delta. The
+  // reset_epoch pins which MonitorStats::Reset era the counters belong to:
+  // deltas across eras are meaningless even when the newer cumulative value
+  // has already grown past the older one, so Tick drops mismatched entries.
   struct RateEpoch {
     uint64_t t_ns = 0;
     uint64_t checks = 0;
     uint64_t denials = 0;
+    uint64_t reset_epoch = 0;
   };
 
   // A persistent subscription channel. All mutable state is guarded by the
@@ -303,13 +367,26 @@ class StatsService {
     uint64_t id = 0;
     PrincipalId owner;
     SubscriberBackpressure backpressure = SubscriberBackpressure::kDropOldest;
-    std::deque<std::shared_ptr<const std::string>> queue;
+    // Queue slots are epoch pointers (one machine word + refcount), not
+    // rendered text: a bounded queue holds deep history cheaply, and the
+    // delta against `last_delivered` is rendered lazily at poll time.
+    std::deque<PublishedPtr> queue;
+    // The epoch most recently handed to the poller; the baseline the next
+    // delivery's delta is computed against. nullptr = the next delivery is
+    // a catch-up (or first) delivery and renders the full snapshot.
+    PublishedPtr last_delivered;
     // Highest version ever pushed (or dropped at the cap): concurrent Ticks
     // fan out unordered, and this keeps each channel's stream monotone.
     uint64_t last_version = 0;
     uint64_t delivered = 0;
     uint64_t dropped = 0;
     bool closed = false;
+    // Threads currently parked on `cv` (guarded by sub_mu_). The publisher's
+    // fan-out loop skips the notify when this is zero — with no waiter a
+    // notify is pure per-channel overhead on the publish path, and the
+    // counter is exact because a poller increments it under sub_mu_ before
+    // the wait atomically releases the lock.
+    size_t waiters = 0;
     std::condition_variable cv;  // space (publisher) and data (poller)
   };
 
@@ -329,28 +406,68 @@ class StatsService {
   // channel teardown and renders without the lock.
   mutable std::mutex sub_mu_;
   std::map<uint64_t, std::shared_ptr<SubscriberChannel>> subscribers_;
+  // The same open channels, flat, for the publisher's fan-out loop: the
+  // node-based map costs a dependent cache miss per channel, which at 64
+  // subscribers is visible next to the O(1) pointer push the tentpole
+  // promises. Kept in lockstep with subscribers_ under sub_mu_.
+  std::vector<std::shared_ptr<SubscriberChannel>> fanout_order_;
   uint64_t next_subscriber_id_ = 1;
   std::atomic<uint64_t> subscriber_dropped_total_{0};
   std::atomic<uint64_t> quota_denied_total_{0};
 
-  // Publication state. pub_mu_ orders publications and protects everything
-  // below; pub_cv_ wakes watchers on a version change.
-  mutable std::mutex pub_mu_;
-  std::condition_variable pub_cv_;
-  uint64_t version_ = 0;
-  MonitorStats::Snapshot published_;
-  // Gauges captured alongside the snapshot (cache and audit state are owned
-  // by other components; these are their values as of `version_`).
-  uint64_t pub_cache_hits_ = 0;
-  uint64_t pub_cache_misses_ = 0;
-  uint64_t pub_cache_stale_ = 0;
-  uint64_t pub_audit_retained_ = 0;
-  uint64_t pub_audit_dropped_ = 0;
-  uint64_t last_tick_ns_ = 0;
-  std::deque<RateEpoch> rate_ring_;
+  // The atomically swapped epoch pointer. Semantically this is
+  // std::atomic<shared_ptr>, and libstdc++ implements that as exactly this
+  // shape — a per-pointer spinlock held for the refcount bump — but its
+  // GCC 12 _Sp_atomic::load unlocks with a *relaxed* fetch_sub, leaving the
+  // reader's plain pointer read unordered against the next writer's plain
+  // write (a real data-race per the model; TSan flags it). This slot is the
+  // same construction with the orders right: both sides unlock with
+  // release, both lock with acquire. Readers hold the flag only for a
+  // shared_ptr copy — never for a render, a wait, or an allocation.
+  class EpochSlot {
+   public:
+    PublishedPtr load() const {
+      while (lock_.test_and_set(std::memory_order_acquire)) {
+      }
+      PublishedPtr copy = ptr_;
+      lock_.clear(std::memory_order_release);
+      return copy;
+    }
+    void store(PublishedPtr next) {
+      // The displaced epoch is released outside the critical section: its
+      // destructor (snapshot + rendered text) must not run under the flag.
+      PublishedPtr old;
+      while (lock_.test_and_set(std::memory_order_acquire)) {
+      }
+      old = std::move(ptr_);
+      ptr_ = std::move(next);
+      lock_.clear(std::memory_order_release);
+    }
+
+   private:
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+    PublishedPtr ptr_;
+  };
+
+  // Publication state — the RCU split. `published_` is the atomically
+  // swapped immutable epoch every reader loads without blocking on the
+  // publisher. pub_mu_ is
+  // WRITER-side only: it serializes concurrent Ticks and guards version_
+  // and the rate ring; no read path takes it. wait_mu_/wait_cv_ exist only
+  // to park watchers: a waiter re-checks the atomic pointer under wait_mu_
+  // before sleeping, and Tick notifies after the swap, so wakeups are never
+  // lost and the publisher's critical section never includes a render read.
+  EpochSlot published_;
+  mutable std::mutex pub_mu_;  // writer-side only
+  uint64_t version_ = 0;       // guarded by pub_mu_
+  std::deque<RateEpoch> rate_ring_;  // guarded by pub_mu_
+  std::atomic<uint64_t> last_tick_ns_{0};
+
+  mutable std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
 
   // Optional background publisher.
-  bool stop_ = false;  // guarded by pub_mu_
+  bool stop_ = false;  // guarded by wait_mu_
   std::thread publisher_;
 };
 

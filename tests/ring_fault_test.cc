@@ -247,6 +247,37 @@ TEST_F(FailpointDataPathTest, MemfsNthGatingSkipsLeadingHits) {
   EXPECT_EQ(*data, Bytes("a")) << "the failed append must not leave a torn suffix";
 }
 
+TEST_F(FailpointDataPathTest, NetstackSendInjectionFailsAfterMediationAndQueuesNothing) {
+  ASSERT_TRUE(sys_.net().CreateDevice(alice_s_, "eth0").ok());
+  ASSERT_TRUE(sys_.net().Send(alice_s_, "eth0", Bytes("out")).ok());
+  ASSERT_TRUE(FailpointRegistry::Instance()
+                  .Arm("netstack.send", "error=resource-exhausted")
+                  .ok());
+  // A full tx ring: mediation allowed the send, the device I/O failed.
+  EXPECT_EQ(sys_.net().Send(alice_s_, "eth0", Bytes("lost")).code(),
+            StatusCode::kResourceExhausted);
+  FailpointRegistry::Instance().DisarmAll();
+  auto queued = sys_.net().TxQueued(alice_s_, "eth0");
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(*queued, 1) << "the failed send must queue nothing";
+}
+
+TEST_F(FailpointDataPathTest, NetstackRecvInjectionPreemptsFiltersAndProtocols) {
+  ASSERT_TRUE(sys_.net().CreateDevice(alice_s_, "eth0").ok());
+  ASSERT_TRUE(FailpointRegistry::Instance().Arm("netstack.recv", "error").ok());
+  EXPECT_EQ(sys_.net().Inject(alice_s_, "eth0", "upper", Bytes("pkt")).status().code(),
+            StatusCode::kInternal);
+  FailpointRegistry::Instance().DisarmAll();
+  // Without the injection the same call fails later and differently (no such
+  // protocol is registered): the failpoint fired after mediation but before
+  // any filter or protocol dispatch, and nothing was delivered.
+  EXPECT_EQ(sys_.net().Inject(alice_s_, "eth0", "upper", Bytes("pkt")).status().code(),
+            StatusCode::kNotFound);
+  auto delivered = sys_.net().Delivered(alice_s_, "eth0");
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 0);
+}
+
 TEST_F(FailpointDataPathTest, VfsForwardInjectionPreemptsDispatch) {
   ASSERT_TRUE(
       FailpointRegistry::Instance().Arm("vfs.forward", "error=deadline-exceeded").ok());

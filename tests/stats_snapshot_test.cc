@@ -179,6 +179,60 @@ TEST(StatsSnapshotTest, ResetClearsTheRateWindow) {
   EXPECT_EQ(kv.at("/sys/monitor/rate/checks_per_sec"), "0.00");
 }
 
+// Regression for the RCU publication rule: the version leaf and the snapshot
+// leaf read the SAME atomically swapped epoch pointer, so a reader that just
+// rendered a snapshot can never then read a version OLDER than the one inside
+// that snapshot — even while a publisher races new epochs in.
+TEST(StatsSnapshotTest, VersionLeafNeverLagsARenderedSnapshot) {
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  std::atomic<bool> stop{false};
+  std::thread publisher([&sys, &stop] {
+    Subject s = sys.SystemSubject();
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)sys.monitor().Check(s, sys.name_space().root(), AccessMode::kList);
+      sys.stats().Tick();
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    auto snapshot = sys.stats().ReadStat(system, "/sys/monitor/snapshot");
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    uint64_t rendered = Num(ParseSnapshot(*snapshot), "version");
+    auto version = sys.stats().ReadStat(system, "/sys/monitor/version");
+    ASSERT_TRUE(version.ok()) << version.status().ToString();
+    EXPECT_GE(std::stoull(*version), rendered)
+        << "version leaf went backwards relative to a rendered snapshot";
+  }
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+}
+
+// The reset-era bugfix's nasty half: after a Reset the cumulative counters
+// can GROW PAST their pre-reset values, so "newer >= older" no longer proves
+// same-era — the ring must drop other-era epochs by reset_epoch stamp, not by
+// value comparison, or the rate becomes a cross-era garbage delta.
+TEST(StatsSnapshotTest, RateWindowDropsPreResetEpochsEvenWhenCountersGrowPast) {
+  SecureSystem sys;
+  Subject system = sys.SystemSubject();
+  for (int i = 0; i < 50; ++i) {
+    (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  }
+  sys.stats().Tick();  // ring holds an era-0 epoch with checks ~= 50
+  sys.monitor().stats().Reset();
+  // Era 1: more checks than era 0 ever saw, so the new cumulative value is
+  // larger than the ringed era-0 one and a naive delta would be "valid".
+  for (int i = 0; i < 80; ++i) {
+    (void)sys.monitor().Check(system, sys.name_space().root(), AccessMode::kList);
+  }
+  sys.stats().Tick();
+  auto kv = ParseSnapshot(sys.stats().RenderSnapshot());
+  EXPECT_GE(Num(kv, "reset_epoch"), 1u);
+  // The era-0 epoch was dropped, leaving a one-entry window: 0.00, not the
+  // ~(80-50)/dt cross-era delta.
+  EXPECT_EQ(kv.at("/sys/monitor/rate/checks_per_sec"), "0.00");
+  EXPECT_EQ(kv.at("/sys/monitor/rate/denials_per_sec"), "0.00");
+}
+
 // A user who may call /svc/stats/* (the /svc default covers everyone) and
 // holds read|list on the stats mount, so the watch admission check passes.
 Subject LoginAuditor(SecureSystem& sys) {

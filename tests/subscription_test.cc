@@ -448,6 +448,194 @@ TEST(SubscriptionProcedureTest, ArgumentsAreValidated) {
             StatusCode::kNotFound);
 }
 
+// Delta-encoded epochs: a poll renders only the leaves that changed since the
+// channel's previous delivery, under a delta_from header, while a catch-up
+// delivery renders the full snapshot.
+TEST(SubscriptionTest, PollRendersDeltasAgainstThePreviousDelivery) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);  // baseline: next delivery is a delta
+  ASSERT_TRUE(id.ok());
+  // Drive the next epoch with a check that is ALLOWED (a mediated read of
+  // the version leaf) — the generic Publish helper's root list check is
+  // denied under DAC, which would legitimately move the denied counter and
+  // defeat the omitted-leaf assertion below.
+  ASSERT_TRUE(stats.ReadStat(system, "/sys/monitor/version").ok());
+  uint64_t v = stats.Tick();
+  auto delta = stats.PollSubscription(system, *id, /*deadline_ns=*/0);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_NE(delta->find(StrFormat("version %llu", static_cast<unsigned long long>(v))),
+            std::string::npos);
+  EXPECT_NE(delta->find("delta_from "), std::string::npos);
+  EXPECT_NE(delta->find("/sys/monitor/checks/total"), std::string::npos);
+  // Nothing was denied between the baseline and this epoch, so the denied
+  // leaf is omitted from the delta...
+  EXPECT_EQ(delta->find("/sys/monitor/checks/denied"), std::string::npos);
+  // ...while a catch-up (full) rendering always carries it.
+  auto behind = stats.Subscribe(system, 0);
+  ASSERT_TRUE(behind.ok());
+  auto full = stats.PollSubscription(system, *behind, /*deadline_ns=*/0);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->find("delta_from "), std::string::npos);
+  EXPECT_NE(full->find("/sys/monitor/checks/denied"), std::string::npos);
+}
+
+// Deltas are computed against the last DELIVERED epoch, not the last queued
+// one, so epochs evicted by backpressure fold into the next delta exactly
+// (the counters are cumulative).
+TEST(SubscriptionTest, DeltaSpansDroppedEpochsExactly) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();
+  options.subscriber_queue_capacity = 1;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  uint64_t baseline = stats.version();
+  // Three epochs into a queue of one: the first two are evicted.
+  Publish(kernel, stats);
+  Publish(kernel, stats);
+  uint64_t last = Publish(kernel, stats);
+  auto delta = stats.PollSubscription(system, *id, /*deadline_ns=*/0);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  // The one delivery is version `last`, delta'd all the way back to the
+  // baseline: the three list checks appear as one cumulative movement.
+  EXPECT_NE(delta->find(StrFormat("version %llu", static_cast<unsigned long long>(last))),
+            std::string::npos);
+  EXPECT_NE(delta->find(StrFormat("delta_from %llu",
+                                  static_cast<unsigned long long>(baseline))),
+            std::string::npos);
+}
+
+// -- Durable subscriptions ----------------------------------------------------
+
+TEST(SubscriptionDurableTest, ExportedTokenResumesAcrossAMonitorRestart) {
+  std::string token;
+  {
+    Kernel kernel;
+    StatsService stats(&kernel, ManualOptions());
+    ASSERT_TRUE(stats.Install().ok());
+    Subject system = kernel.SystemSubject();
+    auto id = stats.Subscribe(system, -1);
+    ASSERT_TRUE(id.ok());
+    Publish(kernel, stats);
+    Publish(kernel, stats);
+    Publish(kernel, stats);  // push the old era's version well past the new one's
+    ASSERT_TRUE(stats.PollSubscription(system, *id, 0).ok());
+    auto exported = stats.ExportSubscription(system, *id);
+    ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+    token = *exported;
+    EXPECT_NE(token.find("xsec-sub-v1 "), std::string::npos);
+  }  // the whole monitor goes away
+
+  // A fresh incarnation: the token re-admits (the owner still holds read on
+  // the new mount) and the era mismatch seeds one catch-up snapshot.
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto resumed = stats.ResumeSubscription(system, token);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  auto caught_up = stats.PollSubscription(system, *resumed, 0);
+  ASSERT_TRUE(caught_up.ok()) << caught_up.status().ToString();
+  EXPECT_EQ(caught_up->find("delta_from "), std::string::npos);  // full snapshot
+  EXPECT_NE(caught_up->find("/sys/monitor/checks/total"), std::string::npos);
+}
+
+TEST(SubscriptionDurableTest, ResumeReRunsAdmissionAndDeniesRevokedPrincipals) {
+  std::string token;
+  {
+    Kernel kernel;
+    StatsService stats(&kernel, ManualOptions());
+    ASSERT_TRUE(stats.Install().ok());
+    auto analyst = kernel.principals().CreateUser("analyst");
+    ASSERT_TRUE(analyst.ok());
+    GrantSubscribe(kernel, *analyst);
+    Subject analyst_s = kernel.CreateSubject(*analyst, kernel.labels().Bottom());
+    auto id = stats.Subscribe(analyst_s, -1);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    auto exported = stats.ExportSubscription(analyst_s, *id);
+    ASSERT_TRUE(exported.ok());
+    token = *exported;
+  }
+
+  // Same principal id in the new incarnation — but nobody re-granted read on
+  // the fail-closed mount. The token is a bookmark, not a bearer credential:
+  // resume re-runs the monitor Check and is denied.
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  auto analyst = kernel.principals().CreateUser("analyst");
+  ASSERT_TRUE(analyst.ok());
+  Subject analyst_s = kernel.CreateSubject(*analyst, kernel.labels().Bottom());
+  EXPECT_EQ(stats.ResumeSubscription(analyst_s, token).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(SubscriptionDurableTest, TokensAreOwnerBound) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  auto id = stats.Subscribe(system, -1);
+  ASSERT_TRUE(id.ok());
+  auto token = stats.ExportSubscription(system, *id);
+  ASSERT_TRUE(token.ok());
+  auto thief = kernel.principals().CreateUser("thief");
+  ASSERT_TRUE(thief.ok());
+  GrantSubscribe(kernel, *thief);  // even WITH read rights of their own
+  Subject thief_s = kernel.CreateSubject(*thief, kernel.labels().Bottom());
+  EXPECT_EQ(stats.ResumeSubscription(thief_s, *token).status().code(),
+            StatusCode::kPermissionDenied);
+  // Export itself is owner-only too.
+  EXPECT_EQ(stats.ExportSubscription(thief_s, *id).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(SubscriptionDurableTest, MalformedTokensAreRejected) {
+  Kernel kernel;
+  StatsService stats(&kernel, ManualOptions());
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  const char* bad[] = {
+      "",
+      "garbage",
+      "xsec-sub-v2 principal=1 since=2 policy=drop",       // unknown version
+      "xsec-sub-v1 principal=1 since=2",                   // missing field
+      "xsec-sub-v1 principal=1 since=2 policy=flood",      // bad policy
+      "xsec-sub-v1 principal=1 since=-2 policy=drop",      // non-numeric
+      "xsec-sub-v1 principal=1 since=2 policy=drop extra=1",
+      "xsec-sub-v1 principal=99999999999999999999999999 since=2 policy=drop",
+  };
+  for (const char* token : bad) {
+    EXPECT_EQ(stats.ResumeSubscription(system, token).status().code(),
+              StatusCode::kInvalidArgument)
+        << "token accepted: " << token;
+  }
+}
+
+TEST(SubscriptionProcedureTest, ExportResumeRoundTripOverTheServiceSurface) {
+  SecureSystem sys;
+  Subject auditor = LoginAuditor(sys);
+  auto handle = sys.Invoke(auditor, "/svc/stats/subscribe", {});
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  int64_t id = static_cast<int64_t>(std::stoull(std::get<std::string>(*handle)));
+  auto token = sys.Invoke(auditor, "/svc/stats/export", {Value{id}});
+  ASSERT_TRUE(token.ok()) << token.status().ToString();
+  auto resumed = sys.Invoke(auditor, "/svc/stats/resume",
+                            {Value{std::get<std::string>(*token)}});
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  uint64_t new_id = std::stoull(std::get<std::string>(*resumed));
+  EXPECT_NE(new_id, static_cast<uint64_t>(id));  // a NEW channel, old one intact
+  EXPECT_TRUE(sys.Invoke(auditor, "/svc/stats/unsubscribe", {Value{id}}).ok());
+  EXPECT_TRUE(sys.Invoke(auditor, "/svc/stats/unsubscribe",
+                         {Value{static_cast<int64_t>(new_id)}})
+                  .ok());
+}
+
 // The TSan target: subscribers come and go while a publisher storms and a
 // dump reader walks the (now mutable) leaf registry.
 TEST(SubscriptionConcurrencyTest, SubscribePublishPollCancelUnsubscribeRace) {
@@ -499,6 +687,172 @@ TEST(SubscriptionConcurrencyTest, SubscribePublishPollCancelUnsubscribeRace) {
   auto active = stats.ReadStat(system, "/sys/monitor/subscribers/active");
   ASSERT_TRUE(active.ok());
   EXPECT_EQ(*active, "0");
+}
+
+// Extracts the `version N` header from a delivered epoch rendering.
+uint64_t DeliveredVersion(const std::string& text) {
+  size_t at = text.find("version ");
+  EXPECT_NE(at, std::string::npos) << text;
+  return at == std::string::npos ? 0 : std::stoull(text.substr(at + 8));
+}
+
+// Subscriber-churn soak: N churners subscribe/poll/unsubscribe while the
+// publisher storms, with a long-lived channel riding along. No channel may
+// see the same epoch twice (per-channel versions strictly increase), and the
+// long-lived channel's accounting must reconcile: every version published
+// after its baseline was delivered, is still queued, or was counted dropped
+// (concurrently raced fan-outs may additionally skip a version, never
+// duplicate one — hence <=).
+TEST(SubscriptionConcurrencyTest, ChurnSoakDeliversNoEpochTwiceAndReconcilesDrops) {
+  Kernel kernel;
+  StatsServiceOptions options = ManualOptions();  // publisher-driven only
+  options.subscriber_queue_capacity = 4;
+  options.max_subscribers = 64;
+  // Every churner plus the long-lived channel shares the system principal;
+  // the per-principal quota is not what this soak exercises.
+  options.max_channels_per_principal = 0;
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+
+  auto longlived = stats.Subscribe(system, -1, SubscriberBackpressure::kDropOldest);
+  ASSERT_TRUE(longlived.ok());
+  uint64_t baseline = stats.version();
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    while (!stop.load()) {
+      Publish(kernel, stats);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 4; ++t) {
+    churners.emplace_back([&] {
+      Subject mine = kernel.SystemSubject();
+      for (int round = 0; round < 15; ++round) {
+        auto id = stats.Subscribe(mine, -1);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        uint64_t last_seen = 0;
+        for (int polls = 0; polls < 4; ++polls) {
+          auto epoch = stats.PollSubscription(mine, *id, MonotonicNowNs() + 50'000'000);
+          if (!epoch.ok()) {
+            break;  // deadline: the publisher was outpaced, fine
+          }
+          uint64_t version = DeliveredVersion(*epoch);
+          EXPECT_GT(version, last_seen) << "epoch delivered twice (or reordered)";
+          last_seen = version;
+        }
+        ASSERT_TRUE(stats.Unsubscribe(mine, *id).ok());
+      }
+    });
+  }
+  for (auto& churner : churners) {
+    churner.join();
+  }
+  stop.store(true);
+  publisher.join();
+
+  // Drain the long-lived channel dry, still checking monotonicity.
+  uint64_t drained = 0;
+  uint64_t last_seen = baseline;
+  for (;;) {
+    auto epoch = stats.PollSubscription(system, *longlived, MonotonicNowNs() + 1);
+    if (!epoch.ok()) {
+      break;
+    }
+    uint64_t version = DeliveredVersion(*epoch);
+    EXPECT_GT(version, last_seen);
+    last_seen = version;
+    ++drained;
+  }
+  uint64_t final_version = stats.version();
+  ASSERT_GT(final_version, baseline);  // the storm published plenty
+  std::string delivered_leaf = StrFormat("/sys/monitor/subscribers/%llu/delivered",
+                                         static_cast<unsigned long long>(*longlived));
+  std::string dropped_leaf = StrFormat("/sys/monitor/subscribers/%llu/dropped",
+                                       static_cast<unsigned long long>(*longlived));
+  auto delivered_text = stats.ReadStat(system, delivered_leaf);
+  auto dropped_text = stats.ReadStat(system, dropped_leaf);
+  ASSERT_TRUE(delivered_text.ok() && dropped_text.ok());
+  uint64_t delivered = std::stoull(*delivered_text);
+  uint64_t dropped = std::stoull(*dropped_text);
+  EXPECT_GE(delivered, drained);
+  // Reconciliation: accounted epochs never exceed published ones, and the
+  // aggregate drop gauge covers this channel's share.
+  EXPECT_LE(delivered + dropped, final_version - baseline);
+  EXPECT_GE(stats.subscriber_dropped_total(), dropped);
+  EXPECT_TRUE(stats.Unsubscribe(system, *longlived).ok());
+}
+
+// The Tick-fan-out vs GcChannelsFor race (the reaped-channel bugfix): a
+// channel reaped between the publisher's registry scan and its delivery must
+// not be delivered into a dead queue, and a Subscribe racing the reap must
+// not leave orphan telemetry leaves behind (resurrection). TSan-hammered.
+TEST(SubscriptionConcurrencyTest, GcVersusSubscribeAndFanOutLeavesNoOrphans) {
+  Kernel kernel;
+  StatsServiceOptions options;
+  options.epoch_interval_ns = 1'000'000;  // storm
+  options.subscriber_queue_capacity = 2;
+  options.max_subscribers = 64;
+  options.max_channels_per_principal = 0;  // the reaper is the limit here
+  StatsService stats(&kernel, options);
+  ASSERT_TRUE(stats.Install().ok());
+  Subject system = kernel.SystemSubject();
+  PrincipalId principal = kernel.system_principal();
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    while (!stop.load()) {
+      Publish(kernel, stats);
+      std::this_thread::yield();
+    }
+  });
+  std::thread reaper([&] {
+    while (!stop.load()) {
+      (void)stats.GcChannelsFor(principal);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> subscribers;
+  for (int t = 0; t < 3; ++t) {
+    subscribers.emplace_back([&] {
+      Subject mine = kernel.SystemSubject();
+      for (int round = 0; round < 40; ++round) {
+        auto id = stats.Subscribe(mine, -1);
+        if (!id.ok()) {
+          // The reaper got between mount and registration: the documented
+          // outcome, never a dead capability.
+          EXPECT_EQ(id.status().code(), StatusCode::kFailedPrecondition)
+              << id.status().ToString();
+          continue;
+        }
+        (void)stats.PollSubscription(mine, *id, MonotonicNowNs() + 2'000'000);
+        // Unsubscribe may lose to the reaper; either way the channel dies.
+        Status bye = stats.Unsubscribe(mine, *id);
+        EXPECT_TRUE(bye.ok() || bye.code() == StatusCode::kNotFound)
+            << bye.ToString();
+      }
+    });
+  }
+  for (auto& subscriber : subscribers) {
+    subscriber.join();
+  }
+  stop.store(true);
+  publisher.join();
+  reaper.join();
+
+  (void)stats.GcChannelsFor(principal);
+  EXPECT_EQ(stats.active_subscribers(), 0u);
+  // No resurrected telemetry: with every channel reaped, the dump must hold
+  // no per-channel subtree (only the aggregate subscribers/ gauges).
+  std::string dump = stats.RenderAll();
+  for (const std::string& line : StrSplit(dump, '\n', /*skip_empty=*/true)) {
+    if (StartsWith(line, "/sys/monitor/subscribers/")) {
+      char next = line.size() > 25 ? line[25] : '\0';
+      EXPECT_FALSE(next >= '0' && next <= '9') << "orphan leaf: " << line;
+    }
+  }
 }
 
 }  // namespace

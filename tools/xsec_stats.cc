@@ -4,7 +4,7 @@
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
 //              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
 //              [--audit-drain] [--resilient] [--audit-required] [--snapshot]
-//              [--ring <shards>] [--fail <name>=<spec>]...
+//              [--ring <shards>] [--fanout <sinks>] [--fail <name>=<spec>]...
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
@@ -32,6 +32,15 @@
 // /sys/monitor/ring/{shards,depth,batches,submitted,completed,stalls}
 // leaves. Ring mode checks the pre-resolved leaf node (no per-call
 // traversal), so the checks/total arithmetic differs from direct mode.
+//
+// --fanout <sinks> registers that many in-memory ring lanes on the audit
+// fan-out plane (AuditLog::AddSink + StartFanOut) and drains them in
+// parallel during the workload. After the run the tool prints one
+// `fanout lane <name> delivered=D dropped=R stitch_violations=V` line per
+// lane — stitch_violations must be 0, the observable proof that each lane's
+// sharded queues were stitched back into exact global sequence order.
+// Combine with --fail audit.fanout.enqueue=error,nth=... to watch per-lane
+// drops leave gaps without reordering.
 //
 // --fail arms a failpoint before the workload (repeatable; spec grammar is
 // src/base/failpoint.h, e.g. --fail audit.sink.write=error,nth=100). Arming
@@ -76,6 +85,7 @@ int main(int argc, char** argv) {
   xsec::NdjsonRotationPolicy rotation;
   bool snapshot = false;
   uint64_t ring_shards = 0;  // 0 = direct CheckPath calls, no ring
+  uint64_t fanout_sinks = 0;  // 0 = fan-out plane off
   bool audit_drain = false;
   bool resilient = false;
   bool audit_required = false;
@@ -119,6 +129,11 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Fail("--ring needs a shard count");
       ring_shards = std::strtoull(v, nullptr, 10);
       if (ring_shards == 0) return Fail("--ring needs at least one shard");
+    } else if (arg == "--fanout") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--fanout needs a sink count");
+      fanout_sinks = std::strtoull(v, nullptr, 10);
+      if (fanout_sinks == 0) return Fail("--fanout needs at least one sink");
     } else if (arg == "--checks") {
       const char* v = next();
       if (v == nullptr) return Fail("--checks needs a count");
@@ -133,7 +148,8 @@ int main(int argc, char** argv) {
                    "[--ndjson <file|->] [--ndjson-max-bytes B] "
                    "[--ndjson-max-age-ms M] [--ndjson-keep K] [--audit-drain] "
                    "[--resilient] [--audit-required] [--snapshot] "
-                   "[--ring <shards>] [--fail <name>=<spec>]...\n");
+                   "[--ring <shards>] [--fanout <sinks>] "
+                   "[--fail <name>=<spec>]...\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -198,6 +214,16 @@ int main(int argc, char** argv) {
   }
   if (audit_drain) {
     sys.monitor().audit().StartDrain();
+  }
+  std::vector<std::shared_ptr<xsec::AuditMemoryRing>> fanout_rings;
+  if (fanout_sinks > 0) {
+    for (uint64_t i = 0; i < fanout_sinks; ++i) {
+      auto mem = std::make_shared<xsec::AuditMemoryRing>();
+      sys.monitor().audit().AddSink("lane" + std::to_string(i),
+                                    xsec::MakeMemoryRingSink(mem));
+      fanout_rings.push_back(std::move(mem));
+    }
+    sys.monitor().audit().StartFanOut();
   }
 
   // A small world with deliberately mixed permissions: "reader" may read the
@@ -311,6 +337,9 @@ int main(int argc, char** argv) {
     // gauges below are read, so drained and undrained runs print the same.
     sys.monitor().audit().StopDrain();
   }
+  if (fanout_sinks > 0) {
+    sys.monitor().audit().StopFanOut();  // flushes every lane
+  }
 
   sys.stats().Tick();  // fold the workload into the published snapshot
 
@@ -322,6 +351,18 @@ int main(int argc, char** argv) {
   if (rotator != nullptr) {
     std::fprintf(stdout, "ndjson_rotations %llu\n",
                  static_cast<unsigned long long>(rotator->rotations()));
+  }
+  if (fanout_sinks > 0) {
+    for (const xsec::AuditSinkLaneStats& lane :
+         sys.monitor().audit().FanOutStats()) {
+      std::fprintf(stdout,
+                   "fanout lane %s delivered=%llu dropped=%llu "
+                   "stitch_violations=%llu\n",
+                   lane.name.c_str(),
+                   static_cast<unsigned long long>(lane.delivered),
+                   static_cast<unsigned long long>(lane.dropped),
+                   static_cast<unsigned long long>(lane.stitch_violations));
+    }
   }
   for (const std::string& name : fail_names) {
     auto state = sys.faults().ReadFault(system_s, name);
