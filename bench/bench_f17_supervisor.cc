@@ -1,0 +1,174 @@
+// Experiment F17 — supervised degradation: a stalled extension must not tax
+// its neighbors (DESIGN.md "Supervision", MODEL.md §16).
+//
+// The supervisor's claim is containment: when one extension wedges and is
+// quarantined, every OTHER extension's invoke path stays at its baseline
+// cost — the stalled peer fails fast at admission instead of holding a
+// worker, a credit, or a lock anyone else needs.
+//
+//   supervised_invoke_baseline      invoke of a healthy extension on a
+//                                   supervised kernel — the reference cost
+//   supervised_invoke_quarantined_peer
+//                                   same invoke while a peer extension sits
+//                                   quarantined after real budget timeouts;
+//                                   every 64th iteration also pokes the
+//                                   quarantined peer to keep its fail-fast
+//                                   path on the profile. The gate
+//                                   (ci/check_bench_f17.py) requires the
+//                                   p50 ratio vs baseline <= 1.10 and the
+//                                   counters to prove the trip really
+//                                   happened: peer_trips > 0 (breaker
+//                                   tripped on timeouts), audited > 0 (the
+//                                   trip is in the audit log), and
+//                                   health_visible == 1 (the quarantine is
+//                                   readable at /sys/monitor/health).
+//   quarantine_release_round_trip   full operator cycle per iteration:
+//                                   quarantine -> fail-fast -> mediated
+//                                   /svc/health/release -> service restored.
+//                                   The gate requires round_trip_ok == 1.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/base/failpoint.h"
+#include "src/core/secure_system.h"
+
+namespace xsec {
+namespace {
+
+// A supervised system with two extensions on separate interfaces: "steady"
+// (the measured neighbor) and "staller" (the one we wedge). Plus a human
+// operator granted administrate on the health mount, so release goes through
+// the real mediated /svc/health path.
+struct Fixture {
+  Fixture() {
+    supervisor = *sys.EnableSupervision();
+    dev = *sys.CreateUser("bench-dev");
+    dev_s = sys.Login(dev, sys.labels().Bottom());
+
+    auto grant = [&](const char* path) {
+      NodeId node = *sys.kernel().RegisterInterface(path, sys.system_principal());
+      Acl acl;
+      acl.AddEntry({AclEntryType::kAllow, dev,
+                    AccessMode::kExtend | AccessMode::kExecute | AccessMode::kList});
+      (void)sys.name_space().SetAclRef(node, sys.kernel().acls().Create(std::move(acl)));
+    };
+    grant("/svc/bench/steady");
+    grant("/svc/bench/staller");
+
+    ExtensionManifest steady;
+    steady.name = "steady";
+    steady.exports.push_back(
+        {"/svc/bench/steady", [](CallContext&) -> StatusOr<Value> { return Value{true}; }});
+    (void)*sys.LoadExtension(steady, dev_s);
+
+    ExtensionManifest staller;
+    staller.name = "staller";
+    staller.exports.push_back(
+        {"/svc/bench/staller", [](CallContext&) -> StatusOr<Value> { return Value{true}; }});
+    (void)*sys.LoadExtension(staller, dev_s);
+
+    auto op = *sys.CreateUser("bench-op");
+    NodeId mount = *sys.name_space().Lookup("/sys/monitor/health");
+    (void)sys.monitor().AddAclEntry(
+        sys.SystemSubject(), mount,
+        {AclEntryType::kAllow, op,
+         AccessMode::kAdministrate | AccessMode::kRead | AccessMode::kList});
+    op_s = sys.Login(op, sys.labels().Bottom());
+  }
+
+  // Wedges "staller" for real: a tight invoke budget plus an injected stall
+  // makes each call overrun as kDeadlineExceeded until the breaker trips.
+  bool TripStaller() {
+    ExtensionBudget budget;
+    budget.invoke_budget_ns = 1'000'000;  // 1 ms
+    budget.trip_after = 2;
+    budget.probe_after_ns = 3'600'000'000'000ull;  // no half-open probe mid-run
+    supervisor->SetBudget("staller", budget);
+    if (!FailpointRegistry::Instance().Arm("ext.invoke.staller", "sleep=5ms").ok()) {
+      return false;
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto result = sys.Invoke(dev_s, "/svc/bench/staller", {});
+      if (result.status().code() != StatusCode::kDeadlineExceeded) {
+        return false;
+      }
+    }
+    FailpointRegistry::Instance().DisarmAll();
+    auto snap = supervisor->Snapshot("staller");
+    return snap.has_value() && snap->state == ExtHealth::kQuarantined;
+  }
+
+  SecureSystem sys;
+  ExtensionSupervisor* supervisor = nullptr;
+  PrincipalId dev;
+  Subject dev_s;
+  Subject op_s;
+};
+
+void BM_SupervisedInvokeBaseline(benchmark::State& state) {
+  Fixture f;
+  for (auto _ : state) {
+    auto result = f.sys.Invoke(f.dev_s, "/svc/bench/steady", {});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SupervisedInvokeBaseline);
+
+void BM_SupervisedInvokeQuarantinedPeer(benchmark::State& state) {
+  Fixture f;
+  if (!f.TripStaller()) {
+    state.SkipWithError("failed to trip the staller via budget timeouts");
+    return;
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto result = f.sys.Invoke(f.dev_s, "/svc/bench/steady", {});
+    benchmark::DoNotOptimize(result);
+    if ((++i & 63u) == 0) {
+      // The quarantined peer stays on the profile: admission answers
+      // kUnavailable without running anything or consuming anything.
+      auto rejected = f.sys.Invoke(f.dev_s, "/svc/bench/staller", {});
+      benchmark::DoNotOptimize(rejected);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  auto snap = f.supervisor->Snapshot("staller");
+  state.counters["peer_trips"] = snap.has_value() ? static_cast<double>(snap->trips) : 0.0;
+  auto trip_records = f.sys.monitor().audit().Query([](const AuditRecord& record) {
+    return !record.allowed && record.reason == DenyReason::kQuarantined &&
+           record.path == "/sys/monitor/health/ext/staller/state";
+  });
+  state.counters["audited"] = static_cast<double>(trip_records.size());
+  auto visible = f.sys.stats().ReadStat(f.op_s, "/sys/monitor/health/ext/staller/state");
+  state.counters["health_visible"] = visible.ok() && *visible == "quarantined" ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SupervisedInvokeQuarantinedPeer);
+
+void BM_QuarantineReleaseRoundTrip(benchmark::State& state) {
+  Fixture f;
+  bool ok = true;
+  for (auto _ : state) {
+    ok = ok && f.supervisor->Quarantine("staller", "bench cycle").ok();
+    ok = ok && f.sys.Invoke(f.dev_s, "/svc/bench/staller", {}).status().code() ==
+                   StatusCode::kUnavailable;
+    auto released = f.sys.Invoke(f.op_s, "/svc/health/release",
+                                 {Value{std::string("staller")}, Value{std::string("bench")}});
+    ok = ok && released.ok();
+    ok = ok && f.sys.Invoke(f.dev_s, "/svc/bench/staller", {}).ok();
+    if (!ok) {
+      break;
+    }
+  }
+  state.counters["round_trip_ok"] = ok ? 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuarantineReleaseRoundTrip)->Iterations(200);
+
+}  // namespace
+}  // namespace xsec
+
+BENCHMARK_MAIN();

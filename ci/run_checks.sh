@@ -44,6 +44,11 @@
 #                    ci/check_bench_f16.py requires zero cross-shard stale
 #                    evictions, a live same-shard control, the 1M-principal
 #                    intern load within budget, and effective ACL interning)
+#   BENCH_f17.json   bench_f17_supervisor results (supervised degradation;
+#                    ci/check_bench_f17.py requires invokes beside a
+#                    quarantined peer within 10% of baseline, a real audited
+#                    + health-visible trip, and the mediated release round
+#                    trip to restore service)
 
 set -euo pipefail
 
@@ -56,7 +61,7 @@ FAULTS=0
 
 # DiffFuzz (tests/diff_fuzz_test.cc) rides in the fault sweep: it arms the
 # same failpoints and must never observe a compiled/interpreted divergence.
-FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault|ShardClearRace|AuditFanOut'
+FAULT_RE='Failpoint|FaultService|AuditResilience|PolicyCrash|DiffFuzz|RingFault|ShardClearRace|AuditFanOut|Supervisor|Quarantine|Watchdog'
 
 # Randomized but replayable in every mode: the differential fuzzer and the
 # failpoint sweeps read XSEC_FAULT_SEED from the environment and print it in
@@ -150,6 +155,14 @@ echo "== F16: sharded stamp domains =="
 echo "== F16 gate (cross-shard isolation; 1M-principal intern budget) =="
 python3 ci/check_bench_f16.py BENCH_f16.json
 
+echo "== F17: supervised degradation (quarantined peer containment) =="
+./build-release/bench/bench_f17_supervisor \
+    --benchmark_out=BENCH_f17.json --benchmark_out_format=json \
+    --benchmark_min_time=0.25 --benchmark_repetitions=3
+
+echo "== F17 gate (peer quarantine taxes neighbors <= 10%; trip audited + visible; release restores) =="
+python3 ci/check_bench_f17.py BENCH_f17.json
+
 echo "== F11: parallel mediation throughput =="
 ./build-release/bench/bench_f11_parallel \
     --benchmark_out=BENCH_f11.json --benchmark_out_format=json \
@@ -163,4 +176,4 @@ echo "== F12: subscription fan-out on the publish path =="
 echo "== F12 gate (publisher ~flat 1->64 subs; 2-sink drain >= 1.5x; stitch == 0) =="
 python3 ci/check_bench_f12.py BENCH_f12.json
 
-echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json, BENCH_f15.json, BENCH_f16.json."
+echo "All checks passed (XSEC_FAULT_SEED=$XSEC_FAULT_SEED). Figure data in BENCH_f1.json, BENCH_f11.json, BENCH_f12.json, BENCH_f14.json, BENCH_f15.json, BENCH_f16.json, BENCH_f17.json."

@@ -26,6 +26,7 @@ constexpr CodeName kCodeNames[] = {
     {"unimplemented", StatusCode::kUnimplemented},
     {"deadline-exceeded", StatusCode::kDeadlineExceeded},
     {"cancelled", StatusCode::kCancelled},
+    {"unavailable", StatusCode::kUnavailable},
 };
 
 StatusOr<StatusCode> ParseCode(std::string_view text) {

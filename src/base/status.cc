@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -69,6 +71,9 @@ Status DeadlineExceededError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace xsec

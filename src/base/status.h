@@ -30,6 +30,12 @@ enum class StatusCode {
   // The caller withdrew the request (cooperative cancellation), as opposed
   // to kDeadlineExceeded where a time bound expired.
   kCancelled,
+  // The target exists and the caller is authorized, but the service is
+  // temporarily refusing work: a quarantined extension answering fail-fast,
+  // or the monitor in lockdown. Retryable once the condition clears, unlike
+  // kPermissionDenied (a policy decision) or kResourceExhausted (a full
+  // queue the caller can drain).
+  kUnavailable,
 };
 
 // Human-readable name of a status code ("OK", "PERMISSION_DENIED", ...).
@@ -73,6 +79,7 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
 
 // Either a value or a non-OK status. Accessing value() on an error aborts in
 // debug builds; callers must check ok() first.

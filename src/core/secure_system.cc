@@ -109,6 +109,23 @@ Status SecureSystem::InstallDefaults() {
   return OkStatus();
 }
 
+StatusOr<ExtensionSupervisor*> SecureSystem::EnableSupervision(SupervisorOptions options) {
+  if (supervisor_ != nullptr) {
+    return supervisor_.get();
+  }
+  if (!options.audit_principal.valid()) {
+    options.audit_principal = kernel_.system_principal();
+  }
+  supervisor_ = std::make_unique<ExtensionSupervisor>(&kernel_.monitor(), options);
+  // Telemetry first, then the kernel hookup: leaves exist before the first
+  // supervised invocation can trip anything worth looking at.
+  XSEC_RETURN_IF_ERROR(stats_->MountHealth(supervisor_.get()));
+  health_ = std::make_unique<HealthService>(&kernel_, supervisor_.get());
+  XSEC_RETURN_IF_ERROR(health_->Install());
+  kernel_.set_supervisor(supervisor_.get());
+  return supervisor_.get();
+}
+
 StatusOr<PrincipalId> SecureSystem::CreateUser(std::string_view name) {
   auto user = kernel_.principals().CreateUser(name);
   if (!user.ok()) {

@@ -25,7 +25,9 @@
 #include <string_view>
 
 #include "src/extsys/kernel.h"
+#include "src/extsys/supervisor.h"
 #include "src/services/fault_service.h"
+#include "src/services/health_service.h"
 #include "src/services/log.h"
 #include "src/services/mbuf.h"
 #include "src/services/memfs.h"
@@ -54,6 +56,9 @@ class SecureSystem {
   NetStack& net() { return *net_; }
   StatsService& stats() { return *stats_; }
   FaultService& faults() { return *faults_; }
+  // Null until EnableSupervision.
+  ExtensionSupervisor* supervisor() { return supervisor_.get(); }
+  HealthService* health() { return health_.get(); }
 
   PrincipalId everyone() const { return everyone_; }
   PrincipalId system_principal() const { return kernel_.system_principal(); }
@@ -91,6 +96,17 @@ class SecureSystem {
     return kernel_.UnloadExtension(subject, id);
   }
 
+  // -- Supervision (docs/MODEL.md §16) ----------------------------------------
+
+  // Opt-in: creates the extension supervisor (budgets, circuit breakers,
+  // quarantine, the ring watchdog), attaches it to the kernel so every
+  // subsequently loaded extension is supervised, mounts the health telemetry
+  // under /sys/monitor/health/, and installs the mediated /svc/health
+  // control plane. Idempotent after the first call (later calls return the
+  // existing supervisor, ignoring `options`). Systems that never call this
+  // keep pre-supervision behavior bit-for-bit.
+  StatusOr<ExtensionSupervisor*> EnableSupervision(SupervisorOptions options = {});
+
  private:
   Status InstallDefaults();
 
@@ -103,6 +119,11 @@ class SecureSystem {
   std::unique_ptr<NetStack> net_;
   std::unique_ptr<StatsService> stats_;
   std::unique_ptr<FaultService> faults_;
+  // Supervision plane (EnableSupervision). Declared after the services it
+  // feeds telemetry to, before kernel teardown in reverse order: the
+  // supervisor's watchdog joins before the kernel it references dies.
+  std::unique_ptr<ExtensionSupervisor> supervisor_;
+  std::unique_ptr<HealthService> health_;
   PrincipalId everyone_;
 };
 

@@ -33,7 +33,8 @@ size_t EventDispatcher::UnregisterExtension(ExtensionId extension) {
 }
 
 StatusOr<std::vector<const EventDispatcher::HandlerRecord*>> EventDispatcher::Select(
-    NodeId interface_node, const SecurityClass& caller_class, DispatchMode mode) const {
+    NodeId interface_node, const SecurityClass& caller_class, DispatchMode mode,
+    const EligibleFn& available) const {
   auto it = handlers_.find(interface_node.value);
   if (it == handlers_.end() || it->second.empty()) {
     return NotFoundError(
@@ -42,16 +43,32 @@ StatusOr<std::vector<const EventDispatcher::HandlerRecord*>> EventDispatcher::Se
   const std::vector<HandlerRecord>& records = it->second;
 
   if (mode == DispatchMode::kFirstRegistered) {
+    if (available) {
+      for (const HandlerRecord& record : records) {
+        if (available(record)) {
+          return std::vector<const HandlerRecord*>{&record};
+        }
+      }
+      return UnavailableError("every registered handler is quarantined");
+    }
     return std::vector<const HandlerRecord*>{&records.front()};
   }
 
   std::vector<const HandlerRecord*> eligible;
+  size_t cleared = 0;  // class-eligible before the availability filter
   for (const HandlerRecord& record : records) {
     if (caller_class.Dominates(record.handler_class)) {
-      eligible.push_back(&record);
+      ++cleared;
+      if (available == nullptr || available(record)) {
+        eligible.push_back(&record);
+      }
     }
   }
   if (eligible.empty()) {
+    if (cleared > 0) {
+      // The caller IS cleared for a handler; supervision is refusing it.
+      return UnavailableError("every eligible handler is quarantined");
+    }
     return PermissionDeniedError(
         "caller's security class is not cleared for any registered handler");
   }

@@ -19,6 +19,7 @@
 #define XSEC_SRC_EXTSYS_DISPATCHER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -57,11 +58,22 @@ class EventDispatcher {
   // Removes every handler installed by `extension`. Returns how many.
   size_t UnregisterExtension(ExtensionId extension);
 
+  // An availability filter over handler records: false removes the record
+  // from selection (the kernel passes a supervisor-backed predicate that
+  // filters quarantined extensions, so class selection falls through to the
+  // next-best healthy handler).
+  using EligibleFn = std::function<bool(const HandlerRecord&)>;
+
   // Picks the handler(s) for a caller without invoking them. Empty result
-  // with OK status cannot happen: no eligible handler is an error.
+  // with OK status cannot happen: no eligible handler is an error. When
+  // `eligible` removes every class-eligible handler the error is
+  // kUnavailable (the handlers exist and the caller is cleared — they are
+  // just refusing work), distinct from the kPermissionDenied of an
+  // uncleared caller.
   StatusOr<std::vector<const HandlerRecord*>> Select(NodeId interface_node,
                                                      const SecurityClass& caller_class,
-                                                     DispatchMode mode) const;
+                                                     DispatchMode mode,
+                                                     const EligibleFn& eligible = nullptr) const;
 
   size_t HandlerCount(NodeId interface_node) const;
   size_t total_handlers() const { return total_handlers_; }

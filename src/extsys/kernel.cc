@@ -2,9 +2,27 @@
 
 #include "src/base/failpoint.h"
 #include "src/base/strings.h"
+#include "src/extsys/supervisor.h"
 #include "src/monitor/monitor_stats.h"
 
 namespace xsec {
+
+namespace {
+
+// The CallContext of the handler running on this thread (null outside any
+// handler). This is what lets a nested Invoke from inside a handler inherit
+// the caller's remaining deadline: the child context is capped to the
+// parent's bound, so a 2-deep chain expires exactly once instead of the
+// inner call running unbounded (the pre-supervision bug).
+thread_local const CallContext* g_active_call = nullptr;
+
+struct ScopedCall {
+  const CallContext* prev;
+  explicit ScopedCall(const CallContext* ctx) : prev(g_active_call) { g_active_call = ctx; }
+  ~ScopedCall() { g_active_call = prev; }
+};
+
+}  // namespace
 
 bool CallContext::Cancelled() const {
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -77,13 +95,76 @@ Status Kernel::SetProcedureHandler(NodeId node, HandlerFn handler) {
   return OkStatus();
 }
 
-StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
+const CallContext* Kernel::CurrentCallContext() { return g_active_call; }
+
+CallOptions Kernel::CapToParent(const CallOptions& options) {
+  const CallContext* parent = g_active_call;
+  if (parent == nullptr) {
+    return options;
+  }
+  CallOptions capped = options;
+  // A child may tighten its bound but never outlive the parent's; an
+  // unbounded child (deadline 0) inherits the parent's bound outright.
+  if (parent->deadline_ns != 0 &&
+      (capped.deadline_ns == 0 || capped.deadline_ns > parent->deadline_ns)) {
+    capped.deadline_ns = parent->deadline_ns;
+  }
+  if (capped.cancel == nullptr) {
+    capped.cancel = parent->cancel;
+  }
+  return capped;
+}
+
+StatusOr<Value> Kernel::RunHandler(Subject& subject, const std::string* supervised_name,
+                                   const HandlerFn& handler, Args args,
                                    const CallOptions& options) {
+  ExtensionSupervisor::Permit permit;
+  uint64_t deadline = options.deadline_ns;
+  if (supervisor_ != nullptr && supervised_name != nullptr) {
+    auto admitted = supervisor_->Admit(*supervised_name, deadline);
+    if (!admitted.ok()) {
+      return admitted.status();
+    }
+    permit = std::move(*admitted);
+    if (permit.active()) {
+      deadline = permit.deadline_ns();
+      // The per-extension injection site (ext.invoke.<name>) fires inside
+      // the supervised window: an armed error spec is recorded as the
+      // extension failing, and a sleep spec that overruns the budget is
+      // recorded as the timeout it simulates.
+      Failpoint* fault = permit.fault();
+      if (fault != nullptr && fault->armed()) {
+        Status injected = fault->Evaluate();
+        if (!injected.ok()) {
+          permit.Complete(injected);
+          return injected;
+        }
+        if (deadline != 0 && MonotonicNowNs() >= deadline) {
+          Status timeout = DeadlineExceededError(StrFormat(
+              "extension '%s' exceeded its invoke budget", supervised_name->c_str()));
+          permit.Complete(timeout);
+          return timeout;
+        }
+      }
+    }
+  }
+  CallContext ctx{this, &subject, std::move(args), deadline, options.cancel};
+  ScopedCall scope(&ctx);
+  auto result = handler(ctx);
+  if (permit.active()) {
+    permit.Complete(result.ok() ? OkStatus() : result.status());
+  }
+  return result;
+}
+
+StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
+                                   const CallOptions& caller_options) {
   // Dispatch-layer injection point: fires after mediation (the caller has
   // already passed its execute check) and before any handler runs, so fault
   // sweeps can fail or delay every invocation path (Invoke, CallCapability,
   // interface dispatch) at one choke point.
   XSEC_FAILPOINT("kernel.invoke");
+  CallOptions options = CapToParent(caller_options);
   if (options.deadline_ns != 0 && MonotonicNowNs() >= options.deadline_ns) {
     return DeadlineExceededError(
         StrFormat("deadline expired before invoking '%s'", name_space_.PathOf(node).c_str()));
@@ -93,22 +174,36 @@ StatusOr<Value> Kernel::InvokeNode(Subject& subject, NodeId node, Args args,
     return NotFoundError("node vanished");
   }
   if (n->kind == NodeKind::kInterface) {
-    // An extended service: select the right extension for this caller.
+    // An extended service: select the right extension for this caller,
+    // skipping quarantined ones so selection falls through to the next-best
+    // healthy handler.
+    EventDispatcher::EligibleFn available;
+    if (supervisor_ != nullptr) {
+      available = [this](const EventDispatcher::HandlerRecord& record) {
+        const LinkedExtension* ext = GetExtension(record.extension);
+        return ext == nullptr || supervisor_->Selectable(ext->name);
+      };
+    }
     auto selected = dispatcher_.Select(node, subject.security_class,
-                                       DispatchMode::kClassSelected);
+                                       DispatchMode::kClassSelected, available);
     if (!selected.ok()) {
       return selected.status();
     }
-    CallContext ctx{this, &subject, std::move(args), options.deadline_ns, options.cancel};
-    return selected->front()->handler(ctx);
+    const EventDispatcher::HandlerRecord* record = selected->front();
+    const LinkedExtension* ext = GetExtension(record->extension);
+    return RunHandler(subject, ext != nullptr ? &ext->name : nullptr, record->handler,
+                      std::move(args), options);
   }
   auto it = procedures_.find(node.value);
   if (it == procedures_.end()) {
     return FailedPreconditionError(
         StrFormat("'%s' has no bound implementation", name_space_.PathOf(node).c_str()));
   }
-  CallContext ctx{this, &subject, std::move(args), options.deadline_ns, options.cancel};
-  return it->second(ctx);
+  // Procedures are supervised when some name registered this node (service
+  // nodes are opted in by the embedder; extensions register automatically).
+  const std::string* supervised =
+      supervisor_ != nullptr ? supervisor_->NameOfNode(node) : nullptr;
+  return RunHandler(subject, supervised, it->second, std::move(args), options);
 }
 
 StatusOr<Value> Kernel::Invoke(Subject& subject, std::string_view path, Args args,
@@ -131,7 +226,8 @@ StatusOr<Value> Kernel::CallCapability(Subject& subject, const Capability& capab
 }
 
 StatusOr<Value> Kernel::RaiseEvent(Subject& subject, std::string_view interface_path, Args args,
-                                   DispatchMode mode, const CallOptions& options) {
+                                   DispatchMode mode, const CallOptions& caller_options) {
+  CallOptions options = CapToParent(caller_options);
   if (options.deadline_ns != 0 && MonotonicNowNs() >= options.deadline_ns) {
     return DeadlineExceededError(
         StrFormat("deadline expired before raising '%s'", std::string(interface_path).c_str()));
@@ -141,18 +237,35 @@ StatusOr<Value> Kernel::RaiseEvent(Subject& subject, std::string_view interface_
   if (!decision.allowed) {
     return decision.ToStatus();
   }
-  auto selected = dispatcher_.Select(node, subject.security_class, mode);
+  EventDispatcher::EligibleFn available;
+  if (supervisor_ != nullptr) {
+    available = [this](const EventDispatcher::HandlerRecord& record) {
+      const LinkedExtension* ext = GetExtension(record.extension);
+      return ext == nullptr || supervisor_->Selectable(ext->name);
+    };
+  }
+  auto selected = dispatcher_.Select(node, subject.security_class, mode, available);
   if (!selected.ok()) {
     return selected.status();
   }
   Value last;
   for (const EventDispatcher::HandlerRecord* record : *selected) {
-    CallContext ctx{this, &subject, args, options.deadline_ns, options.cancel};
-    // Cancellation point between broadcast handlers: a long chain gives up
-    // at the next handler boundary instead of running to completion.
-    XSEC_RETURN_IF_ERROR(ctx.CheckDeadline());
-    auto result = record->handler(ctx);
+    {
+      // Cancellation point between broadcast handlers: a long chain gives up
+      // at the next handler boundary instead of running to completion.
+      CallContext boundary{this, &subject, {}, options.deadline_ns, options.cancel};
+      XSEC_RETURN_IF_ERROR(boundary.CheckDeadline());
+    }
+    const LinkedExtension* ext = GetExtension(record->extension);
+    auto result = RunHandler(subject, ext != nullptr ? &ext->name : nullptr, record->handler,
+                             args, options);
     if (!result.ok()) {
+      // A handler quarantined between selection and admission is skipped,
+      // matching what selection itself would have done a moment later.
+      if (mode == DispatchMode::kBroadcast &&
+          result.status().code() == StatusCode::kUnavailable) {
+        continue;
+      }
       return result.status();
     }
     last = std::move(*result);
@@ -228,6 +341,9 @@ StatusOr<ExtensionId> Kernel::LoadExtension(const ExtensionManifest& manifest,
   }
   extensions_.push_back(std::move(linked));
   ++loaded_count_;
+  if (supervisor_ != nullptr) {
+    supervisor_->Register(manifest.name, *node);
+  }
   return id;
 }
 

@@ -37,6 +37,8 @@ namespace xsec {
 // src/base/call_options.h so the monitor's mediation ring can accept the
 // same per-call options the kernel plumbs into handlers via CallContext.
 
+class ExtensionSupervisor;
+
 class Kernel {
  public:
   explicit Kernel(MonitorOptions options = {});
@@ -108,9 +110,31 @@ class Kernel {
   const LinkedExtension* GetExtension(ExtensionId id) const;
   size_t loaded_extension_count() const { return loaded_count_; }
 
+  // -- Supervision (docs/MODEL.md §16) ----------------------------------------
+  // Optional: when set, every extension invocation (interface dispatch,
+  // supervised procedures, broadcast handlers) runs under the supervisor's
+  // budget/breaker admission, loaded extensions auto-register by name, and
+  // dispatch skips quarantined handlers. The supervisor must outlive the
+  // calls that use it. Null (the default) keeps the pre-supervision
+  // behavior bit-for-bit.
+  void set_supervisor(ExtensionSupervisor* supervisor) { supervisor_ = supervisor; }
+  ExtensionSupervisor* supervisor() const { return supervisor_; }
+
+  // The CallContext of the handler currently executing on THIS thread, or
+  // null outside any handler. Nested Invoke/CallCapability/RaiseEvent cap
+  // their deadline to it (a child can tighten but never outlive its
+  // parent's bound) and inherit its cancel flag when none is given.
+  static const CallContext* CurrentCallContext();
+
  private:
   StatusOr<Value> InvokeNode(Subject& subject, NodeId node, Args args,
                              const CallOptions& options);
+  // Runs one handler under a CallContext scoped to this thread, admitting
+  // through the supervisor first when `supervised_name` is non-null.
+  StatusOr<Value> RunHandler(Subject& subject, const std::string* supervised_name,
+                             const HandlerFn& handler, Args args, const CallOptions& options);
+  // Caps options.deadline_ns / cancel to the enclosing handler's context.
+  static CallOptions CapToParent(const CallOptions& options);
 
   NameSpace name_space_;
   AclStore acls_;
@@ -120,6 +144,7 @@ class Kernel {
   EventDispatcher dispatcher_;
 
   std::unordered_map<uint32_t, HandlerFn> procedures_;
+  ExtensionSupervisor* supervisor_ = nullptr;
   std::vector<std::optional<LinkedExtension>> extensions_;
   size_t loaded_count_ = 0;
   PrincipalId system_;

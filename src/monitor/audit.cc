@@ -32,6 +32,8 @@ std::string_view DenyReasonName(DenyReason reason) {
       return "not-authorized";
     case DenyReason::kAuditUnavailable:
       return "audit-unavailable";
+    case DenyReason::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }

@@ -61,10 +61,11 @@ enum class DenyReason : uint8_t {
   kMacFlow,           // the lattice flow rules forbid the access
   kNotAuthorized,     // administrative operation without administrate rights
   kAuditUnavailable,  // fail-closed: the required audit sink is down
+  kQuarantined,       // supervision: extension quarantined or monitor lockdown
 };
 
 // Number of DenyReason values, kNone included (per-reason counter arrays).
-inline constexpr size_t kDenyReasonCount = 8;
+inline constexpr size_t kDenyReasonCount = 9;
 
 std::string_view DenyReasonName(DenyReason reason);
 

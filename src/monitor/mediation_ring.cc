@@ -77,6 +77,15 @@ StatusOr<uint64_t> MediationRing::SubmitInvoke(Client& client, const Subject& su
 StatusOr<uint64_t> MediationRing::Submit(Client& client, const Subject& subject, NodeId node,
                                          AccessModeSet modes, InvokeFn fn) {
   XSEC_FAILPOINT("ring.submit");
+  // Supervision gate first, before ANY credit is touched: a quarantined
+  // target must fail fast without consuming transport capacity.
+  if (options_.admission_gate) {
+    Status gated = options_.admission_gate(subject, node);
+    if (!gated.ok()) {
+      gate_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return gated;
+    }
+  }
   // Shard-affinity and the cross-shard gate both key on the target node's
   // monitor shard, resolved once here (a lock-free array read).
   ShardId node_shard = monitor_->DomainOf(node);
@@ -183,6 +192,11 @@ void MediationRing::WorkerLoop(Shard* shard) {
     if (n == 0) {
       return;  // stopped, fully drained
     }
+    // Heartbeat: stamp-then-busy at the batch's start, so the watchdog's
+    // "busy for longer than stuck_after" reading always measures THIS
+    // batch's age, never a stale stamp from an idle period.
+    shard->heartbeat_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+    shard->busy.store(true, std::memory_order_release);
     // Stall-injection site (arm "ring.worker.<shard>.batch" with sleep=...):
     // the sleep happens with the batch's credits held, which is exactly how
     // a genuinely stuck consumer starves its shard of admissions.
@@ -233,11 +247,29 @@ void MediationRing::WorkerLoop(Shard* shard) {
       i = j;
     }
     shard->batches.fetch_add(1, std::memory_order_relaxed);
+    shard->heartbeat_ns.store(MonotonicNowNs(), std::memory_order_relaxed);
+    shard->busy.store(false, std::memory_order_release);
     // Credits return only now, after every result is posted: the pool
     // bounds work in flight, so a worker stuck above starves admissions
     // instead of letting the queue churn.
     shard->ring.ReleaseCredits(n);
   }
+}
+
+MediationRing::ShardHealth MediationRing::shard_health(size_t shard) const {
+  ShardHealth health;
+  if (shard >= shards_.size()) {
+    return health;
+  }
+  const Shard& s = *shards_[shard];
+  // busy (acquire) before the heartbeat: if we observe busy==true the stamp
+  // we read is the running batch's start stamp or newer, so the computed age
+  // can overstate a wedge only transiently, never fabricate one for an idle
+  // shard.
+  health.busy = s.busy.load(std::memory_order_acquire);
+  health.heartbeat_ns = s.heartbeat_ns.load(std::memory_order_relaxed);
+  health.batches = s.batches.load(std::memory_order_relaxed);
+  return health;
 }
 
 size_t MediationRing::depth() const {

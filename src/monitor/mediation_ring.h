@@ -92,6 +92,15 @@ struct MediationRingOptions {
   // any batch work. Admission-only: admitted requests still run the full
   // DAC/MAC check. Must outlive the ring.
   ShardGrantTable* grants = nullptr;
+  // When set, every submission consults this gate FIRST — before the grant
+  // check and before any credit is reserved — and a non-OK status is
+  // returned to the submitter verbatim. The extension supervisor installs a
+  // gate answering kUnavailable for quarantined targets, which is what makes
+  // quarantine fail-fast: a tripped extension's requests never consume ring
+  // or completion credits, so it cannot starve healthy tenants of the
+  // transport. Type-erased (the monitor layer sits below the extension
+  // system). Must be thread-safe and must outlive the ring.
+  std::function<Status(const Subject& subject, NodeId node)> admission_gate;
 };
 
 class MediationRing {
@@ -195,6 +204,29 @@ class MediationRing {
   uint64_t grant_rejections() const {
     return grant_rejections_.load(std::memory_order_relaxed);
   }
+  // Submissions refused by the supervision admission gate (pre-credit).
+  uint64_t gate_rejections() const {
+    return gate_rejections_.load(std::memory_order_relaxed);
+  }
+
+  // One shard's worker-liveness view, for the supervisor's watchdog. The
+  // heartbeat is stamped at BATCH boundaries (just after a batch is drained
+  // and again when its completions are posted), and `busy` is true only
+  // between those stamps — so "busy for longer than the watchdog's
+  // stuck_after bound" means one batch has been in flight that long, not
+  // that the shard is merely loaded. A legitimately slow batch keeps its
+  // heartbeat fresh at every boundary; only a wedge inside ONE batch (a
+  // stalled CheckBatch, a stuck invoked continuation, an armed
+  // ring.worker.<shard>.batch sleep) lets the age grow unboundedly. The
+  // watchdog's stuck_after must therefore exceed the worst legitimate
+  // single-batch time — that is the pinned contract
+  // (WatchdogTest.SlowButProgressingBatchIsNotStuck).
+  struct ShardHealth {
+    bool busy = false;           // a drained batch is currently in flight
+    uint64_t heartbeat_ns = 0;   // MonotonicNowNs at the last batch boundary
+    uint64_t batches = 0;        // batches fully processed so far
+  };
+  ShardHealth shard_health(size_t shard) const;
   // Admissions rejected for want of a credit, both gates combined: the
   // transport's visible back-pressure events.
   uint64_t stalls() const;
@@ -214,6 +246,11 @@ class MediationRing {
     CreditRing<Request> ring;
     std::thread worker;
     std::atomic<uint64_t> batches{0};
+    // Watchdog view: stamped by the worker at batch boundaries (see
+    // ShardHealth). busy is set after a batch is drained and cleared when
+    // its completions have posted.
+    std::atomic<uint64_t> heartbeat_ns{0};
+    std::atomic<bool> busy{false};
     // Per-shard stall-injection site ("ring.worker.<shard>.batch"),
     // resolved once at construction — the XSEC_FAILPOINT macros cache by
     // call site and cannot carry a per-shard name.
@@ -233,6 +270,7 @@ class MediationRing {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> completion_stalls_{0};
   std::atomic<uint64_t> grant_rejections_{0};
+  std::atomic<uint64_t> gate_rejections_{0};
 };
 
 }  // namespace xsec

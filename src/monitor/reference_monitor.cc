@@ -13,6 +13,11 @@ Status Decision::ToStatus() const {
   if (reason == DenyReason::kNotFound) {
     return NotFoundError(detail);
   }
+  if (reason == DenyReason::kQuarantined) {
+    // Not a policy verdict: the caller may be fully authorized, the target
+    // is just refusing work until supervision clears it. Retryable.
+    return UnavailableError(detail);
+  }
   return PermissionDeniedError(detail);
 }
 
@@ -212,6 +217,21 @@ void ReferenceMonitor::ApplyAuditAvailability(Decision* decision) {
   }
 }
 
+void ReferenceMonitor::ApplyLockdown(Decision* decision, AccessModeSet modes) {
+  // Lockdown is graceful degradation, not a policy change: extend-mode
+  // requests (linking new extensions, specializing interfaces) are refused
+  // while every other mode keeps its underlying decision. Applied AFTER the
+  // cache, exactly like the audit-availability override, so the transient
+  // denial is never cached and extends resume the instant lockdown lifts.
+  if (!decision->allowed || __builtin_expect(!lockdown_.load(std::memory_order_relaxed), 1)) {
+    return;
+  }
+  if (modes.Contains(AccessMode::kExtend)) {
+    *decision = Decision{false, DenyReason::kQuarantined,
+                         "monitor lockdown: extend-mode access suspended"};
+  }
+}
+
 Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
                                           AccessModeSet modes) {
   Decision decision;
@@ -248,8 +268,9 @@ Decision ReferenceMonitor::CheckUnsampled(const Subject& subject, NodeId node,
     decision = CheckUncached(subject, node, modes);
   }
   // After the cache on purpose: the cache keeps the underlying decision, the
-  // availability override applies only to this call.
+  // availability and lockdown overrides apply only to this call.
   ApplyAuditAvailability(&decision);
+  ApplyLockdown(&decision, modes);
   Audit(subject, node, "", modes, decision);
   return decision;
 }
@@ -309,6 +330,7 @@ void ReferenceMonitor::CheckBatch(const BatchCheckRequest* requests, size_t n, D
     }
     // After the cache, per request, like CheckUnsampled.
     ApplyAuditAvailability(&decision);
+    ApplyLockdown(&decision, req.modes);
     if (options_.stats_enabled) {
       counts.Add(req.modes, decision.allowed ? DenyReason::kNone : decision.reason);
     }

@@ -184,6 +184,16 @@ class ReferenceMonitor {
   void set_security_officer(PrincipalId officer) { security_officer_ = officer; }
   PrincipalId security_officer() const { return security_officer_; }
 
+  // -- Lockdown (supervision-driven graceful degradation) --------------------
+  // While armed, would-be-allowed checks whose modes include `extend` are
+  // flipped to kQuarantined denials; every other mode keeps its underlying
+  // decision, so reads/invokes of healthy services stay live. Applied after
+  // the cache (never cached), like the audit-availability override. Driven
+  // by the extension supervisor's health state machine or an operator via
+  // /svc/health; the monitor itself only enforces.
+  void set_lockdown(bool on) { lockdown_.store(on, std::memory_order_relaxed); }
+  bool lockdown() const { return lockdown_.load(std::memory_order_relaxed); }
+
   // -- Effective policy resolution (own or inherited) ------------------------
 
   // The ACL governing a node: its own, else the nearest ancestor's, else null
@@ -311,6 +321,9 @@ class ReferenceMonitor {
   // is tripped. Runs AFTER the cache so the transient denial is never
   // cached — allows resume the moment the sink recovers.
   void ApplyAuditAvailability(Decision* decision);
+  // Lockdown override: flips extend-mode allows to kQuarantined denials
+  // while lockdown_ is armed. Same post-cache placement and rationale.
+  void ApplyLockdown(Decision* decision, AccessModeSet modes);
 
   // One build attempt against `stamps` with `extra` interned classes.
   StatusOr<std::shared_ptr<const CompiledPolicy>> BuildCompiled(
@@ -332,6 +345,10 @@ class ReferenceMonitor {
   MonitorStats stats_;
   DecisionCache cache_;
   PrincipalId security_officer_;
+
+  // Armed by the supervision layer (breaker cascade or operator); checked
+  // on every decision with one relaxed load.
+  std::atomic<bool> lockdown_{false};
 
   // Monitor-owned stamp: policy reloads bump it (NotePolicyReload), making
   // it impossible for decisions cached against the pre-reload policy — or

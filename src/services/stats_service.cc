@@ -9,6 +9,7 @@
 
 #include "src/base/failpoint.h"
 #include "src/base/strings.h"
+#include "src/extsys/supervisor.h"
 #include "src/monitor/mediation_ring.h"
 #include "src/naming/path.h"
 
@@ -90,6 +91,47 @@ Status StatsService::MountGrants(ShardGrantTable* grants) {
   return MountLeaf("shard/grants/interned_names", [grants, count] {
     return count(grants->interned_names());
   });
+}
+
+Status StatsService::MountHealth(ExtensionSupervisor* supervisor) {
+  auto count = [](uint64_t v) { return std::to_string(v); };
+  XSEC_RETURN_IF_ERROR(MountLeaf("health/state", [supervisor] {
+    return std::string(SystemHealthName(supervisor->system_health()));
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("health/quarantined", [supervisor, count] {
+    return count(supervisor->quarantined_count());
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("health/lockdown", [supervisor] {
+    return std::string(
+        supervisor->system_health() == SystemHealth::kLockdown ? "1" : "0");
+  }));
+  XSEC_RETURN_IF_ERROR(MountLeaf("health/watchdog/stuck_shards", [supervisor, count] {
+    return count(supervisor->stuck_shards());
+  }));
+  // Per-extension leaves appear as names register (LoadExtension under a
+  // supervised kernel registers automatically). The hook runs without
+  // supervisor locks; MountLeaf failures on a re-registered name are benign
+  // (the leaf already exists).
+  supervisor->SetRegistrationHook([this, supervisor, count](const std::string& name) {
+    std::string prefix = "health/ext/" + name + "/";
+    (void)MountLeaf(prefix + "state", [supervisor, name] {
+      auto snap = supervisor->Snapshot(name);
+      return std::string(snap ? ExtHealthName(snap->state) : "unregistered");
+    });
+    (void)MountLeaf(prefix + "trips", [supervisor, name, count] {
+      auto snap = supervisor->Snapshot(name);
+      return count(snap ? snap->trips : 0);
+    });
+    (void)MountLeaf(prefix + "timeouts", [supervisor, name, count] {
+      auto snap = supervisor->Snapshot(name);
+      return count(snap ? snap->timeouts : 0);
+    });
+    (void)MountLeaf(prefix + "inflight", [supervisor, name, count] {
+      auto snap = supervisor->Snapshot(name);
+      return count(snap ? snap->inflight : 0);
+    });
+  });
+  return OkStatus();
 }
 
 Status StatsService::MountLeaf(const std::string& relative_path,

@@ -183,6 +183,13 @@ class StatsService {
   // Call after Install; the table must outlive this service.
   Status MountGrants(ShardGrantTable* grants);
 
+  // Mounts the supervision health leaves (MODEL.md §16):
+  // health/state|quarantined|lockdown, health/watchdog/stuck_shards, plus
+  // per-extension leaves health/ext/<name>/state|trips|timeouts|inflight,
+  // mounted as names register via the supervisor's registration hook. Call
+  // after Install; the supervisor must outlive this service.
+  Status MountHealth(ExtensionSupervisor* supervisor);
+
   const std::string& mount_path() const { return options_.mount_path; }
   const std::string& service_path() const { return options_.service_path; }
 

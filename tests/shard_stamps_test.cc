@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/base/shard.h"
@@ -334,6 +336,46 @@ TEST(ShardGrantTest, GrantAdmitRevokeAndOneShotTransfer) {
   // Non-concrete shards have no cross-shard boundary.
   EXPECT_TRUE(grants.Admit(p, node, kAggregateShard));
   EXPECT_EQ(grants.interned_names(), 1u);
+}
+
+// A one-shot transfer is consumed atomically: when many threads race to
+// admit through the same transfer, exactly one wins and the consumption
+// counter moves exactly once — repeated over many rounds to shake out
+// check-then-consume windows in the slice locking.
+TEST(ShardGrantTest, OneShotTransferAdmitsExactlyOnceUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  ShardGrantTable grants;
+  PrincipalId p{21};
+  NodeId node{7};
+
+  for (int round = 0; round < kRounds; ++round) {
+    grants.Grant(p, "racer", node, 3, /*one_shot=*/true);
+
+    std::atomic<int> start_gate{0};
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> racers;
+    racers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      racers.emplace_back([&] {
+        start_gate.fetch_add(1);
+        while (start_gate.load() < kThreads) {
+          // spin: release all racers into Admit together
+        }
+        if (grants.Admit(p, node, 3)) {
+          admitted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& racer : racers) {
+      racer.join();
+    }
+
+    ASSERT_EQ(admitted.load(), 1) << "round " << round;
+    // The transfer is gone: a straggler cannot reuse it.
+    EXPECT_FALSE(grants.Admit(p, node, 3));
+    EXPECT_EQ(grants.transfers_consumed(), static_cast<uint64_t>(round + 1));
+  }
 }
 
 TEST(ShardGrantTest, RingRejectsCrossShardSubmitWithoutGrant) {

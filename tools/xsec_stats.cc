@@ -4,7 +4,8 @@
 //   xsec_stats [--policy <file>] [--checks N] [--seed S] [--ndjson <file|->]
 //              [--ndjson-max-bytes B] [--ndjson-max-age-ms M] [--ndjson-keep K]
 //              [--audit-drain] [--resilient] [--audit-required] [--snapshot]
-//              [--ring <shards>] [--fanout <sinks>] [--fail <name>=<spec>]...
+//              [--ring <shards>] [--fanout <sinks>] [--health]
+//              [--fail <name>=<spec>]...
 //
 // Boots a SecureSystem, optionally applies a policy file, runs a
 // deterministic randomized workload of N access checks (a mix of allowed and
@@ -41,6 +42,14 @@
 // sharded queues were stitched back into exact global sequence order.
 // Combine with --fail audit.fanout.enqueue=error,nth=... to watch per-lane
 // drops leave gaps without reordering.
+//
+// --health enables the extension supervisor (MODEL.md §16) and loads a tiny
+// demo world on it: a healthy extension plus one that fails until its
+// circuit breaker trips and quarantines it. The printed tree then carries
+// the /sys/monitor/health/... leaves, and the tool appends one
+// `health ext <name> <state> ...` summary line per supervised extension plus
+// the system health verdict — a command-line window onto the supervision
+// plane's live state.
 //
 // --fail arms a failpoint before the workload (repeatable; spec grammar is
 // src/base/failpoint.h, e.g. --fail audit.sink.write=error,nth=100). Arming
@@ -89,6 +98,7 @@ int main(int argc, char** argv) {
   bool audit_drain = false;
   bool resilient = false;
   bool audit_required = false;
+  bool health = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -124,6 +134,8 @@ int main(int argc, char** argv) {
       audit_required = true;
     } else if (arg == "--snapshot") {
       snapshot = true;
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--ring") {
       const char* v = next();
       if (v == nullptr) return Fail("--ring needs a shard count");
@@ -148,13 +160,23 @@ int main(int argc, char** argv) {
                    "[--ndjson <file|->] [--ndjson-max-bytes B] "
                    "[--ndjson-max-age-ms M] [--ndjson-keep K] [--audit-drain] "
                    "[--resilient] [--audit-required] [--snapshot] "
-                   "[--ring <shards>] [--fanout <sinks>] "
+                   "[--ring <shards>] [--fanout <sinks>] [--health] "
                    "[--fail <name>=<spec>]...\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
   xsec::SecureSystem sys;
+
+  xsec::ExtensionSupervisor* supervisor = nullptr;
+  if (health) {
+    auto enabled = sys.EnableSupervision();
+    if (!enabled.ok()) {
+      std::fprintf(stderr, "xsec_stats: %s\n", enabled.status().ToString().c_str());
+      return 1;
+    }
+    supervisor = *enabled;
+  }
 
   if (!policy_file.empty()) {
     std::ifstream in(policy_file);
@@ -254,6 +276,49 @@ int main(int argc, char** argv) {
 
   xsec::Subject reader_s = sys.Login(*reader, sys.labels().Bottom());
   xsec::Subject outsider_s = sys.Login(*outsider, sys.labels().Bottom());
+
+  // The --health demo world: two supervised extensions, one of which fails
+  // until its breaker trips, so the printed health leaves show a live
+  // quarantine rather than an all-healthy nothing.
+  if (supervisor != nullptr) {
+    auto hook = [&](const char* path) -> xsec::StatusOr<xsec::NodeId> {
+      auto node = sys.kernel().RegisterInterface(path, sys.system_principal());
+      if (!node.ok()) {
+        return node;
+      }
+      xsec::Acl acl;
+      acl.AddEntry({xsec::AclEntryType::kAllow, *reader,
+                    xsec::AccessMode::kExtend | xsec::AccessMode::kExecute |
+                        xsec::AccessMode::kList});
+      (void)sys.name_space().SetAclRef(*node, sys.kernel().acls().Create(std::move(acl)));
+      return node;
+    };
+    if (!hook("/svc/demo/steady").ok() || !hook("/svc/demo/flaky").ok()) {
+      return Fail("--health demo setup failed");
+    }
+    xsec::ExtensionManifest steady;
+    steady.name = "demo-steady";
+    steady.exports.push_back({"/svc/demo/steady",
+                              [](xsec::CallContext&) -> xsec::StatusOr<xsec::Value> {
+                                return xsec::Value{true};
+                              }});
+    xsec::ExtensionManifest flaky;
+    flaky.name = "demo-flaky";
+    flaky.exports.push_back({"/svc/demo/flaky",
+                             [](xsec::CallContext&) -> xsec::StatusOr<xsec::Value> {
+                               return xsec::InternalError("demo extension fault");
+                             }});
+    if (!sys.LoadExtension(steady, reader_s).ok() ||
+        !sys.LoadExtension(flaky, reader_s).ok()) {
+      return Fail("--health demo setup failed");
+    }
+    (void)sys.Invoke(reader_s, "/svc/demo/steady", {});
+    // Default trip_after consecutive failures quarantine the flaky one; the
+    // extra attempt then fails fast as kUnavailable without running it.
+    for (uint32_t i = 0; i <= supervisor->options().default_budget.trip_after; ++i) {
+      (void)sys.Invoke(reader_s, "/svc/demo/flaky", {});
+    }
+  }
 
   // Arm requested failpoints through the mediated control plane (an audited
   // administrate check on /sys/faults/<name>), not by poking the registry.
@@ -368,6 +433,25 @@ int main(int argc, char** argv) {
     auto state = sys.faults().ReadFault(system_s, name);
     if (state.ok()) {
       std::fprintf(stdout, "fault %s %s\n", name.c_str(), state->c_str());
+    }
+  }
+  if (supervisor != nullptr) {
+    std::fprintf(stdout, "health system %s quarantined=%llu stuck_shards=%llu\n",
+                 std::string(xsec::SystemHealthName(supervisor->system_health())).c_str(),
+                 static_cast<unsigned long long>(supervisor->quarantined_count()),
+                 static_cast<unsigned long long>(supervisor->stuck_shards()));
+    for (const xsec::ExtensionSupervisor::ExtSnapshot& snap : supervisor->SnapshotAll()) {
+      std::fprintf(stdout,
+                   "health ext %s %s invokes=%llu failures=%llu timeouts=%llu "
+                   "trips=%llu releases=%llu rejected=%llu\n",
+                   snap.name.c_str(),
+                   std::string(xsec::ExtHealthName(snap.state)).c_str(),
+                   static_cast<unsigned long long>(snap.invokes),
+                   static_cast<unsigned long long>(snap.failures),
+                   static_cast<unsigned long long>(snap.timeouts),
+                   static_cast<unsigned long long>(snap.trips),
+                   static_cast<unsigned long long>(snap.releases),
+                   static_cast<unsigned long long>(snap.rejected));
     }
   }
   return 0;
